@@ -1,0 +1,74 @@
+//===- bench/BenchCommon.h - Shared benchmark harness pieces ----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared between the per-table/per-figure benchmark binaries: building the
+/// seven synthetic projects (deterministic; scale via the PETAL_SCALE
+/// environment variable) and a few formatting helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_BENCH_BENCHCOMMON_H
+#define PETAL_BENCH_BENCHCOMMON_H
+
+#include "complete/Engine.h"
+#include "corpus/Generator.h"
+#include "eval/Experiments.h"
+#include "support/StrUtil.h"
+#include "support/Table.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace petal::bench {
+
+/// One generated project with its indexes, ready to evaluate.
+struct ProjectRun {
+  std::string Name;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  std::unique_ptr<CompletionIndexes> Idx;
+};
+
+/// The corpus scale factor: PETAL_SCALE env var, defaulting to \p Default.
+inline double benchScale(double Default = 0.5) {
+  if (const char *S = std::getenv("PETAL_SCALE"))
+    return std::atof(S);
+  return Default;
+}
+
+/// Generates the seven paper projects at \p Scale.
+inline std::vector<ProjectRun> buildProjects(double Scale) {
+  std::vector<ProjectRun> Runs;
+  for (const ProjectProfile &Prof : paperProjectProfiles(Scale)) {
+    ProjectRun Run;
+    Run.Name = Prof.Name;
+    Run.TS = std::make_unique<TypeSystem>();
+    Run.P = std::make_unique<Program>(*Run.TS);
+    CorpusGenerator Gen(Prof);
+    Gen.generate(*Run.P);
+    Run.Idx = std::make_unique<CompletionIndexes>(*Run.P);
+    Runs.push_back(std::move(Run));
+  }
+  return Runs;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string &Title, const std::string &PaperRef,
+                   double Scale) {
+  std::cout << "== petal reproduction: " << Title << "\n"
+            << "   paper reference: " << PaperRef << "\n"
+            << "   corpus scale: " << formatFixed(Scale, 2)
+            << " (set PETAL_SCALE to change)\n\n";
+}
+
+} // namespace petal::bench
+
+#endif // PETAL_BENCH_BENCHCOMMON_H

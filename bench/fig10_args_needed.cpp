@@ -1,0 +1,59 @@
+//===- bench/fig10_args_needed.cpp - Figure 10 ----------------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 10: for calls of each arity, the proportion solvable
+// (intended method in the top 20) using the best single argument vs the
+// best set of <= 2 arguments. The paper finds one argument is often enough
+// and a third argument adds almost nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <map>
+
+using namespace petal;
+using namespace petal::bench;
+
+int main() {
+  double Scale = benchScale();
+  banner("Figure 10 — arguments needed to identify the method",
+         "§5.1, Fig. 10", Scale);
+
+  std::map<size_t, ArityStats> Combined;
+  auto Projects = buildProjects(Scale);
+  for (ProjectRun &Run : Projects) {
+    Evaluator Ev(*Run.P, *Run.Idx, RankingOptions::all());
+    MethodPredictionData Data = Ev.runMethodPrediction(false, false);
+    for (const auto &[Arity, Stats] : Data.ByArity) {
+      ArityStats &C = Combined[Arity];
+      C.Calls += Stats.Calls;
+      C.SolvedWith1 += Stats.SolvedWith1;
+      C.SolvedWith2 += Stats.SolvedWith2;
+    }
+  }
+
+  TextTable T;
+  T.setHeader({"# args of call", "# calls", "top20 w/ best 1 arg",
+               "top20 w/ best <=2 args"});
+  size_t Calls = 0, S1 = 0, S2 = 0;
+  for (const auto &[Arity, Stats] : Combined) {
+    T.addRow({std::to_string(Arity), std::to_string(Stats.Calls),
+              formatPercent(Stats.SolvedWith1, Stats.Calls),
+              formatPercent(Stats.SolvedWith2, Stats.Calls)});
+    Calls += Stats.Calls;
+    S1 += Stats.SolvedWith1;
+    S2 += Stats.SolvedWith2;
+  }
+  T.addRule();
+  T.addRow({"all", std::to_string(Calls), formatPercent(S1, Calls),
+            formatPercent(S2, Calls)});
+  T.print(std::cout);
+  std::cout << "\n(paper shape: one argument is usually enough; the second "
+               "helps at the margin)\n";
+  return 0;
+}

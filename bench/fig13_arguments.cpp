@@ -1,0 +1,83 @@
+//===- bench/fig13_arguments.cpp - Figures 13 and 14 ----------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 13 (rank CDF for predicting a method argument replaced
+// by `?`, with a second series that ignores the easy bare-local answers)
+// and Figure 14 (the distribution of argument expression forms). The paper
+// reports the intended argument top-ranked 55% of the time and in the top
+// 10 over 80% of the time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "eval/Report.h"
+
+using namespace petal;
+using namespace petal::bench;
+
+int main() {
+  double Scale = benchScale();
+  banner("Figure 13 + Figure 14 — predicting method arguments",
+         "§5.2, Fig. 13, Fig. 14", Scale);
+
+  RankDistribution All, NoVars;
+  size_t Forms[6] = {};
+  size_t TotalArgs = 0;
+
+  auto Projects = buildProjects(Scale);
+  for (ProjectRun &Run : Projects) {
+    Evaluator Ev(*Run.P, *Run.Idx, RankingOptions::all());
+    ArgumentPredictionData Data = Ev.runArgumentPrediction();
+    All.merge(Data.All);
+    NoVars.merge(Data.NoVars);
+    for (int I = 0; I != 6; ++I)
+      Forms[I] += Data.FormCounts[I];
+    TotalArgs += Data.TotalArgs;
+  }
+
+  TextTable F13;
+  std::vector<std::string> Header = {"Series"};
+  for (const std::string &C : cdfHeaderCells())
+    Header.push_back(C);
+  Header.push_back("n");
+  F13.setHeader(Header);
+  auto AddRow = [&F13](const std::string &Name, const RankDistribution &D) {
+    std::vector<std::string> Row = {Name};
+    for (const std::string &C : cdfRowCells(D))
+      Row.push_back(C);
+    Row.push_back(std::to_string(D.total()));
+    F13.addRow(Row);
+  };
+  AddRow("All guessable arguments", All);
+  AddRow("Ignoring bare locals", NoVars);
+
+  std::cout << "Figure 13: rank of the intended argument\n";
+  F13.print(std::cout);
+  std::cout << "\n(paper: top-1 ~55%, top-10 >80%)\n\n";
+
+  static const char *FormNames[] = {
+      "local variable", "this",           "one field lookup",
+      "deeper lookup",  "global (static)", "not guessable",
+  };
+  TextTable F14;
+  F14.setHeader({"Argument form", "# args", "%"});
+  for (int I = 0; I != 6; ++I)
+    F14.addRow({FormNames[I], std::to_string(Forms[I]),
+                formatPercent(Forms[I], TotalArgs)});
+  std::cout << "Figure 14: argument expression forms\n";
+  F14.print(std::cout);
+  std::cout << "\n(paper shape: locals dominate, field lookups are common, "
+               "about a third of arguments are not guessable)\n";
+
+  CsvReport Csv(CsvReport::cdfColumns());
+  Csv.addCdfRow("all", All);
+  Csv.addCdfRow("no_vars", NoVars);
+  if (Csv.writeIfRequested("fig13_arguments"))
+    std::cout << "(wrote fig13_arguments.csv)\n";
+  return 0;
+}

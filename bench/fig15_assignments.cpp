@@ -1,0 +1,56 @@
+//===- bench/fig15_assignments.cpp - Figure 15 ----------------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 15: assignments whose target/source/both sides end in
+// a field lookup have that lookup removed and `.?m` appended to both sides;
+// the figure reports the rank CDF of the original assignment. The paper
+// reports >90% top-10 with one lookup removed, dropping to ~59% when a
+// lookup is removed from both sides.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace petal;
+using namespace petal::bench;
+
+int main() {
+  double Scale = benchScale();
+  banner("Figure 15 — predicting field lookups in assignments",
+         "§5.3, Fig. 15", Scale);
+
+  RankDistribution Target, Source, Both;
+  auto Projects = buildProjects(Scale);
+  for (ProjectRun &Run : Projects) {
+    Evaluator Ev(*Run.P, *Run.Idx, RankingOptions::all());
+    AssignmentData Data = Ev.runAssignments();
+    Target.merge(Data.Target);
+    Source.merge(Data.Source);
+    Both.merge(Data.Both);
+  }
+
+  TextTable T;
+  std::vector<std::string> Header = {"Lookup removed from"};
+  for (const std::string &C : cdfHeaderCells())
+    Header.push_back(C);
+  Header.push_back("n");
+  T.setHeader(Header);
+  auto AddRow = [&T](const std::string &Name, const RankDistribution &D) {
+    std::vector<std::string> Row = {Name};
+    for (const std::string &C : cdfRowCells(D))
+      Row.push_back(C);
+    Row.push_back(std::to_string(D.total()));
+    T.addRow(Row);
+  };
+  AddRow("target", Target);
+  AddRow("source", Source);
+  AddRow("both sides", Both);
+  T.print(std::cout);
+  std::cout << "\n(paper shape: one side >90% top-10; both sides markedly "
+               "harder)\n";
+  return 0;
+}

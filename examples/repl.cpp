@@ -1,0 +1,237 @@
+//===- examples/repl.cpp - Interactive partial-expression shell -----------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's future work is an IDE plugin; this is the command-line
+// equivalent: load a (mini-C#) source file, pick a code context, and type
+// partial expressions to see ranked completions.
+//
+//   ./build/examples/repl [source.cs]
+//
+//   > :context EllipseArc Examine     pick the enclosing class::method
+//   > :n 15                           number of results
+//   > :vars                           show what is in scope
+//   > :dump                           print the loaded program as source
+//   > Distance(point, ?)              any other line is a query
+//   > :quit
+//
+// Without an argument it loads the built-in DynamicGeometry corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "code/ExprPrinter.h"
+#include "complete/Engine.h"
+#include "corpus/MiniFrameworks.h"
+#include "corpus/SourceWriter.h"
+#include "parser/Frontend.h"
+#include "rank/Explain.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace petal;
+
+namespace {
+
+/// The REPL session state.
+struct Session {
+  TypeSystem TS;
+  Program P{TS};
+  std::unique_ptr<CompletionIndexes> Idx;
+  std::unique_ptr<CompletionEngine> Engine;
+  const CodeClass *Class = nullptr;
+  const CodeMethod *Method = nullptr;
+  size_t NumResults = 10;
+  std::vector<Completion> LastResults;
+
+  bool load(const std::string &Source) {
+    DiagnosticEngine Diags;
+    if (!loadProgramText(Source, P, Diags)) {
+      Diags.print(std::cerr);
+      return false;
+    }
+    Idx = std::make_unique<CompletionIndexes>(P);
+    Engine = std::make_unique<CompletionEngine>(P, *Idx);
+    // Default context: the method with the richest scope (most locals),
+    // which is usually the interesting client code.
+    size_t BestLocals = 0;
+    for (const auto &CC : P.classes())
+      for (const auto &CM : CC->methods())
+        if (CM->locals().size() >= BestLocals) {
+          BestLocals = CM->locals().size();
+          Class = CC.get();
+          Method = CM.get();
+        }
+    std::cout << "loaded: " << TS.numTypes() << " types, " << TS.numMethods()
+              << " methods, " << TS.numFields() << " fields\n";
+    printContext();
+    return true;
+  }
+
+  void printContext() const {
+    if (!Method) {
+      std::cout << "context: (none — use :context Class Method)\n";
+      return;
+    }
+    const MethodInfo &MI = TS.method(Method->decl());
+    std::cout << "context: " << TS.qualifiedName(Class->type())
+              << "::" << MI.Name << "\n";
+  }
+
+  void printVars() const {
+    if (!Method)
+      return;
+    for (unsigned Slot : Method->localsInScopeAt(Method->body().size())) {
+      const LocalVar &L = Method->locals()[Slot];
+      std::cout << "  " << TS.qualifiedName(L.Type) << " " << L.Name
+                << (L.IsParam ? "   (parameter)" : "") << "\n";
+    }
+    if (!TS.method(Method->decl()).IsStatic)
+      std::cout << "  this : " << TS.qualifiedName(Class->type()) << "\n";
+  }
+
+  void setContext(const std::string &ClassName,
+                  const std::string &MethodName) {
+    const CodeClass *CC = findCodeClass(P, ClassName);
+    if (!CC) {
+      std::cout << "error: no class '" << ClassName << "' with code\n";
+      return;
+    }
+    const CodeMethod *CM = findCodeMethod(P, *CC, MethodName);
+    if (!CM) {
+      std::cout << "error: no method '" << MethodName << "' in "
+                << ClassName << "\n";
+      return;
+    }
+    Class = CC;
+    Method = CM;
+    printContext();
+  }
+
+  void runQuery(const std::string &Text) {
+    if (!Method) {
+      std::cout << "error: no context (use :context Class Method)\n";
+      return;
+    }
+    DiagnosticEngine Diags;
+    QueryScope Scope = scopeAtEnd(Class, Method);
+    const PartialExpr *Q = parseQueryText(Text, P, Scope, Diags);
+    if (!Q) {
+      Diags.print(std::cout);
+      return;
+    }
+    CodeSite Site{Class, Method, Scope.StmtIndex};
+    LastResults = Engine->complete(Q, Site, NumResults);
+    if (LastResults.empty()) {
+      std::cout << "  (no completions)\n";
+      return;
+    }
+    for (size_t I = 0; I != LastResults.size(); ++I)
+      std::cout << "  " << (I + 1) << ". [" << LastResults[I].Score << "] "
+                << printExpr(TS, LastResults[I].E) << "\n";
+  }
+
+  /// `:explain k` — per-term breakdown of the k-th result of the last
+  /// query (1-based).
+  void explain(size_t K) {
+    if (K == 0 || K > LastResults.size()) {
+      std::cout << "error: no result #" << K << " (run a query first)\n";
+      return;
+    }
+    AbsTypeSolution Sol = Idx->Infer.solve();
+    Ranker R(TS, RankingOptions::all());
+    R.setSelfType(Class->type());
+    R.setAbstractTypes(&Idx->Infer, &Sol, Method);
+    const Completion &C = LastResults[K - 1];
+    std::cout << "  " << printExpr(TS, C.E) << "\n  score: "
+              << explainScore(R, C.E).toString() << "\n";
+  }
+};
+
+void printHelp() {
+  std::cout <<
+      "commands:\n"
+      "  :context <Class> <Method>   set the enclosing code context\n"
+      "  :vars                       list values in scope\n"
+      "  :n <count>                  set the number of results\n"
+      "  :explain <k>                score breakdown of result k\n"
+      "  :dump                       print the loaded program as source\n"
+      "  :help                       this text\n"
+      "  :quit                       exit\n"
+      "anything else is a partial-expression query, e.g.\n"
+      "  ?({img, size})   Distance(point, ?)   point.?*m >= this.?*m\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Session S;
+  std::string Source;
+  if (argc > 1) {
+    std::ifstream In(argv[1]);
+    if (!In) {
+      std::cerr << "error: cannot open '" << argv[1] << "'\n";
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  } else {
+    Source = corpora::GeometryCorpus;
+    std::cout << "(no file given; using the built-in DynamicGeometry "
+                 "corpus)\n";
+  }
+  if (!S.load(Source))
+    return 1;
+  printHelp();
+
+  std::string Line;
+  while (std::cout << "petal> " << std::flush, std::getline(std::cin, Line)) {
+    // Trim.
+    size_t B = Line.find_first_not_of(" \t");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t");
+    Line = Line.substr(B, E - B + 1);
+
+    if (Line[0] == ':') {
+      std::istringstream Cmd(Line);
+      std::string Word;
+      Cmd >> Word;
+      if (Word == ":quit" || Word == ":q")
+        break;
+      if (Word == ":help") {
+        printHelp();
+      } else if (Word == ":vars") {
+        S.printVars();
+      } else if (Word == ":dump") {
+        std::cout << writeProgramSource(S.P);
+      } else if (Word == ":n") {
+        size_t N = 10;
+        if (Cmd >> N && N > 0)
+          S.NumResults = N;
+        std::cout << "showing " << S.NumResults << " results\n";
+      } else if (Word == ":explain") {
+        size_t K = 0;
+        Cmd >> K;
+        S.explain(K);
+      } else if (Word == ":context") {
+        std::string C, M;
+        if (Cmd >> C >> M)
+          S.setContext(C, M);
+        else
+          std::cout << "usage: :context <Class> <Method>\n";
+      } else {
+        std::cout << "unknown command '" << Word << "' (:help)\n";
+      }
+      continue;
+    }
+    S.runQuery(Line);
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+//===- code/Code.h - Programs, classes, methods, statements -----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code substrate that hosts expressions: methods with bodies (flat
+/// statement lists), their classes, and whole programs. The paper's
+/// experiments replay expressions found in compiled projects; petal's
+/// corpora are Programs produced either by the parser or the synthetic
+/// generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CODE_CODE_H
+#define PETAL_CODE_CODE_H
+
+#include "code/Expr.h"
+#include "model/Ids.h"
+#include "support/Arena.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace petal {
+
+class TypeSystem;
+
+/// A local variable or parameter of a method body.
+struct LocalVar {
+  std::string Name;
+  TypeId Type = InvalidId;
+  bool IsParam = false;
+};
+
+/// Statement discriminator.
+enum class StmtKind {
+  LocalDecl, ///< `T x = init;` / `var x = init;`
+  ExprStmt,  ///< expression statement (call, assignment, comparison)
+  Return,    ///< `return e;` (e may be null for `return;`)
+};
+
+/// One statement of a method body.
+struct Stmt {
+  StmtKind Kind;
+  /// For LocalDecl: the slot of the declared local in CodeMethod::Locals.
+  unsigned LocalSlot = 0;
+  /// The payload expression: initializer / statement expression / return
+  /// value. May be null only for a bare `return;`.
+  const Expr *Value = nullptr;
+};
+
+/// A method body attached to a MethodId declared in the TypeSystem.
+class CodeMethod {
+public:
+  CodeMethod(MethodId Decl, TypeId Owner) : Decl(Decl), Owner(Owner) {}
+
+  MethodId decl() const { return Decl; }
+  TypeId owner() const { return Owner; }
+
+  /// Adds a local (or parameter, if \p IsParam) and returns its slot.
+  unsigned addLocal(std::string Name, TypeId Type, bool IsParam = false) {
+    Locals.push_back({std::move(Name), Type, IsParam});
+    return static_cast<unsigned>(Locals.size() - 1);
+  }
+
+  void addStmt(Stmt S) { Body.push_back(S); }
+
+  const std::vector<LocalVar> &locals() const { return Locals; }
+  const std::vector<Stmt> &body() const { return Body; }
+
+  /// Slots of locals visible at statement index \p StmtIndex: all parameters
+  /// plus locals declared by earlier statements.
+  std::vector<unsigned> localsInScopeAt(size_t StmtIndex) const;
+
+private:
+  MethodId Decl;
+  TypeId Owner;
+  std::vector<LocalVar> Locals;
+  std::vector<Stmt> Body;
+};
+
+/// A class together with its method bodies.
+class CodeClass {
+public:
+  explicit CodeClass(TypeId Type) : Type(Type) {}
+
+  TypeId type() const { return Type; }
+
+  CodeMethod &addMethod(MethodId Decl) {
+    Methods.push_back(std::make_unique<CodeMethod>(Decl, Type));
+    return *Methods.back();
+  }
+
+  const std::vector<std::unique_ptr<CodeMethod>> &methods() const {
+    return Methods;
+  }
+
+private:
+  TypeId Type;
+  std::vector<std::unique_ptr<CodeMethod>> Methods;
+};
+
+/// A whole program/corpus: a TypeSystem reference, the classes with code,
+/// and the arena owning every Expr node.
+class Program {
+public:
+  explicit Program(TypeSystem &TS) : TS(TS) {}
+
+  TypeSystem &typeSystem() { return TS; }
+  const TypeSystem &typeSystem() const { return TS; }
+  Arena &arena() { return ExprArena; }
+
+  CodeClass &addClass(TypeId Type) {
+    Classes.push_back(std::make_unique<CodeClass>(Type));
+    return *Classes.back();
+  }
+
+  const std::vector<std::unique_ptr<CodeClass>> &classes() const {
+    return Classes;
+  }
+
+  /// Total number of statements across all method bodies.
+  size_t numStatements() const;
+
+private:
+  TypeSystem &TS;
+  Arena ExprArena;
+  std::vector<std::unique_ptr<CodeClass>> Classes;
+};
+
+/// Identifies a statement position inside a program: the site of a query or
+/// of a harvested ground-truth expression.
+struct CodeSite {
+  const CodeClass *Class = nullptr;
+  const CodeMethod *Method = nullptr;
+  size_t StmtIndex = 0;
+
+  bool isValid() const { return Method != nullptr; }
+};
+
+} // namespace petal
+
+#endif // PETAL_CODE_CODE_H

@@ -1,0 +1,142 @@
+//===- code/Expr.cpp - Complete-expression AST ----------------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "code/Expr.h"
+#include "code/Code.h"
+#include "model/TypeSystem.h"
+
+using namespace petal;
+
+const char *petal::compareOpSpelling(CompareOp Op) {
+  switch (Op) {
+  case CompareOp::Lt:
+    return "<";
+  case CompareOp::Le:
+    return "<=";
+  case CompareOp::Gt:
+    return ">";
+  case CompareOp::Ge:
+    return ">=";
+  case CompareOp::Eq:
+    return "==";
+  case CompareOp::Ne:
+    return "!=";
+  }
+  return "?";
+}
+
+std::vector<unsigned> CodeMethod::localsInScopeAt(size_t StmtIndex) const {
+  std::vector<unsigned> Result;
+  for (unsigned I = 0; I != Locals.size(); ++I)
+    if (Locals[I].IsParam)
+      Result.push_back(I);
+  for (size_t S = 0; S != StmtIndex && S != Body.size(); ++S)
+    if (Body[S].Kind == StmtKind::LocalDecl)
+      Result.push_back(Body[S].LocalSlot);
+  return Result;
+}
+
+size_t Program::numStatements() const {
+  size_t N = 0;
+  for (const auto &C : Classes)
+    for (const auto &M : C->methods())
+      N += M->body().size();
+  return N;
+}
+
+bool petal::exprEquals(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case ExprKind::Var:
+    return cast<VarExpr>(A)->slot() == cast<VarExpr>(B)->slot() &&
+           cast<VarExpr>(A)->name() == cast<VarExpr>(B)->name();
+  case ExprKind::This:
+    return A->type() == B->type();
+  case ExprKind::TypeRef:
+    return cast<TypeRefExpr>(A)->referenced() ==
+           cast<TypeRefExpr>(B)->referenced();
+  case ExprKind::FieldAccess: {
+    const auto *FA = cast<FieldAccessExpr>(A);
+    const auto *FB = cast<FieldAccessExpr>(B);
+    return FA->field() == FB->field() && exprEquals(FA->base(), FB->base());
+  }
+  case ExprKind::Call: {
+    const auto *CA = cast<CallExpr>(A);
+    const auto *CB = cast<CallExpr>(B);
+    if (CA->method() != CB->method() ||
+        CA->args().size() != CB->args().size())
+      return false;
+    if ((CA->receiver() == nullptr) != (CB->receiver() == nullptr))
+      return false;
+    if (CA->receiver() && !exprEquals(CA->receiver(), CB->receiver()))
+      return false;
+    for (size_t I = 0; I != CA->args().size(); ++I)
+      if (!exprEquals(CA->args()[I], CB->args()[I]))
+        return false;
+    return true;
+  }
+  case ExprKind::Literal: {
+    const auto *LA = cast<LiteralExpr>(A);
+    const auto *LB = cast<LiteralExpr>(B);
+    if (LA->literalKind() != LB->literalKind() || LA->type() != LB->type())
+      return false;
+    switch (LA->literalKind()) {
+    case LiteralKind::Int:
+    case LiteralKind::Bool:
+      return LA->intValue() == LB->intValue();
+    case LiteralKind::Float:
+      return LA->floatValue() == LB->floatValue();
+    case LiteralKind::String:
+    case LiteralKind::EnumConstant:
+      return LA->strValue() == LB->strValue();
+    case LiteralKind::Null:
+      return true;
+    }
+    return false;
+  }
+  case ExprKind::DontCare:
+    return true;
+  case ExprKind::Compare: {
+    const auto *CA = cast<CompareExpr>(A);
+    const auto *CB = cast<CompareExpr>(B);
+    return CA->op() == CB->op() && exprEquals(CA->lhs(), CB->lhs()) &&
+           exprEquals(CA->rhs(), CB->rhs());
+  }
+  case ExprKind::Assign: {
+    const auto *AA = cast<AssignExpr>(A);
+    const auto *AB = cast<AssignExpr>(B);
+    return exprEquals(AA->lhs(), AB->lhs()) && exprEquals(AA->rhs(), AB->rhs());
+  }
+  }
+  return false;
+}
+
+bool petal::isLValue(const Expr *E) {
+  if (isa<VarExpr>(E))
+    return true;
+  if (const auto *FA = dyn_cast<FieldAccessExpr>(E)) {
+    (void)FA;
+    return true;
+  }
+  return false;
+}
+
+std::string petal::finalLookupName(const TypeSystem &TS, const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+    return cast<VarExpr>(E)->name();
+  case ExprKind::FieldAccess:
+    return TS.field(cast<FieldAccessExpr>(E)->field()).Name;
+  case ExprKind::Call:
+    return TS.method(cast<CallExpr>(E)->method()).Name;
+  default:
+    return {};
+  }
+}

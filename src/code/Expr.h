@@ -1,0 +1,281 @@
+//===- code/Expr.h - Complete-expression AST --------------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete-expression language of the paper (Fig. 5a):
+///
+///   e    ::= call | varName | e.fieldName | e := e | e < e
+///   call ::= methodName(e1, ..., en)
+///
+/// extended with the pieces needed to host it in real code: `this`, type
+/// references (receivers of static members), literals (constants appear in
+/// corpora even though the completer never synthesizes them), and the
+/// don't-care placeholder `0` that may remain inside completions (§3).
+///
+/// Nodes are immutable, arena-allocated, and use LLVM-style classof-based
+/// casting. Every node carries its static type (a TypeId); DontCare carries
+/// InvalidId and type-checks as a wildcard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CODE_EXPR_H
+#define PETAL_CODE_EXPR_H
+
+#include "model/Ids.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace petal {
+
+class TypeSystem;
+
+/// Discriminator for the Expr hierarchy.
+enum class ExprKind {
+  Var,
+  This,
+  TypeRef,
+  FieldAccess,
+  Call,
+  Literal,
+  DontCare,
+  Compare,
+  Assign,
+};
+
+/// Relational/equality operators of the expression language. The formalism
+/// only needs `<` (Fig. 5a); corpora also use the other comparison forms.
+enum class CompareOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// Returns the surface syntax of \p Op ("<", ">=", ...).
+const char *compareOpSpelling(CompareOp Op);
+
+/// Base class of all complete expressions.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+
+  /// The static type of this expression; InvalidId for DontCare (wildcard)
+  /// and for TypeRef (which is not a value).
+  TypeId type() const { return Ty; }
+
+protected:
+  Expr(ExprKind Kind, TypeId Ty) : Kind(Kind), Ty(Ty) {}
+
+private:
+  ExprKind Kind;
+  TypeId Ty;
+};
+
+/// A reference to a local variable or parameter of the enclosing method.
+class VarExpr : public Expr {
+public:
+  VarExpr(std::string Name, unsigned Slot, TypeId Ty)
+      : Expr(ExprKind::Var, Ty), Name(std::move(Name)), Slot(Slot) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Index into the enclosing CodeMethod's locals table (parameters first).
+  unsigned slot() const { return Slot; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
+
+private:
+  std::string Name;
+  unsigned Slot;
+};
+
+/// The receiver `this` of an instance method.
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(TypeId EnclosingType)
+      : Expr(ExprKind::This, EnclosingType) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::This; }
+};
+
+/// A type name used as the receiver of a static member access. Not a value;
+/// type() is InvalidId and referenced() gives the named type.
+class TypeRefExpr : public Expr {
+public:
+  explicit TypeRefExpr(TypeId Referenced)
+      : Expr(ExprKind::TypeRef, InvalidId), Referenced(Referenced) {}
+
+  TypeId referenced() const { return Referenced; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::TypeRef; }
+
+private:
+  TypeId Referenced;
+};
+
+/// A field or property access `base.f`. Static accesses have a TypeRefExpr
+/// base.
+class FieldAccessExpr : public Expr {
+public:
+  FieldAccessExpr(const Expr *Base, FieldId Field, TypeId FieldTy)
+      : Expr(ExprKind::FieldAccess, FieldTy), Base(Base), Field(Field) {
+    assert(Base && "field access requires a base expression");
+  }
+
+  const Expr *base() const { return Base; }
+  FieldId field() const { return Field; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FieldAccess;
+  }
+
+private:
+  const Expr *Base;
+  FieldId Field;
+};
+
+/// A method call. Instance calls have a receiver expression; static calls
+/// have a null receiver (and print with their qualified type name unless the
+/// callee is in scope). Arguments are the declared (non-receiver) arguments.
+class CallExpr : public Expr {
+public:
+  CallExpr(const Expr *Receiver, MethodId Method,
+           std::vector<const Expr *> Args, TypeId ReturnTy)
+      : Expr(ExprKind::Call, ReturnTy), Receiver(Receiver), Method(Method),
+        Args(std::move(Args)) {}
+
+  /// Receiver expression; null for static calls.
+  const Expr *receiver() const { return Receiver; }
+  MethodId method() const { return Method; }
+  const std::vector<const Expr *> &args() const { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+private:
+  const Expr *Receiver;
+  MethodId Method;
+  std::vector<const Expr *> Args;
+};
+
+/// Kind of a literal constant.
+enum class LiteralKind { Int, Float, Bool, String, Null, EnumConstant };
+
+/// A constant. The completion engine never synthesizes literals ("not
+/// guessable", §5.2), but corpora contain them and queries may mention them.
+class LiteralExpr : public Expr {
+public:
+  static LiteralExpr makeInt(int64_t V, TypeId Ty) {
+    LiteralExpr L(LiteralKind::Int, Ty);
+    L.IntValue = V;
+    return L;
+  }
+  static LiteralExpr makeFloat(double V, TypeId Ty) {
+    LiteralExpr L(LiteralKind::Float, Ty);
+    L.FloatValue = V;
+    return L;
+  }
+  static LiteralExpr makeBool(bool V, TypeId Ty) {
+    LiteralExpr L(LiteralKind::Bool, Ty);
+    L.IntValue = V;
+    return L;
+  }
+  static LiteralExpr makeString(std::string V, TypeId Ty) {
+    LiteralExpr L(LiteralKind::String, Ty);
+    L.StrValue = std::move(V);
+    return L;
+  }
+  static LiteralExpr makeNull(TypeId ObjectTy) {
+    return LiteralExpr(LiteralKind::Null, ObjectTy);
+  }
+  /// An enum constant `E.Member`.
+  static LiteralExpr makeEnum(TypeId EnumTy, std::string Member) {
+    LiteralExpr L(LiteralKind::EnumConstant, EnumTy);
+    L.StrValue = std::move(Member);
+    return L;
+  }
+
+  LiteralKind literalKind() const { return LKind; }
+  int64_t intValue() const { return IntValue; }
+  double floatValue() const { return FloatValue; }
+  const std::string &strValue() const { return StrValue; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Literal; }
+
+private:
+  LiteralExpr(LiteralKind LKind, TypeId Ty)
+      : Expr(ExprKind::Literal, Ty), LKind(LKind) {}
+
+  LiteralKind LKind;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  std::string StrValue;
+};
+
+/// The don't-care placeholder `0`: a subexpression the user asked the
+/// completer to ignore, or an unknown-call argument position the completer
+/// chose not to fill (§3). Type-checks as a wildcard.
+class DontCareExpr : public Expr {
+public:
+  DontCareExpr() : Expr(ExprKind::DontCare, InvalidId) {}
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::DontCare;
+  }
+};
+
+/// A comparison `lhs op rhs`; type bool.
+class CompareExpr : public Expr {
+public:
+  CompareExpr(CompareOp Op, const Expr *Lhs, const Expr *Rhs, TypeId BoolTy)
+      : Expr(ExprKind::Compare, BoolTy), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  CompareOp op() const { return Op; }
+  const Expr *lhs() const { return Lhs; }
+  const Expr *rhs() const { return Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Compare; }
+
+private:
+  CompareOp Op;
+  const Expr *Lhs;
+  const Expr *Rhs;
+};
+
+/// An assignment `lhs := rhs`; its type is the type of the target.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(const Expr *Lhs, const Expr *Rhs)
+      : Expr(ExprKind::Assign, Lhs->type()), Lhs(Lhs), Rhs(Rhs) {}
+
+  const Expr *lhs() const { return Lhs; }
+  const Expr *rhs() const { return Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Assign; }
+
+private:
+  const Expr *Lhs;
+  const Expr *Rhs;
+};
+
+/// Structural equality of two expressions (same shape, same referenced
+/// entities, same literal values). Used by the evaluation harness to locate
+/// the ground-truth expression in a result list.
+bool exprEquals(const Expr *A, const Expr *B);
+
+/// True if \p E is an lvalue: a variable or a (non-static-readonly) field
+/// access. Assignment targets must satisfy this.
+bool isLValue(const Expr *E);
+
+/// The name of the final lookup of \p E, used by the matching-name ranking
+/// term (§4.1): the field name of a trailing field access, the method name
+/// of a trailing call, or the variable name for a bare variable. Returns an
+/// empty string when the expression does not end in a named lookup (e.g. a
+/// literal), in which case the term treats the names as "not matching".
+std::string finalLookupName(const TypeSystem &TS, const Expr *E);
+
+} // namespace petal
+
+#endif // PETAL_CODE_EXPR_H

@@ -1,0 +1,135 @@
+//===- code/ExprFactory.h - Checked expression construction -----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena-backed constructors for well-typed expressions. Every builder
+/// asserts the structural invariants a node must satisfy (field belongs to
+/// the base type, argument counts match, ...), so code built through the
+/// factory is type-correct by construction. The parser, the corpus
+/// generator, and the completion engine all build expressions through this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CODE_EXPRFACTORY_H
+#define PETAL_CODE_EXPRFACTORY_H
+
+#include "code/Code.h"
+#include "code/Expr.h"
+#include "model/TypeSystem.h"
+
+namespace petal {
+
+/// Builds arena-allocated, validated expression nodes.
+class ExprFactory {
+public:
+  ExprFactory(TypeSystem &TS, Arena &A) : TS(TS), A(A) {}
+
+  const VarExpr *var(const CodeMethod &M, unsigned Slot) {
+    const LocalVar &L = M.locals()[Slot];
+    return A.create<VarExpr>(L.Name, Slot, L.Type);
+  }
+
+  const VarExpr *var(const std::string &Name, unsigned Slot, TypeId Ty) {
+    return A.create<VarExpr>(Name, Slot, Ty);
+  }
+
+  const ThisExpr *thisRef(TypeId EnclosingType) {
+    return A.create<ThisExpr>(EnclosingType);
+  }
+
+  const TypeRefExpr *typeRef(TypeId T) { return A.create<TypeRefExpr>(T); }
+
+  /// `base.f`. For a static field pass a TypeRefExpr base naming the owner
+  /// (or a subclass); for an instance field the base value's type must be
+  /// convertible to the field's owner.
+  const FieldAccessExpr *fieldAccess(const Expr *Base, FieldId F) {
+    const FieldInfo &FI = TS.field(F);
+    if ([[maybe_unused]] const auto *TR = dyn_cast<TypeRefExpr>(Base)) {
+      assert(FI.IsStatic && "instance field accessed through a type name");
+      assert(TS.implicitlyConvertible(TR->referenced(), FI.Owner) &&
+             "static field accessed through an unrelated type");
+    } else {
+      assert(!FI.IsStatic && "static field accessed through a value");
+      assert(TS.implicitlyConvertible(Base->type(), FI.Owner) &&
+             "field accessed on an expression of an unrelated type");
+    }
+    return A.create<FieldAccessExpr>(Base, F, FI.Type);
+  }
+
+  /// A call to \p M. Instance calls require \p Receiver (type convertible to
+  /// the owner); static calls require a null receiver. Each argument must be
+  /// convertible to its parameter type or be a don't-care.
+  const CallExpr *call(MethodId M, const Expr *Receiver,
+                       std::vector<const Expr *> Args) {
+    const MethodInfo &MI = TS.method(M);
+    assert((MI.IsStatic ? Receiver == nullptr : Receiver != nullptr) &&
+           "receiver presence must match the method's staticness");
+    assert(Args.size() == MI.Params.size() && "argument count mismatch");
+    if (Receiver)
+      assert((isa<DontCareExpr>(Receiver) ||
+              TS.implicitlyConvertible(Receiver->type(), MI.Owner)) &&
+             "receiver of an unrelated type");
+    for (size_t I = 0; I != Args.size(); ++I)
+      assert((isa<DontCareExpr>(Args[I]) ||
+              TS.implicitlyConvertible(Args[I]->type(), MI.Params[I].Type)) &&
+             "argument of an unrelated type");
+    return A.create<CallExpr>(Receiver, M, std::move(Args), MI.ReturnType);
+  }
+
+  const LiteralExpr *intLit(int64_t V) {
+    return A.create<LiteralExpr>(LiteralExpr::makeInt(V, TS.intType()));
+  }
+
+  const LiteralExpr *floatLit(double V) {
+    return A.create<LiteralExpr>(LiteralExpr::makeFloat(V, TS.doubleType()));
+  }
+
+  const LiteralExpr *boolLit(bool V) {
+    return A.create<LiteralExpr>(LiteralExpr::makeBool(V, TS.boolType()));
+  }
+
+  const LiteralExpr *stringLit(std::string V) {
+    return A.create<LiteralExpr>(
+        LiteralExpr::makeString(std::move(V), TS.stringType()));
+  }
+
+  const LiteralExpr *nullLit() {
+    return A.create<LiteralExpr>(LiteralExpr::makeNull(TS.nullType()));
+  }
+
+  const LiteralExpr *enumLit(TypeId EnumTy, std::string Member) {
+    assert(TS.type(EnumTy).Kind == TypeKind::Enum && "not an enum type");
+    return A.create<LiteralExpr>(
+        LiteralExpr::makeEnum(EnumTy, std::move(Member)));
+  }
+
+  const DontCareExpr *dontCare() { return A.create<DontCareExpr>(); }
+
+  const CompareExpr *compare(CompareOp Op, const Expr *Lhs, const Expr *Rhs) {
+    assert(TS.comparable(Lhs->type(), Rhs->type()) &&
+           "comparison between incomparable types");
+    return A.create<CompareExpr>(Op, Lhs, Rhs, TS.boolType());
+  }
+
+  const AssignExpr *assign(const Expr *Lhs, const Expr *Rhs) {
+    assert(isLValue(Lhs) && "assignment target is not an lvalue");
+    assert(TS.assignable(Lhs->type(), Rhs->type()) &&
+           "assignment between incompatible types");
+    return A.create<AssignExpr>(Lhs, Rhs);
+  }
+
+  TypeSystem &typeSystem() { return TS; }
+  Arena &arena() { return A; }
+
+private:
+  TypeSystem &TS;
+  Arena &A;
+};
+
+} // namespace petal
+
+#endif // PETAL_CODE_EXPRFACTORY_H

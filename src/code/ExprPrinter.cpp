@@ -1,0 +1,115 @@
+//===- code/ExprPrinter.cpp - Expression pretty-printer -------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "code/ExprPrinter.h"
+
+#include "code/Expr.h"
+#include "model/TypeSystem.h"
+#include "support/StrUtil.h"
+
+using namespace petal;
+
+static void printInto(const TypeSystem &TS, const Expr *E, std::string &Out);
+
+static void printArgs(const TypeSystem &TS,
+                      const std::vector<const Expr *> &Args,
+                      std::string &Out) {
+  Out.push_back('(');
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    printInto(TS, Args[I], Out);
+  }
+  Out.push_back(')');
+}
+
+static void printInto(const TypeSystem &TS, const Expr *E, std::string &Out) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+    Out += cast<VarExpr>(E)->name();
+    return;
+  case ExprKind::This:
+    Out += "this";
+    return;
+  case ExprKind::TypeRef:
+    Out += TS.qualifiedName(cast<TypeRefExpr>(E)->referenced());
+    return;
+  case ExprKind::FieldAccess: {
+    const auto *FA = cast<FieldAccessExpr>(E);
+    printInto(TS, FA->base(), Out);
+    Out.push_back('.');
+    Out += TS.field(FA->field()).Name;
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    const MethodInfo &MI = TS.method(C->method());
+    if (C->receiver()) {
+      printInto(TS, C->receiver(), Out);
+    } else {
+      Out += TS.qualifiedName(MI.Owner);
+    }
+    Out.push_back('.');
+    Out += MI.Name;
+    printArgs(TS, C->args(), Out);
+    return;
+  }
+  case ExprKind::Literal: {
+    const auto *L = cast<LiteralExpr>(E);
+    switch (L->literalKind()) {
+    case LiteralKind::Int:
+      Out += std::to_string(L->intValue());
+      return;
+    case LiteralKind::Float:
+      Out += formatFixed(L->floatValue(), 2);
+      return;
+    case LiteralKind::Bool:
+      Out += L->intValue() ? "true" : "false";
+      return;
+    case LiteralKind::String:
+      Out.push_back('"');
+      Out += L->strValue();
+      Out.push_back('"');
+      return;
+    case LiteralKind::Null:
+      Out += "null";
+      return;
+    case LiteralKind::EnumConstant:
+      Out += TS.qualifiedName(L->type());
+      Out.push_back('.');
+      Out += L->strValue();
+      return;
+    }
+    return;
+  }
+  case ExprKind::DontCare:
+    Out.push_back('0');
+    return;
+  case ExprKind::Compare: {
+    const auto *C = cast<CompareExpr>(E);
+    printInto(TS, C->lhs(), Out);
+    Out.push_back(' ');
+    Out += compareOpSpelling(C->op());
+    Out.push_back(' ');
+    printInto(TS, C->rhs(), Out);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    printInto(TS, A->lhs(), Out);
+    Out += " = ";
+    printInto(TS, A->rhs(), Out);
+    return;
+  }
+  }
+}
+
+std::string petal::printExpr(const TypeSystem &TS, const Expr *E) {
+  std::string Out;
+  printInto(TS, E, Out);
+  return Out;
+}

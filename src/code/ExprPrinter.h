@@ -1,0 +1,31 @@
+//===- code/ExprPrinter.h - Expression pretty-printer -----------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions back to C#-like surface syntax, matching the paper's
+/// result listings (e.g. Fig. 2: `PaintDotNet.Actions.CanvasSizeAction
+/// .ResizeDocument(img, size, 0, 0)`). Static members print with their
+/// qualified type name; don't-cares print as `0`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CODE_EXPRPRINTER_H
+#define PETAL_CODE_EXPRPRINTER_H
+
+#include <string>
+
+namespace petal {
+
+class Expr;
+class TypeSystem;
+
+/// Renders \p E as surface syntax.
+std::string printExpr(const TypeSystem &TS, const Expr *E);
+
+} // namespace petal
+
+#endif // PETAL_CODE_EXPRPRINTER_H

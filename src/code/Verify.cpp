@@ -1,0 +1,153 @@
+//===- code/Verify.cpp - Expression well-formedness checker ---------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "code/Verify.h"
+
+#include "code/Expr.h"
+#include "code/ExprPrinter.h"
+#include "model/TypeSystem.h"
+
+using namespace petal;
+
+namespace {
+
+/// Recursive checker; accumulates the first failure reason.
+class Verifier {
+public:
+  Verifier(const TypeSystem &TS) : TS(TS) {}
+
+  bool check(const Expr *E) {
+    if (!E)
+      return fail("null expression");
+    switch (E->kind()) {
+    case ExprKind::Var:
+      return isValidId(E->type()) || fail("variable without a type");
+    case ExprKind::This:
+      return isValidId(E->type()) || fail("this without a type");
+    case ExprKind::TypeRef:
+      return fail("type reference used as a value");
+    case ExprKind::FieldAccess:
+      return checkFieldAccess(cast<FieldAccessExpr>(E));
+    case ExprKind::Call:
+      return checkCall(cast<CallExpr>(E));
+    case ExprKind::Literal:
+      return true;
+    case ExprKind::DontCare:
+      return true;
+    case ExprKind::Compare:
+      return checkCompare(cast<CompareExpr>(E));
+    case ExprKind::Assign:
+      return checkAssign(cast<AssignExpr>(E));
+    }
+    return fail("unknown expression kind");
+  }
+
+  std::string reason() const { return Reason; }
+
+private:
+  bool fail(std::string Why) {
+    if (Reason.empty())
+      Reason = std::move(Why);
+    return false;
+  }
+
+  /// Checks an expression allowed to be a TypeRef (member-access bases).
+  bool checkBase(const Expr *E) {
+    if (isa<TypeRefExpr>(E))
+      return true;
+    return check(E);
+  }
+
+  bool checkFieldAccess(const FieldAccessExpr *FA) {
+    if (!checkBase(FA->base()))
+      return false;
+    const FieldInfo &FI = TS.field(FA->field());
+    if (FA->type() != FI.Type)
+      return fail("field access type does not match the field");
+    if (const auto *TR = dyn_cast<TypeRefExpr>(FA->base())) {
+      if (!FI.IsStatic)
+        return fail("instance field accessed through a type name");
+      if (!TS.implicitlyConvertible(TR->referenced(), FI.Owner))
+        return fail("static field accessed through an unrelated type");
+      return true;
+    }
+    if (FI.IsStatic)
+      return fail("static field accessed through a value");
+    if (isa<DontCareExpr>(FA->base()))
+      return true; // wildcard base
+    if (!TS.implicitlyConvertible(FA->base()->type(), FI.Owner))
+      return fail("field accessed on an unrelated type");
+    return true;
+  }
+
+  bool checkCall(const CallExpr *C) {
+    const MethodInfo &MI = TS.method(C->method());
+    if (MI.IsStatic && C->receiver())
+      return fail("static method called with a receiver");
+    if (!MI.IsStatic && !C->receiver())
+      return fail("instance method called without a receiver");
+    if (C->receiver()) {
+      if (!check(C->receiver()))
+        return false;
+      if (!isa<DontCareExpr>(C->receiver()) &&
+          !TS.implicitlyConvertible(C->receiver()->type(), MI.Owner))
+        return fail("receiver of an unrelated type");
+    }
+    if (C->args().size() != MI.Params.size())
+      return fail("argument count mismatch");
+    for (size_t I = 0; I != C->args().size(); ++I) {
+      const Expr *Arg = C->args()[I];
+      if (!check(Arg))
+        return false;
+      if (isa<DontCareExpr>(Arg))
+        continue; // `0` has any type (Fig. 6)
+      if (!TS.implicitlyConvertible(Arg->type(), MI.Params[I].Type))
+        return fail("argument " + std::to_string(I) +
+                    " of an unrelated type in " + printExpr(TS, C));
+    }
+    if (C->type() != MI.ReturnType)
+      return fail("call type does not match the method return type");
+    return true;
+  }
+
+  bool checkCompare(const CompareExpr *C) {
+    if (!check(C->lhs()) || !check(C->rhs()))
+      return false;
+    if (isa<DontCareExpr>(C->lhs()) || isa<DontCareExpr>(C->rhs()))
+      return true;
+    if (!TS.comparable(C->lhs()->type(), C->rhs()->type()))
+      return fail("comparison between incomparable types in " +
+                  printExpr(TS, C));
+    return true;
+  }
+
+  bool checkAssign(const AssignExpr *A) {
+    if (!check(A->lhs()) || !check(A->rhs()))
+      return false;
+    if (!isLValue(A->lhs()))
+      return fail("assignment target is not an lvalue");
+    if (isa<DontCareExpr>(A->rhs()))
+      return true;
+    if (!TS.assignable(A->lhs()->type(), A->rhs()->type()))
+      return fail("assignment between incompatible types in " +
+                  printExpr(TS, A));
+    return true;
+  }
+
+  const TypeSystem &TS;
+  std::string Reason;
+};
+
+} // namespace
+
+bool petal::verifyExpr(const TypeSystem &TS, const Expr *E, std::string *Why) {
+  Verifier V(TS);
+  bool Ok = V.check(E);
+  if (!Ok && Why)
+    *Why = V.reason();
+  return Ok;
+}

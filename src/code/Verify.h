@@ -1,0 +1,32 @@
+//===- code/Verify.h - Expression well-formedness checker -------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standalone type-checker for complete expressions. The property-based
+/// tests run every completion produced by the engine through this to verify
+/// the semantics of Fig. 6 ("the final result must type-check ... treating 0
+/// as having any type").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CODE_VERIFY_H
+#define PETAL_CODE_VERIFY_H
+
+#include <string>
+
+namespace petal {
+
+class Expr;
+class TypeSystem;
+
+/// Checks that \p E is well-formed and type-correct; on failure returns
+/// false and, if \p Why is non-null, stores a human-readable reason.
+bool verifyExpr(const TypeSystem &TS, const Expr *E, std::string *Why = nullptr);
+
+} // namespace petal
+
+#endif // PETAL_CODE_VERIFY_H

@@ -1,0 +1,70 @@
+//===- complete/Candidate.h - Score-bucketed candidate streams --*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine realizes the paper's Algorithm 1 ("foreach score in [0, inf)")
+/// with *score-bucketed candidate streams*: every partial expression
+/// compiles to a stream that can produce, for each integer score S in
+/// increasing order, exactly the completions whose total score is S.
+/// Composite streams (unknown calls, comparisons, ...) combine child
+/// buckets whose sums fit under S and buffer any overshoot in a pending
+/// min-heap — the paper's "compute completions not in score order" and
+/// "cache subexpression scores" optimizations fall out of this design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_COMPLETE_CANDIDATE_H
+#define PETAL_COMPLETE_CANDIDATE_H
+
+#include "code/Expr.h"
+#include "model/Ids.h"
+
+#include <cassert>
+#include <vector>
+
+namespace petal {
+
+/// One completion candidate: an expression, its total ranking score, its
+/// static type (InvalidId for don't-cares), and the number of lookup steps
+/// already chained onto it (bounds star-suffix exploration).
+struct Candidate {
+  const Expr *E = nullptr;
+  int Score = 0;
+  TypeId Type = InvalidId;
+  int Depth = 0;
+};
+
+/// Base class of all candidate streams. bucket(S) returns the candidates of
+/// exactly score S; buckets are computed on demand, strictly in order, and
+/// cached so a stream may be consumed by several parents.
+class CandidateStream {
+public:
+  virtual ~CandidateStream() = default;
+
+  /// All candidates with score exactly \p S (deterministic order).
+  const std::vector<Candidate> &bucket(int S) {
+    assert(S >= 0 && "negative score bucket");
+    while (static_cast<int>(Buckets.size()) <= S) {
+      int Cur = static_cast<int>(Buckets.size());
+      Buckets.emplace_back();
+      fillBucket(Cur, Buckets.back());
+    }
+    return Buckets[S];
+  }
+
+protected:
+  /// Computes the candidates of score \p S into \p Out. Called exactly once
+  /// per S, in increasing order.
+  virtual void fillBucket(int S, std::vector<Candidate> &Out) = 0;
+
+private:
+  std::vector<std::vector<Candidate>> Buckets;
+};
+
+} // namespace petal
+
+#endif // PETAL_COMPLETE_CANDIDATE_H

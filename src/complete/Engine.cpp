@@ -1,0 +1,87 @@
+//===- complete/Engine.cpp - The completion engine ------------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "complete/Engine.h"
+
+using namespace petal;
+
+std::vector<Completion>
+CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
+                           size_t N, const CompletionOptions &Opts,
+                           const AbsTypeSolution *Solution) {
+  TypeSystem &TS = P.typeSystem();
+
+  // Fresh arena for this query's synthesized expressions.
+  QueryArena = std::make_unique<Arena>();
+  ExprFactory Factory(TS, *QueryArena);
+
+  Ranker Rank(TS, Opts.Rank);
+  if (Site.Class)
+    Rank.setSelfType(Site.Class->type());
+  if (Opts.Rank.UseAbstractTypes && Opts.UseAbstractTypes) {
+    if (!Solution) {
+      if (!FullSolution)
+        FullSolution =
+            std::make_unique<AbsTypeSolution>(Idx.Infer.solve());
+      Solution = FullSolution.get();
+    }
+    Rank.setAbstractTypes(&Idx.Infer, Solution, Site.Method);
+  }
+
+  EngineState ES;
+  ES.TS = &TS;
+  ES.Factory = &Factory;
+  ES.Rank = &Rank;
+  ES.MIndex = &Idx.Methods;
+  ES.Members = &Idx.Members;
+  ES.Reach = Opts.UseReachabilityPruning ? &Idx.Reach : nullptr;
+  ES.Class = Site.Class;
+  ES.Method = Site.Method;
+  ES.StmtIndex = Site.StmtIndex;
+  ES.MaxScore = Opts.MaxScore;
+  ES.MaxChainLen = Opts.MaxChainLen;
+
+  std::unique_ptr<CandidateStream> Top =
+      buildStream(ES, Query, Opts.ExpectedType);
+  if (!Top)
+    return {};
+
+  std::vector<Completion> Results;
+  for (int S = 0; S <= Opts.MaxScore; ++S) {
+    for (const Candidate &C : Top->bucket(S)) {
+      // Top-level expected-type filter for candidates whose stream did not
+      // already apply it (streams treat their Target as an emission filter,
+      // so this is usually a no-op; don't-cares always pass).
+      if (isValidId(Opts.ExpectedType) && isValidId(C.Type)) {
+        if (Opts.ExpectedType == TS.voidType()) {
+          if (C.Type != TS.voidType())
+            continue;
+        } else if (!TS.implicitlyConvertible(C.Type, Opts.ExpectedType)) {
+          continue;
+        }
+      }
+      Results.push_back({C.E, C.Score});
+    }
+    if (Results.size() >= N)
+      break;
+  }
+  if (Results.size() > N)
+    Results.resize(N);
+  return Results;
+}
+
+size_t CompletionEngine::rankOf(const PartialExpr *Query, const CodeSite &Site,
+                                const Expr *Expected, size_t Limit,
+                                const CompletionOptions &Opts,
+                                const AbsTypeSolution *Solution) {
+  std::vector<Completion> Results =
+      complete(Query, Site, Limit, Opts, Solution);
+  for (size_t I = 0; I != Results.size(); ++I)
+    if (exprEquals(Results[I].E, Expected))
+      return I + 1;
+  return 0;
+}

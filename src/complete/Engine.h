@@ -1,0 +1,116 @@
+//===- complete/Engine.h - The completion engine ----------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: given a partial expression and a
+/// code site, produce the top-n completions in ascending score order
+/// (Algorithm 1 of the paper, realized as score-bucketed streams).
+///
+/// Typical use:
+/// \code
+///   TypeSystem TS;            Program P(TS);
+///   loadProgramText(Source, P, Diags);        // or build programmatically
+///   CompletionIndexes Idx(P);                 // shared across queries
+///   CompletionEngine Engine(P, Idx);
+///   auto Results = Engine.complete(Query, Site, /*N=*/10);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_COMPLETE_ENGINE_H
+#define PETAL_COMPLETE_ENGINE_H
+
+#include "code/Code.h"
+#include "complete/Streams.h"
+#include "index/MemberCache.h"
+#include "index/MethodIndex.h"
+#include "index/ReachabilityIndex.h"
+#include "infer/AbstractTypes.h"
+#include "partial/PartialExpr.h"
+#include "rank/Ranking.h"
+
+#include <memory>
+#include <vector>
+
+namespace petal {
+
+/// The shared, query-independent indexes: the method index (§4.2), the
+/// member-lookup cache, the reachability index, and the abstract type
+/// inference. Build once per corpus.
+struct CompletionIndexes {
+  explicit CompletionIndexes(Program &P)
+      : Methods(P.typeSystem()), Members(P.typeSystem()),
+        Reach(P.typeSystem(), Members), Infer(P) {}
+
+  MethodIndex Methods;
+  MemberCache Members;
+  ReachabilityIndex Reach;
+  AbstractTypeInference Infer;
+};
+
+/// Per-query knobs.
+struct CompletionOptions {
+  RankingOptions Rank;
+  /// Optional expected type of the completion; results are filtered to
+  /// those convertible to it (void requires void), as in Fig. 12.
+  TypeId ExpectedType = InvalidId;
+  /// Exploration cap on the ranking score.
+  int MaxScore = 48;
+  /// Star-suffix chain-length cap (see EngineState::MaxChainLen).
+  int MaxChainLen = 4;
+  /// Disable to measure the effect of the reachability index (an ablation;
+  /// the paper describes the index but did not implement it).
+  bool UseReachabilityPruning = true;
+  /// Disable to skip the abstract-type term without rebuilding options.
+  bool UseAbstractTypes = true;
+};
+
+/// One result: the completion and its ranking score (lower = better).
+struct Completion {
+  const Expr *E = nullptr;
+  int Score = 0;
+};
+
+/// The completion engine. Holds shared indexes by reference; each call to
+/// complete() allocates result expressions in an internal arena that is
+/// reset on the next call, so results must be consumed (or printed) before
+/// the engine is reused.
+class CompletionEngine {
+public:
+  CompletionEngine(Program &P, CompletionIndexes &Idx)
+      : P(P), Idx(Idx) {}
+
+  /// Completes \p Query at \p Site, returning at most \p N results in
+  /// ascending score order (ties in discovery order, deterministically).
+  ///
+  /// \p Solution optionally supplies a solved abstract-type partition (the
+  /// evaluation passes per-site exclusions); when null and the abstract
+  /// term is enabled, the full corpus solution is computed and cached.
+  std::vector<Completion> complete(const PartialExpr *Query,
+                                   const CodeSite &Site, size_t N,
+                                   const CompletionOptions &Opts = {},
+                                   const AbsTypeSolution *Solution = nullptr);
+
+  /// The rank (1-based) of the first result structurally equal to
+  /// \p Expected within the top \p Limit completions; 0 if absent. A thin
+  /// wrapper over complete() used by the evaluation harness and tests.
+  size_t rankOf(const PartialExpr *Query, const CodeSite &Site,
+                const Expr *Expected, size_t Limit,
+                const CompletionOptions &Opts = {},
+                const AbsTypeSolution *Solution = nullptr);
+
+private:
+  Program &P;
+  CompletionIndexes &Idx;
+  std::unique_ptr<Arena> QueryArena;
+  /// Cached full-corpus abstract-type solution (no exclusions).
+  std::unique_ptr<AbsTypeSolution> FullSolution;
+};
+
+} // namespace petal
+
+#endif // PETAL_COMPLETE_ENGINE_H

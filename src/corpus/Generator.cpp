@@ -1,0 +1,645 @@
+//===- corpus/Generator.cpp - Deterministic synthetic corpora -------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace petal;
+
+namespace {
+
+/// Primitive "concepts": same-named fields always share a type, giving the
+/// matching-name ranking term a realistic signal.
+struct Concept {
+  const char *Name;
+  enum Prim { Int, Long, Double, Bool, Str } Ty;
+};
+
+constexpr Concept PrimConcepts[] = {
+    {"X", Concept::Double},       {"Y", Concept::Double},
+    {"Width", Concept::Int},      {"Height", Concept::Int},
+    {"Length", Concept::Double},  {"Count", Concept::Int},
+    {"Id", Concept::Int},         {"Value", Concept::Double},
+    {"Timestamp", Concept::Long}, {"Weight", Concept::Double},
+    {"Index", Concept::Int},      {"Depth", Concept::Int},
+    {"Name", Concept::Str},       {"Title", Concept::Str},
+    {"Enabled", Concept::Bool},   {"Visible", Concept::Bool},
+};
+
+constexpr const char *ClassFieldNames[] = {
+    "Location", "Center",  "Origin", "Bounds", "Style",  "Source",
+    "Target",   "Data",    "Item",   "Context", "Owner", "ParentNode",
+    "Settings", "Handle",  "Anchor", "Content", "Result", "State",
+};
+
+constexpr const char *TypeNouns[] = {
+    "Document", "Canvas",  "Layer",   "Brush",   "Image",   "Buffer",
+    "Stream",   "Widget",  "Panel",   "Window",  "Shape",   "Path",
+    "Matrix",   "Vector",  "Palette", "Filter",  "Effect",  "Tool",
+    "Session",  "Config",  "Registry", "Command", "Event",  "Handler",
+    "Queue",    "Cache",   "Index",   "Table",   "Record",  "Schema",
+    "Query",    "Cursor",  "Token",   "Node",    "Tree",    "Graph",
+    "Edge",     "Vertex",  "Grid",    "Cell",    "Row",     "Column",
+    "Range",    "Span",    "Region",  "Zone",    "Block",   "Chunk",
+    "Frame",    "Packet",  "Message", "Channel", "Socket",  "Router",
+    "Agent",    "Worker",  "Job",     "Task",    "Plan",    "Step",
+    "Stage",    "Unit",    "Module",  "Plugin",  "Engine",  "Driver",
+    "Device",   "Sensor",  "Monitor", "Display", "Screen",  "View",
+    "Scene",    "Camera",  "Light",   "Mesh",    "Texture", "Shader",
+    "Sprite",   "Font",    "Glyph",   "Icon",    "Marker",  "Badge",
+};
+
+constexpr const char *MethodVerbs[] = {
+    "Get",     "Create", "Compute", "Find",   "Make",   "Load",
+    "Resolve", "Build",  "Update",  "Apply",  "Convert", "Measure",
+    "Attach",  "Merge",  "Extract", "Render", "Scale",  "Translate",
+};
+
+constexpr const char *NamespaceSuffixes[] = {
+    "Core",  "UI",      "Data",        "Utils", "Drawing", "Actions",
+    "IO",    "Text",    "Collections", "Media", "Controls", "Model",
+    "Forms", "Layout",  "Render",      "Net",
+};
+
+constexpr const char *EnumMemberNames[] = {
+    "None", "Default", "Left", "Right", "Top",  "Bottom",
+    "Auto", "Manual",  "High", "Low",   "Alpha", "Beta",
+};
+
+template <typename T, size_t N> size_t countOf(T (&)[N]) { return N; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Framework generation
+//===----------------------------------------------------------------------===//
+
+void CorpusGenerator::generate(Program &P) {
+  assert(!Prog && "generate() may be called only once");
+  Prog = &P;
+  TS = &P.typeSystem();
+  F = std::make_unique<ExprFactory>(*TS, P.arena());
+
+  genNamespaces();
+  genEnums();
+  genInterfaces();
+  genClasses();
+  genMembers();
+  genClients();
+}
+
+void CorpusGenerator::genNamespaces() {
+  Namespaces.push_back(TS->getOrAddNamespace(Prof.Name));
+  for (int I = 0; I < Prof.NumNamespaces; ++I) {
+    std::string Suffix = NamespaceSuffixes[I % countOf(NamespaceSuffixes)];
+    std::string Full = Prof.Name + "." + Suffix;
+    // A third of the namespaces gain an extra level, mirroring the deep
+    // namespaces the paper's namespace term rewards.
+    if (R.chance(0.33))
+      Full += "." + std::string(NamespaceSuffixes[R.below(
+                        countOf(NamespaceSuffixes))]);
+    NamespaceId Ns = TS->getOrAddNamespace(Full);
+    if (std::find(Namespaces.begin(), Namespaces.end(), Ns) ==
+        Namespaces.end())
+      Namespaces.push_back(Ns);
+  }
+}
+
+std::string CorpusGenerator::freshTypeName(const std::string &Hint) {
+  std::string Base = Hint.empty()
+                         ? std::string(TypeNouns[R.below(countOf(TypeNouns))])
+                         : Hint;
+  std::string Name = Base;
+  int Counter = 2;
+  // Qualified names must be unique per namespace; the generator keeps
+  // simple names unique project-wide so client code can reference them
+  // unambiguously.
+  while (UsedTypeNames.count(Name)) {
+    if (R.chance(0.5) && Counter == 2) {
+      Name = std::string(TypeNouns[R.below(countOf(TypeNouns))]) + Base;
+      if (!UsedTypeNames.count(Name))
+        break;
+    }
+    Name = Base + std::to_string(Counter++);
+  }
+  UsedTypeNames.insert(Name);
+  return Name;
+}
+
+void CorpusGenerator::genEnums() {
+  for (int I = 0; I < Prof.NumEnums; ++I) {
+    NamespaceId Ns = Namespaces[R.below(Namespaces.size())];
+    TypeId E = TS->addType(freshTypeName("") + "Kind", Ns, TypeKind::Enum);
+    int NumMembers = static_cast<int>(R.range(3, 6));
+    size_t Offset = R.below(countOf(EnumMemberNames));
+    for (int M = 0; M < NumMembers; ++M)
+      TS->addField(E, EnumMemberNames[(Offset + M) % countOf(EnumMemberNames)],
+                   E, /*IsStatic=*/true);
+    Enums.push_back(E);
+  }
+}
+
+void CorpusGenerator::genInterfaces() {
+  for (int I = 0; I < Prof.NumInterfaces; ++I) {
+    NamespaceId Ns = Namespaces[R.below(Namespaces.size())];
+    TypeId Iface =
+        TS->addType("I" + freshTypeName(""), Ns, TypeKind::Interface);
+    Interfaces.push_back(Iface);
+  }
+}
+
+void CorpusGenerator::genClasses() {
+  for (int I = 0; I < Prof.NumClasses; ++I) {
+    NamespaceId Ns = Namespaces[R.below(Namespaces.size())];
+    TypeId Base = InvalidId;
+    if (!Classes.empty() && R.chance(Prof.DeriveFraction))
+      Base = Classes[R.below(Classes.size())];
+    TypeId C = TS->addType(freshTypeName(""), Ns, TypeKind::Class, Base);
+    if (!Interfaces.empty() && R.chance(0.2))
+      TS->addInterface(C, Interfaces[R.below(Interfaces.size())]);
+    Classes.push_back(C);
+  }
+}
+
+TypeId CorpusGenerator::pickFieldType() {
+  double Roll = R.unit();
+  if (Roll < 0.55) {
+    const Concept &C = PrimConcepts[R.below(countOf(PrimConcepts))];
+    switch (C.Ty) {
+    case Concept::Int:
+      return TS->intType();
+    case Concept::Long:
+      return TS->longType();
+    case Concept::Double:
+      return TS->doubleType();
+    case Concept::Bool:
+      return TS->boolType();
+    case Concept::Str:
+      return TS->stringType();
+    }
+  }
+  if (Roll < 0.85 && !Classes.empty())
+    return Classes[R.below(Classes.size())];
+  if (!Enums.empty())
+    return Enums[R.below(Enums.size())];
+  return TS->intType();
+}
+
+TypeId CorpusGenerator::pickParamType() {
+  double Roll = R.unit();
+  // A small set of "popular" types shows up in many signatures, mirroring
+  // real frameworks (Document, Size, ...). This is what makes the method
+  // index buckets of common argument types large — the distractor pool the
+  // ranking has to sift.
+  if (Roll < 0.3 && !Classes.empty())
+    return Classes[R.below(std::min<size_t>(Classes.size(), 12))];
+  if (Roll < 0.5 && !Classes.empty())
+    return Classes[R.below(Classes.size())];
+  if (Roll < 0.68)
+    return R.chance(0.5) ? TS->intType() : TS->doubleType();
+  if (Roll < 0.76)
+    return TS->stringType();
+  if (Roll < 0.82)
+    return TS->objectType(); // utility parameters accept everything
+  if (Roll < 0.9 && !Enums.empty())
+    return Enums[R.below(Enums.size())];
+  if (!Interfaces.empty() && R.chance(0.4))
+    return Interfaces[R.below(Interfaces.size())];
+  return TS->boolType();
+}
+
+TypeId CorpusGenerator::pickReturnType(bool AllowVoid) {
+  double Roll = R.unit();
+  if (AllowVoid && Roll < 0.25)
+    return TS->voidType();
+  if (Roll < 0.65 && !Classes.empty())
+    return Classes[R.below(Classes.size())];
+  if (Roll < 0.85)
+    return R.chance(0.5) ? TS->intType() : TS->doubleType();
+  if (Roll < 0.92)
+    return TS->stringType();
+  return TS->boolType();
+}
+
+std::string CorpusGenerator::freshMethodName(TypeId Owner) {
+  // Method names may repeat across types (realistic: resolution by simple
+  // name finds several candidates) but stay unique within one type.
+  for (int Attempt = 0; Attempt != 32; ++Attempt) {
+    std::string Name =
+        std::string(MethodVerbs[R.below(countOf(MethodVerbs))]) +
+        TypeNouns[R.below(countOf(TypeNouns))];
+    bool Clash = false;
+    for (MethodId M : TS->type(Owner).Methods)
+      Clash |= TS->method(M).Name == Name;
+    if (!Clash)
+      return Name;
+  }
+  return "Member" + std::to_string(TS->numMethods());
+}
+
+void CorpusGenerator::genMembers() {
+  for (TypeId C : Classes) {
+    // Fields/properties.
+    int NumFields = static_cast<int>(
+        R.range(std::max(1, Prof.FieldsPerClass - 2), Prof.FieldsPerClass + 2));
+    for (int I = 0; I < NumFields; ++I) {
+      TypeId FT = pickFieldType();
+      std::string Name;
+      if (TS->isPrimitiveLike(FT) && TS->type(FT).Kind != TypeKind::Enum) {
+        // Pick a concept whose type matches FT so names stay consistent.
+        std::vector<const Concept *> Matching;
+        for (const Concept &Con : PrimConcepts) {
+          TypeId CT = TS->intType();
+          switch (Con.Ty) {
+          case Concept::Int:
+            CT = TS->intType();
+            break;
+          case Concept::Long:
+            CT = TS->longType();
+            break;
+          case Concept::Double:
+            CT = TS->doubleType();
+            break;
+          case Concept::Bool:
+            CT = TS->boolType();
+            break;
+          case Concept::Str:
+            CT = TS->stringType();
+            break;
+          }
+          if (CT == FT)
+            Matching.push_back(&Con);
+        }
+        if (!Matching.empty())
+          Name = Matching[R.below(Matching.size())]->Name;
+      }
+      if (Name.empty())
+        Name = ClassFieldNames[R.below(countOf(ClassFieldNames))];
+      if (isValidId(TS->findDeclaredField(C, Name)))
+        continue; // skip duplicates rather than rename
+      bool IsStatic = R.chance(Prof.StaticFieldFraction);
+      bool IsProperty = R.chance(0.4);
+      TS->addField(C, Name, FT, IsStatic, IsProperty);
+    }
+
+    // Methods.
+    int NumMethods = static_cast<int>(R.range(
+        std::max(1, Prof.MethodsPerClass - 2), Prof.MethodsPerClass + 2));
+    for (int I = 0; I < NumMethods; ++I) {
+      bool IsStatic = R.chance(Prof.StaticMethodFraction);
+      TypeId Ret = pickReturnType(/*AllowVoid=*/true);
+      int NumParams;
+      double Roll = R.unit();
+      if (Roll < 0.15)
+        NumParams = 0;
+      else if (Roll < 0.5)
+        NumParams = 1;
+      else if (Roll < 0.8)
+        NumParams = 2;
+      else if (Roll < 0.95)
+        NumParams = std::min(3, Prof.MaxParams);
+      else
+        NumParams = Prof.MaxParams;
+      // Static nullary void methods are useless in this model; give them a
+      // parameter or a result.
+      if (IsStatic && NumParams == 0 && Ret == TS->voidType())
+        Ret = pickReturnType(/*AllowVoid=*/false);
+      std::vector<ParamInfo> Params;
+      for (int PI = 0; PI < NumParams; ++PI)
+        Params.push_back({"p" + std::to_string(PI), pickParamType()});
+      FrameworkMethods.push_back(TS->addMethod(
+          C, freshMethodName(C), Ret, std::move(Params), IsStatic));
+    }
+
+    // Guarantee a zero-argument getter so `.?m` chains have method edges.
+    if (R.chance(0.6)) {
+      TypeId Ret = pickReturnType(/*AllowVoid=*/false);
+      FrameworkMethods.push_back(
+          TS->addMethod(C, freshMethodName(C), Ret, {}, /*IsStatic=*/false));
+    }
+
+    // Object-typed utility methods (Pair.Create, ReferenceEquals, ...):
+    // they accept *any* argument, so every unknown-call query has to rank
+    // past them — the paper's Fig. 2 distractors.
+    if (R.chance(0.3))
+      FrameworkMethods.push_back(TS->addMethod(
+          C, freshMethodName(C), TS->objectType(),
+          {{"first", TS->objectType()}, {"second", TS->objectType()}},
+          /*IsStatic=*/true));
+    if (R.chance(0.2))
+      FrameworkMethods.push_back(TS->addMethod(
+          C, freshMethodName(C), TS->boolType(),
+          {{"value", TS->objectType()}}, /*IsStatic=*/true));
+  }
+
+  // A couple of method signatures per interface.
+  for (TypeId I : Interfaces) {
+    int N = static_cast<int>(R.range(1, 2));
+    for (int M = 0; M < N; ++M)
+      FrameworkMethods.push_back(TS->addMethod(
+          I, freshMethodName(I), pickReturnType(/*AllowVoid=*/false),
+          {{"value", pickParamType()}}, /*IsStatic=*/false));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Client generation
+//===----------------------------------------------------------------------===//
+
+void CorpusGenerator::genClients() {
+  NamespaceId RootNs = Namespaces[0];
+  for (int I = 0; I < Prof.NumClientClasses; ++I) {
+    TypeId CT = TS->addType(Prof.Name + "Client" + std::to_string(I), RootNs,
+                            TypeKind::Class);
+    // Client fields give `this.field` argument forms.
+    int NumFields = static_cast<int>(R.range(2, 4));
+    for (int FI = 0; FI < NumFields; ++FI) {
+      if (Classes.empty())
+        break;
+      TypeId FT = Classes[R.below(Classes.size())];
+      std::string Name = "m" +
+                         std::string(ClassFieldNames[R.below(
+                             countOf(ClassFieldNames))]);
+      if (!isValidId(TS->findDeclaredField(CT, Name)))
+        TS->addField(CT, Name, FT);
+    }
+
+    CodeClass &CC = Prog->addClass(CT);
+    int NumMethods = Prof.MethodsPerClientClass;
+    for (int MI = 0; MI < NumMethods; ++MI) {
+      // Client methods are void and instance; their parameters seed the
+      // scope with framework values.
+      std::vector<ParamInfo> Params;
+      int NumParams = static_cast<int>(R.range(1, 3));
+      for (int PI = 0; PI < NumParams; ++PI) {
+        TypeId PT = Classes.empty() ? TS->intType()
+                                    : Classes[R.below(Classes.size())];
+        Params.push_back({"arg" + std::to_string(PI), PT});
+      }
+      if (R.chance(0.4))
+        Params.push_back({"count", TS->intType()});
+      MethodId Decl = TS->addMethod(CT, "Run" + std::to_string(MI),
+                                    TS->voidType(), Params, false);
+      genClientMethod(CC, Decl);
+    }
+  }
+}
+
+void CorpusGenerator::genClientMethod(CodeClass &CC, MethodId Decl) {
+  CodeMethod &CM = CC.addMethod(Decl);
+  CurMethod = &CM;
+  CurSelf = CC.type();
+  for (const ParamInfo &PI : TS->method(Decl).Params)
+    CM.addLocal(PI.Name, PI.Type, /*IsParam=*/true);
+
+  int NumStmts = static_cast<int>(
+      R.range(std::max(2, Prof.StmtsPerMethod - 3), Prof.StmtsPerMethod + 3));
+  int Failures = 0;
+  for (int S = 0; S < NumStmts && Failures < 12; ++S)
+    if (!genStatement(CM)) {
+      ++Failures;
+      --S;
+    }
+  CurMethod = nullptr;
+  CurSelf = InvalidId;
+}
+
+bool CorpusGenerator::genStatement(CodeMethod &CM) {
+  size_t Kind = R.weighted(
+      {Prof.CallWeight, Prof.AssignWeight, Prof.CompareWeight});
+  switch (Kind) {
+  case 0:
+    return genCallStmt(CM);
+  case 1:
+    return genAssignStmt(CM);
+  default:
+    return genCompareStmt(CM);
+  }
+}
+
+bool CorpusGenerator::genCallStmt(CodeMethod &CM) {
+  if (FrameworkMethods.empty())
+    return false;
+  for (int Attempt = 0; Attempt != 24; ++Attempt) {
+    MethodId M = FrameworkMethods[R.below(FrameworkMethods.size())];
+    const MethodInfo &MI = TS->method(M);
+
+    const Expr *Receiver = nullptr;
+    if (!MI.IsStatic) {
+      Receiver = synthValue(MI.Owner, /*AllowLiteral=*/false);
+      if (!Receiver)
+        continue;
+    }
+    std::vector<const Expr *> Args;
+    bool Ok = true;
+    for (const ParamInfo &PI : MI.Params) {
+      // A fixed fraction of arguments are constants — the "not guessable"
+      // forms of Fig. 14.
+      const Expr *Arg = nullptr;
+      if (R.chance(Prof.LiteralArgChance))
+        Arg = synthLiteral(PI.Type);
+      if (!Arg)
+        Arg = synthValue(PI.Type, /*AllowLiteral=*/false);
+      if (!Arg) {
+        Ok = false;
+        break;
+      }
+      Args.push_back(Arg);
+    }
+    if (!Ok)
+      continue;
+
+    const Expr *Call = F->call(M, Receiver, Args);
+    if (MI.ReturnType != TS->voidType() && R.chance(0.45)) {
+      // Bind the result so later statements can use it.
+      unsigned Slot = CM.addLocal("v" + std::to_string(CM.locals().size()),
+                                  MI.ReturnType, /*IsParam=*/false);
+      CM.addStmt({StmtKind::LocalDecl, Slot, Call});
+    } else {
+      CM.addStmt({StmtKind::ExprStmt, 0, Call});
+    }
+    return true;
+  }
+  return false;
+}
+
+bool CorpusGenerator::genAssignStmt(CodeMethod &CM) {
+  for (int Attempt = 0; Attempt != 24; ++Attempt) {
+    // Target: an instance-field lookup (one or two levels) on an in-scope
+    // value — assignments whose sides end in field lookups drive Fig. 15.
+    const Expr *Base = synthValue(TS->objectType(), /*AllowLiteral=*/false);
+    if (!Base || !isValidId(Base->type()))
+      continue;
+    std::vector<FieldId> Fields;
+    for (FieldId FI : TS->visibleFields(Base->type()))
+      if (!TS->field(FI).IsStatic)
+        Fields.push_back(FI);
+    if (Fields.empty())
+      continue;
+    FieldId Target = Fields[R.below(Fields.size())];
+    const Expr *Lhs = F->fieldAccess(Base, Target);
+
+    const Expr *Rhs = nullptr;
+    if (R.chance(Prof.LiteralArgChance))
+      Rhs = synthLiteral(TS->field(Target).Type);
+    if (!Rhs)
+      Rhs = synthValue(TS->field(Target).Type, /*AllowLiteral=*/false);
+    if (!Rhs)
+      continue;
+    CM.addStmt({StmtKind::ExprStmt, 0, F->assign(Lhs, Rhs)});
+    return true;
+  }
+  return false;
+}
+
+bool CorpusGenerator::genCompareStmt(CodeMethod &CM) {
+  // Build a numeric field chain: value.field with a numeric concept type.
+  auto SynthNumericChain = [&](const std::string &PreferName) -> const Expr * {
+    for (int Attempt = 0; Attempt != 16; ++Attempt) {
+      const Expr *Base = synthValue(TS->objectType(), /*AllowLiteral=*/false);
+      if (!Base || !isValidId(Base->type()))
+        continue;
+      std::vector<FieldId> Numeric;
+      for (FieldId FI : TS->visibleFields(Base->type())) {
+        const FieldInfo &Info = TS->field(FI);
+        if (Info.IsStatic || !TS->isNumeric(Info.Type))
+          continue;
+        if (!PreferName.empty() && Info.Name != PreferName)
+          continue;
+        Numeric.push_back(FI);
+      }
+      if (Numeric.empty())
+        continue;
+      return F->fieldAccess(Base, Numeric[R.below(Numeric.size())]);
+    }
+    return nullptr;
+  };
+
+  const Expr *Lhs = SynthNumericChain("");
+  if (!Lhs)
+    return false;
+  std::string LhsName =
+      TS->field(cast<FieldAccessExpr>(Lhs)->field()).Name;
+
+  const Expr *Rhs = nullptr;
+  if (R.chance(Prof.MatchingNameChance))
+    Rhs = SynthNumericChain(LhsName);
+  if (!Rhs && R.chance(0.25)) {
+    // Comparison against a constant (the paper notes these are common and
+    // immune to the matching-name feature).
+    Rhs = F->intLit(R.range(0, 100));
+  }
+  if (!Rhs)
+    Rhs = SynthNumericChain("");
+  if (!Rhs)
+    return false;
+
+  static constexpr CompareOp Ops[] = {CompareOp::Lt, CompareOp::Le,
+                                      CompareOp::Gt, CompareOp::Ge,
+                                      CompareOp::Eq};
+  CompareOp Op = Ops[R.below(5)];
+  CM.addStmt({StmtKind::ExprStmt, 0, F->compare(Op, Lhs, Rhs)});
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Value synthesis
+//===----------------------------------------------------------------------===//
+
+const Expr *CorpusGenerator::synthLiteral(TypeId T) {
+  if (T == TS->objectType())
+    return F->nullLit();
+  if (T == TS->intType() || T == TS->longType())
+    return F->intLit(R.range(0, 512));
+  if (T == TS->doubleType() || T == TS->floatType())
+    return F->intLit(R.range(0, 64)); // int converts up the widening chain
+  if (T == TS->boolType())
+    return F->boolLit(R.chance(0.5));
+  if (T == TS->stringType())
+    return F->stringLit("s" + std::to_string(R.below(100)));
+  return nullptr;
+}
+
+const Expr *CorpusGenerator::synthValue(TypeId T, bool AllowLiteral) {
+  assert(CurMethod && "value synthesis requires an open client method");
+
+  // Collect candidates per argument-form category, then draw the category
+  // first (with Fig. 14-like weights) and a member uniformly within it;
+  // otherwise option-rich categories (globals, field lookups) would drown
+  // out locals regardless of weights.
+  std::vector<const Expr *> Locals, Lookups, Deep, Globals;
+
+  std::vector<unsigned> Scope =
+      CurMethod->localsInScopeAt(CurMethod->body().size());
+  for (unsigned Slot : Scope) {
+    TypeId LT = CurMethod->locals()[Slot].Type;
+    if (TS->implicitlyConvertible(LT, T))
+      Locals.push_back(F->var(*CurMethod, Slot));
+  }
+
+  auto AddFieldLookups = [&](const Expr *Base, std::vector<const Expr *> &Out) {
+    if (!isValidId(Base->type()))
+      return;
+    for (FieldId FI : TS->visibleFields(Base->type())) {
+      const FieldInfo &Info = TS->field(FI);
+      if (Info.IsStatic || !TS->implicitlyConvertible(Info.Type, T))
+        continue;
+      Out.push_back(F->fieldAccess(Base, FI));
+    }
+  };
+  for (unsigned Slot : Scope)
+    AddFieldLookups(F->var(*CurMethod, Slot), Lookups);
+  if (isValidId(CurSelf))
+    AddFieldLookups(F->thisRef(CurSelf), Lookups);
+
+  // Two-lookup chains through one class-typed field of one local.
+  if (!Scope.empty()) {
+    unsigned Slot = Scope[R.below(Scope.size())];
+    const Expr *Base = F->var(*CurMethod, Slot);
+    for (FieldId FI : TS->visibleFields(Base->type())) {
+      const FieldInfo &Info = TS->field(FI);
+      if (Info.IsStatic || TS->isPrimitiveLike(Info.Type))
+        continue;
+      AddFieldLookups(F->fieldAccess(Base, FI), Deep);
+    }
+  }
+
+  for (size_t FI = 0; FI != TS->numFields(); ++FI) {
+    const FieldInfo &Info = TS->field(static_cast<FieldId>(FI));
+    if (!Info.IsStatic || !TS->implicitlyConvertible(Info.Type, T))
+      continue;
+    Globals.push_back(
+        F->fieldAccess(F->typeRef(Info.Owner), static_cast<FieldId>(FI)));
+  }
+
+  const Expr *Literal = AllowLiteral ? synthLiteral(T) : nullptr;
+
+  std::vector<double> Weights = {
+      Locals.empty() ? 0.0 : 0.55, Lookups.empty() ? 0.0 : 0.24,
+      Deep.empty() ? 0.0 : 0.05,   Globals.empty() ? 0.0 : 0.08,
+      Literal ? 0.08 : 0.0,
+  };
+  double Total = 0;
+  for (double W : Weights)
+    Total += W;
+  if (Total <= 0)
+    return nullptr;
+  switch (R.weighted(Weights)) {
+  case 0:
+    return Locals[R.below(Locals.size())];
+  case 1:
+    return Lookups[R.below(Lookups.size())];
+  case 2:
+    return Deep[R.below(Deep.size())];
+  case 3:
+    return Globals[R.below(Globals.size())];
+  default:
+    return Literal;
+  }
+}

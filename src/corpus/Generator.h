@@ -1,0 +1,109 @@
+//===- corpus/Generator.h - Deterministic synthetic corpora -----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a synthetic project — a framework (namespaces, class
+/// hierarchies, enums, interfaces, fields, methods) plus client code whose
+/// method bodies contain calls, assignments, and comparisons — from a
+/// ProjectProfile. The paper evaluated on seven mature C# codebases read
+/// through the CCI decompiler; petal has no C# frontend, so these corpora
+/// stand in (see DESIGN.md §2 for why the substitution preserves the
+/// experiments' behaviour).
+///
+/// Design choices that matter for fidelity:
+///  * primitive-typed field names come from a fixed concept pool (X ->
+///    double, Width -> int, ...), so same-named fields have equal types
+///    across classes — the signal the matching-name term exploits;
+///  * call arguments are drawn from in-scope locals, field lookups of
+///    locals/this, globals, and (with configurable probability) literals —
+///    reproducing the argument-form distribution of Fig. 14;
+///  * all draws come from a single SplitMix64 stream seeded by the profile,
+///    so a given profile always produces the identical corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CORPUS_GENERATOR_H
+#define PETAL_CORPUS_GENERATOR_H
+
+#include "code/Code.h"
+#include "code/ExprFactory.h"
+#include "corpus/Profiles.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace petal {
+
+/// Generates one synthetic project into a Program.
+class CorpusGenerator {
+public:
+  explicit CorpusGenerator(const ProjectProfile &Prof)
+      : Prof(Prof), R(Prof.Seed) {}
+
+  /// Extends \p P's type system with the framework and adds the client
+  /// classes with method bodies. May be called once per generator.
+  void generate(Program &P);
+
+private:
+  // Framework generation.
+  void genNamespaces();
+  void genEnums();
+  void genInterfaces();
+  void genClasses();
+  void genMembers();
+
+  // Client generation.
+  void genClients();
+  void genClientMethod(CodeClass &CC, MethodId Decl);
+
+  /// One statement into \p CM; returns false when nothing could be
+  /// synthesized (scope too poor).
+  bool genStatement(CodeMethod &CM);
+  bool genCallStmt(CodeMethod &CM);
+  bool genAssignStmt(CodeMethod &CM);
+  bool genCompareStmt(CodeMethod &CM);
+
+  /// Synthesizes a value of a type convertible to \p T from the current
+  /// scope (locals, this-fields, lookups, globals, literals); null if
+  /// impossible.
+  const Expr *synthValue(TypeId T, bool AllowLiteral);
+
+  /// A literal of type \p T, or null if \p T has no literal form.
+  const Expr *synthLiteral(TypeId T);
+
+  /// Picks a field type: concept primitives, classes, enums, string.
+  TypeId pickFieldType();
+  TypeId pickParamType();
+  TypeId pickReturnType(bool AllowVoid);
+
+  std::string freshTypeName(const std::string &Hint);
+  std::string freshMethodName(TypeId Owner);
+
+  const ProjectProfile Prof;
+  Rng R;
+
+  TypeSystem *TS = nullptr;
+  Program *Prog = nullptr;
+  std::unique_ptr<ExprFactory> F;
+
+  std::vector<NamespaceId> Namespaces; ///< root first
+  std::vector<TypeId> Classes;         ///< framework classes
+  std::vector<TypeId> Interfaces;
+  std::vector<TypeId> Enums;
+  std::vector<MethodId> FrameworkMethods;
+  std::unordered_set<std::string> UsedTypeNames;
+
+  // Per-client-method scope.
+  CodeMethod *CurMethod = nullptr;
+  TypeId CurSelf = InvalidId;
+};
+
+} // namespace petal
+
+#endif // PETAL_CORPUS_GENERATOR_H

@@ -1,0 +1,119 @@
+//===- corpus/MiniFrameworks.h - Hand-written worked-example corpora ------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written mini-frameworks mirroring the paper's worked examples:
+/// the Paint.NET resize scenario (§2.1 / Fig. 2), the DynamicGeometry
+/// Distance scenario (Fig. 3), and the comparison scenario (Fig. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CORPUS_MINIFRAMEWORKS_H
+#define PETAL_CORPUS_MINIFRAMEWORKS_H
+
+namespace petal::corpora {
+
+/// Paint.NET-like mini-framework plus a client method with `img` and
+/// `size` locals (parameters), for the ?({img, size}) example.
+inline const char *PaintCorpus = R"(
+namespace System.Drawing {
+  struct Size {
+    int Width;
+    int Height;
+  }
+}
+namespace PaintDotNet {
+  enum AnchorEdge { TopLeft, Top, TopRight, Left }
+  struct ColorBgra {
+    byte B;
+    byte G;
+    byte R;
+    byte A;
+  }
+  class Document {
+    int Width;
+    int Height;
+    void OnDeserialization(object context);
+  }
+  class Pair {
+    static object Create(object first, object second);
+  }
+  class Triple {
+    static object Create(object first, object second, object third);
+  }
+  class Quadruple {
+    static object Create(object a, object b, object c, object d);
+  }
+}
+namespace PaintDotNet.Actions {
+  class CanvasSizeAction {
+    static PaintDotNet.Document ResizeDocument(PaintDotNet.Document document,
+                                               System.Drawing.Size newSize,
+                                               PaintDotNet.AnchorEdge edge,
+                                               PaintDotNet.ColorBgra background);
+  }
+}
+class Client {
+  void Work(PaintDotNet.Document img, System.Drawing.Size size) {
+    return;
+  }
+}
+)";
+
+/// DynamicGeometry-like corpus for Distance(point, ?) (Fig. 3) and
+/// point.?*m >= this.?*m (Fig. 4).
+inline const char *GeometryCorpus = R"(
+namespace System.Windows {
+  struct Point {
+    double X;
+    double Y;
+  }
+}
+namespace DynamicGeometry {
+  class Math {
+    static System.Windows.Point InfinitePoint;
+    static double Distance(System.Windows.Point p1, System.Windows.Point p2);
+  }
+  class Glyph {
+    System.Windows.Point RenderTransformOrigin;
+  }
+  class ShapeStyle {
+    Glyph GetSampleGlyph();
+  }
+  class Shape {
+    System.Windows.Point RenderTransformOrigin;
+  }
+  class ArcShape {
+    System.Windows.Point Point;
+  }
+  class Figure {
+    System.Windows.Point StartPoint;
+  }
+  class LineBase {
+    System.Windows.Point P1;
+    System.Windows.Point P2;
+    System.Windows.Point Midpoint;
+    double Length;
+    System.Windows.Point FirstValidValue();
+  }
+  class EllipseArc : LineBase {
+    System.Windows.Point BeginLocation;
+    System.Windows.Point Center;
+    System.Windows.Point EndLocation;
+    Shape shape;
+    ArcShape ArcShape;
+    Figure FigureField;
+    void Examine(System.Windows.Point point, ShapeStyle shapeStyle) {
+      return;
+    }
+  }
+}
+)";
+
+} // namespace petal::corpora
+
+#endif // PETAL_CORPUS_MINIFRAMEWORKS_H

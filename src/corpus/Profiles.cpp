@@ -1,0 +1,132 @@
+//===- corpus/Profiles.cpp - Synthetic project profiles -------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace petal;
+
+static int scaled(int Base, double Scale, int Min = 1) {
+  return std::max(Min, static_cast<int>(std::lround(Base * Scale)));
+}
+
+std::vector<ProjectProfile> petal::paperProjectProfiles(double Scale) {
+  std::vector<ProjectProfile> Profiles;
+
+  // Paint.NET: a large GUI application, instance-heavy, deep namespaces.
+  {
+    ProjectProfile P;
+    P.Name = "PaintNet";
+    P.Seed = 0xA11CE001;
+    P.NumNamespaces = 8;
+    P.NumClasses = scaled(110, Scale);
+    P.NumEnums = 6;
+    P.NumInterfaces = 5;
+    P.StaticMethodFraction = 0.25;
+    P.NumClientClasses = scaled(10, Scale);
+    P.MethodsPerClientClass = 6;
+    Profiles.push_back(P);
+  }
+
+  // WiX: the largest project in the paper (13k calls), utility-flavoured,
+  // more statics.
+  {
+    ProjectProfile P;
+    P.Name = "Wix";
+    P.Seed = 0xA11CE002;
+    P.NumNamespaces = 10;
+    P.NumClasses = scaled(150, Scale);
+    P.NumEnums = 8;
+    P.StaticMethodFraction = 0.45;
+    P.NumClientClasses = scaled(20, Scale);
+    P.MethodsPerClientClass = 7;
+    P.StmtsPerMethod = 9;
+    Profiles.push_back(P);
+  }
+
+  // GNOME Do: small application launcher.
+  {
+    ProjectProfile P;
+    P.Name = "GnomeDo";
+    P.Seed = 0xA11CE003;
+    P.NumNamespaces = 4;
+    P.NumClasses = scaled(70, Scale);
+    P.NumEnums = 3;
+    P.StaticMethodFraction = 0.3;
+    P.NumClientClasses = scaled(3, Scale);
+    P.MethodsPerClientClass = 4;
+    P.StmtsPerMethod = 6;
+    Profiles.push_back(P);
+  }
+
+  // Banshee: the smallest slice in the paper (91 calls).
+  {
+    ProjectProfile P;
+    P.Name = "Banshee";
+    P.Seed = 0xA11CE004;
+    P.NumNamespaces = 3;
+    P.NumClasses = scaled(36, Scale);
+    P.NumEnums = 2;
+    P.StaticMethodFraction = 0.3;
+    P.NumClientClasses = scaled(2, Scale);
+    P.MethodsPerClientClass = 4;
+    P.StmtsPerMethod = 5;
+    Profiles.push_back(P);
+  }
+
+  // .NET BCL slice (System.Core + mscorlib): static-heavy library code
+  // with deep, regular namespaces.
+  {
+    ProjectProfile P;
+    P.Name = "DotNet";
+    P.Seed = 0xA11CE005;
+    P.NumNamespaces = 12;
+    P.NumClasses = scaled(130, Scale);
+    P.NumEnums = 8;
+    P.NumInterfaces = 8;
+    P.StaticMethodFraction = 0.55;
+    P.StaticFieldFraction = 0.15;
+    P.NumClientClasses = scaled(9, Scale);
+    P.MethodsPerClientClass = 6;
+    Profiles.push_back(P);
+  }
+
+  // Family.Show: mid-size WPF sample application.
+  {
+    ProjectProfile P;
+    P.Name = "FamilyShow";
+    P.Seed = 0xA11CE006;
+    P.NumNamespaces = 5;
+    P.NumClasses = scaled(65, Scale);
+    P.NumEnums = 4;
+    P.StaticMethodFraction = 0.3;
+    P.NumClientClasses = scaled(5, Scale);
+    P.MethodsPerClientClass = 5;
+    Profiles.push_back(P);
+  }
+
+  // LiveGeometry: geometry visualizer; comparison-heavy client code.
+  {
+    ProjectProfile P;
+    P.Name = "LiveGeometry";
+    P.Seed = 0xA11CE007;
+    P.NumNamespaces = 5;
+    P.NumClasses = scaled(70, Scale);
+    P.NumEnums = 3;
+    P.StaticMethodFraction = 0.3;
+    P.NumClientClasses = scaled(7, Scale);
+    P.MethodsPerClientClass = 6;
+    P.CompareWeight = 0.3;
+    P.AssignWeight = 0.25;
+    P.CallWeight = 0.45;
+    Profiles.push_back(P);
+  }
+
+  return Profiles;
+}

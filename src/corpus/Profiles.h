@@ -1,0 +1,61 @@
+//===- corpus/Profiles.h - Synthetic project profiles -----------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the synthetic projects that stand in for the paper's seven
+/// C# codebases (Table 1): Paint.NET, WiX, GNOME Do, Banshee, the .NET BCL
+/// slice, Family.Show, and LiveGeometry. Sizes are scaled down from the
+/// paper's (21,176 calls total) to keep the benchmark harness fast; the
+/// *relative* sizes and the instance/static mixes mirror the originals.
+/// See EXPERIMENTS.md for the scaling discussion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CORPUS_PROFILES_H
+#define PETAL_CORPUS_PROFILES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace petal {
+
+/// Knobs of one synthetic project.
+struct ProjectProfile {
+  std::string Name;       ///< project name (also the root namespace)
+  uint64_t Seed = 1;      ///< RNG seed; everything is deterministic
+
+  // Framework shape.
+  int NumNamespaces = 6;       ///< sub-namespaces under the root
+  int NumClasses = 60;         ///< framework classes
+  int NumInterfaces = 4;
+  int NumEnums = 5;
+  double DeriveFraction = 0.35;  ///< classes deriving from an earlier class
+  int FieldsPerClass = 6;        ///< mean declared fields/properties
+  int MethodsPerClass = 6;       ///< mean declared methods
+  double StaticMethodFraction = 0.3;
+  double StaticFieldFraction = 0.1;
+  int MaxParams = 4;
+
+  // Client code shape (the code whose expressions the evaluation strips).
+  int NumClientClasses = 8;
+  int MethodsPerClientClass = 6;
+  int StmtsPerMethod = 8;        ///< mean statements per client method
+  double CallWeight = 0.55;      ///< mix of generated statement kinds
+  double AssignWeight = 0.25;
+  double CompareWeight = 0.20;
+  double LiteralArgChance = 0.28;   ///< "not guessable" argument fraction
+  double MatchingNameChance = 0.6;  ///< comparisons with same-named fields
+};
+
+/// The seven paper projects at the given scale factor (1.0 = the default
+/// bench size; Table 2's ablation uses a smaller scale).
+std::vector<ProjectProfile> paperProjectProfiles(double Scale = 1.0);
+
+} // namespace petal
+
+#endif // PETAL_CORPUS_PROFILES_H

@@ -1,0 +1,191 @@
+//===- corpus/SourceWriter.cpp - Dump a Program back to source ------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/SourceWriter.h"
+
+#include "code/ExprPrinter.h"
+
+#include <map>
+#include <unordered_map>
+
+using namespace petal;
+
+namespace {
+
+/// Streams declarations grouped by namespace, with all type references
+/// fully qualified so re-parsing cannot mis-resolve them.
+class Writer {
+public:
+  explicit Writer(const Program &P) : P(P), TS(P.typeSystem()) {
+    for (const auto &CC : P.classes())
+      CodeByType[CC->type()] = CC.get();
+  }
+
+  std::string run() {
+    // Group user types by namespace, preserving declaration order within.
+    std::map<NamespaceId, std::vector<TypeId>> ByNs;
+    for (size_t T = 0; T != TS.numTypes(); ++T) {
+      TypeId Id = static_cast<TypeId>(T);
+      if (TS.isBuiltinType(Id))
+        continue;
+      ByNs[TS.type(Id).Namespace].push_back(Id);
+    }
+    for (const auto &[Ns, Types] : ByNs) {
+      const std::string &Name = TS.nspace(Ns).FullName;
+      bool Wrapped = !Name.empty();
+      if (Wrapped)
+        Out += "namespace " + Name + " {\n";
+      for (TypeId T : Types)
+        writeType(T, Wrapped ? 1 : 0);
+      if (Wrapped)
+        Out += "}\n";
+    }
+    return Out;
+  }
+
+private:
+  void indent(int Level) { Out.append(static_cast<size_t>(Level) * 2, ' '); }
+
+  /// A type reference: builtins by simple name, user types fully qualified.
+  std::string typeRef(TypeId T) const {
+    return TS.isBuiltinType(T) ? TS.type(T).Name : TS.qualifiedName(T);
+  }
+
+  void writeType(TypeId T, int Level) {
+    const TypeInfo &TI = TS.type(T);
+    indent(Level);
+
+    if (TI.Kind == TypeKind::Enum) {
+      Out += "enum " + TI.Name + " { ";
+      bool First = true;
+      for (FieldId F : TI.Fields) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        Out += TS.field(F).Name;
+      }
+      Out += " }\n";
+      return;
+    }
+
+    if (TI.IsComparable && TI.Kind != TypeKind::Enum)
+      Out += "comparable ";
+    switch (TI.Kind) {
+    case TypeKind::Class:
+      Out += "class ";
+      break;
+    case TypeKind::Interface:
+      Out += "interface ";
+      break;
+    case TypeKind::Struct:
+      Out += "struct ";
+      break;
+    default:
+      break;
+    }
+    Out += TI.Name;
+
+    // Bases: the class base (if not Object) then interfaces.
+    std::vector<std::string> Bases;
+    if (isValidId(TI.BaseClass) && TI.BaseClass != TS.objectType() &&
+        TI.Kind != TypeKind::Interface)
+      Bases.push_back(typeRef(TI.BaseClass));
+    for (TypeId I : TI.Interfaces)
+      Bases.push_back(typeRef(I));
+    for (size_t I = 0; I != Bases.size(); ++I)
+      Out += (I == 0 ? " : " : ", ") + Bases[I];
+
+    Out += " {\n";
+    for (FieldId F : TI.Fields)
+      writeField(F, Level + 1);
+    for (MethodId M : TI.Methods)
+      writeMethod(M, Level + 1);
+    indent(Level);
+    Out += "}\n";
+  }
+
+  void writeField(FieldId F, int Level) {
+    const FieldInfo &FI = TS.field(F);
+    indent(Level);
+    if (FI.IsStatic)
+      Out += "static ";
+    Out += typeRef(FI.Type) + " " + FI.Name;
+    Out += FI.IsProperty ? " { get; set; }\n" : ";\n";
+  }
+
+  void writeMethod(MethodId M, int Level) {
+    const MethodInfo &MI = TS.method(M);
+    indent(Level);
+    if (MI.IsStatic)
+      Out += "static ";
+    Out += (MI.ReturnType == TS.voidType() ? std::string("void")
+                                           : typeRef(MI.ReturnType));
+    Out += " " + MI.Name + "(";
+    for (size_t I = 0; I != MI.Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += typeRef(MI.Params[I].Type) + " " + MI.Params[I].Name;
+    }
+    Out += ")";
+
+    // Signature-only methods and empty bodies both print as declarations;
+    // the resolver creates an (empty) CodeMethod for every declared method,
+    // so this keeps write . parse . write a fixpoint.
+    const CodeMethod *Body = findBody(M);
+    if (!Body || Body->body().empty()) {
+      Out += ";\n";
+      return;
+    }
+    Out += " {\n";
+    for (const Stmt &St : Body->body())
+      writeStmt(St, *Body, Level + 1);
+    indent(Level);
+    Out += "}\n";
+  }
+
+  const CodeMethod *findBody(MethodId M) const {
+    auto It = CodeByType.find(TS.method(M).Owner);
+    if (It == CodeByType.end())
+      return nullptr;
+    for (const auto &CM : It->second->methods())
+      if (CM->decl() == M)
+        return CM.get();
+    return nullptr;
+  }
+
+  void writeStmt(const Stmt &St, const CodeMethod &CM, int Level) {
+    indent(Level);
+    switch (St.Kind) {
+    case StmtKind::LocalDecl: {
+      const LocalVar &L = CM.locals()[St.LocalSlot];
+      // Always emit a typed declaration: unambiguous to re-parse and exact
+      // even when the initializer type is more specific than the local's.
+      Out += typeRef(L.Type) + " " + L.Name + " = " +
+             printExpr(TS, St.Value) + ";\n";
+      return;
+    }
+    case StmtKind::ExprStmt:
+      Out += printExpr(TS, St.Value) + ";\n";
+      return;
+    case StmtKind::Return:
+      Out += St.Value ? "return " + printExpr(TS, St.Value) + ";\n"
+                      : "return;\n";
+      return;
+    }
+  }
+
+  const Program &P;
+  const TypeSystem &TS;
+  std::unordered_map<TypeId, const CodeClass *> CodeByType;
+  std::string Out;
+};
+
+} // namespace
+
+std::string petal::writeProgramSource(const Program &P) {
+  return Writer(P).run();
+}

@@ -1,0 +1,33 @@
+//===- corpus/SourceWriter.h - Dump a Program back to source ----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a TypeSystem/Program back into the mini-C# surface language,
+/// such that re-parsing the output reproduces an equivalent model
+/// (round-trip property: write . parse . write is a fixpoint; the tests
+/// verify this on generated corpora). Useful for exporting synthetic
+/// corpora as human-readable text and for debugging generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_CORPUS_SOURCEWRITER_H
+#define PETAL_CORPUS_SOURCEWRITER_H
+
+#include "code/Code.h"
+#include "model/TypeSystem.h"
+
+#include <string>
+
+namespace petal {
+
+/// Renders every user-declared type of \p P's TypeSystem (grouped by
+/// namespace) together with all method bodies as parseable source text.
+std::string writeProgramSource(const Program &P);
+
+} // namespace petal
+
+#endif // PETAL_CORPUS_SOURCEWRITER_H

@@ -1,0 +1,314 @@
+//===- eval/Experiments.cpp - The paper's experiment drivers --------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Experiments.h"
+
+#include "eval/Intellisense.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+using namespace petal;
+
+double LatencyData::fracUnder(double Ms) const {
+  if (Millis.empty())
+    return 0.0;
+  size_t N = 0;
+  for (double M : Millis)
+    if (M < Ms)
+      ++N;
+  return static_cast<double>(N) / static_cast<double>(Millis.size());
+}
+
+double LatencyData::percentile(double P) const {
+  if (Millis.empty())
+    return 0.0;
+  std::vector<double> Sorted = Millis;
+  std::sort(Sorted.begin(), Sorted.end());
+  double Idx = P / 100.0 * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Idx);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Idx - static_cast<double>(Lo);
+  return Sorted[Lo] * (1 - Frac) + Sorted[Hi] * Frac;
+}
+
+Evaluator::Evaluator(Program &P, CompletionIndexes &Idx, RankingOptions Opts,
+                     size_t SearchLimit)
+    : P(P), TS(P.typeSystem()), Idx(Idx), Engine(P, Idx), Opts(Opts),
+      SearchLimit(SearchLimit), Sites(harvestProgram(P)) {}
+
+const AbsTypeSolution *Evaluator::solutionFor(const CodeSite &Site) {
+  if (!Opts.UseAbstractTypes)
+    return nullptr;
+  auto &PerMethod = SolutionCache[Site.Method];
+  auto It = PerMethod.find(Site.StmtIndex);
+  if (It == PerMethod.end())
+    It = PerMethod
+             .emplace(Site.StmtIndex,
+                      Idx.Infer.solveExcluding(Site.Method, Site.StmtIndex))
+             .first;
+  return &It->second;
+}
+
+size_t Evaluator::rankWhere(const PartialExpr *Query, const CodeSite &Site,
+                            const std::function<bool(const Expr *)> &Match,
+                            TypeId ExpectedType) {
+  CompletionOptions CO;
+  CO.Rank = Opts;
+  CO.ExpectedType = ExpectedType;
+  const AbsTypeSolution *Sol = solutionFor(Site);
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<Completion> Results =
+      Engine.complete(Query, Site, SearchLimit, CO, Sol);
+  auto End = std::chrono::steady_clock::now();
+  Latency.add(std::chrono::duration<double, std::milli>(End - Start).count());
+
+  for (size_t I = 0; I != Results.size(); ++I)
+    if (Match(Results[I].E))
+      return I + 1;
+  return 0;
+}
+
+std::vector<const Expr *>
+Evaluator::callSignatureArgs(const CallExpr *Call) const {
+  std::vector<const Expr *> Args;
+  if (Call->receiver())
+    Args.push_back(Call->receiver());
+  Args.insert(Args.end(), Call->args().begin(), Call->args().end());
+  return Args;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.1 Predicting method names
+//===----------------------------------------------------------------------===//
+
+MethodPredictionData Evaluator::runMethodPrediction(bool WithIntellisense,
+                                                    bool WithKnownReturn) {
+  MethodPredictionData Data;
+  Arena &A = P.arena();
+
+  for (const CallSiteInfo &CS : Sites.Calls) {
+    std::vector<const Expr *> Args = callSignatureArgs(CS.Call);
+    std::vector<const Expr *> Guessable;
+    for (const Expr *Arg : Args)
+      if (isGuessableExpr(Arg))
+        Guessable.push_back(Arg);
+    if (Guessable.empty()) {
+      ++Data.SkippedNoGuessableArgs;
+      continue;
+    }
+    if (Guessable.size() > 6)
+      Guessable.resize(6); // cap the subset search
+
+    MethodId Target = CS.Call->method();
+    auto MatchMethod = [Target](const Expr *E) {
+      const auto *C = dyn_cast<CallExpr>(E);
+      return C && C->method() == Target;
+    };
+
+    // All argument subsets of size 1 and 2 (the paper: "giving one or two
+    // of the call's arguments"); keep the best rank per size class.
+    auto QueryWith =
+        [&](std::vector<const Expr *> Subset, TypeId Expected) -> size_t {
+      std::vector<const PartialExpr *> PEArgs;
+      for (const Expr *E : Subset)
+        PEArgs.push_back(A.create<ConcretePE>(E));
+      const PartialExpr *Q = A.create<UnknownCallPE>(std::move(PEArgs));
+      return rankWhere(Q, CS.Site, MatchMethod, Expected);
+    };
+
+    size_t Best1 = 0, Best2 = 0;
+    auto Improve = [](size_t &Best, size_t Rank) {
+      if (Rank != 0 && (Best == 0 || Rank < Best))
+        Best = Rank;
+    };
+    for (size_t I = 0; I != Guessable.size(); ++I)
+      Improve(Best1, QueryWith({Guessable[I]}, InvalidId));
+    for (size_t I = 0; I != Guessable.size(); ++I)
+      for (size_t J = I + 1; J != Guessable.size(); ++J)
+        Improve(Best2, QueryWith({Guessable[I], Guessable[J]}, InvalidId));
+    size_t Best = Best1;
+    Improve(Best, Best2);
+
+    Data.Best.add(Best);
+    if (TS.method(Target).IsStatic)
+      Data.Static.add(Best);
+    else
+      Data.Instance.add(Best);
+
+    ArityStats &AS = Data.ByArity[Args.size()];
+    ++AS.Calls;
+    AS.SolvedWith1 += Best1 >= 1 && Best1 <= 20;
+    AS.SolvedWith2 += Best >= 1 && Best <= 20;
+
+    if (WithIntellisense) {
+      size_t Ours = Best == 0 ? SearchLimit + 1 : Best;
+      size_t Intelli = intellisenseRank(TS, CS.Call);
+      Data.RankDiff.push_back(static_cast<long>(Ours) -
+                              static_cast<long>(Intelli));
+    }
+
+    if (WithKnownReturn) {
+      TypeId Expected = TS.method(Target).ReturnType;
+      size_t BestRet = 0;
+      for (size_t I = 0; I != Guessable.size(); ++I)
+        Improve(BestRet, QueryWith({Guessable[I]}, Expected));
+      for (size_t I = 0; I != Guessable.size(); ++I)
+        for (size_t J = I + 1; J != Guessable.size(); ++J)
+          Improve(BestRet, QueryWith({Guessable[I], Guessable[J]}, Expected));
+      Data.BestKnownReturn.add(BestRet);
+      if (WithIntellisense) {
+        size_t Ours = BestRet == 0 ? SearchLimit + 1 : BestRet;
+        size_t Intelli = intellisenseRank(TS, CS.Call);
+        Data.RankDiffKnownReturn.push_back(static_cast<long>(Ours) -
+                                           static_cast<long>(Intelli));
+      }
+    }
+  }
+  return Data;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.2 Predicting method arguments
+//===----------------------------------------------------------------------===//
+
+ArgumentPredictionData Evaluator::runArgumentPrediction() {
+  ArgumentPredictionData Data;
+  Arena &A = P.arena();
+
+  for (const CallSiteInfo &CS : Sites.Calls) {
+    std::vector<const Expr *> Args = callSignatureArgs(CS.Call);
+    const Expr *Original = CS.Call;
+    for (size_t Pos = 0; Pos != Args.size(); ++Pos) {
+      ++Data.TotalArgs;
+      ExprForm Form = classifyExprForm(Args[Pos]);
+      ++Data.FormCounts[static_cast<size_t>(Form)];
+      if (Form == ExprForm::NotGuessable) {
+        ++Data.NotGuessable;
+        continue;
+      }
+
+      // Replace this argument with `?`; the method name (and hence the
+      // overload set) is known.
+      std::vector<const PartialExpr *> PEArgs;
+      for (size_t I = 0; I != Args.size(); ++I) {
+        if (I == Pos)
+          PEArgs.push_back(A.create<HolePE>());
+        else
+          PEArgs.push_back(A.create<ConcretePE>(Args[I]));
+      }
+      const MethodInfo &MI = TS.method(CS.Call->method());
+      const PartialExpr *Q = A.create<KnownCallPE>(
+          MI.Name, std::move(PEArgs), std::vector<MethodId>{CS.Call->method()});
+
+      size_t Rank = rankWhere(
+          Q, CS.Site,
+          [&](const Expr *E) { return exprEquals(E, Original); });
+      Data.All.add(Rank);
+      if (!isa<VarExpr>(Args[Pos]) && !isa<ThisExpr>(Args[Pos]))
+        Data.NoVars.add(Rank);
+    }
+  }
+  return Data;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.3 Predicting field lookups
+//===----------------------------------------------------------------------===//
+
+/// Strips \p N trailing lookups (field accesses or nullary calls) from the
+/// spine of \p E; null when the expression does not end in N strippable
+/// lookups over a value base.
+static const Expr *stripLookups(const Expr *E, int N) {
+  while (N-- > 0) {
+    const Expr *Base = nullptr;
+    if (const auto *FA = dyn_cast<FieldAccessExpr>(E))
+      Base = FA->base();
+    else if (const auto *C = dyn_cast<CallExpr>(E);
+             C && C->args().empty() && C->receiver())
+      Base = C->receiver();
+    if (!Base || isa<TypeRefExpr>(Base))
+      return nullptr; // not a strippable lookup / static access root
+    E = Base;
+  }
+  return E;
+}
+
+AssignmentData Evaluator::runAssignments() {
+  AssignmentData Data;
+  Arena &A = P.arena();
+
+  auto Query = [&](const CodeSite &Site, const Expr *Lhs, const Expr *Rhs,
+                   const Expr *Original) {
+    // ".?m added to the end of both sides" (§5.3).
+    const PartialExpr *L = A.create<SuffixPE>(A.create<ConcretePE>(Lhs),
+                                              SuffixKind::Member);
+    const PartialExpr *R = A.create<SuffixPE>(A.create<ConcretePE>(Rhs),
+                                              SuffixKind::Member);
+    const PartialExpr *Q = A.create<AssignPE>(L, R);
+    return rankWhere(Q, Site,
+                     [&](const Expr *E) { return exprEquals(E, Original); });
+  };
+
+  for (const AssignSiteInfo &AS : Sites.Assigns) {
+    const Expr *Lhs = AS.Assign->lhs();
+    const Expr *Rhs = AS.Assign->rhs();
+    const Expr *LhsBase = stripLookups(Lhs, 1);
+    const Expr *RhsBase = stripLookups(Rhs, 1);
+
+    if (LhsBase)
+      Data.Target.add(Query(AS.Site, LhsBase, Rhs, AS.Assign));
+    if (RhsBase)
+      Data.Source.add(Query(AS.Site, Lhs, RhsBase, AS.Assign));
+    if (LhsBase && RhsBase)
+      Data.Both.add(Query(AS.Site, LhsBase, RhsBase, AS.Assign));
+  }
+  return Data;
+}
+
+ComparisonData Evaluator::runComparisons() {
+  ComparisonData Data;
+  Arena &A = P.arena();
+
+  auto Query = [&](const CodeSite &Site, CompareOp Op, const Expr *Lhs,
+                   const Expr *Rhs, const Expr *Original) {
+    // ".?m.?m added to the end of both sides" (§5.3).
+    auto Wrap = [&](const Expr *E) -> const PartialExpr * {
+      const PartialExpr *P0 = A.create<ConcretePE>(E);
+      const PartialExpr *P1 = A.create<SuffixPE>(P0, SuffixKind::Member);
+      return A.create<SuffixPE>(P1, SuffixKind::Member);
+    };
+    const PartialExpr *Q = A.create<ComparePE>(Op, Wrap(Lhs), Wrap(Rhs));
+    return rankWhere(Q, Site,
+                     [&](const Expr *E) { return exprEquals(E, Original); });
+  };
+
+  for (const CompareSiteInfo &CS : Sites.Compares) {
+    const Expr *Lhs = CS.Compare->lhs();
+    const Expr *Rhs = CS.Compare->rhs();
+    CompareOp Op = CS.Compare->op();
+
+    const Expr *L1 = stripLookups(Lhs, 1);
+    const Expr *R1 = stripLookups(Rhs, 1);
+    const Expr *L2 = stripLookups(Lhs, 2);
+    const Expr *R2 = stripLookups(Rhs, 2);
+
+    if (L1)
+      Data.Left.add(Query(CS.Site, Op, L1, Rhs, CS.Compare));
+    if (R1)
+      Data.Right.add(Query(CS.Site, Op, Lhs, R1, CS.Compare));
+    if (L1 && R1)
+      Data.Both.add(Query(CS.Site, Op, L1, R1, CS.Compare));
+    if (L2)
+      Data.TwoLeft.add(Query(CS.Site, Op, L2, Rhs, CS.Compare));
+    if (R2)
+      Data.TwoRight.add(Query(CS.Site, Op, Lhs, R2, CS.Compare));
+  }
+  return Data;
+}

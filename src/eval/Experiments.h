@@ -1,0 +1,136 @@
+//===- eval/Experiments.h - The paper's experiment drivers ------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drivers for the paper's three experiments (§5.1 predicting method names,
+/// §5.2 predicting method arguments, §5.3 predicting field lookups) plus
+/// the Intellisense comparison and the Table 2 sensitivity analysis. Each
+/// driver replays harvested ground-truth expressions: it strips the
+/// information the experiment removes, builds the corresponding partial
+/// expression, runs the completion engine at the original code site (with
+/// abstract type inference excluding the site and everything after it), and
+/// records the rank of the ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_EVAL_EXPERIMENTS_H
+#define PETAL_EVAL_EXPERIMENTS_H
+
+#include "complete/Engine.h"
+#include "eval/Harvest.h"
+#include "eval/Metrics.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace petal {
+
+/// Fig. 10 bookkeeping per call arity.
+struct ArityStats {
+  size_t Calls = 0;
+  size_t SolvedWith1 = 0; ///< some 1-argument query ranks the callee <= 20
+  size_t SolvedWith2 = 0; ///< some <=2-argument query ranks the callee <= 20
+};
+
+/// Results of the §5.1 experiment.
+struct MethodPredictionData {
+  RankDistribution Best;     ///< best rank over all <=2-arg queries (Fig. 9)
+  RankDistribution Instance; ///< instance-call slice
+  RankDistribution Static;   ///< static-call slice
+  std::map<size_t, ArityStats> ByArity;    ///< Fig. 10
+  std::vector<long> RankDiff;              ///< ours - Intellisense (Fig. 11)
+  RankDistribution BestKnownReturn;        ///< with the return type known
+  std::vector<long> RankDiffKnownReturn;   ///< Fig. 12
+  size_t SkippedNoGuessableArgs = 0;
+};
+
+/// Results of the §5.2 experiment.
+struct ArgumentPredictionData {
+  RankDistribution All;    ///< Fig. 13, "Normal"
+  RankDistribution NoVars; ///< Fig. 13, ignoring bare-local answers
+  size_t FormCounts[6] = {}; ///< Fig. 14, indexed by ExprForm
+  size_t TotalArgs = 0;
+  size_t NotGuessable = 0;
+};
+
+/// Results of the §5.3 assignment experiment (Fig. 15).
+struct AssignmentData {
+  RankDistribution Target; ///< final lookup stripped from the target
+  RankDistribution Source; ///< ... from the source
+  RankDistribution Both;   ///< ... from both sides
+};
+
+/// Results of the §5.3 comparison experiment (Fig. 16).
+struct ComparisonData {
+  RankDistribution Left;
+  RankDistribution Right;
+  RankDistribution Both;
+  RankDistribution TwoLeft;  ///< two lookups stripped from the left
+  RankDistribution TwoRight; ///< two lookups stripped from the right
+};
+
+/// Wall-clock per-query timing (§5.1–5.3 "Speed" paragraphs).
+struct LatencyData {
+  std::vector<double> Millis;
+
+  void add(double Ms) { Millis.push_back(Ms); }
+  double fracUnder(double Ms) const;
+  double percentile(double P) const; ///< P in [0, 100]
+};
+
+/// Runs the experiments over one corpus with one ranking configuration.
+/// The CompletionIndexes are shared (they are ranking-independent), so the
+/// Table 2 sensitivity analysis constructs one Evaluator per variant over
+/// the same indexes.
+class Evaluator {
+public:
+  Evaluator(Program &P, CompletionIndexes &Idx, RankingOptions Opts,
+            size_t SearchLimit = 100);
+
+  MethodPredictionData runMethodPrediction(bool WithIntellisense = true,
+                                           bool WithKnownReturn = true);
+  ArgumentPredictionData runArgumentPrediction();
+  AssignmentData runAssignments();
+  ComparisonData runComparisons();
+
+  /// Per-query latencies accumulated across all run* calls.
+  const LatencyData &latency() const { return Latency; }
+
+  const HarvestResult &harvest() const { return Sites; }
+
+private:
+  /// Per-site abstract-type solution, excluding the site statement and
+  /// everything after it (cached).
+  const AbsTypeSolution *solutionFor(const CodeSite &Site);
+
+  /// Runs \p Query and returns the 1-based rank of the first completion
+  /// accepted by \p Match (0 if absent from the top SearchLimit).
+  size_t rankWhere(const PartialExpr *Query, const CodeSite &Site,
+                   const std::function<bool(const Expr *)> &Match,
+                   TypeId ExpectedType = InvalidId);
+
+  /// The call-signature argument list of \p Call (receiver first).
+  std::vector<const Expr *> callSignatureArgs(const CallExpr *Call) const;
+
+  Program &P;
+  TypeSystem &TS;
+  CompletionIndexes &Idx;
+  CompletionEngine Engine;
+  RankingOptions Opts;
+  size_t SearchLimit;
+  HarvestResult Sites;
+  LatencyData Latency;
+  std::unordered_map<const CodeMethod *,
+                     std::unordered_map<size_t, AbsTypeSolution>>
+      SolutionCache;
+};
+
+} // namespace petal
+
+#endif // PETAL_EVAL_EXPERIMENTS_H

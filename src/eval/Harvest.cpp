@@ -1,0 +1,111 @@
+//===- eval/Harvest.cpp - Ground-truth site collection --------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Harvest.h"
+
+using namespace petal;
+
+HarvestResult petal::harvestProgram(const Program &P) {
+  HarvestResult Out;
+  for (const auto &CC : P.classes()) {
+    for (const auto &CM : CC->methods()) {
+      for (size_t SI = 0; SI != CM->body().size(); ++SI) {
+        const Stmt &St = CM->body()[SI];
+        if (!St.Value)
+          continue;
+        CodeSite Site{CC.get(), CM.get(), SI};
+        switch (St.Value->kind()) {
+        case ExprKind::Call:
+          Out.Calls.push_back({Site, cast<CallExpr>(St.Value)});
+          break;
+        case ExprKind::Assign:
+          Out.Assigns.push_back({Site, cast<AssignExpr>(St.Value)});
+          break;
+        case ExprKind::Compare:
+          Out.Compares.push_back({Site, cast<CompareExpr>(St.Value)});
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+bool petal::isGuessableExpr(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+  case ExprKind::This:
+  case ExprKind::TypeRef:
+    return true;
+  case ExprKind::FieldAccess:
+    return isGuessableExpr(cast<FieldAccessExpr>(E)->base());
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    if (!C->args().empty())
+      return false; // the engine never synthesizes calls with arguments
+    return !C->receiver() || isGuessableExpr(C->receiver());
+  }
+  default:
+    return false;
+  }
+}
+
+/// Counts lookup steps along the spine and reports whether any step is a
+/// method call or a static (global) access.
+static void spineInfo(const Expr *E, int &Steps, bool &SawMethod,
+                      bool &SawStatic, const Expr *&Root) {
+  switch (E->kind()) {
+  case ExprKind::FieldAccess: {
+    const auto *FA = cast<FieldAccessExpr>(E);
+    if (isa<TypeRefExpr>(FA->base())) {
+      SawStatic = true;
+      Root = FA->base();
+      ++Steps;
+      return;
+    }
+    ++Steps;
+    spineInfo(FA->base(), Steps, SawMethod, SawStatic, Root);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    ++Steps;
+    SawMethod = true;
+    if (!C->receiver()) {
+      SawStatic = true;
+      Root = E;
+      return;
+    }
+    spineInfo(C->receiver(), Steps, SawMethod, SawStatic, Root);
+    return;
+  }
+  default:
+    Root = E;
+    return;
+  }
+}
+
+ExprForm petal::classifyExprForm(const Expr *E) {
+  if (!isGuessableExpr(E))
+    return ExprForm::NotGuessable;
+  if (isa<VarExpr>(E))
+    return ExprForm::LocalVar;
+  if (isa<ThisExpr>(E))
+    return ExprForm::This;
+
+  int Steps = 0;
+  bool SawMethod = false, SawStatic = false;
+  const Expr *Root = nullptr;
+  spineInfo(E, Steps, SawMethod, SawStatic, Root);
+  if (SawStatic && Steps <= 1)
+    return ExprForm::Global;
+  if (Steps == 1 && !SawMethod)
+    return ExprForm::FieldLookup;
+  return ExprForm::DeepLookup;
+}

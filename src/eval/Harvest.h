@@ -1,0 +1,76 @@
+//===- eval/Harvest.h - Ground-truth site collection ------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's experiments "take existing codebases and run the tool after
+/// automatically replacing existing method calls, assignments, and
+/// comparisons with appropriate partial expressions" (§1). This module
+/// walks a Program and collects those ground-truth sites, plus the
+/// guessability classification of expressions (§5.2: expressions whose form
+/// the completer can synthesize — variables, this, field/property chains,
+/// zero-argument method chains — vs constants and computations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_EVAL_HARVEST_H
+#define PETAL_EVAL_HARVEST_H
+
+#include "code/Code.h"
+
+#include <vector>
+
+namespace petal {
+
+/// A harvested ground-truth method call.
+struct CallSiteInfo {
+  CodeSite Site;
+  const CallExpr *Call = nullptr;
+};
+
+/// A harvested ground-truth assignment.
+struct AssignSiteInfo {
+  CodeSite Site;
+  const AssignExpr *Assign = nullptr;
+};
+
+/// A harvested ground-truth comparison.
+struct CompareSiteInfo {
+  CodeSite Site;
+  const CompareExpr *Compare = nullptr;
+};
+
+/// Everything the experiments replay.
+struct HarvestResult {
+  std::vector<CallSiteInfo> Calls;
+  std::vector<AssignSiteInfo> Assigns;
+  std::vector<CompareSiteInfo> Compares;
+};
+
+/// Collects the top-level calls, assignments, and comparisons of every
+/// method body in \p P.
+HarvestResult harvestProgram(const Program &P);
+
+/// The expression-form classes of Fig. 14.
+enum class ExprForm {
+  LocalVar,     ///< a bare local/parameter
+  This,         ///< `this`
+  FieldLookup,  ///< one field/property lookup on a guessable base
+  DeepLookup,   ///< two or more lookups, or a zero-arg method chain
+  Global,       ///< static field or nullary static method access
+  NotGuessable, ///< literals, calls with arguments, anything else
+};
+
+/// Classifies \p E per Fig. 14.
+ExprForm classifyExprForm(const Expr *E);
+
+/// True if the completion engine could synthesize \p E for a hole: locals,
+/// this, globals, and field/nullary-method chains over them.
+bool isGuessableExpr(const Expr *E);
+
+} // namespace petal
+
+#endif // PETAL_EVAL_HARVEST_H

@@ -1,0 +1,43 @@
+//===- eval/Intellisense.cpp - The paper's Intellisense baseline ----------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Intellisense.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace petal;
+
+size_t petal::intellisenseRank(const TypeSystem &TS, const CallExpr *Call) {
+  const MethodInfo &Target = TS.method(Call->method());
+  bool WantStatic = Target.IsStatic;
+  TypeId ListType = WantStatic
+                        ? Target.Owner
+                        : (Call->receiver() && isValidId(Call->receiver()->type())
+                               ? Call->receiver()->type()
+                               : Target.Owner);
+
+  // Collect the member names Intellisense would show: methods and
+  // fields/properties of the receiver type, instance/static filtered.
+  // Overloads collapse into one list entry, as in the real UI.
+  std::vector<std::string> Names;
+  for (MethodId M : TS.visibleMethods(ListType))
+    if (TS.method(M).IsStatic == WantStatic)
+      Names.push_back(TS.method(M).Name);
+  for (FieldId F : TS.visibleFields(ListType))
+    if (TS.field(F).IsStatic == WantStatic)
+      Names.push_back(TS.field(F).Name);
+
+  std::sort(Names.begin(), Names.end());
+  Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+
+  auto It = std::lower_bound(Names.begin(), Names.end(), Target.Name);
+  if (It == Names.end() || *It != Target.Name)
+    return Names.size() + 1; // should not happen; rank past the end
+  return static_cast<size_t>(It - Names.begin()) + 1;
+}

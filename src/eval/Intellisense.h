@@ -1,0 +1,35 @@
+//===- eval/Intellisense.h - The paper's Intellisense baseline --*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper compares against a model of Visual Studio Intellisense (§5.1):
+/// "given the receiver (or receiver type for static calls)", it lists the
+/// receiver's members in alphabetic order — instance members for instance
+/// receivers, static members for static receivers — and the baseline rank
+/// is the alphabetic position of the intended method.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_EVAL_INTELLISENSE_H
+#define PETAL_EVAL_INTELLISENSE_H
+
+#include "code/Expr.h"
+#include "model/TypeSystem.h"
+
+#include <cstddef>
+
+namespace petal {
+
+/// The 1-based alphabetic rank of the callee of \p Call among the members
+/// (methods, fields, properties) Intellisense would list for its receiver.
+/// Instance calls list the receiver type's instance members; static calls
+/// list the owner type's static members.
+size_t intellisenseRank(const TypeSystem &TS, const CallExpr *Call);
+
+} // namespace petal
+
+#endif // PETAL_EVAL_INTELLISENSE_H

@@ -1,0 +1,28 @@
+//===- eval/Metrics.cpp - Rank distributions and CDF rows -----------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Metrics.h"
+
+#include "support/StrUtil.h"
+
+using namespace petal;
+
+static const size_t CdfPoints[] = {1, 2, 3, 5, 10, 20};
+
+std::vector<std::string> petal::cdfHeaderCells() {
+  std::vector<std::string> Cells;
+  for (size_t K : CdfPoints)
+    Cells.push_back("<=" + std::to_string(K));
+  return Cells;
+}
+
+std::vector<std::string> petal::cdfRowCells(const RankDistribution &D) {
+  std::vector<std::string> Cells;
+  for (size_t K : CdfPoints)
+    Cells.push_back(formatFixed(D.fracWithin(K), 3));
+  return Cells;
+}

@@ -1,0 +1,68 @@
+//===- eval/Metrics.h - Rank distributions and CDF rows ---------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rank bookkeeping shared by all experiments: each trial records the
+/// 1-based rank of the ground truth (0 = not found within the search
+/// limit), and the figures report "proportion with rank <= k" series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_EVAL_METRICS_H
+#define PETAL_EVAL_METRICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace petal {
+
+/// A collection of ranks (0 = not found).
+class RankDistribution {
+public:
+  void add(size_t Rank) { Ranks.push_back(Rank); }
+
+  size_t total() const { return Ranks.size(); }
+
+  /// Number of trials with 1 <= rank <= K.
+  size_t withinTop(size_t K) const {
+    size_t N = 0;
+    for (size_t R : Ranks)
+      if (R >= 1 && R <= K)
+        ++N;
+    return N;
+  }
+
+  /// Proportion of trials with rank <= K (0 when empty).
+  double fracWithin(size_t K) const {
+    return Ranks.empty()
+               ? 0.0
+               : static_cast<double>(withinTop(K)) /
+                     static_cast<double>(Ranks.size());
+  }
+
+  /// Merges another distribution into this one.
+  void merge(const RankDistribution &O) {
+    Ranks.insert(Ranks.end(), O.Ranks.begin(), O.Ranks.end());
+  }
+
+  const std::vector<size_t> &ranks() const { return Ranks; }
+
+private:
+  std::vector<size_t> Ranks;
+};
+
+/// Formats the standard CDF series used by the paper's figures:
+/// proportions at ranks 1, 2, 3, 5, 10, 20.
+std::vector<std::string> cdfRowCells(const RankDistribution &D);
+
+/// Header cells matching cdfRowCells.
+std::vector<std::string> cdfHeaderCells();
+
+} // namespace petal
+
+#endif // PETAL_EVAL_METRICS_H

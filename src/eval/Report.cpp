@@ -1,0 +1,73 @@
+//===- eval/Report.cpp - Machine-readable experiment exports --------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Report.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+
+using namespace petal;
+
+static std::string escapeCell(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += "\"\"";
+    else
+      Out.push_back(C);
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+CsvReport::CsvReport(std::vector<std::string> Columns)
+    : NumColumns(Columns.size()) {
+  addRow(Columns);
+}
+
+void CsvReport::addRow(const std::vector<std::string> &Cells) {
+  assert(Cells.size() == NumColumns && "CSV row width mismatch");
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    if (I)
+      Text.push_back(',');
+    Text += escapeCell(Cells[I]);
+  }
+  Text.push_back('\n');
+}
+
+void CsvReport::addCdfRow(const std::string &Label,
+                          const RankDistribution &D) {
+  std::vector<std::string> Row = {Label};
+  for (const std::string &C : cdfRowCells(D))
+    Row.push_back(C);
+  Row.push_back(std::to_string(D.total()));
+  addRow(Row);
+}
+
+std::vector<std::string> CsvReport::cdfColumns() {
+  std::vector<std::string> Cols = {"series"};
+  for (const std::string &C : cdfHeaderCells())
+    Cols.push_back(C);
+  Cols.push_back("n");
+  return Cols;
+}
+
+bool CsvReport::writeIfRequested(const std::string &Name) const {
+  const char *Dir = std::getenv("PETAL_CSV_DIR");
+  if (!Dir || !*Dir)
+    return false;
+  std::ofstream Out(std::string(Dir) + "/" + Name + ".csv");
+  if (!Out)
+    return false;
+  Out << Text;
+  return true;
+}

@@ -1,0 +1,57 @@
+//===- eval/Report.h - Machine-readable experiment exports ------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSV emitters for the experiment data, so the paper's figures can be
+/// re-plotted from bench output. The bench binaries write these files when
+/// the PETAL_CSV_DIR environment variable is set; the text tables on
+/// stdout remain the primary human-readable output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_EVAL_REPORT_H
+#define PETAL_EVAL_REPORT_H
+
+#include "eval/Metrics.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace petal {
+
+/// Builds CSV text and optionally writes it under PETAL_CSV_DIR.
+class CsvReport {
+public:
+  /// Starts a report with the given column names.
+  explicit CsvReport(std::vector<std::string> Columns);
+
+  /// Appends a data row (quoted/escaped as needed).
+  void addRow(const std::vector<std::string> &Cells);
+
+  /// A row of a rank CDF: label, then the fraction within each cutoff of
+  /// cdfHeaderCells(), then the trial count.
+  void addCdfRow(const std::string &Label, const RankDistribution &D);
+
+  /// The accumulated CSV text.
+  const std::string &text() const { return Text; }
+
+  /// Writes to `<PETAL_CSV_DIR>/<Name>.csv` if the env var is set. Returns
+  /// true if a file was written; false (silently) otherwise.
+  bool writeIfRequested(const std::string &Name) const;
+
+  /// Header columns for a CDF report ("series", the cutoffs, "n").
+  static std::vector<std::string> cdfColumns();
+
+private:
+  std::string Text;
+  size_t NumColumns;
+};
+
+} // namespace petal
+
+#endif // PETAL_EVAL_REPORT_H

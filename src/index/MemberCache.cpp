@@ -1,0 +1,48 @@
+//===- index/MemberCache.cpp - Cached lookup edges per type ---------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/MemberCache.h"
+
+using namespace petal;
+
+const std::vector<LookupEdge> &MemberCache::edges(TypeId T) const {
+  if (Cache.size() < TS.numTypes()) {
+    Cache.resize(TS.numTypes());
+    FieldCounts.resize(TS.numTypes(), 0);
+    Valid.resize(TS.numTypes(), false);
+  }
+  if (Valid[T])
+    return Cache[T];
+
+  std::vector<LookupEdge> Edges;
+  for (FieldId F : TS.visibleFields(T)) {
+    const FieldInfo &FI = TS.field(F);
+    if (FI.IsStatic)
+      continue;
+    LookupEdge E;
+    E.IsField = true;
+    E.Field = F;
+    E.ResultType = FI.Type;
+    Edges.push_back(E);
+  }
+  FieldCounts[T] = Edges.size();
+
+  for (MethodId M : TS.visibleMethods(T)) {
+    const MethodInfo &MI = TS.method(M);
+    if (MI.IsStatic || !MI.Params.empty() || MI.ReturnType == TS.voidType())
+      continue;
+    LookupEdge E;
+    E.IsField = false;
+    E.Method = M;
+    E.ResultType = MI.ReturnType;
+    Edges.push_back(E);
+  }
+
+  Cache[T] = std::move(Edges);
+  Valid[T] = true;
+  return Cache[T];
+}

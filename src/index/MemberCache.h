@@ -1,0 +1,59 @@
+//===- index/MemberCache.h - Cached lookup edges per type -------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// For each type, the lookup steps a `.?f` / `.?m` suffix may take from a
+/// value of that type: instance fields/properties (including inherited) and,
+/// for the `m` forms, zero-argument non-void instance methods. Cached per
+/// type; shared by the completion engine's star expansion and the
+/// reachability index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_INDEX_MEMBERCACHE_H
+#define PETAL_INDEX_MEMBERCACHE_H
+
+#include "model/TypeSystem.h"
+
+#include <vector>
+
+namespace petal {
+
+/// One possible lookup step from a value: `.field` or `.method()`.
+struct LookupEdge {
+  bool IsField = true;
+  FieldId Field = InvalidId;
+  MethodId Method = InvalidId;
+  TypeId ResultType = InvalidId;
+};
+
+/// Lazily caches the lookup edges of every type. Field edges always precede
+/// method edges, so `.?f` consumers can stop at the first method edge.
+class MemberCache {
+public:
+  explicit MemberCache(const TypeSystem &TS) : TS(TS) {}
+
+  /// All edges from a value of type \p T (fields first, then zero-arg
+  /// methods), in deterministic declaration order.
+  const std::vector<LookupEdge> &edges(TypeId T) const;
+
+  /// Number of leading field edges of edges(T).
+  size_t numFieldEdges(TypeId T) const {
+    edges(T);
+    return FieldCounts[T];
+  }
+
+private:
+  const TypeSystem &TS;
+  mutable std::vector<std::vector<LookupEdge>> Cache;
+  mutable std::vector<size_t> FieldCounts;
+  mutable std::vector<bool> Valid;
+};
+
+} // namespace petal
+
+#endif // PETAL_INDEX_MEMBERCACHE_H

@@ -1,0 +1,71 @@
+//===- index/MethodIndex.cpp - Param-type-keyed method index --------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/MethodIndex.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace petal;
+
+MethodIndex::MethodIndex(const TypeSystem &TS) : TS(TS) {
+  Buckets.resize(TS.numTypes());
+  All.reserve(TS.numMethods());
+  for (size_t M = 0; M != TS.numMethods(); ++M) {
+    MethodId Id = static_cast<MethodId>(M);
+    All.push_back(Id);
+    // Insert the method once per *distinct* parameter type.
+    std::unordered_set<TypeId> Seen;
+    size_t N = TS.numCallParams(Id);
+    for (size_t I = 0; I != N; ++I) {
+      TypeId T = TS.callParamType(Id, I);
+      if (Seen.insert(T).second)
+        Buckets[T].push_back(Id);
+    }
+  }
+  UnionCache.resize(TS.numTypes());
+  UnionCacheValid.assign(TS.numTypes(), false);
+}
+
+const std::vector<MethodId> &MethodIndex::exactBucket(TypeId T) const {
+  if (T < 0 || static_cast<size_t>(T) >= Buckets.size())
+    return Empty;
+  return Buckets[T];
+}
+
+const std::vector<MethodId> &
+MethodIndex::candidatesForArgType(TypeId T) const {
+  if (T < 0 || static_cast<size_t>(T) >= Buckets.size())
+    return Empty;
+  if (UnionCacheValid[T])
+    return UnionCache[T];
+
+  // Walk T and all transitive supertypes (BFS), merging their exact
+  // buckets. The BFS order makes results from closer types (lower type
+  // distance) appear first, which matches the paper's observation that
+  // "each method index visited gives progressively worse ranked results".
+  std::vector<MethodId> Result;
+  std::unordered_set<TypeId> Visited;
+  std::unordered_set<MethodId> SeenMethods;
+  std::deque<TypeId> Work;
+  Work.push_back(T);
+  Visited.insert(T);
+  while (!Work.empty()) {
+    TypeId Cur = Work.front();
+    Work.pop_front();
+    for (MethodId M : Buckets[Cur])
+      if (SeenMethods.insert(M).second)
+        Result.push_back(M);
+    for (TypeId S : TS.immediateSupertypes(Cur))
+      if (Visited.insert(S).second)
+        Work.push_back(S);
+  }
+  UnionCache[T] = std::move(Result);
+  UnionCacheValid[T] = true;
+  return UnionCache[T];
+}

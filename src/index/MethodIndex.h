@@ -1,0 +1,61 @@
+//===- index/MethodIndex.h - Param-type-keyed method index ------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's method index (§4.2, Fig. 8): a map from every type to the set
+/// of methods with at least one call-signature parameter (receiver included)
+/// of *exactly* that type, organized so that looking up a type also walks
+/// the indexes of its supertypes. Given `?({e1, e2})`, the engine looks up
+/// each argument type and scans only the smallest candidate set, which is
+/// "almost always orders of magnitude smaller than the set of all methods".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_INDEX_METHODINDEX_H
+#define PETAL_INDEX_METHODINDEX_H
+
+#include "model/TypeSystem.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace petal {
+
+/// Immutable method index built over a finished TypeSystem.
+class MethodIndex {
+public:
+  explicit MethodIndex(const TypeSystem &TS);
+
+  /// Methods with a call-signature parameter of exactly type \p T.
+  const std::vector<MethodId> &exactBucket(TypeId T) const;
+
+  /// Methods usable with an argument of type \p T in some position: the
+  /// union of the exact buckets of \p T and all its transitive supertypes
+  /// (deduplicated, deterministic order). Memoized per type.
+  const std::vector<MethodId> &candidatesForArgType(TypeId T) const;
+
+  /// Size of candidatesForArgType(T) without forcing full materialization
+  /// cost twice (it memoizes anyway; provided for readability).
+  size_t candidateCount(TypeId T) const {
+    return candidatesForArgType(T).size();
+  }
+
+  /// All methods, for brute-force comparison baselines.
+  const std::vector<MethodId> &allMethods() const { return All; }
+
+private:
+  const TypeSystem &TS;
+  std::vector<std::vector<MethodId>> Buckets; // per TypeId
+  mutable std::vector<std::vector<MethodId>> UnionCache;
+  mutable std::vector<bool> UnionCacheValid;
+  std::vector<MethodId> All;
+  std::vector<MethodId> Empty;
+};
+
+} // namespace petal
+
+#endif // PETAL_INDEX_METHODINDEX_H

@@ -1,0 +1,72 @@
+//===- index/ReachabilityIndex.cpp - Type reachability via lookups --------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/ReachabilityIndex.h"
+
+#include <deque>
+
+using namespace petal;
+
+const std::unordered_map<TypeId, int> &
+ReachabilityIndex::reachableFrom(TypeId From, bool MethodsAllowed) const {
+  auto &CacheMap = Cache[MethodsAllowed ? 1 : 0];
+  auto It = CacheMap.find(From);
+  if (It != CacheMap.end())
+    return It->second;
+
+  std::unordered_map<TypeId, int> Dist;
+  std::deque<TypeId> Work;
+  Dist[From] = 0;
+  Work.push_back(From);
+  while (!Work.empty()) {
+    TypeId Cur = Work.front();
+    Work.pop_front();
+    int D = Dist[Cur];
+    if (D >= MaxDepth)
+      continue;
+    const auto &Edges = Members.edges(Cur);
+    size_t Limit = MethodsAllowed ? Edges.size() : Members.numFieldEdges(Cur);
+    for (size_t I = 0; I != Limit; ++I) {
+      TypeId Next = Edges[I].ResultType;
+      if (Dist.count(Next))
+        continue;
+      Dist[Next] = D + 1;
+      Work.push_back(Next);
+    }
+  }
+  return CacheMap.emplace(From, std::move(Dist)).first->second;
+}
+
+std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
+                                                 bool MethodsAllowed) const {
+  const auto &Dist = reachableFrom(From, MethodsAllowed);
+  auto It = Dist.find(To);
+  if (It == Dist.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<int>
+ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
+                                           bool MethodsAllowed) const {
+  auto &CacheMap = ConvCache[MethodsAllowed ? 1 : 0];
+  uint64_t Key = (static_cast<uint64_t>(static_cast<uint32_t>(From)) << 32) |
+                 static_cast<uint32_t>(Target);
+  auto CIt = CacheMap.find(Key);
+  if (CIt != CacheMap.end())
+    return CIt->second;
+
+  std::optional<int> Best;
+  for (const auto &[Ty, D] : reachableFrom(From, MethodsAllowed)) {
+    if (!TS.implicitlyConvertible(Ty, Target))
+      continue;
+    if (!Best || D < *Best)
+      Best = D;
+  }
+  CacheMap.emplace(Key, Best);
+  return Best;
+}

@@ -1,0 +1,335 @@
+//===- infer/AbstractTypes.cpp - Usage-based abstract type inference ------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/AbstractTypes.h"
+
+#include <cassert>
+
+using namespace petal;
+
+bool AbsTypeSolution::sameAbstractType(uint32_t A, uint32_t B) const {
+  if (A == AbstractTypeInference::NoVar || B == AbstractTypeInference::NoVar)
+    return false;
+  if (A >= UF.size() || B >= UF.size())
+    return false;
+  return UF.connected(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+AbstractTypeInference::AbstractTypeInference(const Program &P)
+    : P(P), TS(P.typeSystem()) {
+  computeBaseDecls();
+  allocateDeclaredSlots();
+  for (const auto &C : P.classes())
+    for (const auto &M : C->methods())
+      harvestMethod(*M);
+}
+
+/// True if \p Derived overrides \p Base (same name, parameter types, and
+/// staticness; static methods never override but hiding shares no slots, so
+/// require instance).
+static bool overrides(const TypeSystem &TS, const MethodInfo &Derived,
+                      const MethodInfo &Base) {
+  if (Derived.IsStatic || Base.IsStatic)
+    return false;
+  if (Derived.Name != Base.Name ||
+      Derived.Params.size() != Base.Params.size())
+    return false;
+  for (size_t I = 0; I != Derived.Params.size(); ++I)
+    if (Derived.Params[I].Type != Base.Params[I].Type)
+      return false;
+  (void)TS;
+  return true;
+}
+
+void AbstractTypeInference::computeBaseDecls() {
+  BaseDecl.resize(TS.numMethods());
+  for (size_t M = 0; M != TS.numMethods(); ++M) {
+    MethodId Id = static_cast<MethodId>(M);
+    const MethodInfo &MI = TS.method(Id);
+    MethodId Top = Id;
+    // Walk the base-class chain upward; the highest matching declaration
+    // wins, so overriding methods share its variables.
+    TypeId Cur = TS.type(MI.Owner).BaseClass;
+    while (isValidId(Cur)) {
+      for (MethodId BM : TS.type(Cur).Methods)
+        if (overrides(TS, MI, TS.method(BM)))
+          Top = BM;
+      Cur = TS.type(Cur).BaseClass;
+    }
+    BaseDecl[M] = Top;
+  }
+}
+
+void AbstractTypeInference::allocateDeclaredSlots() {
+  DeclSlots.resize(TS.numMethods());
+  HasDeclSlots.assign(TS.numMethods(), false);
+  for (size_t M = 0; M != TS.numMethods(); ++M) {
+    MethodId Id = static_cast<MethodId>(M);
+    if (BaseDecl[Id] != Id)
+      continue; // shares the base declaration's slots
+    const MethodInfo &MI = TS.method(Id);
+    if (MI.Owner == TS.objectType())
+      continue; // per-receiver-type slots, allocated lazily
+    MethodSlots &S = DeclSlots[Id];
+    if (!MI.IsStatic)
+      S.Receiver = freshVar();
+    S.Params.resize(MI.Params.size());
+    for (uint32_t &V : S.Params)
+      V = freshVar();
+    S.Return = freshVar();
+    HasDeclSlots[Id] = true;
+  }
+
+  FieldVars.resize(TS.numFields());
+  for (uint32_t &V : FieldVars)
+    V = freshVar();
+}
+
+const AbstractTypeInference::MethodSlots *
+AbstractTypeInference::slotsFor(MethodId M, TypeId ReceiverTy) const {
+  MethodId Base = BaseDecl[M];
+  const MethodInfo &MI = TS.method(Base);
+  if (MI.Owner == TS.objectType()) {
+    if (!isValidId(ReceiverTy))
+      return nullptr;
+    uint64_t Key = (static_cast<uint64_t>(Base) << 32) |
+                   static_cast<uint32_t>(ReceiverTy);
+    auto It = ObjectMethodSlots.find(Key);
+    return It == ObjectMethodSlots.end() ? nullptr : &It->second;
+  }
+  return HasDeclSlots[Base] ? &DeclSlots[Base] : nullptr;
+}
+
+AbstractTypeInference::MethodSlots &
+AbstractTypeInference::materializeSlots(MethodId M, TypeId ReceiverTy) {
+  MethodId Base = BaseDecl[M];
+  const MethodInfo &MI = TS.method(Base);
+  assert(MI.Owner == TS.objectType() &&
+         "materializeSlots is only for Object-declared methods");
+  uint64_t Key = (static_cast<uint64_t>(Base) << 32) |
+                 static_cast<uint32_t>(ReceiverTy);
+  auto It = ObjectMethodSlots.find(Key);
+  if (It != ObjectMethodSlots.end())
+    return It->second;
+  MethodSlots S;
+  if (!MI.IsStatic)
+    S.Receiver = freshVar();
+  S.Params.resize(MI.Params.size());
+  for (uint32_t &V : S.Params)
+    V = freshVar();
+  S.Return = freshVar();
+  return ObjectMethodSlots.emplace(Key, std::move(S)).first->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint harvesting
+//===----------------------------------------------------------------------===//
+
+void AbstractTypeInference::addConstraint(uint32_t A, uint32_t B,
+                                          const CodeMethod *Origin,
+                                          uint32_t StmtIndex) {
+  if (A == NoVar || B == NoVar || A == B)
+    return;
+  Constraints.push_back({A, B, Origin, StmtIndex});
+}
+
+void AbstractTypeInference::harvestMethod(const CodeMethod &CM) {
+  // One variable per local (parameters included). Parameters additionally
+  // unify with the declaration's parameter slots so that call sites and the
+  // body see the same abstract types.
+  std::vector<uint32_t> &Vars = LocalVars[&CM];
+  Vars.resize(CM.locals().size());
+  for (uint32_t &V : Vars)
+    V = freshVar();
+
+  const MethodInfo &MI = TS.method(CM.decl());
+  const MethodSlots *S = slotsFor(CM.decl(), MI.Owner);
+  if (!S && TS.method(BaseDecl[CM.decl()]).Owner == TS.objectType())
+    S = &materializeSlots(CM.decl(), MI.Owner);
+  if (S) {
+    size_t ParamIdx = 0;
+    for (size_t L = 0; L != CM.locals().size(); ++L) {
+      if (!CM.locals()[L].IsParam)
+        continue;
+      if (ParamIdx < S->Params.size())
+        addConstraint(Vars[L], S->Params[ParamIdx], &CM, 0);
+      ++ParamIdx;
+    }
+  }
+
+  for (size_t SI = 0; SI != CM.body().size(); ++SI) {
+    const Stmt &St = CM.body()[SI];
+    uint32_t Idx = static_cast<uint32_t>(SI);
+    switch (St.Kind) {
+    case StmtKind::LocalDecl: {
+      uint32_t Init = harvestExpr(St.Value, CM, Idx);
+      addConstraint(Vars[St.LocalSlot], Init, &CM, Idx);
+      break;
+    }
+    case StmtKind::ExprStmt:
+      harvestExpr(St.Value, CM, Idx);
+      break;
+    case StmtKind::Return: {
+      if (!St.Value)
+        break;
+      uint32_t V = harvestExpr(St.Value, CM, Idx);
+      const MethodSlots *Slots = slotsFor(CM.decl(), MI.Owner);
+      if (Slots)
+        addConstraint(Slots->Return, V, &CM, Idx);
+      break;
+    }
+    }
+  }
+}
+
+uint32_t AbstractTypeInference::harvestExpr(const Expr *E,
+                                            const CodeMethod &CM,
+                                            uint32_t StmtIndex) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+    return LocalVars.find(&CM)->second[cast<VarExpr>(E)->slot()];
+
+  case ExprKind::This: {
+    const MethodSlots *S = slotsFor(CM.decl(), TS.method(CM.decl()).Owner);
+    return S ? S->Receiver : NoVar;
+  }
+
+  case ExprKind::TypeRef:
+    return NoVar;
+
+  case ExprKind::FieldAccess: {
+    const auto *FA = cast<FieldAccessExpr>(E);
+    harvestExpr(FA->base(), CM, StmtIndex);
+    return FieldVars[FA->field()];
+  }
+
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    MethodId Callee = C->method();
+    TypeId RecvTy = C->receiver() && isValidId(C->receiver()->type())
+                        ? C->receiver()->type()
+                        : TS.method(Callee).Owner;
+    // Materialize Object-method specializations on first use.
+    const MethodSlots *S;
+    if (TS.method(BaseDecl[Callee]).Owner == TS.objectType())
+      S = &materializeSlots(Callee, RecvTy);
+    else
+      S = slotsFor(Callee, RecvTy);
+
+    if (C->receiver()) {
+      uint32_t RV = harvestExpr(C->receiver(), CM, StmtIndex);
+      if (S)
+        addConstraint(S->Receiver, RV, &CM, StmtIndex);
+    }
+    for (size_t I = 0; I != C->args().size(); ++I) {
+      uint32_t AV = harvestExpr(C->args()[I], CM, StmtIndex);
+      if (S && I < S->Params.size())
+        addConstraint(S->Params[I], AV, &CM, StmtIndex);
+    }
+    return S ? S->Return : NoVar;
+  }
+
+  case ExprKind::Literal:
+  case ExprKind::DontCare:
+    return NoVar;
+
+  case ExprKind::Compare: {
+    const auto *C = cast<CompareExpr>(E);
+    harvestExpr(C->lhs(), CM, StmtIndex);
+    harvestExpr(C->rhs(), CM, StmtIndex);
+    // The paper adds constraints for assignments and call arguments only;
+    // comparisons contribute none.
+    return NoVar;
+  }
+
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    uint32_t L = harvestExpr(A->lhs(), CM, StmtIndex);
+    uint32_t R = harvestExpr(A->rhs(), CM, StmtIndex);
+    addConstraint(L, R, &CM, StmtIndex);
+    return L;
+  }
+  }
+  return NoVar;
+}
+
+//===----------------------------------------------------------------------===//
+// Solving and lookup
+//===----------------------------------------------------------------------===//
+
+AbsTypeSolution AbstractTypeInference::solve() const {
+  UnionFind UF(NumVars);
+  for (const Constraint &C : Constraints)
+    UF.unite(C.A, C.B);
+  return AbsTypeSolution(std::move(UF));
+}
+
+AbsTypeSolution AbstractTypeInference::solveExcluding(const CodeMethod *M,
+                                                      size_t FromStmt) const {
+  UnionFind UF(NumVars);
+  for (const Constraint &C : Constraints) {
+    if (C.Origin == M && C.StmtIndex >= FromStmt)
+      continue;
+    UF.unite(C.A, C.B);
+  }
+  return AbsTypeSolution(std::move(UF));
+}
+
+uint32_t AbstractTypeInference::varOfExpr(const Expr *E,
+                                          const CodeMethod *Ctx) const {
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    auto It = LocalVars.find(Ctx);
+    if (It == LocalVars.end())
+      return NoVar;
+    unsigned Slot = cast<VarExpr>(E)->slot();
+    return Slot < It->second.size() ? It->second[Slot] : NoVar;
+  }
+  case ExprKind::This: {
+    if (!Ctx)
+      return NoVar;
+    const MethodSlots *S =
+        slotsFor(Ctx->decl(), TS.method(Ctx->decl()).Owner);
+    return S ? S->Receiver : NoVar;
+  }
+  case ExprKind::FieldAccess:
+    return FieldVars[cast<FieldAccessExpr>(E)->field()];
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    TypeId RecvTy = C->receiver() && isValidId(C->receiver()->type())
+                        ? C->receiver()->type()
+                        : TS.method(C->method()).Owner;
+    return varOfReturn(C->method(), RecvTy);
+  }
+  default:
+    return NoVar;
+  }
+}
+
+uint32_t AbstractTypeInference::varOfCallParam(MethodId M, size_t CallParamIdx,
+                                               TypeId ReceiverTy) const {
+  const MethodSlots *S = slotsFor(M, ReceiverTy);
+  if (!S)
+    return NoVar;
+  const MethodInfo &MI = TS.method(M);
+  if (!MI.IsStatic) {
+    if (CallParamIdx == 0)
+      return S->Receiver;
+    --CallParamIdx;
+  }
+  return CallParamIdx < S->Params.size() ? S->Params[CallParamIdx] : NoVar;
+}
+
+uint32_t AbstractTypeInference::varOfReturn(MethodId M,
+                                            TypeId ReceiverTy) const {
+  const MethodSlots *S = slotsFor(M, ReceiverTy);
+  return S ? S->Return : NoVar;
+}

@@ -1,0 +1,151 @@
+//===- infer/AbstractTypes.h - Usage-based abstract type inference -*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's abstract type inference (§4.1), in the style of Lackwit
+/// [O'Callahan & Jackson, ICSE'97]: an abstract-type variable is assigned to
+/// every local variable, formal parameter, formal return type, and field;
+/// an equality constraint is added whenever a value is assigned or used as a
+/// method-call argument. All constraints are equalities on atoms, so the
+/// solution is a union-find.
+///
+/// Special cases from the paper:
+///  * methods defined on Object (ToString, GetHashCode, ...) are treated as
+///    distinct methods for every receiver type, so calling ToString does not
+///    merge everything;
+///  * overriding methods share their parameter/return variables with the
+///    base-most declaration.
+///
+/// The evaluation harness re-runs inference for each query site, excluding
+/// the query statement and everything after it in the enclosing method (the
+/// expression "does not exist yet"); constraints therefore carry their
+/// origin, and solving takes an exclusion filter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_INFER_ABSTRACTTYPES_H
+#define PETAL_INFER_ABSTRACTTYPES_H
+
+#include "code/Code.h"
+#include "model/TypeSystem.h"
+#include "support/UnionFind.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace petal {
+
+/// A solved abstract-type assignment: a partition of the abstract-type
+/// variables into usage classes.
+class AbsTypeSolution {
+public:
+  AbsTypeSolution() = default;
+  explicit AbsTypeSolution(UnionFind UF) : UF(std::move(UF)) {}
+
+  /// True if both variables exist and were unified. Per the paper's note on
+  /// Fig. 7, two "undefined" abstract types are NOT considered equal, so any
+  /// missing variable compares unequal.
+  bool sameAbstractType(uint32_t A, uint32_t B) const;
+
+  size_t numClasses() const { return UF.numSets(); }
+
+private:
+  UnionFind UF;
+};
+
+/// Builds abstract-type variables and equality constraints for a whole
+/// program, and solves them (optionally excluding a suffix of one method).
+class AbstractTypeInference {
+public:
+  /// Sentinel for "no abstract-type variable" (literals, don't-cares,
+  /// unseen Object-method specializations).
+  static constexpr uint32_t NoVar = 0xFFFFFFFFu;
+
+  /// Harvests variables and constraints from \p P. The program must outlive
+  /// this object.
+  explicit AbstractTypeInference(const Program &P);
+
+  /// Solves with every constraint included.
+  AbsTypeSolution solve() const;
+
+  /// Solves excluding constraints originating from statements
+  /// [FromStmt, end) of \p M — the evaluation's "the query expression and
+  /// everything after it do not exist yet" rule (§5).
+  AbsTypeSolution solveExcluding(const CodeMethod *M, size_t FromStmt) const;
+
+  /// The abstract-type variable of expression \p E occurring in method
+  /// \p Ctx; NoVar when the expression has none (literals, comparisons,
+  /// don't-cares).
+  uint32_t varOfExpr(const Expr *E, const CodeMethod *Ctx) const;
+
+  /// The variable of call-signature parameter \p CallParamIdx of \p M
+  /// (index 0 of an instance method is the receiver). \p ReceiverTy selects
+  /// the per-type specialization for methods declared on Object; pass the
+  /// static receiver type (or InvalidId when unknown).
+  uint32_t varOfCallParam(MethodId M, size_t CallParamIdx,
+                          TypeId ReceiverTy) const;
+
+  /// The variable of the return value of \p M (same Object-method rule).
+  uint32_t varOfReturn(MethodId M, TypeId ReceiverTy) const;
+
+  size_t numVars() const { return NumVars; }
+  size_t numConstraints() const { return Constraints.size(); }
+
+  /// The base-most declaration that \p M overrides (or \p M itself).
+  MethodId baseDeclaration(MethodId M) const { return BaseDecl[M]; }
+
+private:
+  struct MethodSlots {
+    uint32_t Receiver = NoVar;
+    std::vector<uint32_t> Params;
+    uint32_t Return = NoVar;
+  };
+
+  struct Constraint {
+    uint32_t A;
+    uint32_t B;
+    const CodeMethod *Origin;
+    uint32_t StmtIndex;
+  };
+
+  uint32_t freshVar() { return NumVars++; }
+
+  /// Slots of \p M resolved through BaseDecl, with the Object-method
+  /// specialization applied for \p ReceiverTy. Null if no slots exist (e.g.
+  /// an Object-method specialization never materialized).
+  const MethodSlots *slotsFor(MethodId M, TypeId ReceiverTy) const;
+  MethodSlots &materializeSlots(MethodId M, TypeId ReceiverTy);
+
+  void computeBaseDecls();
+  void allocateDeclaredSlots();
+  void harvestMethod(const CodeMethod &CM);
+  void addConstraint(uint32_t A, uint32_t B, const CodeMethod *Origin,
+                     uint32_t StmtIndex);
+
+  /// Walks \p E, emits constraints for calls/assignments inside it, and
+  /// returns its variable (NoVar if none).
+  uint32_t harvestExpr(const Expr *E, const CodeMethod &CM,
+                       uint32_t StmtIndex);
+
+  const Program &P;
+  const TypeSystem &TS;
+  uint32_t NumVars = 0;
+
+  std::vector<MethodId> BaseDecl;            // per MethodId
+  std::vector<MethodSlots> DeclSlots;        // per MethodId (base decls only)
+  std::vector<bool> HasDeclSlots;            // per MethodId
+  std::vector<uint32_t> FieldVars;           // per FieldId
+  std::unordered_map<const CodeMethod *, std::vector<uint32_t>> LocalVars;
+  /// Object-declared methods: (base decl, receiver type) -> slots.
+  std::unordered_map<uint64_t, MethodSlots> ObjectMethodSlots;
+  std::vector<Constraint> Constraints;
+};
+
+} // namespace petal
+
+#endif // PETAL_INFER_ABSTRACTTYPES_H

@@ -1,0 +1,35 @@
+//===- model/Ids.h - Dense entity identifiers -------------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer ids for framework entities. All of petal's indexes and the
+/// abstract-type-inference tables key on these instead of pointers so that
+/// iteration order (and therefore every experiment) is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_MODEL_IDS_H
+#define PETAL_MODEL_IDS_H
+
+#include <cstdint>
+
+namespace petal {
+
+using TypeId = int32_t;
+using MethodId = int32_t;
+using FieldId = int32_t;
+using NamespaceId = int32_t;
+
+/// Sentinel for "no entity".
+inline constexpr int32_t InvalidId = -1;
+
+/// True if \p Id refers to an actual entity.
+inline bool isValidId(int32_t Id) { return Id >= 0; }
+
+} // namespace petal
+
+#endif // PETAL_MODEL_IDS_H

@@ -1,0 +1,358 @@
+//===- model/TypeSystem.cpp - Framework metadata model --------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/TypeSystem.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace petal;
+
+TypeSystem::TypeSystem() {
+  // Root namespace.
+  Namespaces.push_back(NamespaceInfo{});
+  NamespaceByName[""] = 0;
+
+  auto AddBuiltin = [this](const char *Name, TypeKind Kind) {
+    TypeId Id = static_cast<TypeId>(Types.size());
+    TypeInfo TI;
+    TI.Name = Name;
+    TI.Namespace = 0;
+    TI.Kind = Kind;
+    Types.push_back(std::move(TI));
+    TypeByName[Name] = Id;
+    return Id;
+  };
+
+  ObjectTy = AddBuiltin("object", TypeKind::Class);
+  VoidTy = AddBuiltin("void", TypeKind::Void);
+  ByteTy = AddBuiltin("byte", TypeKind::Primitive);
+  ShortTy = AddBuiltin("short", TypeKind::Primitive);
+  IntTy = AddBuiltin("int", TypeKind::Primitive);
+  LongTy = AddBuiltin("long", TypeKind::Primitive);
+  FloatTy = AddBuiltin("float", TypeKind::Primitive);
+  DoubleTy = AddBuiltin("double", TypeKind::Primitive);
+  CharTy = AddBuiltin("char", TypeKind::Primitive);
+  BoolTy = AddBuiltin("bool", TypeKind::Primitive);
+  StringTy = AddBuiltin("string", TypeKind::Class);
+  NullTy = AddBuiltin("<null>", TypeKind::Class);
+
+  // Widening chain: byte -> short -> int -> long -> float -> double; the
+  // chain end's supertype is Object (boxing). char widens to int.
+  Types[ByteTy].WideningTarget = ShortTy;
+  Types[ShortTy].WideningTarget = IntTy;
+  Types[IntTy].WideningTarget = LongTy;
+  Types[LongTy].WideningTarget = FloatTy;
+  Types[FloatTy].WideningTarget = DoubleTy;
+  Types[CharTy].WideningTarget = IntTy;
+
+  for (TypeId T : {ByteTy, ShortTy, IntTy, LongTy, FloatTy, DoubleTy, CharTy})
+    Types[T].IsComparable = true;
+  // string: reference type with base Object, not comparable with < in C#.
+  Types[StringTy].BaseClass = ObjectTy;
+}
+
+NamespaceId TypeSystem::getOrAddNamespace(const std::string &FullName) {
+  auto It = NamespaceByName.find(FullName);
+  if (It != NamespaceByName.end())
+    return It->second;
+
+  NamespaceInfo NI;
+  NI.FullName = FullName;
+  NI.Segments = splitString(FullName, '.');
+  // Create the parent chain first.
+  if (NI.Segments.size() > 1) {
+    std::vector<std::string> ParentSegs(NI.Segments.begin(),
+                                        NI.Segments.end() - 1);
+    NI.Parent = getOrAddNamespace(joinStrings(ParentSegs, '.'));
+  } else {
+    NI.Parent = 0;
+  }
+  NamespaceId Id = static_cast<NamespaceId>(Namespaces.size());
+  Namespaces.push_back(std::move(NI));
+  NamespaceByName[FullName] = Id;
+  return Id;
+}
+
+TypeId TypeSystem::addType(const std::string &Name, NamespaceId Ns,
+                           TypeKind Kind, TypeId Base) {
+  TypeInfo TI;
+  TI.Name = Name;
+  TI.Namespace = Ns;
+  TI.Kind = Kind;
+  if (Kind == TypeKind::Class || Kind == TypeKind::Struct ||
+      Kind == TypeKind::Enum)
+    TI.BaseClass = isValidId(Base) ? Base : ObjectTy;
+  else
+    TI.BaseClass = Base;
+  if (Kind == TypeKind::Enum)
+    TI.IsComparable = true;
+
+  TypeId Id = static_cast<TypeId>(Types.size());
+  std::string Qual = Namespaces[Ns].FullName.empty()
+                         ? Name
+                         : Namespaces[Ns].FullName + "." + Name;
+  assert(!TypeByName.count(Qual) && "duplicate type name");
+  Types.push_back(std::move(TI));
+  TypeByName[Qual] = Id;
+  return Id;
+}
+
+FieldId TypeSystem::addField(TypeId Owner, const std::string &Name,
+                             TypeId Type, bool IsStatic, bool IsProperty) {
+  assert(isValidId(Owner) && isValidId(Type) && "invalid field signature");
+  FieldId Id = static_cast<FieldId>(Fields.size());
+  Fields.push_back({Name, Owner, Type, IsStatic, IsProperty});
+  Types[Owner].Fields.push_back(Id);
+  return Id;
+}
+
+MethodId TypeSystem::addMethod(TypeId Owner, const std::string &Name,
+                               TypeId ReturnType, std::vector<ParamInfo> Params,
+                               bool IsStatic) {
+  assert(isValidId(Owner) && isValidId(ReturnType) &&
+         "invalid method signature");
+  MethodId Id = static_cast<MethodId>(Methods.size());
+  Methods.push_back({Name, Owner, ReturnType, std::move(Params), IsStatic});
+  Types[Owner].Methods.push_back(Id);
+  return Id;
+}
+
+void TypeSystem::setComparable(TypeId T, bool Value) {
+  Types[T].IsComparable = Value;
+}
+
+void TypeSystem::setBaseClass(TypeId T, TypeId Base) {
+  assert((Types[Base].Kind == TypeKind::Class) &&
+         "base class must be a class");
+  Types[T].BaseClass = Base;
+}
+
+void TypeSystem::addInterface(TypeId T, TypeId Iface) {
+  assert(Types[Iface].Kind == TypeKind::Interface &&
+         "addInterface target is not an interface");
+  Types[T].Interfaces.push_back(Iface);
+}
+
+std::string TypeSystem::qualifiedName(TypeId T) const {
+  const TypeInfo &TI = Types[T];
+  const std::string &NsName = Namespaces[TI.Namespace].FullName;
+  if (NsName.empty())
+    return TI.Name;
+  return NsName + "." + TI.Name;
+}
+
+TypeId TypeSystem::findType(const std::string &QualifiedName) const {
+  auto It = TypeByName.find(QualifiedName);
+  return It == TypeByName.end() ? InvalidId : It->second;
+}
+
+FieldId TypeSystem::findDeclaredField(TypeId T, const std::string &Name) const {
+  for (FieldId F : Types[T].Fields)
+    if (Fields[F].Name == Name)
+      return F;
+  return InvalidId;
+}
+
+FieldId TypeSystem::findField(TypeId T, const std::string &Name) const {
+  for (TypeId Cur = T; isValidId(Cur); Cur = Types[Cur].BaseClass) {
+    FieldId F = findDeclaredField(Cur, Name);
+    if (isValidId(F))
+      return F;
+  }
+  return InvalidId;
+}
+
+std::vector<MethodId> TypeSystem::findMethods(TypeId T,
+                                              const std::string &Name) const {
+  // Walk the full supertype closure (base classes AND interfaces): a value
+  // of a class type can be the receiver of methods its interfaces declare.
+  std::vector<MethodId> Result;
+  std::vector<TypeId> Work{T};
+  std::unordered_map<TypeId, bool> Visited{{T, true}};
+  for (size_t I = 0; I != Work.size(); ++I) {
+    TypeId Cur = Work[I];
+    for (MethodId M : Types[Cur].Methods)
+      if (Methods[M].Name == Name)
+        Result.push_back(M);
+    for (TypeId S : immediateSupertypes(Cur))
+      if (!Visited[S]) {
+        Visited[S] = true;
+        Work.push_back(S);
+      }
+  }
+  return Result;
+}
+
+std::vector<FieldId> TypeSystem::visibleFields(TypeId T) const {
+  std::vector<FieldId> Result;
+  std::vector<std::string> Seen;
+  for (TypeId Cur = T; isValidId(Cur); Cur = Types[Cur].BaseClass) {
+    for (FieldId F : Types[Cur].Fields) {
+      const std::string &Name = Fields[F].Name;
+      if (std::find(Seen.begin(), Seen.end(), Name) != Seen.end())
+        continue;
+      Seen.push_back(Name);
+      Result.push_back(F);
+    }
+  }
+  return Result;
+}
+
+static bool sameSignature(const MethodInfo &A, const MethodInfo &B) {
+  if (A.Name != B.Name || A.Params.size() != B.Params.size() ||
+      A.IsStatic != B.IsStatic)
+    return false;
+  for (size_t I = 0; I != A.Params.size(); ++I)
+    if (A.Params[I].Type != B.Params[I].Type)
+      return false;
+  return true;
+}
+
+std::vector<MethodId> TypeSystem::visibleMethods(TypeId T) const {
+  // BFS over the supertype closure: nearer declarations shadow farther
+  // same-signature ones (overrides and interface implementations).
+  std::vector<MethodId> Result;
+  std::vector<TypeId> Work{T};
+  std::unordered_map<TypeId, bool> Visited{{T, true}};
+  for (size_t I = 0; I != Work.size(); ++I) {
+    TypeId Cur = Work[I];
+    for (MethodId M : Types[Cur].Methods) {
+      bool Overridden = false;
+      for (MethodId Existing : Result)
+        if (sameSignature(Methods[Existing], Methods[M])) {
+          Overridden = true;
+          break;
+        }
+      if (!Overridden)
+        Result.push_back(M);
+    }
+    for (TypeId S : immediateSupertypes(Cur))
+      if (!Visited[S]) {
+        Visited[S] = true;
+        Work.push_back(S);
+      }
+  }
+  return Result;
+}
+
+bool TypeSystem::isNumeric(TypeId T) const {
+  return T == ByteTy || T == ShortTy || T == IntTy || T == LongTy ||
+         T == FloatTy || T == DoubleTy || T == CharTy;
+}
+
+std::vector<TypeId> TypeSystem::immediateSupertypes(TypeId T) const {
+  const TypeInfo &TI = Types[T];
+  std::vector<TypeId> Supers;
+  switch (TI.Kind) {
+  case TypeKind::Primitive:
+    if (isValidId(TI.WideningTarget))
+      Supers.push_back(TI.WideningTarget);
+    else if (T != BoolTy)
+      Supers.push_back(ObjectTy);
+    else
+      Supers.push_back(ObjectTy); // bool boxes too.
+    break;
+  case TypeKind::Class:
+  case TypeKind::Struct:
+  case TypeKind::Enum:
+    if (isValidId(TI.BaseClass))
+      Supers.push_back(TI.BaseClass);
+    for (TypeId I : TI.Interfaces)
+      Supers.push_back(I);
+    break;
+  case TypeKind::Interface:
+    for (TypeId I : TI.Interfaces)
+      Supers.push_back(I);
+    // An interface value is usable as Object.
+    Supers.push_back(ObjectTy);
+    break;
+  case TypeKind::Void:
+    break;
+  }
+  return Supers;
+}
+
+const std::unordered_map<TypeId, int> &
+TypeSystem::ancestorDistances(TypeId T) const {
+  if (AncestorCache.size() < Types.size()) {
+    AncestorCache.resize(Types.size());
+    AncestorCacheValid.resize(Types.size(), false);
+  }
+  if (AncestorCacheValid[T])
+    return AncestorCache[T];
+
+  // BFS over the supertype graph; the first time a type is reached gives the
+  // minimal distance, matching the min in the td recurrence.
+  std::unordered_map<TypeId, int> &Dist = AncestorCache[T];
+  Dist.clear();
+  std::deque<TypeId> Work;
+  Dist[T] = 0;
+  Work.push_back(T);
+  while (!Work.empty()) {
+    TypeId Cur = Work.front();
+    Work.pop_front();
+    int D = Dist[Cur];
+    for (TypeId S : immediateSupertypes(Cur)) {
+      if (Dist.count(S))
+        continue;
+      Dist[S] = D + 1;
+      Work.push_back(S);
+    }
+  }
+  AncestorCacheValid[T] = true;
+  return Dist;
+}
+
+bool TypeSystem::implicitlyConvertible(TypeId From, TypeId To) const {
+  if (From == To)
+    return true;
+  if (From == VoidTy || To == VoidTy)
+    return false;
+  if (From == NullTy)
+    return isReferenceType(To);
+  const auto &Dist = ancestorDistances(From);
+  return Dist.count(To) != 0;
+}
+
+std::optional<int> TypeSystem::typeDistance(TypeId From, TypeId To) const {
+  if (From == NullTy)
+    return isReferenceType(To) ? std::optional<int>(0) : std::nullopt;
+  const auto &Dist = ancestorDistances(From);
+  auto It = Dist.find(To);
+  if (It == Dist.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<int> TypeSystem::operandDistance(TypeId A, TypeId B) const {
+  if (auto D = typeDistance(A, B))
+    return D;
+  return typeDistance(B, A);
+}
+
+bool TypeSystem::comparable(TypeId A, TypeId B) const {
+  if (isNumeric(A) && isNumeric(B))
+    return true;
+  if (A == B)
+    return Types[A].IsComparable;
+  // Mixed types: the more general side must be comparable.
+  if (implicitlyConvertible(A, B))
+    return Types[B].IsComparable;
+  if (implicitlyConvertible(B, A))
+    return Types[A].IsComparable;
+  return false;
+}
+
+bool TypeSystem::assignable(TypeId TargetTy, TypeId ValueTy) const {
+  if (TargetTy == VoidTy || ValueTy == VoidTy)
+    return false;
+  return implicitlyConvertible(ValueTy, TargetTy);
+}

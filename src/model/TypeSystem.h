@@ -1,0 +1,299 @@
+//===- model/TypeSystem.h - Framework metadata model ------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framework-metadata substrate: namespaces, types (classes, interfaces,
+/// structs, enums, primitives), fields/properties, and methods, together with
+/// the subtype / implicit-conversion relation and the paper's *type distance*
+/// function td(a, b) (§4.1):
+///
+///   td(a, b) = 0                          if a == b
+///            = 1 + min over declared immediate supertypes s of td(s, b)
+///            = undefined                  if there is no implicit conversion
+///
+/// Primitive types participate through their widening chain (byte -> short ->
+/// int -> long -> float -> double, char -> int), whose final element's
+/// supertype is Object (modelling boxing), so td is total on convertible
+/// pairs. The paper's authors consumed this information from .NET binaries
+/// via CCI; petal exposes the same facts from an in-memory model that the
+/// parser and the synthetic corpus generator populate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_MODEL_TYPESYSTEM_H
+#define PETAL_MODEL_TYPESYSTEM_H
+
+#include "model/Ids.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace petal {
+
+/// Classification of a type declaration.
+enum class TypeKind {
+  Class,
+  Interface,
+  Struct,
+  Enum,
+  Primitive,
+  Void,
+};
+
+/// A namespace; namespaces form a forest rooted at the global namespace
+/// (id 0, empty name).
+struct NamespaceInfo {
+  std::string FullName;              ///< Dotted path; empty for the root.
+  std::vector<std::string> Segments; ///< FullName split on '.'.
+  NamespaceId Parent = InvalidId;    ///< Enclosing namespace; InvalidId for root.
+};
+
+/// A field or property. Properties are, per the paper (footnote 1), treated
+/// exactly like fields.
+struct FieldInfo {
+  std::string Name;
+  TypeId Owner = InvalidId;
+  TypeId Type = InvalidId;
+  bool IsStatic = false;
+  bool IsProperty = false;
+};
+
+/// A formal parameter of a method.
+struct ParamInfo {
+  std::string Name;
+  TypeId Type = InvalidId;
+};
+
+/// A method. `Params` holds the declared parameters only; for instance
+/// methods the receiver is exposed as an implicit first argument of the
+/// *call signature* (see TypeSystem::callParamTypes), matching the paper's
+/// receiver-as-first-argument convention (§3).
+struct MethodInfo {
+  std::string Name;
+  TypeId Owner = InvalidId;
+  TypeId ReturnType = InvalidId;
+  std::vector<ParamInfo> Params;
+  bool IsStatic = false;
+};
+
+/// A type declaration.
+struct TypeInfo {
+  std::string Name;                 ///< Simple (unqualified) name.
+  NamespaceId Namespace = 0;
+  TypeKind Kind = TypeKind::Class;
+  TypeId BaseClass = InvalidId;     ///< Direct base; InvalidId for Object/void.
+  std::vector<TypeId> Interfaces;   ///< Directly implemented interfaces.
+  std::vector<FieldId> Fields;      ///< Declared fields (not inherited).
+  std::vector<MethodId> Methods;    ///< Declared methods (not inherited).
+  /// For primitives: the next type in the widening chain (InvalidId at the
+  /// chain end, where the supertype becomes Object).
+  TypeId WideningTarget = InvalidId;
+  /// True if values of this type support the relational operators. Numeric
+  /// primitives and enums are comparable implicitly; classes/structs can be
+  /// flagged (modelling IComparable / user-defined operators).
+  bool IsComparable = false;
+};
+
+/// The mutable framework model. Construction installs Object, void, and the
+/// primitive types; the parser and corpus generator add everything else.
+class TypeSystem {
+public:
+  TypeSystem();
+
+  //===--------------------------------------------------------------------===
+  // Construction
+  //===--------------------------------------------------------------------===
+
+  /// Interns the namespace with the given dotted \p FullName (creating all
+  /// ancestors) and returns its id. The empty name is the root namespace.
+  NamespaceId getOrAddNamespace(const std::string &FullName);
+
+  /// Adds a type with simple name \p Name in \p Ns. Classes default to base
+  /// Object; pass an explicit \p Base to override. Returns the new id.
+  /// Adding a type whose qualified name already exists is a programming
+  /// error (asserts).
+  TypeId addType(const std::string &Name, NamespaceId Ns, TypeKind Kind,
+                 TypeId Base = InvalidId);
+
+  /// Adds a field/property to \p Owner.
+  FieldId addField(TypeId Owner, const std::string &Name, TypeId Type,
+                   bool IsStatic = false, bool IsProperty = false);
+
+  /// Adds a method to \p Owner.
+  MethodId addMethod(TypeId Owner, const std::string &Name, TypeId ReturnType,
+                     std::vector<ParamInfo> Params, bool IsStatic = false);
+
+  /// Marks \p T as supporting relational comparison.
+  void setComparable(TypeId T, bool Value = true);
+
+  /// Re-points the base class of \p T (used by the resolver, which registers
+  /// all types before resolving base-class names).
+  void setBaseClass(TypeId T, TypeId Base);
+
+  /// Adds \p Iface to the interface list of \p T.
+  void addInterface(TypeId T, TypeId Iface);
+
+  //===--------------------------------------------------------------------===
+  // Entity access
+  //===--------------------------------------------------------------------===
+
+  const TypeInfo &type(TypeId T) const { return Types[T]; }
+  const FieldInfo &field(FieldId F) const { return Fields[F]; }
+  const MethodInfo &method(MethodId M) const { return Methods[M]; }
+  const NamespaceInfo &nspace(NamespaceId N) const { return Namespaces[N]; }
+
+  size_t numTypes() const { return Types.size(); }
+  size_t numFields() const { return Fields.size(); }
+  size_t numMethods() const { return Methods.size(); }
+  size_t numNamespaces() const { return Namespaces.size(); }
+
+  /// Built-in type ids.
+  TypeId objectType() const { return ObjectTy; }
+  TypeId voidType() const { return VoidTy; }
+  TypeId intType() const { return IntTy; }
+  TypeId longType() const { return LongTy; }
+  TypeId shortType() const { return ShortTy; }
+  TypeId byteType() const { return ByteTy; }
+  TypeId charType() const { return CharTy; }
+  TypeId floatType() const { return FloatTy; }
+  TypeId doubleType() const { return DoubleTy; }
+  TypeId boolType() const { return BoolTy; }
+  TypeId stringType() const { return StringTy; }
+
+  /// The pseudo-type of the `null` literal, implicitly convertible to every
+  /// reference type (classes, interfaces, string, Object).
+  TypeId nullType() const { return NullTy; }
+
+  /// True for class/interface types (including Object and string), the
+  /// targets a `null` may convert to.
+  bool isReferenceType(TypeId T) const {
+    TypeKind K = Types[T].Kind;
+    return K == TypeKind::Class || K == TypeKind::Interface;
+  }
+
+  /// True for the types installed by the constructor (object, void, the
+  /// primitives, string, and the null pseudo-type).
+  bool isBuiltinType(TypeId T) const { return T >= 0 && T <= NullTy; }
+
+  /// The qualified name "Ns.Sub.Name" (no namespace prefix for the root).
+  std::string qualifiedName(TypeId T) const;
+
+  /// Looks up a type by qualified name; InvalidId if absent.
+  TypeId findType(const std::string &QualifiedName) const;
+
+  /// Looks up a declared (not inherited) field of \p T by name.
+  FieldId findDeclaredField(TypeId T, const std::string &Name) const;
+
+  /// Looks up a field of \p T by name, searching base classes.
+  FieldId findField(TypeId T, const std::string &Name) const;
+
+  /// All methods named \p Name declared on \p T or a base class.
+  std::vector<MethodId> findMethods(TypeId T, const std::string &Name) const;
+
+  /// All fields visible on \p T: declared plus inherited (base-class fields
+  /// shadowed by a same-named derived field are excluded).
+  std::vector<FieldId> visibleFields(TypeId T) const;
+
+  /// All methods visible on \p T: declared plus inherited (an inherited
+  /// method is excluded if the derived type declares one with the same name
+  /// and parameter types — an override).
+  std::vector<MethodId> visibleMethods(TypeId T) const;
+
+  //===--------------------------------------------------------------------===
+  // Relations
+  //===--------------------------------------------------------------------===
+
+  bool isPrimitive(TypeId T) const {
+    return Types[T].Kind == TypeKind::Primitive;
+  }
+
+  /// Primitive *or string*: the common-namespace ranking term ignores these
+  /// (§4.1, "Primitive types, including string, are ignored").
+  bool isPrimitiveLike(TypeId T) const {
+    return isPrimitive(T) || T == StringTy;
+  }
+
+  bool isNumeric(TypeId T) const;
+
+  /// True if a value of type \p From may be used where \p To is expected
+  /// (identity, subclassing, interface implementation, primitive widening,
+  /// boxing to Object).
+  bool implicitlyConvertible(TypeId From, TypeId To) const;
+
+  /// The paper's type distance td(From, To): number of supertype steps from
+  /// \p From up to \p To, or nullopt when no implicit conversion exists.
+  /// Results are memoized; the model must not be mutated after the first
+  /// query (asserted in debug builds via a revision counter).
+  std::optional<int> typeDistance(TypeId From, TypeId To) const;
+
+  /// Distance between two operand types of a binary operator: the paper
+  /// treats the operator as a method whose two parameters both have the more
+  /// general type, so this is td(A, B) if defined, otherwise td(B, A),
+  /// otherwise nullopt.
+  std::optional<int> operandDistance(TypeId A, TypeId B) const;
+
+  /// True if `<` / `>=` between values of types \p A and \p B type-checks:
+  /// both numeric (or char), or the same enum, or convertible with the more
+  /// general type flagged comparable.
+  bool comparable(TypeId A, TypeId B) const;
+
+  /// True if a value of type \p ValueTy may be assigned into a location of
+  /// type \p TargetTy.
+  bool assignable(TypeId TargetTy, TypeId ValueTy) const;
+
+  /// The declared immediate supertypes of \p T used by td: base class and
+  /// interfaces for classes/structs, widening target (or Object) for
+  /// primitives, Object for enums/interfaces without bases.
+  std::vector<TypeId> immediateSupertypes(TypeId T) const;
+
+  /// Namespace segments of the namespace containing \p T.
+  const std::vector<std::string> &namespaceSegmentsOf(TypeId T) const {
+    return Namespaces[Types[T].Namespace].Segments;
+  }
+
+  /// The number of parameters in the *call signature* of \p M: declared
+  /// parameters plus one receiver slot for instance methods.
+  size_t numCallParams(MethodId M) const {
+    const MethodInfo &MI = Methods[M];
+    return MI.Params.size() + (MI.IsStatic ? 0 : 1);
+  }
+
+  /// Type of call-signature parameter \p I of \p M (parameter 0 of an
+  /// instance method is the receiver, typed as the owner).
+  TypeId callParamType(MethodId M, size_t I) const {
+    const MethodInfo &MI = Methods[M];
+    if (!MI.IsStatic) {
+      if (I == 0)
+        return MI.Owner;
+      return MI.Params[I - 1].Type;
+    }
+    return MI.Params[I].Type;
+  }
+
+private:
+  /// Distances from a type to each of its (transitive) supertypes, computed
+  /// by BFS over immediateSupertypes and cached.
+  const std::unordered_map<TypeId, int> &ancestorDistances(TypeId T) const;
+
+  std::vector<NamespaceInfo> Namespaces;
+  std::vector<TypeInfo> Types;
+  std::vector<FieldInfo> Fields;
+  std::vector<MethodInfo> Methods;
+  std::unordered_map<std::string, NamespaceId> NamespaceByName;
+  std::unordered_map<std::string, TypeId> TypeByName;
+  mutable std::vector<std::unordered_map<TypeId, int>> AncestorCache;
+  mutable std::vector<bool> AncestorCacheValid;
+
+  TypeId ObjectTy, VoidTy, IntTy, LongTy, ShortTy, ByteTy, CharTy, FloatTy,
+      DoubleTy, BoolTy, StringTy, NullTy;
+};
+
+} // namespace petal
+
+#endif // PETAL_MODEL_TYPESYSTEM_H

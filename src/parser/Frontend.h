@@ -1,0 +1,49 @@
+//===- parser/Frontend.h - One-call parsing entry points --------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience wrappers tying the lexer, parser, and resolver together:
+/// load a source buffer into a Program, parse a partial-expression query at
+/// a code site, and locate code sites by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_PARSER_FRONTEND_H
+#define PETAL_PARSER_FRONTEND_H
+
+#include "parser/Resolver.h"
+
+#include <string_view>
+
+namespace petal {
+
+/// Parses and resolves \p Source into \p P (whose TypeSystem is extended).
+/// Returns false and leaves diagnostics in \p Diags on error.
+bool loadProgramText(std::string_view Source, Program &P,
+                     DiagnosticEngine &Diags);
+
+/// Parses and resolves a partial-expression query (e.g. "?({img, size})")
+/// posed at \p Scope. Returns null on error.
+const PartialExpr *parseQueryText(std::string_view Query, Program &P,
+                                  const QueryScope &Scope,
+                                  DiagnosticEngine &Diags);
+
+/// Finds the CodeClass for the type named \p TypeName (simple or qualified).
+const CodeClass *findCodeClass(const Program &P, const std::string &TypeName);
+
+/// Finds the first method named \p MethodName in \p Class.
+const CodeMethod *findCodeMethod(const Program &P, const CodeClass &Class,
+                                 const std::string &MethodName);
+
+/// A scope at the end of \p Method (all locals visible).
+inline QueryScope scopeAtEnd(const CodeClass *Class, const CodeMethod *Method) {
+  return {Class, Method, static_cast<size_t>(-1)};
+}
+
+} // namespace petal
+
+#endif // PETAL_PARSER_FRONTEND_H

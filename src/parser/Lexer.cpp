@@ -1,0 +1,312 @@
+//===- parser/Lexer.cpp - Tokenizer for the mini-C# surface ---------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace petal;
+
+const char *petal::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::FloatLit:
+    return "float literal";
+  case TokKind::StringLit:
+    return "string literal";
+  case TokKind::KwNamespace:
+    return "'namespace'";
+  case TokKind::KwClass:
+    return "'class'";
+  case TokKind::KwInterface:
+    return "'interface'";
+  case TokKind::KwStruct:
+    return "'struct'";
+  case TokKind::KwEnum:
+    return "'enum'";
+  case TokKind::KwStatic:
+    return "'static'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwThis:
+    return "'this'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwNull:
+    return "'null'";
+  case TokKind::KwComparable:
+    return "'comparable'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::Error:
+    return "invalid token";
+  }
+  return "unknown token";
+}
+
+static const std::unordered_map<std::string_view, TokKind> &keywordMap() {
+  static const std::unordered_map<std::string_view, TokKind> Map = {
+      {"namespace", TokKind::KwNamespace},
+      {"class", TokKind::KwClass},
+      {"interface", TokKind::KwInterface},
+      {"struct", TokKind::KwStruct},
+      {"enum", TokKind::KwEnum},
+      {"static", TokKind::KwStatic},
+      {"void", TokKind::KwVoid},
+      {"var", TokKind::KwVar},
+      {"return", TokKind::KwReturn},
+      {"this", TokKind::KwThis},
+      {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},
+      {"null", TokKind::KwNull},
+      {"comparable", TokKind::KwComparable},
+  };
+  return Map;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token T;
+  T.Loc = here();
+  if (atEnd()) {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  char C = advance();
+
+  // Identifiers and keywords.
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Text.push_back(advance());
+    auto It = keywordMap().find(Text);
+    if (It != keywordMap().end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Ident;
+    }
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  // Numeric literals.
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text(1, C);
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      Text.push_back(advance());
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text.push_back(advance());
+      T.Kind = TokKind::FloatLit;
+      T.FloatValue = std::stod(Text);
+    } else {
+      T.Kind = TokKind::IntLit;
+      T.IntValue = std::stoll(Text);
+    }
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  // String literals.
+  if (C == '"') {
+    std::string Text;
+    bool Closed = false;
+    while (!atEnd()) {
+      char D = advance();
+      if (D == '"') {
+        Closed = true;
+        break;
+      }
+      if (D == '\\' && !atEnd())
+        D = advance();
+      Text.push_back(D);
+    }
+    if (!Closed)
+      Diags.error(T.Loc, "unterminated string literal");
+    T.Kind = Closed ? TokKind::StringLit : TokKind::Error;
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  switch (C) {
+  case '{':
+    T.Kind = TokKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokKind::RBrace;
+    return T;
+  case '(':
+    T.Kind = TokKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokKind::RParen;
+    return T;
+  case ',':
+    T.Kind = TokKind::Comma;
+    return T;
+  case ';':
+    T.Kind = TokKind::Semi;
+    return T;
+  case '.':
+    T.Kind = TokKind::Dot;
+    return T;
+  case '?':
+    T.Kind = TokKind::Question;
+    return T;
+  case '*':
+    T.Kind = TokKind::Star;
+    return T;
+  case ':':
+    T.Kind = TokKind::Colon;
+    return T;
+  case '=':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::EqEq;
+    } else {
+      T.Kind = TokKind::Assign;
+    }
+    return T;
+  case '!':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::NotEq;
+      return T;
+    }
+    break;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::Le;
+    } else {
+      T.Kind = TokKind::Lt;
+    }
+    return T;
+  case '>':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::Ge;
+    } else {
+      T.Kind = TokKind::Gt;
+    }
+    return T;
+  default:
+    break;
+  }
+
+  Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+  T.Kind = TokKind::Error;
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokKind::Eof))
+      return Tokens;
+  }
+}

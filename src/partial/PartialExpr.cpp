@@ -1,0 +1,121 @@
+//===- partial/PartialExpr.cpp - Partial-expression AST -------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "partial/PartialExpr.h"
+
+#include "code/ExprPrinter.h"
+
+using namespace petal;
+
+const char *petal::suffixSpelling(SuffixKind K) {
+  switch (K) {
+  case SuffixKind::Field:
+    return ".?f";
+  case SuffixKind::FieldStar:
+    return ".?*f";
+  case SuffixKind::Member:
+    return ".?m";
+  case SuffixKind::MemberStar:
+    return ".?*m";
+  }
+  return ".?";
+}
+
+static void printInto(const TypeSystem &TS, const PartialExpr *P,
+                      std::string &Out) {
+  switch (P->kind()) {
+  case PartialKind::Hole:
+    Out.push_back('?');
+    return;
+  case PartialKind::DontCare:
+    Out.push_back('0');
+    return;
+  case PartialKind::Concrete:
+    Out += printExpr(TS, cast<ConcretePE>(P)->expr());
+    return;
+  case PartialKind::Suffix: {
+    const auto *S = cast<SuffixPE>(P);
+    printInto(TS, S->base(), Out);
+    Out += suffixSpelling(S->suffix());
+    return;
+  }
+  case PartialKind::UnknownCall: {
+    const auto *U = cast<UnknownCallPE>(P);
+    Out += "?({";
+    for (size_t I = 0; I != U->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      printInto(TS, U->args()[I], Out);
+    }
+    Out += "})";
+    return;
+  }
+  case PartialKind::KnownCall: {
+    const auto *K = cast<KnownCallPE>(P);
+    Out += K->name();
+    Out.push_back('(');
+    for (size_t I = 0; I != K->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      printInto(TS, K->args()[I], Out);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case PartialKind::Compare: {
+    const auto *C = cast<ComparePE>(P);
+    printInto(TS, C->lhs(), Out);
+    Out.push_back(' ');
+    Out += compareOpSpelling(C->op());
+    Out.push_back(' ');
+    printInto(TS, C->rhs(), Out);
+    return;
+  }
+  case PartialKind::Assign: {
+    const auto *A = cast<AssignPE>(P);
+    printInto(TS, A->lhs(), Out);
+    Out += " = ";
+    printInto(TS, A->rhs(), Out);
+    return;
+  }
+  }
+}
+
+std::string petal::printPartialExpr(const TypeSystem &TS,
+                                    const PartialExpr *P) {
+  std::string Out;
+  printInto(TS, P, Out);
+  return Out;
+}
+
+bool petal::isFullyConcrete(const PartialExpr *P) {
+  switch (P->kind()) {
+  case PartialKind::Hole:
+  case PartialKind::Suffix:
+  case PartialKind::UnknownCall:
+    return false;
+  case PartialKind::DontCare:
+  case PartialKind::Concrete:
+    return true;
+  case PartialKind::KnownCall: {
+    const auto *K = cast<KnownCallPE>(P);
+    for (const PartialExpr *Arg : K->args())
+      if (!isFullyConcrete(Arg))
+        return false;
+    return true;
+  }
+  case PartialKind::Compare: {
+    const auto *C = cast<ComparePE>(P);
+    return isFullyConcrete(C->lhs()) && isFullyConcrete(C->rhs());
+  }
+  case PartialKind::Assign: {
+    const auto *A = cast<AssignPE>(P);
+    return isFullyConcrete(A->lhs()) && isFullyConcrete(A->rhs());
+  }
+  }
+  return false;
+}

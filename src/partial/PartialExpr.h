@@ -1,0 +1,230 @@
+//===- partial/PartialExpr.h - Partial-expression AST -----------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The partial expression language of the paper (Fig. 5b):
+///
+///   ee     ::= ea | ? | 0
+///   ea     ::= e | ea.?f | ea.?*f | ea.?m | ea.?*m | ccall
+///            | ee := ee | ee < ee
+///   ccall  ::= ?({ee1, ..., een}) | methodName(ee1, ..., een)
+///
+/// `?` is a hole to fill with any reachable value; `0` is a don't-care to be
+/// left alone; the `.?` suffixes ask for zero or one (`.?f`/`.?m`) or any
+/// number (`.?*f`/`.?*m`) of trailing field lookups (`f`) or field lookups
+/// and zero-argument instance method calls (`m`); `?({...})` is a call to an
+/// unknown method whose given arguments may be reordered and interleaved
+/// with extra `0` arguments.
+///
+/// Nodes are immutable and arena-allocated, like the complete-expression AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_PARTIAL_PARTIALEXPR_H
+#define PETAL_PARTIAL_PARTIALEXPR_H
+
+#include "code/Expr.h"
+#include "model/Ids.h"
+#include "support/Casting.h"
+
+#include <string>
+#include <vector>
+
+namespace petal {
+
+/// Discriminator for the PartialExpr hierarchy.
+enum class PartialKind {
+  Hole,        ///< `?`
+  DontCare,    ///< `0`
+  Concrete,    ///< a complete expression used verbatim
+  Suffix,      ///< `base.?f` / `base.?*f` / `base.?m` / `base.?*m`
+  UnknownCall, ///< `?({ee1, ..., een})`
+  KnownCall,   ///< `methodName(ee1, ..., een)`
+  Compare,     ///< `ee < ee` (any comparison operator)
+  Assign,      ///< `ee := ee`
+};
+
+/// The four lookup-suffix forms (§3).
+enum class SuffixKind {
+  Field,      ///< `.?f`  — zero or one field lookup
+  FieldStar,  ///< `.?*f` — any number of field lookups
+  Member,     ///< `.?m`  — zero or one field lookup or 0-arg method call
+  MemberStar, ///< `.?*m` — any number of the above
+};
+
+/// True for the `*`-forms that complete to arbitrarily long chains.
+inline bool isStarSuffix(SuffixKind K) {
+  return K == SuffixKind::FieldStar || K == SuffixKind::MemberStar;
+}
+
+/// True for the `m`-forms that also admit zero-argument instance methods.
+inline bool suffixAllowsMethods(SuffixKind K) {
+  return K == SuffixKind::Member || K == SuffixKind::MemberStar;
+}
+
+/// Surface spelling of a suffix (".?f", ".?*m", ...).
+const char *suffixSpelling(SuffixKind K);
+
+/// Base class of all partial expressions.
+class PartialExpr {
+public:
+  PartialKind kind() const { return Kind; }
+
+protected:
+  explicit PartialExpr(PartialKind Kind) : Kind(Kind) {}
+
+private:
+  PartialKind Kind;
+};
+
+/// `?` — fill in any reachable value. Interpreted as `vars.?*m` where `vars`
+/// ranges over locals, parameters, `this`, and globals (§4.2).
+class HolePE : public PartialExpr {
+public:
+  HolePE() : PartialExpr(PartialKind::Hole) {}
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::Hole;
+  }
+};
+
+/// `0` — leave alone; completes to a DontCareExpr.
+class DontCarePE : public PartialExpr {
+public:
+  DontCarePE() : PartialExpr(PartialKind::DontCare) {}
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::DontCare;
+  }
+};
+
+/// A complete expression used verbatim inside a query.
+class ConcretePE : public PartialExpr {
+public:
+  explicit ConcretePE(const Expr *E)
+      : PartialExpr(PartialKind::Concrete), E(E) {}
+
+  const Expr *expr() const { return E; }
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::Concrete;
+  }
+
+private:
+  const Expr *E;
+};
+
+/// `base.?f`, `base.?*f`, `base.?m`, `base.?*m`.
+class SuffixPE : public PartialExpr {
+public:
+  SuffixPE(const PartialExpr *Base, SuffixKind Suffix)
+      : PartialExpr(PartialKind::Suffix), Base(Base), Suffix(Suffix) {}
+
+  const PartialExpr *base() const { return Base; }
+  SuffixKind suffix() const { return Suffix; }
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::Suffix;
+  }
+
+private:
+  const PartialExpr *Base;
+  SuffixKind Suffix;
+};
+
+/// `?({ee1, ..., een})` — a call to an unknown method taking the given
+/// arguments in some order, possibly with extra don't-care arguments.
+class UnknownCallPE : public PartialExpr {
+public:
+  explicit UnknownCallPE(std::vector<const PartialExpr *> Args)
+      : PartialExpr(PartialKind::UnknownCall), Args(std::move(Args)) {}
+
+  const std::vector<const PartialExpr *> &args() const { return Args; }
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::UnknownCall;
+  }
+
+private:
+  std::vector<const PartialExpr *> Args;
+};
+
+/// `methodName(ee1, ..., een)` — a call to a known method name with ordered
+/// (possibly partial) arguments. The receiver, if any, is argument 0, per
+/// the receiver-as-first-argument convention. The name is resolved against
+/// the query context; `Resolved` may pre-seed the overload set (used by the
+/// evaluation harness, which knows the ground-truth callee).
+class KnownCallPE : public PartialExpr {
+public:
+  KnownCallPE(std::string Name, std::vector<const PartialExpr *> Args,
+              std::vector<MethodId> Resolved = {})
+      : PartialExpr(PartialKind::KnownCall), Name(std::move(Name)),
+        Args(std::move(Args)), Resolved(std::move(Resolved)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<const PartialExpr *> &args() const { return Args; }
+  const std::vector<MethodId> &resolved() const { return Resolved; }
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::KnownCall;
+  }
+
+private:
+  std::string Name;
+  std::vector<const PartialExpr *> Args;
+  std::vector<MethodId> Resolved;
+};
+
+/// `ee1 op ee2` for a comparison operator.
+class ComparePE : public PartialExpr {
+public:
+  ComparePE(CompareOp Op, const PartialExpr *Lhs, const PartialExpr *Rhs)
+      : PartialExpr(PartialKind::Compare), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  CompareOp op() const { return Op; }
+  const PartialExpr *lhs() const { return Lhs; }
+  const PartialExpr *rhs() const { return Rhs; }
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::Compare;
+  }
+
+private:
+  CompareOp Op;
+  const PartialExpr *Lhs;
+  const PartialExpr *Rhs;
+};
+
+/// `ee1 := ee2`.
+class AssignPE : public PartialExpr {
+public:
+  AssignPE(const PartialExpr *Lhs, const PartialExpr *Rhs)
+      : PartialExpr(PartialKind::Assign), Lhs(Lhs), Rhs(Rhs) {}
+
+  const PartialExpr *lhs() const { return Lhs; }
+  const PartialExpr *rhs() const { return Rhs; }
+
+  static bool classof(const PartialExpr *P) {
+    return P->kind() == PartialKind::Assign;
+  }
+
+private:
+  const PartialExpr *Lhs;
+  const PartialExpr *Rhs;
+};
+
+/// Renders a partial expression in query syntax (`?({img, size})`,
+/// `point.?*m >= this.?*m`, ...).
+std::string printPartialExpr(const TypeSystem &TS, const PartialExpr *P);
+
+/// True if \p P contains no holes, suffixes, or unknown calls anywhere —
+/// i.e. it denotes exactly one complete expression.
+bool isFullyConcrete(const PartialExpr *P);
+
+} // namespace petal
+
+#endif // PETAL_PARTIAL_PARTIALEXPR_H

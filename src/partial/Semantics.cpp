@@ -1,0 +1,227 @@
+//===- partial/Semantics.cpp - Executable Fig. 6 semantics ----------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "partial/Semantics.h"
+
+#include "code/ExprPrinter.h"
+#include "model/TypeSystem.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace petal;
+
+namespace {
+
+/// One trailing lookup step of a candidate spine.
+struct SpineStep {
+  bool IsField;
+};
+
+/// Derivability checker for one (program, site) context.
+class Checker {
+public:
+  Checker(const Program &P, const CodeSite &Site)
+      : TS(P.typeSystem()), Site(Site) {}
+
+  bool check(const PartialExpr *Q, const Expr *C) {
+    switch (Q->kind()) {
+    case PartialKind::DontCare:
+      // `0` is never filled in (Fig. 6 treats it as inert).
+      return isa<DontCareExpr>(C) || fail("a 0 subexpression was filled in");
+
+    case PartialKind::Concrete:
+      return exprEquals(cast<ConcretePE>(Q)->expr(), C) ||
+             fail("concrete subexpression was changed");
+
+    case PartialKind::Hole: {
+      // ? ~> v.?*m for a live local or global v: any number of member
+      // steps over an in-scope root.
+      const Expr *Root = C;
+      while (isLookupStep(Root, /*MethodsAllowed=*/true))
+        Root = stepBase(Root);
+      return isLiveRoot(Root) ||
+             fail("hole completed from a value not in scope");
+    }
+
+    case PartialKind::Suffix: {
+      const auto *S = cast<SuffixPE>(Q);
+      bool Methods = suffixAllowsMethods(S->suffix());
+      size_t MaxSteps = isStarSuffix(S->suffix())
+                            ? std::numeric_limits<size_t>::max()
+                            : 1;
+      // Try every admissible split: strip 0..MaxSteps trailing lookups and
+      // check the remaining prefix against the base.
+      const Expr *Prefix = C;
+      size_t Steps = 0;
+      while (true) {
+        if (check(S->base(), Prefix))
+          return true;
+        if (Steps == MaxSteps || !isLookupStep(Prefix, Methods))
+          break;
+        Prefix = stepBase(Prefix);
+        ++Steps;
+      }
+      return fail("no admissible suffix split");
+    }
+
+    case PartialKind::UnknownCall: {
+      const auto *U = cast<UnknownCallPE>(Q);
+      const auto *Call = dyn_cast<CallExpr>(C);
+      if (!Call)
+        return fail("unknown-call query completed to a non-call");
+      std::vector<const Expr *> Slots = callSignatureArgs(Call);
+      if (Slots.size() < U->args().size())
+        return fail("call has fewer positions than given arguments");
+      // Injective assignment of query args to positions; every unassigned
+      // position must be `0` (Fig. 6: e_j = 0 for j > n).
+      std::vector<bool> Used(Slots.size(), false);
+      if (!assignArgs(U->args(), 0, Slots, Used))
+        return fail("no injective placement of the given arguments");
+      return true;
+    }
+
+    case PartialKind::KnownCall: {
+      const auto *K = cast<KnownCallPE>(Q);
+      const auto *Call = dyn_cast<CallExpr>(C);
+      if (!Call)
+        return fail("known-call query completed to a non-call");
+      if (TS.method(Call->method()).Name != K->name())
+        return fail("completed call has a different method name");
+      std::vector<const Expr *> Slots = callSignatureArgs(Call);
+      if (Slots.size() != K->args().size())
+        return fail("argument count mismatch");
+      for (size_t I = 0; I != Slots.size(); ++I)
+        if (!check(K->args()[I], Slots[I]))
+          return false;
+      return true;
+    }
+
+    case PartialKind::Compare: {
+      const auto *Cmp = cast<ComparePE>(Q);
+      const auto *CC = dyn_cast<CompareExpr>(C);
+      if (!CC || CC->op() != Cmp->op())
+        return fail("comparison shape mismatch");
+      return check(Cmp->lhs(), CC->lhs()) && check(Cmp->rhs(), CC->rhs());
+    }
+
+    case PartialKind::Assign: {
+      const auto *As = cast<AssignPE>(Q);
+      const auto *AC = dyn_cast<AssignExpr>(C);
+      if (!AC)
+        return fail("assignment shape mismatch");
+      return check(As->lhs(), AC->lhs()) && check(As->rhs(), AC->rhs());
+    }
+    }
+    return fail("unknown partial-expression kind");
+  }
+
+  std::string reason() const { return Reason; }
+
+private:
+  bool fail(std::string Why) {
+    if (Reason.empty())
+      Reason = std::move(Why);
+    return false;
+  }
+
+  /// True if \p E's outermost node is a `.?`-style lookup step: an instance
+  /// field access or (when \p MethodsAllowed) a nullary instance call.
+  bool isLookupStep(const Expr *E, bool MethodsAllowed) const {
+    if (const auto *FA = dyn_cast<FieldAccessExpr>(E))
+      return !isa<TypeRefExpr>(FA->base());
+    if (!MethodsAllowed)
+      return false;
+    if (const auto *C = dyn_cast<CallExpr>(E))
+      return C->args().empty() && C->receiver() != nullptr;
+    return false;
+  }
+
+  const Expr *stepBase(const Expr *E) const {
+    if (const auto *FA = dyn_cast<FieldAccessExpr>(E))
+      return FA->base();
+    return cast<CallExpr>(E)->receiver();
+  }
+
+  /// The "live local or global variable" roots of the `?` rule.
+  bool isLiveRoot(const Expr *E) const {
+    switch (E->kind()) {
+    case ExprKind::Var: {
+      if (!Site.Method)
+        return false;
+      size_t Limit = std::min(Site.StmtIndex, Site.Method->body().size());
+      std::vector<unsigned> Scope = Site.Method->localsInScopeAt(Limit);
+      return std::find(Scope.begin(), Scope.end(),
+                       cast<VarExpr>(E)->slot()) != Scope.end();
+    }
+    case ExprKind::This:
+      return Site.Method && !TS.method(Site.Method->decl()).IsStatic;
+    case ExprKind::FieldAccess: {
+      const auto *FA = cast<FieldAccessExpr>(E);
+      return isa<TypeRefExpr>(FA->base()) && TS.field(FA->field()).IsStatic;
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      return !C->receiver() && C->args().empty();
+    }
+    default:
+      return false;
+    }
+  }
+
+  static std::vector<const Expr *> callSignatureArgs(const CallExpr *Call) {
+    std::vector<const Expr *> Out;
+    if (Call->receiver())
+      Out.push_back(Call->receiver());
+    Out.insert(Out.end(), Call->args().begin(), Call->args().end());
+    return Out;
+  }
+
+  /// Backtracking search: assign query args [I..) to unused slots such that
+  /// each slot completion is derivable, and finally every unused slot is 0.
+  bool assignArgs(const std::vector<const PartialExpr *> &Args, size_t I,
+                  const std::vector<const Expr *> &Slots,
+                  std::vector<bool> &Used) {
+    if (I == Args.size()) {
+      for (size_t S = 0; S != Slots.size(); ++S)
+        if (!Used[S] && !isa<DontCareExpr>(Slots[S]))
+          return false;
+      return true;
+    }
+    for (size_t S = 0; S != Slots.size(); ++S) {
+      if (Used[S])
+        continue;
+      std::string Saved = std::move(Reason);
+      Reason.clear();
+      bool Ok = check(Args[I], Slots[S]);
+      Reason = std::move(Saved);
+      if (!Ok)
+        continue;
+      Used[S] = true;
+      if (assignArgs(Args, I + 1, Slots, Used))
+        return true;
+      Used[S] = false;
+    }
+    return false;
+  }
+
+  const TypeSystem &TS;
+  CodeSite Site;
+  std::string Reason;
+};
+
+} // namespace
+
+bool petal::isDerivableCompletion(const Program &P, const CodeSite &Site,
+                                  const PartialExpr *Query,
+                                  const Expr *Candidate, std::string *Why) {
+  Checker C(P, Site);
+  bool Ok = C.check(Query, Candidate);
+  if (!Ok && Why)
+    *Why = C.reason();
+  return Ok;
+}

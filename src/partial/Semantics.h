@@ -1,0 +1,52 @@
+//===- partial/Semantics.h - Executable Fig. 6 semantics --------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Fig. 6 gives the semantics of partial expressions as a
+/// nondeterministic small-step relation  ee ~> ee  whose normal forms are
+/// complete expressions (with `0` subexpressions allowed to remain). This
+/// module implements the relation *as a checker*: given a partial
+/// expression and a candidate complete expression, decide whether the
+/// candidate is derivable, rule by rule:
+///
+///   e.?         ~> e                    (any suffix may be dropped)
+///   e.?m        ~> e.m()  |  e.?f
+///   e.?f        ~> e.f
+///   e.?*f       ~> e.?f.?*f             (unbounded repetition)
+///   e.?*m       ~> e.?m.?*m
+///   ?({es})     ~> m(e_s1, ..., e_sk)   (some ordering; 0-padded)
+///   ?           ~> v.?*m                (v a live local or global)
+///
+/// The completion engine must only ever produce derivable completions; the
+/// tests verify this over engine output, making Fig. 6 an executable
+/// specification rather than documentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_PARTIAL_SEMANTICS_H
+#define PETAL_PARTIAL_SEMANTICS_H
+
+#include "code/Code.h"
+#include "partial/PartialExpr.h"
+
+#include <string>
+
+namespace petal {
+
+/// Decides whether \p Candidate is a Fig. 6 completion of \p Query at
+/// \p Site (the site supplies the live locals/globals the `?` rule may
+/// introduce). On rejection, \p Why (if non-null) receives the reason.
+///
+/// This checks *derivability only*; type-correctness is a separate
+/// side-condition checked by verifyExpr.
+bool isDerivableCompletion(const Program &P, const CodeSite &Site,
+                           const PartialExpr *Query, const Expr *Candidate,
+                           std::string *Why = nullptr);
+
+} // namespace petal
+
+#endif // PETAL_PARTIAL_SEMANTICS_H

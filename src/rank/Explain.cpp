@@ -1,0 +1,61 @@
+//===- rank/Explain.cpp - Per-term score breakdowns -----------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rank/Explain.h"
+
+using namespace petal;
+
+std::string ScoreBreakdown::toString() const {
+  struct Part {
+    const char *Name;
+    int Value;
+  } Parts[] = {
+      {"depth", Depth},       {"td", TypeDistance}, {"abs", AbstractTypes},
+      {"static", InScopeStatic}, {"ns", Namespace}, {"name", MatchingName},
+  };
+  std::string Out;
+  for (const Part &P : Parts) {
+    if (P.Value == 0)
+      continue;
+    if (!Out.empty())
+      Out += " + ";
+    Out += std::string(P.Name) + " " + std::to_string(P.Value);
+  }
+  if (Out.empty())
+    Out = "0";
+  return Out + " = " + std::to_string(total());
+}
+
+ScoreBreakdown petal::explainScore(const Ranker &FullRanker, const Expr *E) {
+  const RankingOptions &Full = FullRanker.options();
+
+  // Re-score under each enabled single-term variant; the ranking function
+  // is a sum of independent terms, so the parts reconstruct the total.
+  auto ScoreWith = [&FullRanker, E](const char *Spec) {
+    Ranker R(FullRanker.typeSystem(), RankingOptions::fromSpec(Spec));
+    R.setSelfType(FullRanker.selfType());
+    R.setAbstractTypes(FullRanker.abstractInference(),
+                       FullRanker.abstractSolution(),
+                       FullRanker.contextMethod());
+    return R.scoreExpr(E);
+  };
+
+  ScoreBreakdown B;
+  if (Full.UseDepth)
+    B.Depth = ScoreWith("+d");
+  if (Full.UseTypeDistance)
+    B.TypeDistance = ScoreWith("+t");
+  if (Full.UseAbstractTypes)
+    B.AbstractTypes = ScoreWith("+a");
+  if (Full.UseInScopeStatic)
+    B.InScopeStatic = ScoreWith("+s");
+  if (Full.UseNamespace)
+    B.Namespace = ScoreWith("+n");
+  if (Full.UseMatchingName)
+    B.MatchingName = ScoreWith("+m");
+  return B;
+}

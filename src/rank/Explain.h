@@ -1,0 +1,53 @@
+//===- rank/Explain.h - Per-term score breakdowns ---------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decomposes a completion's score into the Fig. 7 terms. The ranking
+/// function is a sum of independent per-term contributions, so the
+/// breakdown is computed by re-scoring the expression under each
+/// single-term ranking variant; the parts provably sum to the full score
+/// (tests assert this additivity on every engine result).
+///
+/// Useful for tool UIs ("why is this ranked here?") and for debugging
+/// ranking changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_RANK_EXPLAIN_H
+#define PETAL_RANK_EXPLAIN_H
+
+#include "rank/Ranking.h"
+
+#include <string>
+
+namespace petal {
+
+/// One completion's score, split by ranking term.
+struct ScoreBreakdown {
+  int Depth = 0;         ///< d: 2 x dots
+  int TypeDistance = 0;  ///< t: summed td(arg, param)
+  int AbstractTypes = 0; ///< a: abstract-type mismatches
+  int InScopeStatic = 0; ///< s: instance / out-of-scope-static penalty
+  int Namespace = 0;     ///< n: 3 - common namespace prefix
+  int MatchingName = 0;  ///< m: comparison name-mismatch penalty
+
+  int total() const {
+    return Depth + TypeDistance + AbstractTypes + InScopeStatic + Namespace +
+           MatchingName;
+  }
+
+  /// Renders the non-zero terms, e.g. "depth 4 + td 1 + ns 3 = 8".
+  std::string toString() const;
+};
+
+/// Decomposes \p E's score under \p FullRanker's configuration. Terms that
+/// are disabled in the ranker's options contribute zero.
+ScoreBreakdown explainScore(const Ranker &FullRanker, const Expr *E);
+
+} // namespace petal
+
+#endif // PETAL_RANK_EXPLAIN_H

@@ -1,0 +1,245 @@
+//===- rank/Ranking.cpp - The Fig. 7 ranking function ---------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rank/Ranking.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace petal;
+
+//===----------------------------------------------------------------------===//
+// RankingOptions
+//===----------------------------------------------------------------------===//
+
+RankingOptions RankingOptions::fromSpec(const std::string &Spec) {
+  if (Spec == "all" || Spec.empty())
+    return all();
+  if (Spec == "none")
+    return none();
+  bool Add = Spec[0] == '+';
+  RankingOptions O = Add ? none() : all();
+  for (size_t I = 1; I < Spec.size(); ++I) {
+    switch (Spec[I]) {
+    case 'n':
+      O.UseNamespace = Add;
+      break;
+    case 's':
+      O.UseInScopeStatic = Add;
+      break;
+    case 'd':
+      O.UseDepth = Add;
+      break;
+    case 'm':
+      O.UseMatchingName = Add;
+      break;
+    case 't':
+      O.UseTypeDistance = Add;
+      break;
+    case 'a':
+      O.UseAbstractTypes = Add;
+      break;
+    default:
+      break;
+    }
+  }
+  return O;
+}
+
+std::string RankingOptions::spec() const {
+  int On = UseNamespace + UseInScopeStatic + UseDepth + UseMatchingName +
+           UseTypeDistance + UseAbstractTypes;
+  if (On == 6)
+    return "all";
+  if (On == 0)
+    return "none";
+  bool Add = On <= 3;
+  std::string S(1, Add ? '+' : '-');
+  auto Emit = [&](bool Flag, char C) {
+    if (Flag == Add)
+      S.push_back(C);
+  };
+  Emit(UseNamespace, 'n');
+  Emit(UseInScopeStatic, 's');
+  Emit(UseDepth, 'd');
+  Emit(UseMatchingName, 'm');
+  Emit(UseTypeDistance, 't');
+  Emit(UseAbstractTypes, 'a');
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental pieces
+//===----------------------------------------------------------------------===//
+
+int Ranker::typeDistanceCost(TypeId From, TypeId To) const {
+  if (!Opts.UseTypeDistance)
+    return 0;
+  auto D = TS.typeDistance(From, To);
+  assert(D && "typeDistanceCost on a non-convertible pair");
+  return D ? *D : 0;
+}
+
+int Ranker::operandDistanceCost(TypeId A, TypeId B) const {
+  if (!Opts.UseTypeDistance)
+    return 0;
+  auto D = TS.operandDistance(A, B);
+  assert(D && "operandDistanceCost on an unrelated pair");
+  return D ? *D : 0;
+}
+
+int Ranker::abstractArgCost(const Expr *Arg, MethodId M, size_t CallParamIdx,
+                            TypeId RecvTy) const {
+  if (!Opts.UseAbstractTypes || !Infer || !Solution)
+    return 0;
+  uint32_t ArgVar = Infer->varOfExpr(Arg, ContextMethod);
+  uint32_t ParamVar = Infer->varOfCallParam(M, CallParamIdx, RecvTy);
+  return Solution->sameAbstractType(ArgVar, ParamVar) ? 0 : 1;
+}
+
+int Ranker::abstractOperandCost(const Expr *A, const Expr *B) const {
+  if (!Opts.UseAbstractTypes || !Infer || !Solution)
+    return 0;
+  uint32_t VA = Infer->varOfExpr(A, ContextMethod);
+  uint32_t VB = Infer->varOfExpr(B, ContextMethod);
+  return Solution->sameAbstractType(VA, VB) ? 0 : 1;
+}
+
+int Ranker::callExtrasCost(MethodId M,
+                           const std::vector<const Expr *> &CallArgs) const {
+  int Cost = 0;
+  const MethodInfo &MI = TS.method(M);
+
+  if (Opts.UseInScopeStatic) {
+    // +1 unless the callee is a static method callable unqualified from the
+    // enclosing type (its owner is the enclosing type or an ancestor).
+    bool InScopeStatic = MI.IsStatic && isValidId(SelfType) &&
+                         TS.implicitlyConvertible(SelfType, MI.Owner);
+    if (!InScopeStatic)
+      Cost += 1;
+  }
+
+  if (Opts.UseNamespace) {
+    // Common namespace prefix over the owner and all non-primitive argument
+    // types; similarity forced to 0 when <= 1 non-primitive argument.
+    std::vector<const std::vector<std::string> *> ArgNss;
+    for (const Expr *Arg : CallArgs) {
+      if (isa<DontCareExpr>(Arg) || !isValidId(Arg->type()))
+        continue;
+      if (TS.isPrimitiveLike(Arg->type()))
+        continue;
+      ArgNss.push_back(&TS.namespaceSegmentsOf(Arg->type()));
+    }
+    size_t Similarity = 0;
+    if (ArgNss.size() >= 2) {
+      const std::vector<std::string> &OwnerNs = TS.namespaceSegmentsOf(MI.Owner);
+      Similarity = OwnerNs.size();
+      for (const auto *Ns : ArgNss)
+        Similarity = std::min(Similarity, commonPrefixLength(OwnerNs, *Ns));
+      // The prefix must be common to all argument namespaces pairwise as
+      // well; since it is anchored at the owner prefix, the min above
+      // already bounds it.
+    }
+    Cost += 3 - static_cast<int>(std::min<size_t>(3, Similarity));
+  }
+
+  return Cost;
+}
+
+int Ranker::compareNameCost(const Expr *L, const Expr *R) const {
+  if (!Opts.UseMatchingName)
+    return 0;
+  std::string NL = finalLookupName(TS, L);
+  std::string NR = finalLookupName(TS, R);
+  if (!NL.empty() && NL == NR)
+    return 0;
+  return 3;
+}
+
+//===----------------------------------------------------------------------===//
+// Standalone scorer
+//===----------------------------------------------------------------------===//
+
+Ranker::SpineScore Ranker::scoreSpine(const Expr *E) const {
+  switch (E->kind()) {
+  case ExprKind::Var:
+  case ExprKind::This:
+  case ExprKind::TypeRef:
+  case ExprKind::Literal:
+  case ExprKind::DontCare:
+    return {0, 0};
+
+  case ExprKind::FieldAccess: {
+    SpineScore S = scoreSpine(cast<FieldAccessExpr>(E)->base());
+    return {S.Score, S.Dots + 1};
+  }
+
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    if (C->args().empty()) {
+      // A pure lookup step (`.?m`-style zero-argument call, or a global
+      // static nullary method); no call tweaks apply.
+      SpineScore S = C->receiver() ? scoreSpine(C->receiver())
+                                   : SpineScore{0, 0};
+      return {S.Score, S.Dots + 1};
+    }
+
+    // A genuine call with arguments: full call scoring. Its own dot is
+    // charged here; the spine above it restarts at zero.
+    const MethodInfo &MI = TS.method(C->method());
+    TypeId RecvTy = C->receiver() && isValidId(C->receiver()->type())
+                        ? C->receiver()->type()
+                        : MI.Owner;
+    std::vector<const Expr *> CallArgs;
+    if (C->receiver())
+      CallArgs.push_back(C->receiver());
+    CallArgs.insert(CallArgs.end(), C->args().begin(), C->args().end());
+
+    int Total = 0;
+    for (size_t I = 0; I != CallArgs.size(); ++I) {
+      const Expr *Arg = CallArgs[I];
+      Total += scoreExpr(Arg);
+      if (isa<DontCareExpr>(Arg))
+        continue;
+      Total += typeDistanceCost(Arg->type(), TS.callParamType(C->method(), I));
+      Total += abstractArgCost(Arg, C->method(), I, RecvTy);
+    }
+    Total += lookupStepCost(); // the call's own dot
+    Total += callExtrasCost(C->method(), CallArgs);
+    return {Total, 0};
+  }
+
+  case ExprKind::Compare: {
+    const auto *C = cast<CompareExpr>(E);
+    int Total = scoreExpr(C->lhs()) + scoreExpr(C->rhs());
+    if (!isa<DontCareExpr>(C->lhs()) && !isa<DontCareExpr>(C->rhs())) {
+      Total += operandDistanceCost(C->lhs()->type(), C->rhs()->type());
+      Total += abstractOperandCost(C->lhs(), C->rhs());
+      Total += compareNameCost(C->lhs(), C->rhs());
+    }
+    return {Total, 0};
+  }
+
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    int Total = scoreExpr(A->lhs()) + scoreExpr(A->rhs());
+    if (!isa<DontCareExpr>(A->lhs()) && !isa<DontCareExpr>(A->rhs())) {
+      Total += typeDistanceCost(A->rhs()->type(), A->lhs()->type());
+      Total += abstractOperandCost(A->lhs(), A->rhs());
+    }
+    return {Total, 0};
+  }
+  }
+  return {0, 0};
+}
+
+int Ranker::scoreExpr(const Expr *E) const {
+  SpineScore S = scoreSpine(E);
+  return S.Score + lookupStepCost() * S.Dots;
+}

@@ -1,0 +1,58 @@
+//===- support/Casting.h - classof-based isa/cast/dyn_cast ------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style opt-in runtime type discrimination. A class hierarchy exposes a
+/// Kind enumeration and each subclass provides `static bool classof(const
+/// Base *)`; these templates then provide checked downcasts without RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_CASTING_H
+#define PETAL_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace petal {
+
+/// Returns true if \p Val is an instance of type \p To, as reported by
+/// `To::classof`. \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val is a \p To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checked downcast, mutable overload.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not a \p To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Downcast that returns null when \p Val is not a \p To, mutable overload.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null input (returns null).
+template <typename To, typename From> const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_CASTING_H

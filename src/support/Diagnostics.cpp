@@ -1,0 +1,30 @@
+//===- support/Diagnostics.cpp - Parser/front-end diagnostics -------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace petal;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ':' << D.Loc.Col << ": ";
+    OS << kindName(D.Kind) << ": " << D.Message << '\n';
+  }
+}

@@ -1,0 +1,80 @@
+//===- support/Diagnostics.h - Parser/front-end diagnostics ----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal diagnostic engine: errors and warnings with source locations,
+/// collected rather than thrown (the library does not use exceptions).
+/// Message style follows the LLVM convention: lowercase first word, no
+/// trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_DIAGNOSTICS_H
+#define PETAL_SUPPORT_DIAGNOSTICS_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace petal {
+
+/// A location within a source buffer (1-based line and column; 0 means
+/// "unknown").
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One collected diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted by the lexer, parser, and resolver.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line, as "line:col: kind: message".
+  void print(std::ostream &OS) const;
+
+  /// Drops all collected diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,93 @@
+//===- support/Rng.h - Deterministic pseudo-random generation --*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic PRNG (SplitMix64) used by the synthetic
+/// corpus generator. std::mt19937 distributions are implementation-defined,
+/// so every draw here is hand-rolled to guarantee identical corpora across
+/// standard libraries and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_RNG_H
+#define PETAL_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace petal {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    // Rejection-free modulo is fine here: corpora do not need perfect
+    // uniformity, only determinism.
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() bounds inverted");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool chance(double P) { return unit() < P; }
+
+  /// Picks a uniformly random element of \p V (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    assert(!V.empty() && "pick() from empty vector");
+    return V[below(V.size())];
+  }
+
+  /// Draws an index from a discrete distribution given by non-negative
+  /// weights. At least one weight must be positive.
+  size_t weighted(const std::vector<double> &Weights) {
+    double Total = 0;
+    for (double W : Weights)
+      Total += W;
+    assert(Total > 0 && "weighted() requires a positive total weight");
+    double X = unit() * Total;
+    for (size_t I = 0; I != Weights.size(); ++I) {
+      X -= Weights[I];
+      if (X < 0)
+        return I;
+    }
+    return Weights.size() - 1;
+  }
+
+  /// Forks an independent generator; the fork's stream is a pure function of
+  /// this generator's state, so forked corpora remain deterministic.
+  Rng fork() { return Rng(next() ^ 0xD1B54A32D192ED03ull); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_RNG_H

@@ -1,0 +1,67 @@
+//===- support/StrUtil.cpp - Small string helpers -------------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StrUtil.h"
+
+#include <cstdio>
+
+using namespace petal;
+
+std::vector<std::string> petal::splitString(std::string_view S, char Sep) {
+  std::vector<std::string> Parts;
+  if (S.empty())
+    return Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.emplace_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.emplace_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string petal::joinStrings(const std::vector<std::string> &Parts,
+                               char Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I)
+      Out.push_back(Sep);
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+size_t petal::commonPrefixLength(const std::vector<std::string> &A,
+                                 const std::vector<std::string> &B) {
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I != N; ++I)
+    if (A[I] != B[I])
+      return I;
+  return N;
+}
+
+bool petal::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string petal::formatFixed(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string petal::formatPercent(size_t Num, size_t Den) {
+  if (Den == 0)
+    return "n/a";
+  return formatFixed(100.0 * static_cast<double>(Num) /
+                         static_cast<double>(Den),
+                     2) +
+         "%";
+}

@@ -1,0 +1,46 @@
+//===- support/StrUtil.h - Small string helpers -----------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String splitting/joining and the namespace-prefix computation used by the
+/// common-namespace ranking term (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_STRUTIL_H
+#define PETAL_SUPPORT_STRUTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace petal {
+
+/// Splits \p S on \p Sep; empty segments are preserved except that splitting
+/// an empty string yields no segments.
+std::vector<std::string> splitString(std::string_view S, char Sep);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts, char Sep);
+
+/// Length of the longest common prefix of two segment lists (element-wise).
+size_t commonPrefixLength(const std::vector<std::string> &A,
+                          const std::vector<std::string> &B);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Formats \p Value as a fixed-point decimal with \p Digits fraction digits.
+std::string formatFixed(double Value, int Digits);
+
+/// Formats a ratio Num/Den as a percentage with two fraction digits; "n/a"
+/// when Den is zero.
+std::string formatPercent(size_t Num, size_t Den);
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_STRUTIL_H

@@ -1,0 +1,64 @@
+//===- support/Table.cpp - Aligned text table printer ---------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace petal;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsRule=*/false});
+}
+
+void TextTable::addRule() { Rows.push_back({{}, /*IsRule=*/true}); }
+
+void TextTable::print(std::ostream &OS) const {
+  // Compute column widths over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Account = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I != Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Account(Header);
+  for (const Row &R : Rows)
+    if (!R.IsRule)
+      Account(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W;
+  if (!Widths.empty())
+    TotalWidth += 2 * (Widths.size() - 1);
+
+  auto PrintCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      OS << Cell;
+      if (I + 1 != Widths.size())
+        OS << std::string(Widths[I] - Cell.size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  if (!Header.empty()) {
+    PrintCells(Header);
+    OS << std::string(TotalWidth, '-') << '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsRule)
+      OS << std::string(TotalWidth, '-') << '\n';
+    else
+      PrintCells(R.Cells);
+  }
+}

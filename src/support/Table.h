@@ -1,0 +1,52 @@
+//===- support/Table.h - Aligned text table printer -------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders rows of strings as a column-aligned text table. The benchmark
+/// harness uses this to print each of the paper's tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_TABLE_H
+#define PETAL_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace petal {
+
+/// A text table with a header row and aligned columns.
+class TextTable {
+public:
+  /// Sets the header row; establishes the column count.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows shorter than the header are padded with empty
+  /// cells; longer rows extend the column count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal rule at the current position.
+  void addRule();
+
+  /// Renders the table to \p OS with two-space column gutters.
+  void print(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsRule = false;
+  };
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_TABLE_H

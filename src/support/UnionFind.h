@@ -1,0 +1,86 @@
+//===- support/UnionFind.h - Disjoint-set forest ----------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find with path compression and union by rank. Used by abstract type
+/// inference (the paper's Lackwit-style analysis, §4.1) where all constraints
+/// are equalities on atoms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_UNIONFIND_H
+#define PETAL_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace petal {
+
+/// Disjoint-set forest over dense integer ids [0, size).
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(size_t Size) { grow(Size); }
+
+  /// Ensures ids [0, Size) exist, each initially its own singleton set.
+  void grow(size_t Size) {
+    size_t Old = Parent.size();
+    if (Size <= Old)
+      return;
+    Parent.resize(Size);
+    Rank.resize(Size, 0);
+    std::iota(Parent.begin() + Old, Parent.end(), static_cast<uint32_t>(Old));
+  }
+
+  size_t size() const { return Parent.size(); }
+
+  /// Returns the canonical representative of \p X's set.
+  uint32_t find(uint32_t X) const {
+    assert(X < Parent.size() && "find() id out of range");
+    // Iterative find with path halving; Parent is mutable for compression.
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets of \p A and \p B; returns the new representative.
+  uint32_t unite(uint32_t A, uint32_t B) {
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB)
+      return RA;
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    return RA;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+  /// Number of distinct sets among all ids.
+  size_t numSets() const {
+    size_t N = 0;
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Parent.size()); I != E; ++I)
+      if (find(I) == I)
+        ++N;
+    return N;
+  }
+
+private:
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_UNIONFIND_H

@@ -1,0 +1,13 @@
+//===- tests/TestCorpora.h - Shared mini-corpora for tests ------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_TESTS_TESTCORPORA_H
+#define PETAL_TESTS_TESTCORPORA_H
+
+#include "corpus/MiniFrameworks.h"
+
+#endif // PETAL_TESTS_TESTCORPORA_H

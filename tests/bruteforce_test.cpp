@@ -1,0 +1,463 @@
+//===- tests/bruteforce_test.cpp - Engine vs reference enumerator ---------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// An independent, brute-force implementation of the Fig. 6 semantics: it
+// enumerates every completion by structural recursion (no indexes, no
+// score-ordered streams), scores each with the standalone Ranker, and sorts.
+// The engine must agree with it exactly — same completion sets, same
+// scores — on small corpora where exhaustive enumeration is feasible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestCorpora.h"
+
+#include "corpus/Generator.h"
+#include "eval/Harvest.h"
+
+#include "code/ExprPrinter.h"
+#include "code/Verify.h"
+#include "complete/Engine.h"
+#include "parser/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace petal;
+
+namespace {
+
+/// Exhaustive reference enumerator for partial expressions.
+class ReferenceEnumerator {
+public:
+  ReferenceEnumerator(Program &P, const CodeSite &Site, const Ranker &Rank,
+                      int MaxChainLen)
+      : TS(P.typeSystem()), F(P.typeSystem(), P.arena()), Site(Site),
+        Rank(Rank), MaxChainLen(MaxChainLen) {}
+
+  /// All completions of \p PE, scored and sorted by score (stable on ties).
+  std::vector<Completion> enumerate(const PartialExpr *PE) {
+    std::vector<const Expr *> Exprs = complete(PE);
+    std::vector<Completion> Out;
+    for (const Expr *E : Exprs)
+      Out.push_back({E, Rank.scoreExpr(E)});
+    std::stable_sort(Out.begin(), Out.end(),
+                     [](const Completion &A, const Completion &B) {
+                       return A.Score < B.Score;
+                     });
+    return Out;
+  }
+
+private:
+  std::vector<const Expr *> complete(const PartialExpr *PE) {
+    switch (PE->kind()) {
+    case PartialKind::Hole: {
+      // vars.?*m (§4.2).
+      std::vector<const Expr *> Out;
+      for (const Expr *V : vars())
+        appendChains(V, MaxChainLen, /*Methods=*/true, Out);
+      return Out;
+    }
+    case PartialKind::DontCare:
+      return {F.dontCare()};
+    case PartialKind::Concrete:
+      return {cast<ConcretePE>(PE)->expr()};
+    case PartialKind::Suffix: {
+      const auto *S = cast<SuffixPE>(PE);
+      std::vector<const Expr *> Out;
+      for (const Expr *Base : complete(S->base())) {
+        int Len = isStarSuffix(S->suffix()) ? MaxChainLen : 1;
+        appendChains(Base, Len, suffixAllowsMethods(S->suffix()), Out);
+      }
+      return Out;
+    }
+    case PartialKind::UnknownCall:
+      return completeUnknownCall(cast<UnknownCallPE>(PE));
+    case PartialKind::KnownCall:
+      return completeKnownCall(cast<KnownCallPE>(PE));
+    case PartialKind::Compare: {
+      const auto *C = cast<ComparePE>(PE);
+      std::vector<const Expr *> Out;
+      for (const Expr *L : complete(C->lhs()))
+        for (const Expr *R : complete(C->rhs())) {
+          bool LW = isa<DontCareExpr>(L), RW = isa<DontCareExpr>(R);
+          if (!LW && !RW && !TS.comparable(L->type(), R->type()))
+            continue;
+          Out.push_back(F.arena().create<CompareExpr>(C->op(), L, R,
+                                                      TS.boolType()));
+        }
+      return Out;
+    }
+    case PartialKind::Assign: {
+      const auto *A = cast<AssignPE>(PE);
+      std::vector<const Expr *> Out;
+      for (const Expr *L : complete(A->lhs())) {
+        if (!isa<DontCareExpr>(L) && !isLValue(L))
+          continue;
+        for (const Expr *R : complete(A->rhs())) {
+          bool LW = isa<DontCareExpr>(L), RW = isa<DontCareExpr>(R);
+          if (!LW && !RW && !TS.assignable(L->type(), R->type()))
+            continue;
+          Out.push_back(F.arena().create<AssignExpr>(L, R));
+        }
+      }
+      return Out;
+    }
+    }
+    return {};
+  }
+
+  /// Locals, parameters, `this`, and globals.
+  std::vector<const Expr *> vars() {
+    std::vector<const Expr *> Out;
+    if (Site.Method) {
+      size_t Limit = std::min(Site.StmtIndex, Site.Method->body().size());
+      for (unsigned Slot : Site.Method->localsInScopeAt(Limit))
+        Out.push_back(F.var(*Site.Method, Slot));
+      if (!TS.method(Site.Method->decl()).IsStatic)
+        Out.push_back(F.thisRef(Site.Method->owner()));
+    }
+    for (size_t FI = 0; FI != TS.numFields(); ++FI) {
+      const FieldInfo &Info = TS.field(static_cast<FieldId>(FI));
+      if (Info.IsStatic)
+        Out.push_back(F.fieldAccess(F.typeRef(Info.Owner),
+                                    static_cast<FieldId>(FI)));
+    }
+    for (size_t M = 0; M != TS.numMethods(); ++M) {
+      const MethodInfo &MI = TS.method(static_cast<MethodId>(M));
+      if (MI.IsStatic && MI.Params.empty() && MI.ReturnType != TS.voidType())
+        Out.push_back(F.call(static_cast<MethodId>(M), nullptr, {}));
+    }
+    return Out;
+  }
+
+  /// \p Base plus every lookup chain of length <= MaxLen over it.
+  void appendChains(const Expr *Base, int MaxLen, bool Methods,
+                    std::vector<const Expr *> &Out) {
+    Out.push_back(Base);
+    if (MaxLen == 0 || isa<DontCareExpr>(Base) || !isValidId(Base->type()))
+      return;
+    for (FieldId FI : TS.visibleFields(Base->type())) {
+      if (TS.field(FI).IsStatic)
+        continue;
+      appendChains(F.fieldAccess(Base, FI), MaxLen - 1, Methods, Out);
+    }
+    if (!Methods)
+      return;
+    for (MethodId M : TS.visibleMethods(Base->type())) {
+      const MethodInfo &MI = TS.method(M);
+      if (MI.IsStatic || !MI.Params.empty() || MI.ReturnType == TS.voidType())
+        continue;
+      appendChains(F.call(M, Base, {}), MaxLen - 1, Methods, Out);
+    }
+  }
+
+  std::vector<const Expr *> completeUnknownCall(const UnknownCallPE *U) {
+    // Cartesian product of argument completions.
+    std::vector<std::vector<const Expr *>> ArgSets;
+    for (const PartialExpr *A : U->args())
+      ArgSets.push_back(complete(A));
+
+    std::vector<const Expr *> Out;
+    std::vector<const Expr *> Combo(ArgSets.size());
+    std::function<void(size_t)> Rec = [&](size_t I) {
+      if (I == ArgSets.size()) {
+        // Every method, best injective placement (mirrors the engine's
+        // one-completion-per-method policy).
+        for (size_t M = 0; M != TS.numMethods(); ++M)
+          tryMethod(static_cast<MethodId>(M), Combo, Out);
+        return;
+      }
+      for (const Expr *E : ArgSets[I]) {
+        Combo[I] = E;
+        Rec(I + 1);
+      }
+    };
+    Rec(0);
+    return Out;
+  }
+
+  void tryMethod(MethodId M, const std::vector<const Expr *> &Combo,
+                 std::vector<const Expr *> &Out) {
+    const MethodInfo &MI = TS.method(M);
+    size_t NP = TS.numCallParams(M);
+    if (NP < Combo.size())
+      return;
+
+    // Minimal-cost injective placement via exhaustive permutation search.
+    std::optional<std::pair<int, std::vector<int>>> Best;
+    std::vector<int> Pos(Combo.size(), -1);
+    std::vector<bool> Used(NP, false);
+    std::function<void(size_t, int)> Search = [&](size_t I, int Cost) {
+      if (I == Combo.size()) {
+        if (!MI.IsStatic && !Used[0])
+          return;
+        if (!Best || Cost < Best->first)
+          Best = {Cost, Pos};
+        return;
+      }
+      for (size_t Pi = 0; Pi != NP; ++Pi) {
+        if (Used[Pi])
+          continue;
+        int StepCost = 0;
+        if (!isa<DontCareExpr>(Combo[I])) {
+          auto D = TS.typeDistance(Combo[I]->type(), TS.callParamType(M, Pi));
+          if (!D)
+            continue;
+          StepCost = Rank.options().UseTypeDistance ? *D : 0;
+          StepCost += Rank.abstractArgCost(Combo[I], M, Pi, MI.Owner);
+        }
+        Used[Pi] = true;
+        Pos[I] = static_cast<int>(Pi);
+        Search(I + 1, Cost + StepCost);
+        Used[Pi] = false;
+      }
+    };
+    Search(0, 0);
+    if (!Best)
+      return;
+
+    std::vector<const Expr *> CallArgs(NP, nullptr);
+    for (size_t I = 0; I != Combo.size(); ++I)
+      CallArgs[Best->second[I]] = Combo[I];
+    for (const Expr *&Slot : CallArgs)
+      if (!Slot)
+        Slot = F.dontCare();
+    const Expr *Receiver = nullptr;
+    std::vector<const Expr *> DeclArgs;
+    if (!MI.IsStatic) {
+      Receiver = CallArgs[0];
+      DeclArgs.assign(CallArgs.begin() + 1, CallArgs.end());
+    } else {
+      DeclArgs = CallArgs;
+    }
+    Out.push_back(F.call(M, Receiver, DeclArgs));
+  }
+
+  std::vector<const Expr *> completeKnownCall(const KnownCallPE *K) {
+    std::vector<std::vector<const Expr *>> ArgSets;
+    for (const PartialExpr *A : K->args())
+      ArgSets.push_back(complete(A));
+
+    std::vector<const Expr *> Out;
+    for (MethodId M : K->resolved()) {
+      if (TS.numCallParams(M) != K->args().size())
+        continue;
+      const MethodInfo &MI = TS.method(M);
+      std::vector<const Expr *> Combo(ArgSets.size());
+      std::function<void(size_t)> Rec = [&](size_t I) {
+        if (I == ArgSets.size()) {
+          const Expr *Receiver = nullptr;
+          std::vector<const Expr *> DeclArgs;
+          if (!MI.IsStatic) {
+            Receiver = Combo[0];
+            DeclArgs.assign(Combo.begin() + 1, Combo.end());
+          } else {
+            DeclArgs = Combo;
+          }
+          Out.push_back(F.call(M, Receiver, DeclArgs));
+          return;
+        }
+        for (const Expr *E : ArgSets[I]) {
+          if (!isa<DontCareExpr>(E) &&
+              !TS.implicitlyConvertible(E->type(), TS.callParamType(M, I)))
+            continue;
+          Combo[I] = E;
+          Rec(I + 1);
+        }
+      };
+      Rec(0);
+    }
+    return Out;
+  }
+
+  TypeSystem &TS;
+  ExprFactory F;
+  CodeSite Site;
+  const Ranker &Rank;
+  int MaxChainLen;
+};
+
+//===----------------------------------------------------------------------===//
+// The equivalence fixture
+//===----------------------------------------------------------------------===//
+
+class BruteForceTest : public ::testing::TestWithParam<const char *> {
+protected:
+  void SetUp() override {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    ASSERT_TRUE(loadProgramText(corpora::GeometryCorpus, *P, Diags));
+    Class = findCodeClass(*P, "EllipseArc");
+    Method = findCodeMethod(*P, *Class, "Examine");
+    Site = {Class, Method, Method->body().size()};
+    Idx = std::make_unique<CompletionIndexes>(*P);
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  const CodeClass *Class = nullptr;
+  const CodeMethod *Method = nullptr;
+  CodeSite Site;
+  std::unique_ptr<CompletionIndexes> Idx;
+};
+
+TEST_P(BruteForceTest, EngineMatchesReferenceEnumerator) {
+  const char *QueryText = GetParam();
+  QueryScope Scope{Class, Method, Site.StmtIndex};
+  const PartialExpr *Q = parseQueryText(QueryText, *P, Scope, Diags);
+  ASSERT_NE(Q, nullptr);
+
+  // Shared ranking configuration (abstract term through the full solution,
+  // exactly as the engine defaults).
+  AbsTypeSolution Sol = Idx->Infer.solve();
+  Ranker Rank(*TS, RankingOptions::all());
+  Rank.setSelfType(Class->type());
+  Rank.setAbstractTypes(&Idx->Infer, &Sol, Method);
+
+  ReferenceEnumerator Ref(*P, Site, Rank, /*MaxChainLen=*/4);
+  std::vector<Completion> Expected = Ref.enumerate(Q);
+
+  CompletionEngine Engine(*P, *Idx);
+  CompletionOptions Opts;
+  Opts.MaxScore = 64;
+  std::vector<Completion> Got =
+      Engine.complete(Q, Site, Expected.size() + 50, Opts, &Sol);
+
+  // Same completion multiset: (score, printed form) pairs.
+  auto Key = [this](const std::vector<Completion> &V) {
+    std::multiset<std::pair<int, std::string>> S;
+    for (const Completion &C : V)
+      S.insert({C.Score, printExpr(*TS, C.E)});
+    return S;
+  };
+  auto ExpectedKeys = Key(Expected);
+  auto GotKeys = Key(Got);
+
+  // Report a readable diff on mismatch.
+  if (ExpectedKeys != GotKeys) {
+    std::string Msg;
+    for (const auto &K : ExpectedKeys)
+      if (!GotKeys.count(K))
+        Msg += "missing: [" + std::to_string(K.first) + "] " + K.second + "\n";
+    for (const auto &K : GotKeys)
+      if (!ExpectedKeys.count(K))
+        Msg += "extra:   [" + std::to_string(K.first) + "] " + K.second + "\n";
+    FAIL() << "engine/oracle mismatch for " << QueryText << ":\n" << Msg;
+  }
+
+  // And the engine's order is by score.
+  for (size_t I = 1; I < Got.size(); ++I)
+    ASSERT_LE(Got[I - 1].Score, Got[I].Score);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, BruteForceTest,
+    ::testing::Values("point.?f", "point.?m", "this.?f", "shapeStyle.?*m",
+                      "Distance(point, ?)", "Distance(?, point.?f)",
+                      "?({point})", "?({point, this})",
+                      "point.?m >= this.?m.?m", "this.?f = point.?f",
+                      "point.X >= this.?m.?m"));
+
+//===----------------------------------------------------------------------===//
+// Oracle sweep over a generated corpus
+//===----------------------------------------------------------------------===//
+
+/// Replays harvested call sites of a small synthetic project as the §5.1
+/// and §5.2 query forms and checks the engine against the reference
+/// enumerator at every site. This exercises realistic hierarchies,
+/// overloads, enums, and interfaces that the hand-written corpus lacks.
+class GeneratedOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedOracleTest, EngineMatchesOracleOnHarvestedSites) {
+  ProjectProfile Prof = paperProjectProfiles(0.15)[3]; // Banshee, small
+  Prof.Seed ^= GetParam();
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+  CompletionIndexes Idx(P);
+  HarvestResult Sites = harvestProgram(P);
+
+  AbsTypeSolution Sol = Idx.Infer.solve();
+  CompletionEngine Engine(P, Idx);
+  CompletionOptions Opts;
+  Opts.MaxScore = 64;
+  Opts.MaxChainLen = 2; // keep exhaustive enumeration feasible
+
+  size_t Checked = 0;
+  for (const CallSiteInfo &CS : Sites.Calls) {
+    if (Checked == 6)
+      break;
+
+    Ranker Rank(TS, RankingOptions::all());
+    Rank.setSelfType(CS.Site.Class->type());
+    Rank.setAbstractTypes(&Idx.Infer, &Sol, CS.Site.Method);
+    ReferenceEnumerator Ref(P, CS.Site, Rank, /*MaxChainLen=*/2);
+    Arena &A = P.arena();
+
+    // Build both query forms from the ground truth.
+    std::vector<const Expr *> Args;
+    if (CS.Call->receiver() && isGuessableExpr(CS.Call->receiver()))
+      Args.push_back(CS.Call->receiver());
+    for (const Expr *Arg : CS.Call->args())
+      if (isGuessableExpr(Arg) && Args.size() < 2)
+        Args.push_back(Arg);
+    if (Args.size() < 2)
+      continue;
+    ++Checked;
+
+    std::vector<const PartialExpr *> Queries;
+    // ?({a, b})
+    Queries.push_back(A.create<UnknownCallPE>(
+        std::vector<const PartialExpr *>{A.create<ConcretePE>(Args[0]),
+                                         A.create<ConcretePE>(Args[1])}));
+    // M(a, ?, ...) with the first guessable declared argument replaced.
+    {
+      std::vector<const PartialExpr *> PEArgs;
+      bool HoleUsed = false;
+      if (CS.Call->receiver())
+        PEArgs.push_back(A.create<ConcretePE>(CS.Call->receiver()));
+      for (const Expr *Arg : CS.Call->args()) {
+        if (!HoleUsed && isGuessableExpr(Arg)) {
+          PEArgs.push_back(A.create<HolePE>());
+          HoleUsed = true;
+        } else {
+          PEArgs.push_back(A.create<ConcretePE>(Arg));
+        }
+      }
+      if (HoleUsed)
+        Queries.push_back(A.create<KnownCallPE>(
+            TS.method(CS.Call->method()).Name, std::move(PEArgs),
+            std::vector<MethodId>{CS.Call->method()}));
+    }
+
+    for (const PartialExpr *Q : Queries) {
+      std::vector<Completion> Expected = Ref.enumerate(Q);
+      std::vector<Completion> Got =
+          Engine.complete(Q, CS.Site, Expected.size() + 50, Opts, &Sol);
+
+      std::multiset<std::pair<int, std::string>> EK, GK;
+      for (const Completion &C : Expected)
+        EK.insert({C.Score, printExpr(TS, C.E)});
+      for (const Completion &C : Got)
+        GK.insert({C.Score, printExpr(TS, C.E)});
+      ASSERT_EQ(EK.size(), GK.size())
+          << printPartialExpr(TS, Q) << " at site in "
+          << TS.qualifiedName(CS.Site.Class->type());
+      ASSERT_EQ(EK, GK) << printPartialExpr(TS, Q);
+    }
+  }
+  EXPECT_GE(Checked, 2u) << "corpus too small to exercise the sweep";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedOracleTest,
+                         ::testing::Values(0, 0x1111, 0x2222, 0x3333));
+
+} // namespace

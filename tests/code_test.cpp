@@ -1,0 +1,220 @@
+//===- tests/code_test.cpp - Expression AST, printer, verifier ------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "code/ExprFactory.h"
+#include "code/ExprPrinter.h"
+#include "code/Verify.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+/// Small fixture: a Point struct, a Line class with Point fields, a static
+/// utility, and a method body with locals.
+class CodeFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Ns = TS.getOrAddNamespace("Geo");
+    Point = TS.addType("Point", Ns, TypeKind::Struct);
+    X = TS.addField(Point, "X", TS.doubleType());
+    Y = TS.addField(Point, "Y", TS.doubleType());
+
+    Line = TS.addType("Line", Ns, TypeKind::Class);
+    P1 = TS.addField(Line, "P1", Point);
+    GetLength = TS.addMethod(Line, "GetLength", TS.doubleType(), {});
+    Origin = TS.addField(Line, "Origin", Point, /*IsStatic=*/true);
+
+    MathTy = TS.addType("MathUtil", Ns, TypeKind::Class);
+    Dist = TS.addMethod(MathTy, "Distance", TS.doubleType(),
+                        {{"a", Point}, {"b", Point}}, /*IsStatic=*/true);
+
+    P = std::make_unique<Program>(TS);
+    CodeClass &CC = P->addClass(Line);
+    MethodId Decl = TS.addMethod(Line, "Demo", TS.voidType(), {{"p", Point}});
+    Method = &CC.addMethod(Decl);
+    Method->addLocal("p", Point, /*IsParam=*/true);
+
+    F = std::make_unique<ExprFactory>(TS, P->arena());
+  }
+
+  TypeSystem TS;
+  NamespaceId Ns;
+  TypeId Point, Line, MathTy;
+  FieldId X, Y, P1, Origin;
+  MethodId GetLength, Dist;
+  std::unique_ptr<Program> P;
+  CodeMethod *Method = nullptr;
+  std::unique_ptr<ExprFactory> F;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction and typing
+//===----------------------------------------------------------------------===//
+
+TEST_F(CodeFixture, FactoryTypesNodes) {
+  const Expr *V = F->var(*Method, 0);
+  EXPECT_EQ(V->type(), Point);
+  const Expr *FA = F->fieldAccess(V, X);
+  EXPECT_EQ(FA->type(), TS.doubleType());
+  const Expr *This = F->thisRef(Line);
+  const Expr *Call = F->call(GetLength, This, {});
+  EXPECT_EQ(Call->type(), TS.doubleType());
+  const Expr *Static = F->call(Dist, nullptr, {V, V});
+  EXPECT_EQ(Static->type(), TS.doubleType());
+  const Expr *Cmp = F->compare(CompareOp::Ge, FA, F->intLit(3));
+  EXPECT_EQ(Cmp->type(), TS.boolType());
+}
+
+TEST_F(CodeFixture, LocalsInScopeRespectsDeclarationOrder) {
+  unsigned Slot = Method->addLocal("d", TS.doubleType());
+  Method->addStmt({StmtKind::LocalDecl, Slot, F->floatLit(1.0)});
+  // Before the declaration statement only the parameter is visible.
+  EXPECT_EQ(Method->localsInScopeAt(0).size(), 1u);
+  EXPECT_EQ(Method->localsInScopeAt(1).size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality
+//===----------------------------------------------------------------------===//
+
+TEST_F(CodeFixture, ExprEqualsIsStructural) {
+  const Expr *A = F->fieldAccess(F->var(*Method, 0), X);
+  const Expr *B = F->fieldAccess(F->var(*Method, 0), X);
+  const Expr *C = F->fieldAccess(F->var(*Method, 0), Y);
+  EXPECT_TRUE(exprEquals(A, B));
+  EXPECT_FALSE(exprEquals(A, C));
+
+  unsigned QSlot = Method->addLocal("q", Point, /*IsParam=*/true);
+  const Expr *V = F->var(*Method, 0);
+  const Expr *Q = F->var(*Method, QSlot);
+  const Expr *CallA = F->call(Dist, nullptr, {V, Q});
+  const Expr *CallB = F->call(Dist, nullptr, {V, Q});
+  const Expr *CallC = F->call(Dist, nullptr, {Q, V});
+  EXPECT_TRUE(exprEquals(CallA, CallB));
+  EXPECT_FALSE(exprEquals(CallA, CallC)); // argument order matters
+}
+
+TEST_F(CodeFixture, LiteralEquality) {
+  EXPECT_TRUE(exprEquals(F->intLit(4), F->intLit(4)));
+  EXPECT_FALSE(exprEquals(F->intLit(4), F->intLit(5)));
+  EXPECT_FALSE(exprEquals(F->intLit(1), F->boolLit(true)));
+  EXPECT_TRUE(exprEquals(F->stringLit("a"), F->stringLit("a")));
+  EXPECT_TRUE(exprEquals(F->nullLit(), F->nullLit()));
+  EXPECT_TRUE(exprEquals(F->dontCare(), F->dontCare()));
+}
+
+//===----------------------------------------------------------------------===//
+// LValues and final lookup names
+//===----------------------------------------------------------------------===//
+
+TEST_F(CodeFixture, LValueClassification) {
+  const Expr *V = F->var(*Method, 0);
+  EXPECT_TRUE(isLValue(V));
+  EXPECT_TRUE(isLValue(F->fieldAccess(V, X)));
+  EXPECT_FALSE(isLValue(F->intLit(3)));
+  EXPECT_FALSE(isLValue(F->call(Dist, nullptr, {V, V})));
+  EXPECT_FALSE(isLValue(F->call(GetLength, F->thisRef(Line), {})));
+}
+
+TEST_F(CodeFixture, FinalLookupNames) {
+  const Expr *V = F->var(*Method, 0);
+  EXPECT_EQ(finalLookupName(TS, V), "p");
+  EXPECT_EQ(finalLookupName(TS, F->fieldAccess(V, X)), "X");
+  EXPECT_EQ(finalLookupName(TS, F->call(GetLength, F->thisRef(Line), {})),
+            "GetLength");
+  EXPECT_EQ(finalLookupName(TS, F->intLit(1)), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+TEST_F(CodeFixture, PrintsPaperSyntax) {
+  const Expr *V = F->var(*Method, 0);
+  EXPECT_EQ(printExpr(TS, V), "p");
+  EXPECT_EQ(printExpr(TS, F->fieldAccess(V, X)), "p.X");
+  EXPECT_EQ(printExpr(TS, F->fieldAccess(F->typeRef(Line), Origin)),
+            "Geo.Line.Origin");
+  EXPECT_EQ(printExpr(TS, F->call(Dist, nullptr, {V, F->dontCare()})),
+            "Geo.MathUtil.Distance(p, 0)");
+  EXPECT_EQ(printExpr(TS, F->call(GetLength, F->thisRef(Line), {})),
+            "this.GetLength()");
+  EXPECT_EQ(printExpr(TS, F->compare(CompareOp::Ge,
+                                     F->fieldAccess(V, X),
+                                     F->fieldAccess(V, Y))),
+            "p.X >= p.Y");
+  const Expr *Target = F->fieldAccess(V, X);
+  EXPECT_EQ(printExpr(TS, F->assign(Target, F->intLit(2))), "p.X = 2");
+  EXPECT_EQ(printExpr(TS, F->nullLit()), "null");
+  EXPECT_EQ(printExpr(TS, F->boolLit(true)), "true");
+  EXPECT_EQ(printExpr(TS, F->stringLit("hi")), "\"hi\"");
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST_F(CodeFixture, VerifierAcceptsFactoryBuiltExprs) {
+  const Expr *V = F->var(*Method, 0);
+  std::string Why;
+  EXPECT_TRUE(verifyExpr(TS, F->fieldAccess(V, X), &Why)) << Why;
+  EXPECT_TRUE(verifyExpr(TS, F->call(Dist, nullptr, {V, V}), &Why)) << Why;
+  EXPECT_TRUE(
+      verifyExpr(TS, F->call(Dist, nullptr, {V, F->dontCare()}), &Why))
+      << Why;
+  EXPECT_TRUE(verifyExpr(
+      TS, F->compare(CompareOp::Lt, F->fieldAccess(V, X), F->intLit(1)),
+      &Why))
+      << Why;
+}
+
+TEST_F(CodeFixture, VerifierRejectsIllTypedExprs) {
+  Arena &A = P->arena();
+  const Expr *V = F->var(*Method, 0);
+
+  // Wrong argument type: Distance(p, 3) — int is not a Point.
+  const Expr *BadCall = A.create<CallExpr>(
+      nullptr, Dist, std::vector<const Expr *>{V, F->intLit(3)},
+      TS.doubleType());
+  std::string Why;
+  EXPECT_FALSE(verifyExpr(TS, BadCall, &Why));
+  EXPECT_NE(Why.find("argument"), std::string::npos);
+
+  // Instance field accessed through a type name.
+  const Expr *BadAccess =
+      A.create<FieldAccessExpr>(F->typeRef(Point), X, TS.doubleType());
+  EXPECT_FALSE(verifyExpr(TS, BadAccess, &Why));
+
+  // Comparison between incomparable types (Point vs Point, not flagged).
+  const Expr *BadCmp =
+      A.create<CompareExpr>(CompareOp::Lt, V, V, TS.boolType());
+  EXPECT_FALSE(verifyExpr(TS, BadCmp, &Why));
+
+  // Assignment into a call result.
+  const Expr *Call = F->call(GetLength, F->thisRef(Line), {});
+  const Expr *BadAssign = A.create<AssignExpr>(Call, F->floatLit(2.0));
+  EXPECT_FALSE(verifyExpr(TS, BadAssign, &Why));
+
+  // A bare type reference is not a value.
+  EXPECT_FALSE(verifyExpr(TS, F->typeRef(Point), &Why));
+}
+
+TEST_F(CodeFixture, VerifierTreatsDontCareAsWildcard) {
+  // "the final result must type-check ... treating 0 as having any type"
+  // (Fig. 6).
+  std::string Why;
+  const Expr *V = F->var(*Method, 0);
+  Arena &A = P->arena();
+  const Expr *Cmp = A.create<CompareExpr>(CompareOp::Ge, F->dontCare(),
+                                          F->fieldAccess(V, X),
+                                          TS.boolType());
+  EXPECT_TRUE(verifyExpr(TS, Cmp, &Why)) << Why;
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- tests/corpus_test.cpp - Synthetic-corpus generator tests -----------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "code/ExprPrinter.h"
+#include "code/Verify.h"
+#include "corpus/Generator.h"
+#include "eval/Harvest.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Profiles
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilesTest, SevenPaperProjects) {
+  auto Profiles = paperProjectProfiles();
+  ASSERT_EQ(Profiles.size(), 7u);
+  std::vector<std::string> Names;
+  for (const auto &P : Profiles)
+    Names.push_back(P.Name);
+  EXPECT_EQ(Names, (std::vector<std::string>{
+                       "PaintNet", "Wix", "GnomeDo", "Banshee", "DotNet",
+                       "FamilyShow", "LiveGeometry"}));
+}
+
+TEST(ProfilesTest, ScaleShrinksProjects) {
+  auto Full = paperProjectProfiles(1.0);
+  auto Half = paperProjectProfiles(0.5);
+  for (size_t I = 0; I != Full.size(); ++I) {
+    EXPECT_LE(Half[I].NumClasses, Full[I].NumClasses);
+    EXPECT_GE(Half[I].NumClasses, 1);
+    EXPECT_EQ(Half[I].Seed, Full[I].Seed); // scale never changes the seed
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+struct CorpusSummary {
+  size_t Types, Methods, Fields, Stmts, Calls, Assigns, Compares;
+  std::string FirstStmts;
+};
+
+static CorpusSummary summarize(const ProjectProfile &Prof) {
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+  HarvestResult H = harvestProgram(P);
+  CorpusSummary S{TS.numTypes(),  TS.numMethods(),    TS.numFields(),
+                  P.numStatements(), H.Calls.size(),  H.Assigns.size(),
+                  H.Compares.size(), {}};
+  // A textual fingerprint of the first few statements.
+  size_t Shown = 0;
+  for (const auto &CC : P.classes()) {
+    for (const auto &CM : CC->methods())
+      for (const Stmt &St : CM->body()) {
+        if (St.Value)
+          S.FirstStmts += printExpr(TS, St.Value) + ";";
+        if (++Shown == 25)
+          return S;
+      }
+  }
+  return S;
+}
+
+TEST(GeneratorTest, DeterministicForTheSameProfile) {
+  ProjectProfile Prof = paperProjectProfiles(0.2)[0];
+  CorpusSummary A = summarize(Prof);
+  CorpusSummary B = summarize(Prof);
+  EXPECT_EQ(A.Types, B.Types);
+  EXPECT_EQ(A.Methods, B.Methods);
+  EXPECT_EQ(A.Stmts, B.Stmts);
+  EXPECT_EQ(A.FirstStmts, B.FirstStmts);
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentCorpora) {
+  ProjectProfile Prof = paperProjectProfiles(0.2)[0];
+  CorpusSummary A = summarize(Prof);
+  Prof.Seed ^= 0xDEADBEEF;
+  CorpusSummary B = summarize(Prof);
+  EXPECT_NE(A.FirstStmts, B.FirstStmts);
+}
+
+TEST(GeneratorTest, ProducesAllStatementKinds) {
+  ProjectProfile Prof = paperProjectProfiles(0.3)[0];
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+  HarvestResult H = harvestProgram(P);
+  EXPECT_GT(H.Calls.size(), 10u);
+  EXPECT_GT(H.Assigns.size(), 5u);
+  EXPECT_GT(H.Compares.size(), 5u);
+}
+
+/// The strongest generator property: every generated statement type-checks
+/// under the independent verifier.
+TEST(GeneratorTest, EveryGeneratedStatementTypeChecks) {
+  for (const ProjectProfile &Prof : paperProjectProfiles(0.25)) {
+    TypeSystem TS;
+    Program P(TS);
+    CorpusGenerator Gen(Prof);
+    Gen.generate(P);
+    for (const auto &CC : P.classes())
+      for (const auto &CM : CC->methods())
+        for (const Stmt &St : CM->body()) {
+          if (!St.Value)
+            continue;
+          std::string Why;
+          ASSERT_TRUE(verifyExpr(TS, St.Value, &Why))
+              << Prof.Name << ": " << printExpr(TS, St.Value) << ": " << Why;
+        }
+  }
+}
+
+TEST(GeneratorTest, ConceptFieldsShareTypesAcrossClasses) {
+  // Same-named primitive fields must have identical types everywhere —
+  // the invariant the matching-name term relies on.
+  ProjectProfile Prof = paperProjectProfiles(0.3)[1];
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+
+  std::unordered_map<std::string, TypeId> ByName;
+  for (size_t F = 0; F != TS.numFields(); ++F) {
+    const FieldInfo &FI = TS.field(static_cast<FieldId>(F));
+    if (!TS.isPrimitive(FI.Type) && FI.Type != TS.stringType())
+      continue;
+    if (TS.type(FI.Owner).Kind == TypeKind::Enum)
+      continue;
+    auto [It, Inserted] = ByName.emplace(FI.Name, FI.Type);
+    if (!Inserted) {
+      ASSERT_EQ(It->second, FI.Type) << "field " << FI.Name;
+    }
+  }
+}
+
+TEST(GeneratorTest, CallSitesHaveGuessableArguments) {
+  ProjectProfile Prof = paperProjectProfiles(0.25)[0];
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+  HarvestResult H = harvestProgram(P);
+  size_t WithGuessable = 0;
+  for (const CallSiteInfo &CS : H.Calls) {
+    bool Any = CS.Call->receiver() && isGuessableExpr(CS.Call->receiver());
+    for (const Expr *A : CS.Call->args())
+      Any |= isGuessableExpr(A);
+    WithGuessable += Any;
+  }
+  // Nearly every call should be usable by the method-prediction experiment.
+  EXPECT_GT(WithGuessable * 10, H.Calls.size() * 9);
+}
+
+TEST(GeneratorTest, GenerateTwiceIsRejected) {
+  ProjectProfile Prof = paperProjectProfiles(0.1)[3];
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+  EXPECT_DEATH(Gen.generate(P), "generate");
+}
+
+} // namespace

@@ -1,0 +1,302 @@
+//===- tests/eval_test.cpp - Evaluation-harness tests ---------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generator.h"
+#include "eval/Experiments.h"
+#include "eval/Intellisense.h"
+#include "parser/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, RankDistributionCounts) {
+  RankDistribution D;
+  D.add(1);
+  D.add(5);
+  D.add(15);
+  D.add(0); // not found
+  EXPECT_EQ(D.total(), 4u);
+  EXPECT_EQ(D.withinTop(1), 1u);
+  EXPECT_EQ(D.withinTop(10), 2u);
+  EXPECT_EQ(D.withinTop(20), 3u);
+  EXPECT_DOUBLE_EQ(D.fracWithin(10), 0.5);
+
+  RankDistribution E;
+  E.add(2);
+  D.merge(E);
+  EXPECT_EQ(D.total(), 5u);
+  EXPECT_EQ(D.withinTop(10), 3u);
+}
+
+TEST(MetricsTest, EmptyDistribution) {
+  RankDistribution D;
+  EXPECT_EQ(D.total(), 0u);
+  EXPECT_DOUBLE_EQ(D.fracWithin(10), 0.0);
+}
+
+TEST(MetricsTest, LatencyPercentiles) {
+  LatencyData L;
+  for (double V : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0})
+    L.add(V);
+  EXPECT_DOUBLE_EQ(L.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(L.percentile(100), 10.0);
+  EXPECT_NEAR(L.percentile(50), 5.5, 1e-9);
+  EXPECT_DOUBLE_EQ(L.fracUnder(5.5), 0.5);
+  EXPECT_DOUBLE_EQ(L.fracUnder(100), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Harvest and classification
+//===----------------------------------------------------------------------===//
+
+class HarvestTest : public ::testing::Test {
+protected:
+  void load(const char *Src) {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    std::ostringstream OS;
+    bool Ok = loadProgramText(Src, *P, Diags);
+    Diags.print(OS);
+    ASSERT_TRUE(Ok) << OS.str();
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+};
+
+TEST_F(HarvestTest, CollectsTopLevelSites) {
+  load(R"(
+    class Point { double X; }
+    class C {
+      Point p;
+      static void Consume(Point q);
+      void M(Point a) {
+        Consume(a);
+        p = a;
+        a.X < p.X;
+        var t = a.X;
+      }
+    }
+  )");
+  HarvestResult H = harvestProgram(*P);
+  EXPECT_EQ(H.Calls.size(), 1u);
+  EXPECT_EQ(H.Assigns.size(), 1u);
+  EXPECT_EQ(H.Compares.size(), 1u);
+  EXPECT_EQ(H.Calls[0].Site.StmtIndex, 0u);
+  EXPECT_EQ(H.Compares[0].Site.StmtIndex, 2u);
+}
+
+TEST_F(HarvestTest, ClassifiesArgumentForms) {
+  load(R"(
+    class Point { double X; Point Mirror(); }
+    class C {
+      Point field;
+      static Point Global;
+      void M(Point a) {
+        var t = a.X;
+      }
+    }
+  )");
+  const CodeClass *CC = findCodeClass(*P, "C");
+  const CodeMethod *CM = findCodeMethod(*P, *CC, "M");
+  Arena A;
+  ExprFactory F(*TS, A);
+  TypeId PointTy = TS->findType("Point");
+  TypeId CTy = TS->findType("C");
+  FieldId FieldF = TS->findField(CTy, "field");
+  FieldId GlobalF = TS->findField(CTy, "Global");
+  FieldId XF = TS->findField(PointTy, "X");
+  MethodId Mirror = TS->findMethods(PointTy, "Mirror")[0];
+
+  const Expr *Var = F.var(*CM, 0);
+  EXPECT_EQ(classifyExprForm(Var), ExprForm::LocalVar);
+  EXPECT_EQ(classifyExprForm(F.thisRef(CTy)), ExprForm::This);
+  const Expr *ThisField = F.fieldAccess(F.thisRef(CTy), FieldF);
+  EXPECT_EQ(classifyExprForm(ThisField), ExprForm::FieldLookup);
+  EXPECT_EQ(classifyExprForm(F.fieldAccess(Var, XF)), ExprForm::FieldLookup);
+  EXPECT_EQ(classifyExprForm(F.fieldAccess(ThisField, XF)),
+            ExprForm::DeepLookup);
+  EXPECT_EQ(classifyExprForm(F.call(Mirror, Var, {})), ExprForm::DeepLookup);
+  EXPECT_EQ(classifyExprForm(F.fieldAccess(F.typeRef(CTy), GlobalF)),
+            ExprForm::Global);
+  EXPECT_EQ(classifyExprForm(F.intLit(3)), ExprForm::NotGuessable);
+  EXPECT_EQ(classifyExprForm(F.nullLit()), ExprForm::NotGuessable);
+}
+
+//===----------------------------------------------------------------------===//
+// Intellisense baseline
+//===----------------------------------------------------------------------===//
+
+TEST_F(HarvestTest, IntellisenseRankIsAlphabetic) {
+  load(R"(
+    class Widget {
+      void Apply();
+      void Zap();
+      void Move(int dx);
+      int Size;
+      static void Ignore();
+    }
+    class C {
+      void M(Widget w) {
+        w.Move(3);
+        w.Zap();
+      }
+    }
+  )");
+  HarvestResult H = harvestProgram(*P);
+  ASSERT_EQ(H.Calls.size(), 2u);
+  // Instance members of Widget, alphabetized: Apply, Move, Size, Zap.
+  EXPECT_EQ(intellisenseRank(*TS, H.Calls[0].Call), 2u); // Move
+  EXPECT_EQ(intellisenseRank(*TS, H.Calls[1].Call), 4u); // Zap
+}
+
+TEST_F(HarvestTest, IntellisenseStaticCallsListStaticMembers) {
+  load(R"(
+    class Util {
+      static void Alpha();
+      static void Beta();
+      void Instance();
+    }
+    class C {
+      void M() {
+        Util.Beta();
+      }
+    }
+  )");
+  HarvestResult H = harvestProgram(*P);
+  ASSERT_EQ(H.Calls.size(), 1u);
+  // Static members: Alpha, Beta — Instance is not listed.
+  EXPECT_EQ(intellisenseRank(*TS, H.Calls[0].Call), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Experiment drivers on a miniature corpus
+//===----------------------------------------------------------------------===//
+
+class ExperimentTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    ASSERT_TRUE(loadProgramText(R"(
+      namespace App {
+        class Point {
+          double X;
+          double Y;
+        }
+        class Rect {
+          Point TopLeft;
+          Point Size;
+        }
+        class Util {
+          static double Distance(App.Point a, App.Point b);
+          static App.Point Middle(App.Point a, App.Point b);
+          static bool Check(object o);
+        }
+      }
+      class Client {
+        App.Rect box;
+        void M(App.Point p, App.Point q) {
+          App.Util.Distance(p, q);
+          App.Util.Middle(q, p);
+          box.TopLeft = p;
+          p.X < q.X;
+          p.Y >= box.TopLeft.Y;
+        }
+      }
+    )", *P, Diags));
+    Idx = std::make_unique<CompletionIndexes>(*P);
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  std::unique_ptr<CompletionIndexes> Idx;
+};
+
+TEST_F(ExperimentTest, MethodPredictionFindsTheCallees) {
+  Evaluator Ev(*P, *Idx, RankingOptions::all());
+  MethodPredictionData Data = Ev.runMethodPrediction(true, true);
+  ASSERT_EQ(Data.Best.total(), 2u);
+  // Both calls should be easily in the top 10 of this tiny corpus.
+  EXPECT_EQ(Data.Best.withinTop(10), 2u);
+  EXPECT_EQ(Data.Static.total(), 2u);
+  EXPECT_EQ(Data.Instance.total(), 0u);
+  EXPECT_EQ(Data.RankDiff.size(), 2u);
+  EXPECT_EQ(Data.BestKnownReturn.total(), 2u);
+  // Known return type can only help.
+  EXPECT_GE(Data.BestKnownReturn.withinTop(10), Data.Best.withinTop(10));
+  // Fig. 10 bookkeeping: both calls have 2 call-signature args.
+  ASSERT_TRUE(Data.ByArity.count(2));
+  EXPECT_EQ(Data.ByArity.at(2).Calls, 2u);
+}
+
+TEST_F(ExperimentTest, ArgumentPredictionReplaysEveryGuessableArg) {
+  Evaluator Ev(*P, *Idx, RankingOptions::all());
+  ArgumentPredictionData Data = Ev.runArgumentPrediction();
+  // 2 calls x 2 args, all guessable locals.
+  EXPECT_EQ(Data.TotalArgs, 4u);
+  EXPECT_EQ(Data.NotGuessable, 0u);
+  EXPECT_EQ(Data.All.total(), 4u);
+  EXPECT_EQ(Data.All.withinTop(10), 4u);
+  // All four answers are bare locals, so NoVars is empty.
+  EXPECT_EQ(Data.NoVars.total(), 0u);
+}
+
+TEST_F(ExperimentTest, AssignmentExperimentStripsTheTargetLookup) {
+  Evaluator Ev(*P, *Idx, RankingOptions::all());
+  AssignmentData Data = Ev.runAssignments();
+  // box.TopLeft = p: target ends in a lookup, source is a bare local.
+  EXPECT_EQ(Data.Target.total(), 1u);
+  EXPECT_EQ(Data.Source.total(), 0u);
+  EXPECT_EQ(Data.Both.total(), 0u);
+  EXPECT_GE(Data.Target.withinTop(10), 1u);
+}
+
+TEST_F(ExperimentTest, ComparisonExperimentHandlesBothDepths) {
+  Evaluator Ev(*P, *Idx, RankingOptions::all());
+  ComparisonData Data = Ev.runComparisons();
+  // p.X < q.X: one lookup each side. p.Y >= box.TopLeft.Y: one left, two
+  // right.
+  EXPECT_EQ(Data.Left.total(), 2u);
+  EXPECT_EQ(Data.Right.total(), 2u);
+  EXPECT_EQ(Data.Both.total(), 2u);
+  EXPECT_EQ(Data.TwoLeft.total(), 0u);
+  EXPECT_EQ(Data.TwoRight.total(), 1u);
+  EXPECT_EQ(Data.Left.withinTop(10), 2u);
+}
+
+TEST_F(ExperimentTest, LatencyIsRecordedPerQuery) {
+  Evaluator Ev(*P, *Idx, RankingOptions::all());
+  Ev.runMethodPrediction(false, false);
+  EXPECT_GT(Ev.latency().Millis.size(), 0u);
+}
+
+TEST(EvaluatorOnGeneratedCorpus, DeterministicResults) {
+  ProjectProfile Prof = paperProjectProfiles(0.15)[5];
+  auto RunOnce = [&Prof]() {
+    TypeSystem TS;
+    Program P(TS);
+    CorpusGenerator Gen(Prof);
+    Gen.generate(P);
+    CompletionIndexes Idx(P);
+    Evaluator Ev(P, Idx, RankingOptions::all());
+    MethodPredictionData Data = Ev.runMethodPrediction(false, false);
+    return Data.Best.ranks();
+  };
+  EXPECT_EQ(RunOnce(), RunOnce());
+}
+
+} // namespace

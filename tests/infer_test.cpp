@@ -1,0 +1,299 @@
+//===- tests/infer_test.cpp - Abstract type inference tests ---------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/AbstractTypes.h"
+#include "parser/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+class InferTest : public ::testing::Test {
+protected:
+  void load(const char *Src) {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    std::ostringstream OS;
+    bool Ok = loadProgramText(Src, *P, Diags);
+    Diags.print(OS);
+    ASSERT_TRUE(Ok) << OS.str();
+    Infer = std::make_unique<AbstractTypeInference>(*P);
+  }
+
+  const CodeMethod *method(const char *Class, const char *Name) {
+    const CodeClass *CC = findCodeClass(*P, Class);
+    return CC ? findCodeMethod(*P, *CC, Name) : nullptr;
+  }
+
+  /// The abstract var of local slot \p Slot of \p M.
+  uint32_t localVar(const CodeMethod *M, unsigned Slot) {
+    Arena A;
+    ExprFactory F(*TS, A);
+    return Infer->varOfExpr(F.var(*M, Slot), M);
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  std::unique_ptr<AbstractTypeInference> Infer;
+};
+
+// The paper's Family.Show example (§4.1): appLocation flows into
+// Directory.Exists, Directory.CreateDirectory, and Path.Combine's first
+// parameter, so all of those share one abstract type ("directory name"),
+// while Path.Combine's *second* parameter groups with the file-name
+// constants instead.
+TEST_F(InferTest, PaperPathCombineExample) {
+  load(R"(
+    class Path {
+      static string Combine(string a, string b);
+    }
+    class Directory {
+      static bool Exists(string path);
+      static string CreateDirectory(string path);
+    }
+    class App { static string ApplicationFolderName; }
+    class Const { static string DataFileName; }
+    class Environment { static string GetFolderPath(string which); }
+
+    class FamilyShow {
+      string Run(string special) {
+        var appLocation = Path.Combine(Environment.GetFolderPath(special),
+                                       App.ApplicationFolderName);
+        Directory.Exists(appLocation);
+        Directory.CreateDirectory(appLocation);
+        return Path.Combine(appLocation, Const.DataFileName);
+      }
+    }
+  )");
+
+  AbsTypeSolution Sol = Infer->solve();
+
+  TypeId PathTy = TS->findType("Path");
+  TypeId DirTy = TS->findType("Directory");
+  MethodId Combine = TS->findMethods(PathTy, "Combine")[0];
+  MethodId Exists = TS->findMethods(DirTy, "Exists")[0];
+  MethodId Create = TS->findMethods(DirTy, "CreateDirectory")[0];
+
+  uint32_t CombineA = Infer->varOfCallParam(Combine, 0, PathTy);
+  uint32_t CombineB = Infer->varOfCallParam(Combine, 1, PathTy);
+  uint32_t ExistsPath = Infer->varOfCallParam(Exists, 0, DirTy);
+  uint32_t CreatePath = Infer->varOfCallParam(Create, 0, DirTy);
+
+  // "their first arguments are all the same abstract type."
+  EXPECT_TRUE(Sol.sameAbstractType(CombineA, ExistsPath));
+  EXPECT_TRUE(Sol.sameAbstractType(CombineA, CreatePath));
+  // "that must also be the abstract type of the return values of
+  //  Path.Combine and Environment.GetFolderPath."
+  uint32_t CombineRet = Infer->varOfReturn(Combine, PathTy);
+  EXPECT_TRUE(Sol.sameAbstractType(CombineA, CombineRet));
+  // "no evidence ... the second argument of Path.Combine is of that type."
+  EXPECT_FALSE(Sol.sameAbstractType(CombineA, CombineB));
+
+  // The file-name side: App.ApplicationFolderName and Const.DataFileName
+  // share the second-parameter class.
+  FieldId AppName = TS->findField(TS->findType("App"),
+                                  "ApplicationFolderName");
+  FieldId DataName = TS->findField(TS->findType("Const"), "DataFileName");
+  Arena A;
+  ExprFactory F(*TS, A);
+  const Expr *AppExpr =
+      F.fieldAccess(F.typeRef(TS->findType("App")), AppName);
+  const Expr *DataExpr =
+      F.fieldAccess(F.typeRef(TS->findType("Const")), DataName);
+  uint32_t AppVar = Infer->varOfExpr(AppExpr, nullptr);
+  uint32_t DataVar = Infer->varOfExpr(DataExpr, nullptr);
+  EXPECT_TRUE(Sol.sameAbstractType(CombineB, AppVar));
+  EXPECT_TRUE(Sol.sameAbstractType(CombineB, DataVar));
+  EXPECT_FALSE(Sol.sameAbstractType(AppVar, CombineA));
+}
+
+TEST_F(InferTest, AssignmentsAndDeclsUnify) {
+  load(R"(
+    class C {
+      int total;
+      void M(int amount) {
+        var copy = amount;
+        total = copy;
+      }
+    }
+  )");
+  AbsTypeSolution Sol = Infer->solve();
+  const CodeMethod *M = method("C", "M");
+  ASSERT_NE(M, nullptr);
+  uint32_t Amount = localVar(M, 0);
+  uint32_t Copy = localVar(M, 1);
+  FieldId Total = TS->findField(TS->findType("C"), "total");
+  Arena A;
+  ExprFactory F(*TS, A);
+  uint32_t TotalVar = Infer->varOfExpr(
+      F.fieldAccess(F.thisRef(TS->findType("C")), Total), M);
+  EXPECT_TRUE(Sol.sameAbstractType(Amount, Copy));
+  EXPECT_TRUE(Sol.sameAbstractType(Copy, TotalVar));
+}
+
+TEST_F(InferTest, UnrelatedLocalsStayDistinct) {
+  load(R"(
+    class C {
+      void M(int a, int b) {
+        var x = a;
+        var y = b;
+      }
+    }
+  )");
+  AbsTypeSolution Sol = Infer->solve();
+  const CodeMethod *M = method("C", "M");
+  EXPECT_FALSE(Sol.sameAbstractType(localVar(M, 0), localVar(M, 1)));
+  // Undefined vars are never "equal", even to themselves-as-undefined.
+  EXPECT_FALSE(Sol.sameAbstractType(AbstractTypeInference::NoVar,
+                                    AbstractTypeInference::NoVar));
+}
+
+TEST_F(InferTest, OverridesShareTheBaseDeclarationSlots) {
+  load(R"(
+    class Base {
+      int Compute(int seed);
+    }
+    class Derived : Base {
+      int Compute(int seed);
+    }
+    class C {
+      void M(Base b, Derived d, int s1, int s2) {
+        b.Compute(s1);
+        d.Compute(s2);
+      }
+    }
+  )");
+  TypeId BaseTy = TS->findType("Base");
+  TypeId DerivedTy = TS->findType("Derived");
+  MethodId BaseM = TS->type(BaseTy).Methods[0];
+  MethodId DerM = TS->type(DerivedTy).Methods[0];
+  EXPECT_EQ(Infer->baseDeclaration(DerM), BaseM);
+  EXPECT_EQ(Infer->baseDeclaration(BaseM), BaseM);
+
+  // Arguments to either override unify through the shared parameter slot.
+  AbsTypeSolution Sol = Infer->solve();
+  const CodeMethod *M = method("C", "M");
+  EXPECT_TRUE(Sol.sameAbstractType(localVar(M, 2), localVar(M, 3)));
+}
+
+TEST_F(InferTest, ObjectMethodsSpecializePerReceiverType) {
+  load(R"(
+    class A { }
+    class B { }
+    class C {
+      void M(A a, B b, object o1, object o2) {
+        Describe(a, o1);
+        Describe(b, o2);
+      }
+      static void Describe(object target, object extra);
+    }
+  )");
+  // Describe is declared on C (not Object), so both calls share slots and
+  // o1/o2 unify. This guards the *absence* of specialization for normal
+  // types...
+  AbsTypeSolution Sol = Infer->solve();
+  const CodeMethod *M = method("C", "M");
+  EXPECT_TRUE(Sol.sameAbstractType(localVar(M, 2), localVar(M, 3)));
+}
+
+TEST_F(InferTest, MethodsDeclaredOnObjectDoNotMergeAcrossTypes) {
+  // ...and this guards its presence: ToString-like methods declared on the
+  // Object builtin get per-receiver-type slots (§4.1).
+  TypeSystem TS2;
+  TS2.addMethod(TS2.objectType(), "ToString", TS2.stringType(), {});
+  Program P2(TS2);
+  NamespaceId Ns = TS2.getOrAddNamespace("N");
+  TypeId A = TS2.addType("A", Ns, TypeKind::Class);
+  TypeId B = TS2.addType("B", Ns, TypeKind::Class);
+  MethodId ToString = TS2.type(TS2.objectType()).Methods[0];
+
+  MethodId MDecl = TS2.addMethod(A, "M", TS2.voidType(),
+                                 {{"a", A}, {"b", B}});
+  CodeClass &CC = P2.addClass(A);
+  CodeMethod &CM = CC.addMethod(MDecl);
+  unsigned SA = CM.addLocal("a", A, true);
+  unsigned SB = CM.addLocal("b", B, true);
+  ExprFactory F(TS2, P2.arena());
+  // a.ToString(); b.ToString();
+  CM.addStmt({StmtKind::ExprStmt, 0, F.call(ToString, F.var(CM, SA), {})});
+  CM.addStmt({StmtKind::ExprStmt, 0, F.call(ToString, F.var(CM, SB), {})});
+
+  AbstractTypeInference Inf(P2);
+  AbsTypeSolution Sol = Inf.solve();
+  // The receivers do NOT unify: each receiver type has its own ToString.
+  uint32_t VA = Inf.varOfExpr(F.var(CM, SA), &CM);
+  uint32_t VB = Inf.varOfExpr(F.var(CM, SB), &CM);
+  EXPECT_FALSE(Sol.sameAbstractType(VA, VB));
+  // And the per-type return slots are distinct variables.
+  EXPECT_NE(Inf.varOfReturn(ToString, A), Inf.varOfReturn(ToString, B));
+}
+
+TEST_F(InferTest, ExclusionRemovesTheQuerySiteEvidence) {
+  load(R"(
+    class Util {
+      static void Consume(int amount);
+    }
+    class C {
+      void M(int a, int b) {
+        Util.Consume(a);
+        Util.Consume(b);
+      }
+    }
+  )");
+  MethodId Consume = TS->findMethods(TS->findType("Util"), "Consume")[0];
+  uint32_t Param = Infer->varOfCallParam(Consume, 0, TS->findType("Util"));
+  const CodeMethod *M = method("C", "M");
+  uint32_t VA = localVar(M, 0);
+  uint32_t VB = localVar(M, 1);
+
+  // Full solution: both arguments unify with the parameter.
+  AbsTypeSolution Full = Infer->solve();
+  EXPECT_TRUE(Full.sameAbstractType(VA, Param));
+  EXPECT_TRUE(Full.sameAbstractType(VB, Param));
+
+  // Excluding from statement 1 on: the b-call never happened, so only a
+  // unifies ("the expression does not exist yet", §5).
+  AbsTypeSolution Partial = Infer->solveExcluding(M, 1);
+  EXPECT_TRUE(Partial.sameAbstractType(VA, Param));
+  EXPECT_FALSE(Partial.sameAbstractType(VB, Param));
+
+  // Excluding everything: no call evidence at all.
+  AbsTypeSolution None = Infer->solveExcluding(M, 0);
+  EXPECT_FALSE(None.sameAbstractType(VA, Param));
+}
+
+TEST_F(InferTest, ReturnsUnifyWithReturnSlot) {
+  load(R"(
+    class C {
+      int counter;
+      int Get() {
+        return counter;
+      }
+      void M() {
+        var v = Get();
+      }
+    }
+  )");
+  AbsTypeSolution Sol = Infer->solve();
+  const CodeMethod *M = method("C", "M");
+  const CodeMethod *Get = method("C", "Get");
+  ASSERT_NE(Get, nullptr);
+  uint32_t V = localVar(M, 0);
+  FieldId Counter = TS->findField(TS->findType("C"), "counter");
+  Arena A;
+  ExprFactory F(*TS, A);
+  uint32_t CounterVar = Infer->varOfExpr(
+      F.fieldAccess(F.thisRef(TS->findType("C")), Counter), Get);
+  // v = Get() and return counter connect v to the field through the
+  // return slot.
+  EXPECT_TRUE(Sol.sameAbstractType(V, CounterVar));
+}
+
+} // namespace

@@ -1,0 +1,242 @@
+//===- tests/integration_test.cpp - End-to-end pipeline tests -------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Whole-pipeline scenarios over a larger hand-written program: parse ->
+// resolve -> infer -> index -> complete -> evaluate, with the invariants
+// (type-correctness, Fig. 6 derivability, score additivity, determinism)
+// checked at the end of the chain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "code/ExprPrinter.h"
+#include "code/Verify.h"
+#include "complete/Engine.h"
+#include "corpus/SourceWriter.h"
+#include "eval/Experiments.h"
+#include "parser/Frontend.h"
+#include "partial/Semantics.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+/// A file-store application: two library namespaces, inheritance, enums,
+/// interfaces, statics, overloads, and client code exercising all statement
+/// forms — deliberately trickier than the generator's output.
+const char *AppCorpus = R"(
+namespace Store.IO {
+  enum OpenMode { Read, Write, Append }
+  interface IClosable { }
+  class Stream : IClosable {
+    long Position;
+    long Length;
+    void Close();
+  }
+  class FileStream : Store.IO.Stream {
+    string PathName;
+  }
+  class File {
+    static Store.IO.FileStream Open(string path, Store.IO.OpenMode mode);
+    static bool Exists(string path);
+    static string ReadAll(string path);
+  }
+  class Path {
+    static string Combine(string a, string b);
+    static string GetExtension(string path);
+  }
+}
+
+namespace Store.Data {
+  class Record {
+    int Id;
+    string Title;
+    long Timestamp;
+  }
+  class Table {
+    string Name;
+    int Count;
+    Store.Data.Record Find(int id);
+    Store.Data.Record First();
+    void Insert(Store.Data.Record record);
+  }
+  class Db {
+    static Store.Data.Table OpenTable(string name);
+    static Store.Data.Db Connect(string path);
+    Store.Data.Table Main;
+  }
+}
+
+class App {
+  Store.Data.Db db;
+  string rootDir;
+
+  void Sync(string fileName, Store.Data.Record rec) {
+    string full = Store.IO.Path.Combine(rootDir, fileName);
+    var exists = Store.IO.File.Exists(full);
+    var stream = Store.IO.File.Open(full, Store.IO.OpenMode.Read);
+    var table = Store.Data.Db.OpenTable(fileName);
+    table.Insert(rec);
+    rec.Timestamp = stream.Length;
+    rec.Id < table.Count;
+    stream.Close();
+  }
+}
+)";
+
+class IntegrationTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    std::ostringstream OS;
+    bool Ok = loadProgramText(AppCorpus, *P, Diags);
+    Diags.print(OS);
+    ASSERT_TRUE(Ok) << OS.str();
+    Class = findCodeClass(*P, "App");
+    Method = findCodeMethod(*P, *Class, "Sync");
+    ASSERT_NE(Method, nullptr);
+    Site = {Class, Method, Method->body().size()};
+    Idx = std::make_unique<CompletionIndexes>(*P);
+    Engine = std::make_unique<CompletionEngine>(*P, *Idx);
+  }
+
+  const PartialExpr *query(const char *Text,
+                           size_t StmtIndex = static_cast<size_t>(-1)) {
+    QueryScope Scope{Class, Method, StmtIndex};
+    const PartialExpr *Q = parseQueryText(Text, *P, Scope, Diags);
+    EXPECT_NE(Q, nullptr);
+    return Q;
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  const CodeClass *Class = nullptr;
+  const CodeMethod *Method = nullptr;
+  CodeSite Site;
+  std::unique_ptr<CompletionIndexes> Idx;
+  std::unique_ptr<CompletionEngine> Engine;
+};
+
+TEST_F(IntegrationTest, BodiesResolvedAndTypeCorrect) {
+  EXPECT_EQ(Method->body().size(), 8u);
+  for (const Stmt &St : Method->body()) {
+    if (!St.Value)
+      continue;
+    std::string Why;
+    EXPECT_TRUE(verifyExpr(*TS, St.Value, &Why))
+        << printExpr(*TS, St.Value) << ": " << Why;
+  }
+}
+
+TEST_F(IntegrationTest, MethodDiscoveryAcrossNamespaces) {
+  // "I have a path and a mode — what can I call?"
+  std::vector<Completion> Results =
+      Engine->complete(query("?({full, Store.IO.OpenMode.Read})"), Site, 10);
+  ASSERT_FALSE(Results.empty());
+  EXPECT_EQ(printExpr(*TS, Results[0].E),
+            "Store.IO.File.Open(full, Store.IO.OpenMode.Read)");
+}
+
+TEST_F(IntegrationTest, AbstractTypesSeparatePathsFromTitles) {
+  // `full` flows through Path.Combine/File.Exists/File.Open — its abstract
+  // type is "path-like". Argument prediction for ReadAll(?) should rank
+  // path-flavoured strings above Record.Title.
+  std::vector<Completion> Results =
+      Engine->complete(query("ReadAll(?)"), Site, 20);
+  ASSERT_FALSE(Results.empty());
+  auto RankOf = [&](const char *S) -> int {
+    for (size_t I = 0; I != Results.size(); ++I)
+      if (printExpr(*TS, Results[I].E).find(S) != std::string::npos)
+        return static_cast<int>(I);
+    return 1000;
+  };
+  int Full = RankOf("ReadAll(full)");
+  int Title = RankOf("rec.Title");
+  ASSERT_NE(Full, 1000);
+  ASSERT_NE(Title, 1000);
+  EXPECT_LT(Full, Title);
+}
+
+TEST_F(IntegrationTest, ScopeRespectsTheQuerySite) {
+  // Before statement 0, `full`/`stream`/`table` do not exist: the hole can
+  // only use the parameters and fields.
+  std::vector<Completion> Early =
+      Engine->complete(query("?", 0), {Class, Method, 0}, 50);
+  for (const Completion &C : Early) {
+    std::string S = printExpr(*TS, C.E);
+    EXPECT_EQ(S.find("full"), std::string::npos) << S;
+    EXPECT_EQ(S.rfind("stream", 0), std::string::npos) << S;
+  }
+}
+
+TEST_F(IntegrationTest, LookupCompletionThroughInheritedMembers) {
+  // stream is a FileStream; Length/Position are inherited from Stream.
+  std::vector<Completion> Results =
+      Engine->complete(query("stream.?f"), Site, 20);
+  std::vector<std::string> Strs;
+  for (const Completion &C : Results)
+    Strs.push_back(printExpr(*TS, C.E));
+  EXPECT_NE(std::find(Strs.begin(), Strs.end(), "stream.Length"),
+            Strs.end());
+  EXPECT_NE(std::find(Strs.begin(), Strs.end(), "stream.PathName"),
+            Strs.end());
+}
+
+TEST_F(IntegrationTest, ComparisonCompletionPrefersMatchingConcepts) {
+  std::vector<Completion> Results =
+      Engine->complete(query("rec.?m < table.?m"), Site, 10);
+  ASSERT_FALSE(Results.empty());
+  // rec.Id < table.Count is the only same-flavour int pair; it must beat
+  // cross-typed pairs like rec.Timestamp < table.Count.
+  EXPECT_EQ(printExpr(*TS, Results[0].E), "rec.Id < table.Count");
+}
+
+TEST_F(IntegrationTest, EverythingTheEngineEmitsIsSound) {
+  for (const char *QT :
+       {"?", "?({rec})", "Combine(rootDir, ?)", "rec.?m < table.?m",
+        "rec.Timestamp = stream.?m", "db.?*m"}) {
+    const PartialExpr *Q = query(QT);
+    for (const Completion &C : Engine->complete(Q, Site, 120)) {
+      std::string Why;
+      ASSERT_TRUE(verifyExpr(*TS, C.E, &Why))
+          << QT << ": " << printExpr(*TS, C.E) << ": " << Why;
+      ASSERT_TRUE(isDerivableCompletion(*P, Site, Q, C.E, &Why))
+          << QT << ": " << printExpr(*TS, C.E) << ": " << Why;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, EvaluatorReplaysTheWholeProgram) {
+  Evaluator Ev(*P, *Idx, RankingOptions::all());
+  MethodPredictionData MP = Ev.runMethodPrediction(true, true);
+  EXPECT_EQ(MP.Best.total(), 6u); // six harvested calls (Close included)
+  EXPECT_GE(MP.Best.withinTop(10), 5u);
+  ArgumentPredictionData AP = Ev.runArgumentPrediction();
+  EXPECT_GT(AP.TotalArgs, 5u);
+  AssignmentData AS = Ev.runAssignments();
+  EXPECT_EQ(AS.Source.total(), 1u); // rec.Timestamp = stream.Length
+  ComparisonData CP = Ev.runComparisons();
+  EXPECT_EQ(CP.Both.total(), 1u); // rec.Id < table.Count
+  EXPECT_EQ(CP.Both.withinTop(10), 1u);
+}
+
+TEST_F(IntegrationTest, SourceRoundTripPreservesTheProgram) {
+  std::string Src1 = writeProgramSource(*P);
+  DiagnosticEngine D2;
+  TypeSystem TS2;
+  Program P2(TS2);
+  std::ostringstream OS;
+  bool Ok = loadProgramText(Src1, P2, D2);
+  D2.print(OS);
+  ASSERT_TRUE(Ok) << OS.str();
+  EXPECT_EQ(writeProgramSource(P2), Src1);
+}
+
+} // namespace

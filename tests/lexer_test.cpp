@@ -1,0 +1,135 @@
+//===- tests/lexer_test.cpp - Tokenizer unit tests ------------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+std::vector<Token> lex(const char *Src, DiagnosticEngine *D = nullptr) {
+  DiagnosticEngine Local;
+  Lexer L(Src, D ? *D : Local);
+  return L.lexAll();
+}
+
+std::vector<TokKind> kinds(const char *Src) {
+  std::vector<TokKind> Out;
+  for (const Token &T : lex(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Toks = lex("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokKind::Eof));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto Toks = lex("class Foo namespace bar_2 static var this");
+  EXPECT_TRUE(Toks[0].is(TokKind::KwClass));
+  EXPECT_TRUE(Toks[1].is(TokKind::Ident));
+  EXPECT_EQ(Toks[1].Text, "Foo");
+  EXPECT_TRUE(Toks[2].is(TokKind::KwNamespace));
+  EXPECT_EQ(Toks[3].Text, "bar_2");
+  EXPECT_TRUE(Toks[4].is(TokKind::KwStatic));
+  EXPECT_TRUE(Toks[5].is(TokKind::KwVar));
+  EXPECT_TRUE(Toks[6].is(TokKind::KwThis));
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto Toks = lex("42 3.5 0");
+  EXPECT_TRUE(Toks[0].is(TokKind::IntLit));
+  EXPECT_EQ(Toks[0].IntValue, 42);
+  EXPECT_TRUE(Toks[1].is(TokKind::FloatLit));
+  EXPECT_DOUBLE_EQ(Toks[1].FloatValue, 3.5);
+  EXPECT_TRUE(Toks[2].is(TokKind::IntLit));
+  EXPECT_EQ(Toks[2].IntValue, 0);
+}
+
+TEST(LexerTest, DotAfterIntIsMemberAccessNotFloat) {
+  // `1.ToString` style: dot not followed by a digit stays a Dot token.
+  auto K = kinds("1.x");
+  EXPECT_EQ(K[0], TokKind::IntLit);
+  EXPECT_EQ(K[1], TokKind::Dot);
+  EXPECT_EQ(K[2], TokKind::Ident);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto Toks = lex(R"("hello" "a\"b")");
+  EXPECT_TRUE(Toks[0].is(TokKind::StringLit));
+  EXPECT_EQ(Toks[0].Text, "hello");
+  EXPECT_EQ(Toks[1].Text, "a\"b");
+}
+
+TEST(LexerTest, UnterminatedStringIsDiagnosed) {
+  DiagnosticEngine D;
+  lex("\"oops", &D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto K = kinds("{ } ( ) , ; . ? * : = == != < <= > >=");
+  std::vector<TokKind> Expected = {
+      TokKind::LBrace, TokKind::RBrace, TokKind::LParen, TokKind::RParen,
+      TokKind::Comma,  TokKind::Semi,   TokKind::Dot,    TokKind::Question,
+      TokKind::Star,   TokKind::Colon,  TokKind::Assign, TokKind::EqEq,
+      TokKind::NotEq,  TokKind::Lt,     TokKind::Le,     TokKind::Gt,
+      TokKind::Ge,     TokKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, PartialExpressionSuffixLexesAsFourTokens) {
+  // `.?*m` must lex as DOT QUESTION STAR IDENT for the query parser.
+  auto K = kinds("p.?*m");
+  std::vector<TokKind> Expected = {TokKind::Ident, TokKind::Dot,
+                                   TokKind::Question, TokKind::Star,
+                                   TokKind::Ident, TokKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto K = kinds("a // line comment\n b /* block\n comment */ c");
+  std::vector<TokKind> Expected = {TokKind::Ident, TokKind::Ident,
+                                   TokKind::Ident, TokKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsDiagnosed) {
+  DiagnosticEngine D;
+  lex("a /* never closed", &D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto Toks = lex("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterIsDiagnosed) {
+  DiagnosticEngine D;
+  auto Toks = lex("a @ b", &D);
+  EXPECT_TRUE(D.hasErrors());
+  // Error tokens are produced but lexing continues.
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, BoolAndNullKeywords) {
+  auto K = kinds("true false null comparable");
+  std::vector<TokKind> Expected = {TokKind::KwTrue, TokKind::KwFalse,
+                                   TokKind::KwNull, TokKind::KwComparable,
+                                   TokKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+//===- tests/model_test.cpp - TypeSystem unit + property tests ------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/TypeSystem.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+/// Builds the paper's running hierarchy: Rectangle <: Shape <: Object.
+class ShapesFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Ns = TS.getOrAddNamespace("Geo");
+    Shape = TS.addType("Shape", Ns, TypeKind::Class);
+    Rectangle = TS.addType("Rectangle", Ns, TypeKind::Class, Shape);
+    Circle = TS.addType("Circle", Ns, TypeKind::Class, Shape);
+    IDrawable = TS.addType("IDrawable", Ns, TypeKind::Interface);
+    TS.addInterface(Rectangle, IDrawable);
+  }
+
+  TypeSystem TS;
+  NamespaceId Ns;
+  TypeId Shape, Rectangle, Circle, IDrawable;
+};
+
+//===----------------------------------------------------------------------===//
+// Namespaces
+//===----------------------------------------------------------------------===//
+
+TEST(TypeSystemTest, NamespaceInterningCreatesAncestors) {
+  TypeSystem TS;
+  NamespaceId N = TS.getOrAddNamespace("System.Collections.Generic");
+  EXPECT_EQ(TS.nspace(N).FullName, "System.Collections.Generic");
+  EXPECT_EQ(TS.nspace(N).Segments.size(), 3u);
+  NamespaceId Parent = TS.nspace(N).Parent;
+  EXPECT_EQ(TS.nspace(Parent).FullName, "System.Collections");
+  // Interning: same name, same id.
+  EXPECT_EQ(TS.getOrAddNamespace("System.Collections.Generic"), N);
+}
+
+TEST(TypeSystemTest, RootNamespaceIsEmpty) {
+  TypeSystem TS;
+  EXPECT_EQ(TS.getOrAddNamespace(""), 0);
+  EXPECT_TRUE(TS.nspace(0).Segments.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Built-ins and the widening chain
+//===----------------------------------------------------------------------===//
+
+TEST(TypeSystemTest, BuiltinsExist) {
+  TypeSystem TS;
+  EXPECT_EQ(TS.findType("object"), TS.objectType());
+  EXPECT_EQ(TS.findType("int"), TS.intType());
+  EXPECT_EQ(TS.findType("string"), TS.stringType());
+  EXPECT_TRUE(TS.isPrimitive(TS.intType()));
+  EXPECT_FALSE(TS.isPrimitive(TS.stringType()));
+  EXPECT_TRUE(TS.isPrimitiveLike(TS.stringType()));
+}
+
+TEST(TypeSystemTest, PrimitiveWideningChain) {
+  TypeSystem TS;
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.byteType(), TS.doubleType()));
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.intType(), TS.longType()));
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.charType(), TS.intType()));
+  EXPECT_FALSE(TS.implicitlyConvertible(TS.longType(), TS.intType()));
+  EXPECT_FALSE(TS.implicitlyConvertible(TS.doubleType(), TS.floatType()));
+  EXPECT_FALSE(TS.implicitlyConvertible(TS.boolType(), TS.intType()));
+
+  // td follows the chain: byte -> short -> int -> long -> float -> double.
+  EXPECT_EQ(TS.typeDistance(TS.byteType(), TS.doubleType()), 5);
+  EXPECT_EQ(TS.typeDistance(TS.intType(), TS.longType()), 1);
+  EXPECT_EQ(TS.typeDistance(TS.intType(), TS.intType()), 0);
+  EXPECT_FALSE(TS.typeDistance(TS.longType(), TS.intType()).has_value());
+}
+
+TEST(TypeSystemTest, EverythingBoxesToObject) {
+  TypeSystem TS;
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.intType(), TS.objectType()));
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.boolType(), TS.objectType()));
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.stringType(), TS.objectType()));
+  EXPECT_FALSE(TS.implicitlyConvertible(TS.voidType(), TS.objectType()));
+}
+
+TEST(TypeSystemTest, NullConvertsToReferenceTypesOnly) {
+  TypeSystem TS;
+  NamespaceId Ns = TS.getOrAddNamespace("A");
+  TypeId C = TS.addType("C", Ns, TypeKind::Class);
+  TypeId S = TS.addType("S", Ns, TypeKind::Struct);
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.nullType(), C));
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.nullType(), TS.stringType()));
+  EXPECT_TRUE(TS.implicitlyConvertible(TS.nullType(), TS.objectType()));
+  EXPECT_FALSE(TS.implicitlyConvertible(TS.nullType(), S));
+  EXPECT_FALSE(TS.implicitlyConvertible(TS.nullType(), TS.intType()));
+  EXPECT_EQ(TS.typeDistance(TS.nullType(), C), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Class hierarchies and type distance (the paper's td examples)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ShapesFixture, PaperTypeDistanceExample) {
+  // "if Rectangle extends Shape which extends Object,
+  //  td(Rectangle, Shape) = 1 and td(Rectangle, Object) = 2" (§4.1).
+  EXPECT_EQ(TS.typeDistance(Rectangle, Shape), 1);
+  EXPECT_EQ(TS.typeDistance(Rectangle, TS.objectType()), 2);
+  EXPECT_EQ(TS.typeDistance(Rectangle, Rectangle), 0);
+  EXPECT_FALSE(TS.typeDistance(Shape, Rectangle).has_value());
+  EXPECT_FALSE(TS.typeDistance(Rectangle, Circle).has_value());
+}
+
+TEST_F(ShapesFixture, InterfaceDistance) {
+  EXPECT_EQ(TS.typeDistance(Rectangle, IDrawable), 1);
+  EXPECT_TRUE(TS.implicitlyConvertible(Rectangle, IDrawable));
+  EXPECT_FALSE(TS.implicitlyConvertible(Circle, IDrawable));
+  // An interface value is an Object.
+  EXPECT_EQ(TS.typeDistance(IDrawable, TS.objectType()), 1);
+}
+
+TEST_F(ShapesFixture, OperandDistanceUsesTheMoreGeneralSide) {
+  EXPECT_EQ(TS.operandDistance(Rectangle, Shape), 1);
+  EXPECT_EQ(TS.operandDistance(Shape, Rectangle), 1);
+  EXPECT_EQ(TS.operandDistance(Shape, Shape), 0);
+  EXPECT_FALSE(TS.operandDistance(Rectangle, Circle).has_value());
+}
+
+TEST_F(ShapesFixture, QualifiedNamesAndLookup) {
+  EXPECT_EQ(TS.qualifiedName(Rectangle), "Geo.Rectangle");
+  EXPECT_EQ(TS.findType("Geo.Rectangle"), Rectangle);
+  EXPECT_EQ(TS.findType("Geo.Missing"), InvalidId);
+}
+
+//===----------------------------------------------------------------------===//
+// Members: declaration, inheritance, shadowing, overriding
+//===----------------------------------------------------------------------===//
+
+TEST_F(ShapesFixture, FieldInheritanceAndShadowing) {
+  TS.addField(Shape, "Area", TS.doubleType());
+  TS.addField(Shape, "Name", TS.stringType());
+  FieldId Shadow = TS.addField(Rectangle, "Name", TS.stringType());
+
+  EXPECT_EQ(TS.findField(Rectangle, "Area"),
+            TS.findDeclaredField(Shape, "Area"));
+  EXPECT_EQ(TS.findField(Rectangle, "Name"), Shadow);
+
+  std::vector<FieldId> Visible = TS.visibleFields(Rectangle);
+  ASSERT_EQ(Visible.size(), 2u);
+  // The derived declaration shadows the base one.
+  EXPECT_EQ(Visible[0], Shadow);
+}
+
+TEST_F(ShapesFixture, MethodOverridingCollapsesInVisibleMethods) {
+  TS.addMethod(Shape, "Draw", TS.voidType(), {});
+  MethodId Derived = TS.addMethod(Rectangle, "Draw", TS.voidType(), {});
+  MethodId Overload =
+      TS.addMethod(Rectangle, "Draw", TS.voidType(), {{"depth", TS.intType()}});
+
+  std::vector<MethodId> Visible = TS.visibleMethods(Rectangle);
+  ASSERT_EQ(Visible.size(), 2u);
+  EXPECT_EQ(Visible[0], Derived);
+  EXPECT_EQ(Visible[1], Overload);
+
+  // findMethods returns every declaration up the chain (overloads + base).
+  EXPECT_EQ(TS.findMethods(Rectangle, "Draw").size(), 3u);
+}
+
+TEST_F(ShapesFixture, CallSignatureIncludesReceiver) {
+  MethodId Inst =
+      TS.addMethod(Shape, "Scale", TS.voidType(), {{"by", TS.doubleType()}});
+  MethodId Stat = TS.addMethod(Shape, "Merge", Shape,
+                               {{"a", Shape}, {"b", Shape}}, /*IsStatic=*/true);
+  EXPECT_EQ(TS.numCallParams(Inst), 2u);
+  EXPECT_EQ(TS.callParamType(Inst, 0), Shape); // the receiver
+  EXPECT_EQ(TS.callParamType(Inst, 1), TS.doubleType());
+  EXPECT_EQ(TS.numCallParams(Stat), 2u);
+  EXPECT_EQ(TS.callParamType(Stat, 0), Shape);
+}
+
+//===----------------------------------------------------------------------===//
+// Comparability and assignability
+//===----------------------------------------------------------------------===//
+
+TEST(TypeSystemTest, NumericsCompareAcrossTypes) {
+  TypeSystem TS;
+  EXPECT_TRUE(TS.comparable(TS.intType(), TS.doubleType()));
+  EXPECT_TRUE(TS.comparable(TS.charType(), TS.intType()));
+  EXPECT_FALSE(TS.comparable(TS.boolType(), TS.intType()));
+  EXPECT_FALSE(TS.comparable(TS.stringType(), TS.stringType()));
+}
+
+TEST(TypeSystemTest, EnumsCompareToThemselvesOnly) {
+  TypeSystem TS;
+  NamespaceId Ns = TS.getOrAddNamespace("E");
+  TypeId E1 = TS.addType("Kind", Ns, TypeKind::Enum);
+  TypeId E2 = TS.addType("Other", Ns, TypeKind::Enum);
+  EXPECT_TRUE(TS.comparable(E1, E1));
+  EXPECT_FALSE(TS.comparable(E1, E2));
+  EXPECT_FALSE(TS.comparable(E1, TS.intType()));
+}
+
+TEST(TypeSystemTest, FlaggedComparableClassFollowsHierarchy) {
+  // The paper's DateTime example: Timestamp >= Timestamp type-checks only
+  // because DateTime supports comparison (§3).
+  TypeSystem TS;
+  NamespaceId Ns = TS.getOrAddNamespace("Sys");
+  TypeId DateTime = TS.addType("DateTime", Ns, TypeKind::Struct);
+  TS.setComparable(DateTime);
+  TypeId Point = TS.addType("Point", Ns, TypeKind::Struct);
+  EXPECT_TRUE(TS.comparable(DateTime, DateTime));
+  EXPECT_FALSE(TS.comparable(Point, Point));
+  EXPECT_FALSE(TS.comparable(DateTime, Point));
+}
+
+TEST_F(ShapesFixture, Assignability) {
+  EXPECT_TRUE(TS.assignable(Shape, Rectangle));
+  EXPECT_FALSE(TS.assignable(Rectangle, Shape));
+  EXPECT_TRUE(TS.assignable(TS.objectType(), Rectangle));
+  EXPECT_FALSE(TS.assignable(TS.voidType(), Rectangle));
+  EXPECT_FALSE(TS.assignable(Shape, TS.voidType()));
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests over random hierarchies
+//===----------------------------------------------------------------------===//
+
+class TypeDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TypeDistancePropertyTest, DistanceLawsHold) {
+  Rng R(GetParam());
+  TypeSystem TS;
+  NamespaceId Ns = TS.getOrAddNamespace("P");
+
+  std::vector<TypeId> Types = {TS.objectType(), TS.intType(), TS.doubleType(),
+                               TS.stringType()};
+  for (int I = 0; I != 30; ++I) {
+    TypeId Base = InvalidId;
+    if (R.chance(0.5))
+      Base = Types[R.below(Types.size())];
+    if (isValidId(Base) && TS.type(Base).Kind != TypeKind::Class)
+      Base = TS.objectType();
+    Types.push_back(
+        TS.addType("T" + std::to_string(I), Ns, TypeKind::Class, Base));
+  }
+
+  for (TypeId A : Types) {
+    // Reflexivity: td(a, a) == 0.
+    ASSERT_EQ(TS.typeDistance(A, A), 0);
+    for (TypeId B : Types) {
+      auto D = TS.typeDistance(A, B);
+      // td is defined exactly when an implicit conversion exists.
+      ASSERT_EQ(D.has_value(), TS.implicitlyConvertible(A, B));
+      if (!D)
+        continue;
+      ASSERT_GE(*D, 0);
+      // One supertype step costs exactly 1 more, minimized over parents:
+      // td(a, b) <= 1 + td(parent(a), b).
+      if (A != B)
+        for (TypeId S : TS.immediateSupertypes(A)) {
+          auto DS = TS.typeDistance(S, B);
+          if (DS) {
+            ASSERT_LE(*D, 1 + *DS);
+          }
+        }
+      // Triangle-ish: going through any supertype cannot beat td.
+      ASSERT_TRUE(A == B || *D >= 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHierarchies, TypeDistancePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

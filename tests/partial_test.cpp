@@ -1,0 +1,95 @@
+//===- tests/partial_test.cpp - Partial-expression AST tests --------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestCorpora.h"
+
+#include "parser/Frontend.h"
+#include "partial/PartialExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+TEST(PartialExprTest, SuffixSpellings) {
+  EXPECT_STREQ(suffixSpelling(SuffixKind::Field), ".?f");
+  EXPECT_STREQ(suffixSpelling(SuffixKind::FieldStar), ".?*f");
+  EXPECT_STREQ(suffixSpelling(SuffixKind::Member), ".?m");
+  EXPECT_STREQ(suffixSpelling(SuffixKind::MemberStar), ".?*m");
+}
+
+TEST(PartialExprTest, SuffixPredicates) {
+  EXPECT_TRUE(isStarSuffix(SuffixKind::FieldStar));
+  EXPECT_TRUE(isStarSuffix(SuffixKind::MemberStar));
+  EXPECT_FALSE(isStarSuffix(SuffixKind::Field));
+  EXPECT_TRUE(suffixAllowsMethods(SuffixKind::Member));
+  EXPECT_TRUE(suffixAllowsMethods(SuffixKind::MemberStar));
+  EXPECT_FALSE(suffixAllowsMethods(SuffixKind::FieldStar));
+}
+
+/// Round-trip fixture: parse a query, print it, expect the original text
+/// (modulo resolved qualification).
+class QueryPrintTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    ASSERT_TRUE(loadProgramText(corpora::GeometryCorpus, *P, Diags));
+    Class = findCodeClass(*P, "EllipseArc");
+    Method = findCodeMethod(*P, *Class, "Examine");
+  }
+
+  std::string printQuery(const char *Text) {
+    QueryScope Scope{Class, Method, static_cast<size_t>(-1)};
+    const PartialExpr *Q = parseQueryText(Text, *P, Scope, Diags);
+    if (!Q) {
+      std::ostringstream OS;
+      Diags.print(OS);
+      return "<error: " + OS.str() + ">";
+    }
+    return printPartialExpr(*TS, Q);
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  const CodeClass *Class = nullptr;
+  const CodeMethod *Method = nullptr;
+};
+
+TEST_F(QueryPrintTest, RoundTripsTheMainForms) {
+  EXPECT_EQ(printQuery("?"), "?");
+  EXPECT_EQ(printQuery("point.?*m"), "point.?*m");
+  EXPECT_EQ(printQuery("this.?f"), "this.?f");
+  EXPECT_EQ(printQuery("?({point, this})"), "?({point, this})");
+  EXPECT_EQ(printQuery("point.?*m >= this.?*m"),
+            "point.?*m >= this.?*m");
+  EXPECT_EQ(printQuery("Distance(point, ?)"), "Distance(point, ?)");
+  EXPECT_EQ(printQuery("point.?m.?m"), "point.?m.?m");
+}
+
+TEST_F(QueryPrintTest, ConcretePartsPrintResolved) {
+  // `shape` resolves to the implicit-this field.
+  EXPECT_EQ(printQuery("shape.?f"), "this.shape.?f");
+}
+
+TEST_F(QueryPrintTest, IsFullyConcrete) {
+  QueryScope Scope{Class, Method, static_cast<size_t>(-1)};
+  const PartialExpr *Hole = parseQueryText("?", *P, Scope, Diags);
+  EXPECT_FALSE(isFullyConcrete(Hole));
+  const PartialExpr *Conc = parseQueryText("point", *P, Scope, Diags);
+  EXPECT_TRUE(isFullyConcrete(Conc));
+  const PartialExpr *Cmp =
+      parseQueryText("point.X >= point.Y", *P, Scope, Diags);
+  EXPECT_TRUE(isFullyConcrete(Cmp));
+  const PartialExpr *Mixed =
+      parseQueryText("point.?f >= point.Y", *P, Scope, Diags);
+  EXPECT_FALSE(isFullyConcrete(Mixed));
+}
+
+} // namespace

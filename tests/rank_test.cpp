@@ -1,0 +1,318 @@
+//===- tests/rank_test.cpp - Fig. 7 ranking-function tests ----------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/AbstractTypes.h"
+#include "parser/Frontend.h"
+#include "rank/Ranking.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// RankingOptions specs
+//===----------------------------------------------------------------------===//
+
+TEST(RankingOptionsTest, FromSpecAllAndNone) {
+  RankingOptions All = RankingOptions::fromSpec("all");
+  EXPECT_TRUE(All.UseDepth && All.UseTypeDistance && All.UseAbstractTypes &&
+              All.UseNamespace && All.UseInScopeStatic && All.UseMatchingName);
+  RankingOptions None = RankingOptions::fromSpec("none");
+  EXPECT_FALSE(None.UseDepth || None.UseTypeDistance ||
+               None.UseAbstractTypes || None.UseNamespace ||
+               None.UseInScopeStatic || None.UseMatchingName);
+}
+
+TEST(RankingOptionsTest, MinusAndPlusSpecs) {
+  RankingOptions MinusD = RankingOptions::fromSpec("-d");
+  EXPECT_FALSE(MinusD.UseDepth);
+  EXPECT_TRUE(MinusD.UseTypeDistance);
+
+  RankingOptions PlusTA = RankingOptions::fromSpec("+ta");
+  EXPECT_TRUE(PlusTA.UseTypeDistance);
+  EXPECT_TRUE(PlusTA.UseAbstractTypes);
+  EXPECT_FALSE(PlusTA.UseDepth);
+  EXPECT_FALSE(PlusTA.UseNamespace);
+}
+
+class SpecRoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SpecRoundTripTest, SpecSurvivesRoundTrip) {
+  RankingOptions O = RankingOptions::fromSpec(GetParam());
+  RankingOptions O2 = RankingOptions::fromSpec(O.spec());
+  EXPECT_EQ(O.UseNamespace, O2.UseNamespace);
+  EXPECT_EQ(O.UseInScopeStatic, O2.UseInScopeStatic);
+  EXPECT_EQ(O.UseDepth, O2.UseDepth);
+  EXPECT_EQ(O.UseMatchingName, O2.UseMatchingName);
+  EXPECT_EQ(O.UseTypeDistance, O2.UseTypeDistance);
+  EXPECT_EQ(O.UseAbstractTypes, O2.UseAbstractTypes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable2Variants, SpecRoundTripTest,
+                         ::testing::Values("all", "-n", "-s", "-d", "-m",
+                                           "-t", "-a", "-at", "+n", "+s",
+                                           "+d", "+m", "+t", "+a", "+at",
+                                           "none"));
+
+//===----------------------------------------------------------------------===//
+// Scoring fixture
+//===----------------------------------------------------------------------===//
+
+class RankFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    NsA = TS.getOrAddNamespace("Proj.Core");
+    NsB = TS.getOrAddNamespace("Proj.UI");
+    NsFar = TS.getOrAddNamespace("Other.Lib");
+
+    Doc = TS.addType("Doc", NsA, TypeKind::Class);
+    Size = TS.addType("Size", NsA, TypeKind::Struct);
+    Widget = TS.addType("Widget", NsB, TypeKind::Class);
+    Far = TS.addType("Far", NsFar, TypeKind::Class);
+
+    DocW = TS.addField(Doc, "Width", TS.intType());
+    DocBounds = TS.addField(Doc, "Bounds", Size);
+    SizeW = TS.addField(Size, "Width", TS.intType());
+    GetSize = TS.addMethod(Doc, "GetSize", Size, {});
+
+    // Same-namespace static: Proj.Core.Doc + Proj.Core.Size args.
+    ResizeNear = TS.addMethod(Doc, "ResizeNear", TS.voidType(),
+                              {{"d", Doc}, {"s", Size}}, /*IsStatic=*/true);
+    // Cross-namespace static.
+    ResizeFar = TS.addMethod(Far, "ResizeFar", TS.voidType(),
+                             {{"d", Doc}, {"s", Size}}, /*IsStatic=*/true);
+    // Instance method on Doc.
+    ApplyInst = TS.addMethod(Doc, "Apply", TS.voidType(), {{"s", Size}});
+
+    P = std::make_unique<Program>(TS);
+    CodeClass &CC = P->addClass(Widget);
+    MethodId Decl =
+        TS.addMethod(Widget, "Run", TS.voidType(), {{"d", Doc}, {"s", Size}});
+    Method = &CC.addMethod(Decl);
+    Method->addLocal("d", Doc, true);
+    Method->addLocal("s", Size, true);
+    F = std::make_unique<ExprFactory>(TS, P->arena());
+  }
+
+  /// A ranker with the given spec; abstract types disabled unless set up.
+  Ranker makeRanker(const char *Spec, TypeId SelfType = InvalidId) {
+    Ranker R(TS, RankingOptions::fromSpec(Spec));
+    R.setSelfType(isValidId(SelfType) ? SelfType : Widget);
+    return R;
+  }
+
+  TypeSystem TS;
+  NamespaceId NsA, NsB, NsFar;
+  TypeId Doc, Size, Widget, Far;
+  FieldId DocW, DocBounds, SizeW;
+  MethodId GetSize, ResizeNear, ResizeFar, ApplyInst;
+  std::unique_ptr<Program> P;
+  CodeMethod *Method = nullptr;
+  std::unique_ptr<ExprFactory> F;
+};
+
+//===----------------------------------------------------------------------===//
+// Depth (dots) — the paper's worked example
+//===----------------------------------------------------------------------===//
+
+TEST_F(RankFixture, DotsCostTwoPerLookup) {
+  Ranker R = makeRanker("+d");
+  const Expr *D = F->var(*Method, 0);
+  // "dots('this.foo') = 1 so it would get a cost of 2 while
+  //  dots('this.bar.ToBaz()') = 2 so it would get a cost of 4" (§4.1).
+  EXPECT_EQ(R.scoreExpr(D), 0);
+  EXPECT_EQ(R.scoreExpr(F->fieldAccess(D, DocW)), 2);
+  const Expr *Chain = F->fieldAccess(F->fieldAccess(D, DocBounds), SizeW);
+  EXPECT_EQ(R.scoreExpr(Chain), 4);
+  // Zero-arg method steps cost the same as field steps.
+  const Expr *ViaCall = F->fieldAccess(F->call(GetSize, D, {}), SizeW);
+  EXPECT_EQ(R.scoreExpr(ViaCall), 4);
+}
+
+TEST_F(RankFixture, DepthDisabledZeroesLookups) {
+  Ranker R = makeRanker("none");
+  const Expr *Chain = F->fieldAccess(
+      F->fieldAccess(F->var(*Method, 0), DocBounds), SizeW);
+  EXPECT_EQ(R.scoreExpr(Chain), 0);
+  EXPECT_EQ(R.lookupStepCost(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Type distance
+//===----------------------------------------------------------------------===//
+
+TEST_F(RankFixture, TypeDistanceSumsOverArguments) {
+  Ranker R = makeRanker("+t");
+  const Expr *D = F->var(*Method, 0);
+  const Expr *S = F->var(*Method, 1);
+  // Exact types: td 0 everywhere.
+  EXPECT_EQ(R.scoreExpr(F->call(ResizeNear, nullptr, {D, S})), 0);
+
+  // Now pass the args where object is expected: Pair-style method.
+  MethodId TakesObj = TS.addMethod(Far, "TakesObj", TS.voidType(),
+                                   {{"a", TS.objectType()}},
+                                   /*IsStatic=*/true);
+  // Doc -> object = 1.
+  EXPECT_EQ(R.scoreExpr(F->call(TakesObj, nullptr, {D})), 1);
+  // Size (struct) -> object = 1.
+  EXPECT_EQ(R.scoreExpr(F->call(TakesObj, nullptr, {S})), 1);
+}
+
+TEST_F(RankFixture, DontCareArgumentsCostNothing) {
+  Ranker R = makeRanker("+t");
+  const Expr *D = F->var(*Method, 0);
+  const Expr *Call = F->call(ResizeNear, nullptr, {D, F->dontCare()});
+  EXPECT_EQ(R.scoreExpr(Call), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// In-scope statics
+//===----------------------------------------------------------------------===//
+
+TEST_F(RankFixture, InScopeStaticCost) {
+  const Expr *D = F->var(*Method, 0);
+  const Expr *S = F->var(*Method, 1);
+
+  // From inside Widget, Doc::ResizeNear is an out-of-scope static: +1.
+  Ranker RW = makeRanker("+s", Widget);
+  EXPECT_EQ(RW.scoreExpr(F->call(ResizeNear, nullptr, {D, S})), 1);
+  // Instance calls also pay +1.
+  EXPECT_EQ(RW.scoreExpr(F->call(ApplyInst, D, {S})), 1);
+
+  // From inside Doc itself the static is in scope: 0.
+  Ranker RD = makeRanker("+s", Doc);
+  EXPECT_EQ(RD.scoreExpr(F->call(ResizeNear, nullptr, {D, S})), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Common namespace
+//===----------------------------------------------------------------------===//
+
+TEST_F(RankFixture, NamespaceTermRewardsCommonPrefix) {
+  Ranker R = makeRanker("+n");
+  const Expr *D = F->var(*Method, 0);
+  const Expr *S = F->var(*Method, 1);
+
+  // ResizeNear: owner Proj.Core, args Proj.Core + Proj.Core -> prefix 2,
+  // capped term = 3 - 2 = 1.
+  EXPECT_EQ(R.scoreExpr(F->call(ResizeNear, nullptr, {D, S})), 1);
+  // ResizeFar: owner Other.Lib vs Proj.Core args -> prefix 0 -> term 3.
+  EXPECT_EQ(R.scoreExpr(F->call(ResizeFar, nullptr, {D, S})), 3);
+}
+
+TEST_F(RankFixture, NamespaceSimilarityZeroWithOneNonPrimitiveArg) {
+  Ranker R = makeRanker("+n");
+  const Expr *D = F->var(*Method, 0);
+  // Apply is an instance call Doc.Apply(Size): two non-primitive args
+  // (receiver + Size) -> prefix(owner=Proj.Core, Doc, Size) = 2 -> term 1.
+  const Expr *S = F->var(*Method, 1);
+  EXPECT_EQ(R.scoreExpr(F->call(ApplyInst, D, {S})), 1);
+
+  // GetWidth(Doc): only ONE non-primitive argument -> similarity forced to
+  // 0 -> term 3, even though the namespaces match perfectly.
+  MethodId OneArg = TS.addMethod(Doc, "GetWidth", TS.intType(), {{"d", Doc}},
+                                 /*IsStatic=*/true);
+  EXPECT_EQ(R.scoreExpr(F->call(OneArg, nullptr, {D})), 3);
+}
+
+TEST_F(RankFixture, PrimitiveAndStringArgsIgnoredByNamespaceTerm) {
+  Ranker R = makeRanker("+n");
+  MethodId Mixed = TS.addMethod(Doc, "Mixed", TS.voidType(),
+                                {{"d", Doc}, {"s", Size}, {"n", TS.intType()},
+                                 {"t", TS.stringType()}},
+                                /*IsStatic=*/true);
+  const Expr *Call = F->call(Mixed, nullptr,
+                             {F->var(*Method, 0), F->var(*Method, 1),
+                              F->intLit(1), F->stringLit("x")});
+  // int/string args are invisible; prefix over {owner, Doc, Size} = 2.
+  EXPECT_EQ(R.scoreExpr(Call), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Matching name (comparisons)
+//===----------------------------------------------------------------------===//
+
+TEST_F(RankFixture, MatchingNamePenalty) {
+  Ranker R = makeRanker("+m");
+  const Expr *D = F->var(*Method, 0);
+  const Expr *S = F->var(*Method, 1);
+  const Expr *DW = F->fieldAccess(D, DocW);
+  const Expr *SW = F->fieldAccess(F->fieldAccess(D, DocBounds), SizeW);
+  (void)S;
+
+  // Width vs Width: names match, no penalty.
+  EXPECT_EQ(R.scoreExpr(F->compare(CompareOp::Ge, DW, SW)), 0);
+  // Width vs a constant: no name on the right -> +3 (§5.3 notes constants
+  // defeat the name feature).
+  EXPECT_EQ(R.scoreExpr(F->compare(CompareOp::Ge, DW, F->intLit(3))), 3);
+}
+
+TEST_F(RankFixture, MatchingNameAppliesOnlyToComparisons) {
+  Ranker R = makeRanker("+m");
+  const Expr *D = F->var(*Method, 0);
+  const Expr *DW = F->fieldAccess(D, DocW);
+  // Assignments never pay the name penalty.
+  EXPECT_EQ(R.scoreExpr(F->assign(DW, F->intLit(2))), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Abstract types
+//===----------------------------------------------------------------------===//
+
+TEST_F(RankFixture, AbstractTypeMismatchCostsOne) {
+  // Build usage: ResizeNear(d, s) appears once in a body, unifying the
+  // locals with the parameters.
+  CodeClass &CC = P->addClass(Doc);
+  MethodId Decl = TS.addMethod(Doc, "Use", TS.voidType(),
+                               {{"d2", Doc}, {"s2", Size}});
+  CodeMethod &Use = CC.addMethod(Decl);
+  unsigned SD = Use.addLocal("d2", Doc, true);
+  unsigned SS = Use.addLocal("s2", Size, true);
+  Use.addStmt({StmtKind::ExprStmt, 0,
+               F->call(ResizeNear, nullptr,
+                       {F->var(Use, SD), F->var(Use, SS)})});
+
+  AbstractTypeInference Infer(*P);
+  AbsTypeSolution Sol = Infer.solve();
+
+  Ranker R(TS, RankingOptions::fromSpec("+a"));
+  R.setSelfType(Doc);
+  R.setAbstractTypes(&Infer, &Sol, &Use);
+
+  // The same call again: both args share the params' abstract types -> 0.
+  const Expr *Again = F->call(ResizeNear, nullptr,
+                              {F->var(Use, SD), F->var(Use, SS)});
+  EXPECT_EQ(R.scoreExpr(Again), 0);
+
+  // Calling ResizeFar with them: its params were never unified -> +2.
+  const Expr *Other = F->call(ResizeFar, nullptr,
+                              {F->var(Use, SD), F->var(Use, SS)});
+  EXPECT_EQ(R.scoreExpr(Other), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Full function composition
+//===----------------------------------------------------------------------===//
+
+TEST_F(RankFixture, AllTermsSum) {
+  Ranker R = makeRanker("all");
+  const Expr *D = F->var(*Method, 0);
+  const Expr *S = F->var(*Method, 1);
+  // ResizeNear(d, s) from Widget with no abstract-type setup:
+  //   td 0 + depth 2 (the call's dot) + static-not-in-scope 1
+  //   + namespace (prefix 2 -> 1) + no abstract info configured (0) = 4.
+  EXPECT_EQ(R.scoreExpr(F->call(ResizeNear, nullptr, {D, S})), 4);
+
+  // Subexpression scores add: same call with s.Bounds-style chain arg.
+  const Expr *Chain = F->fieldAccess(D, DocBounds);
+  EXPECT_EQ(R.scoreExpr(F->call(ResizeNear, nullptr, {D, Chain})),
+            4 + 2);
+}
+
+} // namespace

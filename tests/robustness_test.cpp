@@ -1,0 +1,150 @@
+//===- tests/robustness_test.cpp - Parser fuzz + report tests -------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestCorpora.h"
+
+#include "eval/Report.h"
+#include "parser/Frontend.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+using namespace petal;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CsvReport
+//===----------------------------------------------------------------------===//
+
+TEST(CsvReportTest, BuildsHeaderAndRows) {
+  CsvReport R({"a", "b"});
+  R.addRow({"1", "2"});
+  EXPECT_EQ(R.text(), "a,b\n1,2\n");
+}
+
+TEST(CsvReportTest, EscapesSpecialCharacters) {
+  CsvReport R({"name", "value"});
+  R.addRow({"has,comma", "has\"quote"});
+  EXPECT_EQ(R.text(), "name,value\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(CsvReportTest, CdfRows) {
+  RankDistribution D;
+  D.add(1);
+  D.add(3);
+  D.add(0);
+  CsvReport R(CsvReport::cdfColumns());
+  R.addCdfRow("series1", D);
+  // Header + one row, ending with the trial count.
+  EXPECT_NE(R.text().find("series1"), std::string::npos);
+  EXPECT_NE(R.text().find(",3\n"), std::string::npos);
+}
+
+TEST(CsvReportTest, NoFileWithoutEnvVar) {
+  unsetenv("PETAL_CSV_DIR");
+  CsvReport R({"x"});
+  EXPECT_FALSE(R.writeIfRequested("nope"));
+}
+
+TEST(CsvReportTest, WritesWhenRequested) {
+  setenv("PETAL_CSV_DIR", "/tmp", 1);
+  CsvReport R({"x"});
+  R.addRow({"1"});
+  EXPECT_TRUE(R.writeIfRequested("petal_csv_test"));
+  std::ifstream In("/tmp/petal_csv_test.csv");
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  EXPECT_EQ(Line, "x");
+  unsetenv("PETAL_CSV_DIR");
+}
+
+//===----------------------------------------------------------------------===//
+// Parser robustness: mutated inputs must produce diagnostics, not crashes
+//===----------------------------------------------------------------------===//
+
+/// Mutation fuzz-lite: randomly delete/duplicate/replace characters of a
+/// valid corpus and require the frontend to terminate with diagnostics (or
+/// succeed) — never crash or hang.
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, MutatedSourcesNeverCrashTheFrontend) {
+  std::string Base = corpora::GeometryCorpus;
+  Rng R(GetParam());
+  static const char Junk[] = "{}();.?*<>=,\"0x ";
+
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    std::string Src = Base;
+    int Mutations = static_cast<int>(R.range(1, 8));
+    for (int M = 0; M != Mutations && !Src.empty(); ++M) {
+      size_t Pos = R.below(Src.size());
+      switch (R.below(3)) {
+      case 0: // delete
+        Src.erase(Pos, 1);
+        break;
+      case 1: // duplicate
+        Src.insert(Pos, 1, Src[Pos]);
+        break;
+      default: // replace with junk
+        Src[Pos] = Junk[R.below(sizeof(Junk) - 1)];
+        break;
+      }
+    }
+    DiagnosticEngine Diags;
+    TypeSystem TS;
+    Program P(TS);
+    bool Ok = loadProgramText(Src, P, Diags);
+    // Either it still parses, or it reports at least one diagnostic.
+    ASSERT_TRUE(Ok || !Diags.diagnostics().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+/// Query-parser fuzz: mutated queries never crash and always either resolve
+/// or diagnose.
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, MutatedQueriesNeverCrash) {
+  DiagnosticEngine LoadDiags;
+  TypeSystem TS;
+  Program P(TS);
+  ASSERT_TRUE(loadProgramText(corpora::GeometryCorpus, P, LoadDiags));
+  const CodeClass *Class = findCodeClass(P, "EllipseArc");
+  const CodeMethod *Method = findCodeMethod(P, *Class, "Examine");
+  QueryScope Scope{Class, Method, static_cast<size_t>(-1)};
+
+  static const char *Bases[] = {
+      "?({point, this})", "Distance(point, ?)", "point.?*m >= this.?*m",
+      "this.?f = point.?f", "shapeStyle.?m.?m",
+  };
+  static const char Junk[] = "{}();.?*<>=, ";
+  Rng R(GetParam());
+
+  for (int Trial = 0; Trial != 120; ++Trial) {
+    std::string Q = Bases[R.below(5)];
+    int Mutations = static_cast<int>(R.range(1, 4));
+    for (int M = 0; M != Mutations && !Q.empty(); ++M) {
+      size_t Pos = R.below(Q.size());
+      if (R.chance(0.5))
+        Q.erase(Pos, 1);
+      else
+        Q[Pos] = Junk[R.below(sizeof(Junk) - 1)];
+    }
+    DiagnosticEngine Diags;
+    const PartialExpr *PE = parseQueryText(Q, P, Scope, Diags);
+    ASSERT_TRUE(PE != nullptr || !Diags.diagnostics().empty()) << Q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
+                         ::testing::Values(7, 77, 777));
+
+} // namespace

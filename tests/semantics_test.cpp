@@ -1,0 +1,172 @@
+//===- tests/semantics_test.cpp - Fig. 6 derivability tests ---------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestCorpora.h"
+
+#include "code/ExprPrinter.h"
+#include "complete/Engine.h"
+#include "parser/Frontend.h"
+#include "partial/Semantics.h"
+#include "rank/Explain.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    ASSERT_TRUE(loadProgramText(corpora::GeometryCorpus, *P, Diags));
+    Class = findCodeClass(*P, "EllipseArc");
+    Method = findCodeMethod(*P, *Class, "Examine");
+    Site = {Class, Method, Method->body().size()};
+    Idx = std::make_unique<CompletionIndexes>(*P);
+    Engine = std::make_unique<CompletionEngine>(*P, *Idx);
+  }
+
+  const PartialExpr *query(const char *Text) {
+    QueryScope Scope{Class, Method, Site.StmtIndex};
+    const PartialExpr *Q = parseQueryText(Text, *P, Scope, Diags);
+    EXPECT_NE(Q, nullptr);
+    return Q;
+  }
+
+  /// Resolves a concrete expression through the query parser.
+  const Expr *expr(const char *Text) {
+    const PartialExpr *Q = query(Text);
+    EXPECT_TRUE(Q && isa<ConcretePE>(Q)) << Text;
+    return cast<ConcretePE>(Q)->expr();
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  const CodeClass *Class = nullptr;
+  const CodeMethod *Method = nullptr;
+  CodeSite Site;
+  std::unique_ptr<CompletionIndexes> Idx;
+  std::unique_ptr<CompletionEngine> Engine;
+};
+
+TEST_F(SemanticsTest, SuffixRules) {
+  // e.? may be dropped; ?m admits one field or nullary method; stars admit
+  // arbitrarily many.
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, query("point.?m"),
+                                    expr("point")));
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, query("point.?m"),
+                                    expr("point.X")));
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, query("shapeStyle.?m"),
+                                    expr("shapeStyle.GetSampleGlyph()")));
+  // ?f admits no methods.
+  EXPECT_FALSE(isDerivableCompletion(*P, Site, query("shapeStyle.?f"),
+                                     expr("shapeStyle.GetSampleGlyph()")));
+  // Non-star suffixes take at most one step.
+  EXPECT_FALSE(isDerivableCompletion(*P, Site, query("this.?f"),
+                                     expr("this.shape.RenderTransformOrigin")));
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, query("this.?*f"),
+                                    expr("this.shape.RenderTransformOrigin")));
+  // A different root is never derivable.
+  EXPECT_FALSE(isDerivableCompletion(*P, Site, query("point.?*m"),
+                                     expr("this.Center")));
+}
+
+TEST_F(SemanticsTest, HoleRule) {
+  // ? ~> v.?*m for live locals and globals.
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, query("?"), expr("point")));
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, query("?"), expr("this")));
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, query("?"),
+                                    expr("this.Center.X")));
+  EXPECT_TRUE(isDerivableCompletion(
+      *P, Site, query("?"), expr("DynamicGeometry.Math.InfinitePoint")));
+  // A literal is not a variable.
+  Arena A;
+  ExprFactory F(*TS, A);
+  EXPECT_FALSE(isDerivableCompletion(*P, Site, query("?"), F.intLit(3)));
+}
+
+TEST_F(SemanticsTest, UnknownCallRule) {
+  // ?({point, this.Center}) ~> Distance(point, this.Center) — both args
+  // placed, in either order, nothing else filled.
+  const PartialExpr *Q = query("?({point, this.Center})");
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, Q,
+                                    expr("Distance(point, this.Center)")));
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, Q,
+                                    expr("Distance(this.Center, point)")));
+  // Dropping a given argument is not derivable.
+  EXPECT_FALSE(isDerivableCompletion(*P, Site, Q,
+                                     expr("Distance(point, point)")));
+}
+
+TEST_F(SemanticsTest, DontCareStaysInert) {
+  // ?({point, 0}): the extra position must remain 0.
+  Arena &A = P->arena();
+  const PartialExpr *Q = A.create<UnknownCallPE>(
+      std::vector<const PartialExpr *>{
+          A.create<ConcretePE>(expr("point")), A.create<DontCarePE>()});
+  // Build Distance(point, 0) manually.
+  ExprFactory F(*TS, A);
+  TypeId MathTy = TS->findType("DynamicGeometry.Math");
+  MethodId Dist = TS->findMethods(MathTy, "Distance")[0];
+  const Expr *WithZero =
+      F.call(Dist, nullptr, {expr("point"), F.dontCare()});
+  EXPECT_TRUE(isDerivableCompletion(*P, Site, Q, WithZero));
+  // Filling the 0 in is NOT derivable.
+  const Expr *Filled = F.call(Dist, nullptr, {expr("point"), expr("point")});
+  std::string Why;
+  EXPECT_FALSE(isDerivableCompletion(*P, Site, Q, Filled, &Why));
+  EXPECT_FALSE(Why.empty());
+}
+
+/// The headline property: everything the engine emits is derivable under
+/// the Fig. 6 relation.
+TEST_F(SemanticsTest, EveryEngineCompletionIsDerivable) {
+  for (const char *QT :
+       {"?", "Distance(point, ?)", "?({point, this})",
+        "point.?*m >= this.?*m", "this.?f = point.?f", "shapeStyle.?*m"}) {
+    const PartialExpr *Q = query(QT);
+    for (const Completion &C : Engine->complete(Q, Site, 150)) {
+      std::string Why;
+      ASSERT_TRUE(isDerivableCompletion(*P, Site, Q, C.E, &Why))
+          << QT << " ~> " << printExpr(*TS, C.E) << ": " << Why;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Score explanations
+//===----------------------------------------------------------------------===//
+
+TEST_F(SemanticsTest, BreakdownTermsSumToTheFullScore) {
+  AbsTypeSolution Sol = Idx->Infer.solve();
+  Ranker R(*TS, RankingOptions::all());
+  R.setSelfType(Class->type());
+  R.setAbstractTypes(&Idx->Infer, &Sol, Method);
+
+  for (const char *QT : {"?", "Distance(point, ?)", "?({point, this})"}) {
+    const PartialExpr *Q = query(QT);
+    for (const Completion &C : Engine->complete(Q, Site, 60)) {
+      ScoreBreakdown B = explainScore(R, C.E);
+      ASSERT_EQ(B.total(), C.Score)
+          << printExpr(*TS, C.E) << ": " << B.toString();
+    }
+  }
+}
+
+TEST_F(SemanticsTest, BreakdownRendersReadably) {
+  ScoreBreakdown B;
+  B.Depth = 4;
+  B.Namespace = 3;
+  EXPECT_EQ(B.toString(), "depth 4 + ns 3 = 7");
+  ScoreBreakdown Zero;
+  EXPECT_EQ(Zero.toString(), "0 = 0");
+}
+
+} // namespace

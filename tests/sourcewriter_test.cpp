@@ -1,0 +1,95 @@
+//===- tests/sourcewriter_test.cpp - Round-trip serialization tests -------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generator.h"
+#include "corpus/SourceWriter.h"
+#include "eval/Harvest.h"
+#include "parser/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+TEST(SourceWriterTest, WritesDeclarationsAndBodies) {
+  DiagnosticEngine D;
+  TypeSystem TS;
+  Program P(TS);
+  ASSERT_TRUE(loadProgramText(R"(
+    namespace Geo {
+      comparable struct Stamp { }
+      enum Edge { Top, Bottom }
+      interface IShape { }
+      class Shape : IShape {
+        double Area { get; set; }
+        static Shape Empty;
+      }
+      class Rect : Shape {
+        double W;
+        void Grow(double by) {
+          W = by;
+          var t = W;
+          Touch(t);
+        }
+        void Touch(double v);
+      }
+    }
+  )", P, D));
+
+  std::string Src = writeProgramSource(P);
+  EXPECT_NE(Src.find("namespace Geo {"), std::string::npos);
+  EXPECT_NE(Src.find("comparable struct Stamp"), std::string::npos);
+  EXPECT_NE(Src.find("enum Edge { Top, Bottom }"), std::string::npos);
+  EXPECT_NE(Src.find("class Rect : Geo.Shape"), std::string::npos);
+  EXPECT_NE(Src.find("double Area { get; set; }"), std::string::npos);
+  EXPECT_NE(Src.find("static Geo.Shape Empty;"), std::string::npos);
+  EXPECT_NE(Src.find("this.W = by;"), std::string::npos);
+  EXPECT_NE(Src.find("double t = this.W;"), std::string::npos);
+  EXPECT_NE(Src.find("this.Touch(t);"), std::string::npos);
+}
+
+/// Round-trip property on generated corpora: write -> parse -> write is a
+/// fixpoint, and the re-parsed model has identical entity counts and
+/// harvest counts.
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, WriteParseWriteIsAFixpoint) {
+  ProjectProfile Prof = paperProjectProfiles(0.2)[GetParam()];
+  TypeSystem TS1;
+  Program P1(TS1);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P1);
+  std::string Src1 = writeProgramSource(P1);
+
+  DiagnosticEngine D;
+  TypeSystem TS2;
+  Program P2(TS2);
+  std::ostringstream OS;
+  bool Ok = loadProgramText(Src1, P2, D);
+  D.print(OS);
+  ASSERT_TRUE(Ok) << Prof.Name << ":\n" << OS.str().substr(0, 2000);
+
+  EXPECT_EQ(TS2.numTypes(), TS1.numTypes());
+  EXPECT_EQ(TS2.numMethods(), TS1.numMethods());
+  EXPECT_EQ(TS2.numFields(), TS1.numFields());
+  EXPECT_EQ(P2.numStatements(), P1.numStatements());
+
+  HarvestResult H1 = harvestProgram(P1);
+  HarvestResult H2 = harvestProgram(P2);
+  EXPECT_EQ(H2.Calls.size(), H1.Calls.size());
+  EXPECT_EQ(H2.Assigns.size(), H1.Assigns.size());
+  EXPECT_EQ(H2.Compares.size(), H1.Compares.size());
+
+  std::string Src2 = writeProgramSource(P2);
+  EXPECT_EQ(Src1, Src2) << "write . parse . write is not a fixpoint";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProjects, RoundTripTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+} // namespace

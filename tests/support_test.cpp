@@ -1,0 +1,294 @@
+//===- tests/support_test.cpp - Support-library unit tests ----------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/StrUtil.h"
+#include "support/Table.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace petal;
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct DtorCounter {
+  explicit DtorCounter(int *Count) : Count(Count) {}
+  ~DtorCounter() { ++*Count; }
+  int *Count;
+};
+} // namespace
+
+TEST(ArenaTest, AllocatesDistinctObjects) {
+  Arena A;
+  int *X = A.create<int>(1);
+  int *Y = A.create<int>(2);
+  EXPECT_NE(X, Y);
+  EXPECT_EQ(*X, 1);
+  EXPECT_EQ(*Y, 2);
+}
+
+TEST(ArenaTest, RunsDestructorsOnArenaDestruction) {
+  int Count = 0;
+  {
+    Arena A;
+    for (int I = 0; I != 100; ++I)
+      A.create<DtorCounter>(&Count);
+    EXPECT_EQ(Count, 0);
+    EXPECT_EQ(A.numManagedObjects(), 100u);
+  }
+  EXPECT_EQ(Count, 100);
+}
+
+TEST(ArenaTest, TriviallyDestructibleTypesAreNotTracked) {
+  Arena A;
+  A.create<int>(7);
+  A.create<double>(3.5);
+  EXPECT_EQ(A.numManagedObjects(), 0u);
+}
+
+TEST(ArenaTest, HandlesLargeAllocations) {
+  Arena A;
+  // Larger than the initial slab; must not crash or overlap.
+  struct Big {
+    char Data[100000];
+  };
+  Big *B1 = A.create<Big>();
+  Big *B2 = A.create<Big>();
+  B1->Data[0] = 'x';
+  B2->Data[0] = 'y';
+  EXPECT_EQ(B1->Data[0], 'x');
+  EXPECT_GE(A.bytesReserved(), 2 * sizeof(Big));
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena A;
+  A.allocate(1, 1);
+  void *P = A.allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 16, 0u);
+  A.allocate(3, 1);
+  void *Q = A.allocate(32, 32);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Q) % 32, 0u);
+}
+
+TEST(ArenaTest, StringsSurviveAndAreFreed) {
+  Arena A;
+  auto *S = A.create<std::string>(1000, 'a');
+  EXPECT_EQ(S->size(), 1000u);
+  EXPECT_EQ(A.numManagedObjects(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// UnionFind
+//===----------------------------------------------------------------------===//
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind UF(5);
+  for (uint32_t I = 0; I != 5; ++I)
+    EXPECT_EQ(UF.find(I), I);
+  EXPECT_EQ(UF.numSets(), 5u);
+}
+
+TEST(UnionFindTest, UniteMergesClasses) {
+  UnionFind UF(6);
+  UF.unite(0, 1);
+  UF.unite(2, 3);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_TRUE(UF.connected(2, 3));
+  EXPECT_FALSE(UF.connected(1, 2));
+  UF.unite(1, 2);
+  EXPECT_TRUE(UF.connected(0, 3));
+  EXPECT_EQ(UF.numSets(), 3u); // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFindTest, GrowPreservesExistingSets) {
+  UnionFind UF(2);
+  UF.unite(0, 1);
+  UF.grow(10);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(0, 9));
+  EXPECT_EQ(UF.size(), 10u);
+}
+
+/// Property: union-find agrees with a naive set-partition oracle under a
+/// deterministic random workload.
+TEST(UnionFindTest, MatchesNaivePartitionOracle) {
+  constexpr uint32_t N = 200;
+  UnionFind UF(N);
+  std::vector<uint32_t> Label(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Label[I] = I;
+
+  Rng R(42);
+  for (int Step = 0; Step != 500; ++Step) {
+    uint32_t A = static_cast<uint32_t>(R.below(N));
+    uint32_t B = static_cast<uint32_t>(R.below(N));
+    UF.unite(A, B);
+    uint32_t LA = Label[A], LB = Label[B];
+    if (LA != LB)
+      for (uint32_t I = 0; I != N; ++I)
+        if (Label[I] == LB)
+          Label[I] = LA;
+    // Spot-check a few pairs after each step.
+    for (int Check = 0; Check != 5; ++Check) {
+      uint32_t X = static_cast<uint32_t>(R.below(N));
+      uint32_t Y = static_cast<uint32_t>(R.below(N));
+      ASSERT_EQ(UF.connected(X, Y), Label[X] == Label[Y]);
+    }
+  }
+  std::set<uint32_t> Labels(Label.begin(), Label.end());
+  EXPECT_EQ(UF.numSets(), Labels.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(3, 5);
+    EXPECT_GE(V, 3);
+    EXPECT_LE(V, 5);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, WeightedNeverPicksZeroWeight) {
+  Rng R(11);
+  for (int I = 0; I != 500; ++I) {
+    size_t Pick = R.weighted({0.0, 1.0, 0.0, 2.0});
+    EXPECT_TRUE(Pick == 1 || Pick == 3);
+  }
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng R(13);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng A(5), B(5);
+  Rng FA = A.fork(), FB = B.fork();
+  for (int I = 0; I != 16; ++I)
+    EXPECT_EQ(FA.next(), FB.next());
+}
+
+//===----------------------------------------------------------------------===//
+// StrUtil
+//===----------------------------------------------------------------------===//
+
+TEST(StrUtilTest, SplitBasics) {
+  EXPECT_EQ(splitString("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(splitString("", '.').empty());
+  EXPECT_EQ(splitString("abc", '.'), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(splitString("a..b", '.'),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StrUtilTest, JoinInvertsSplit) {
+  std::vector<std::string> Parts = {"System", "Collections", "Generic"};
+  EXPECT_EQ(splitString(joinStrings(Parts, '.'), '.'), Parts);
+}
+
+TEST(StrUtilTest, CommonPrefixLength) {
+  using V = std::vector<std::string>;
+  EXPECT_EQ(commonPrefixLength(V{"a", "b"}, V{"a", "c"}), 1u);
+  EXPECT_EQ(commonPrefixLength(V{"a", "b"}, V{"a", "b"}), 2u);
+  EXPECT_EQ(commonPrefixLength(V{}, V{"a"}), 0u);
+  EXPECT_EQ(commonPrefixLength(V{"x"}, V{"y"}), 0u);
+}
+
+TEST(StrUtilTest, FormatHelpers) {
+  EXPECT_EQ(formatFixed(1.2345, 2), "1.23");
+  EXPECT_EQ(formatPercent(1, 2), "50.00%");
+  EXPECT_EQ(formatPercent(0, 0), "n/a");
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable
+//===----------------------------------------------------------------------===//
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"Name", "N"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("Name    N"), std::string::npos);
+  EXPECT_NE(Out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable T;
+  T.setHeader({"A", "B", "C"});
+  T.addRow({"1"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find("1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsTest, CountsOnlyErrors) {
+  DiagnosticEngine D;
+  D.warning({1, 1}, "something odd");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({2, 3}, "something wrong");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 2u);
+}
+
+TEST(DiagnosticsTest, PrintIncludesLocationAndKind) {
+  DiagnosticEngine D;
+  D.error({12, 5}, "unexpected token");
+  std::ostringstream OS;
+  D.print(OS);
+  EXPECT_EQ(OS.str(), "12:5: error: unexpected token\n");
+}

@@ -1,0 +1,183 @@
+//===- tests/worked_examples_test.cpp - The paper's §2 examples -----------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end reproductions of the three illustrative examples in §2:
+// Fig. 2 (?({img, size})), Fig. 3 (Distance(point, ?)), and Fig. 4
+// (point.?*m >= this.?*m).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestCorpora.h"
+
+#include "code/ExprPrinter.h"
+#include "complete/Engine.h"
+#include "parser/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace petal;
+
+namespace {
+
+/// Fixture loading a corpus and preparing an engine + query context.
+class WorkedExampleTest : public ::testing::Test {
+protected:
+  void load(const char *Source, const char *ClassName,
+            const char *MethodName) {
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    ASSERT_TRUE(loadProgramText(Source, *P, Diags)) << diagText();
+    Class = findCodeClass(*P, ClassName);
+    ASSERT_NE(Class, nullptr);
+    Method = findCodeMethod(*P, *Class, MethodName);
+    ASSERT_NE(Method, nullptr);
+    Site = {Class, Method, Method->body().size()};
+    Idx = std::make_unique<CompletionIndexes>(*P);
+    Engine = std::make_unique<CompletionEngine>(*P, *Idx);
+  }
+
+  const PartialExpr *query(const char *Text) {
+    QueryScope Scope{Class, Method, Site.StmtIndex};
+    const PartialExpr *Q = parseQueryText(Text, *P, Scope, Diags);
+    EXPECT_NE(Q, nullptr) << diagText();
+    return Q;
+  }
+
+  std::vector<std::string> topStrings(const char *QueryText, size_t N) {
+    const PartialExpr *Q = query(QueryText);
+    if (!Q)
+      return {};
+    std::vector<std::string> Out;
+    for (const Completion &C : Engine->complete(Q, Site, N))
+      Out.push_back(printExpr(*TS, C.E));
+    return Out;
+  }
+
+  std::string diagText() const {
+    std::ostringstream OS;
+    Diags.print(OS);
+    return OS.str();
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  const CodeClass *Class = nullptr;
+  const CodeMethod *Method = nullptr;
+  CodeSite Site;
+  std::unique_ptr<CompletionIndexes> Idx;
+  std::unique_ptr<CompletionEngine> Engine;
+};
+
+// Fig. 2: the unknown-method query ?({img, size}) must rank the intended
+// ResizeDocument call first, ahead of the generic Pair/Triple/Quadruple
+// distractors.
+TEST_F(WorkedExampleTest, Fig2ResizeDocumentRanksFirst) {
+  load(corpora::PaintCorpus, "Client", "Work");
+  std::vector<std::string> Top = topStrings("?({img, size})", 10);
+  ASSERT_FALSE(Top.empty());
+  EXPECT_EQ(Top[0],
+            "PaintDotNet.Actions.CanvasSizeAction.ResizeDocument(img, size, "
+            "0, 0)");
+
+  // The distractors from Fig. 2 appear, but strictly later.
+  auto Find = [&Top](const std::string &Needle) -> int {
+    for (size_t I = 0; I != Top.size(); ++I)
+      if (Top[I].find(Needle) != std::string::npos)
+        return static_cast<int>(I);
+    return -1;
+  };
+  int Resize = Find("ResizeDocument");
+  int PairCreate = Find("Pair.Create");
+  EXPECT_EQ(Resize, 0);
+  ASSERT_GE(PairCreate, 0) << "Pair.Create should be among the candidates";
+  EXPECT_LT(Resize, PairCreate);
+  // The instance-method distractor ranks between them (score 9 vs 8 vs 10).
+  int OnDeser = Find("OnDeserialization");
+  ASSERT_GE(OnDeser, 0);
+  EXPECT_LT(Resize, OnDeser);
+}
+
+// Fig. 2 footnote: Triple.Create(0, size, img) is a *valid* completion —
+// extra arguments are left as 0, not filled.
+TEST_F(WorkedExampleTest, Fig2ExtraArgumentsStayDontCare) {
+  load(corpora::PaintCorpus, "Client", "Work");
+  std::vector<std::string> Top = topStrings("?({img, size})", 20);
+  bool FoundTriple = false;
+  for (const std::string &S : Top)
+    if (S.find("Triple.Create") != std::string::npos) {
+      FoundTriple = true;
+      EXPECT_NE(S.find("0"), std::string::npos)
+          << "unfilled Triple.Create argument must print as 0: " << S;
+    }
+  EXPECT_TRUE(FoundTriple);
+}
+
+// Fig. 3: Distance(point, ?) — the hole completes to every reachable Point:
+// the local first (score 0), then one-lookup fields and the global
+// Math.InfinitePoint (score 2), then two-lookup chains (score 4), including
+// the method-call chain shapeStyle.GetSampleGlyph().RenderTransformOrigin.
+TEST_F(WorkedExampleTest, Fig3DistanceHole) {
+  load(corpora::GeometryCorpus, "EllipseArc", "Examine");
+  std::vector<std::string> Top = topStrings("Distance(point, ?)", 16);
+  ASSERT_GE(Top.size(), 10u);
+
+  // All results are Distance calls with the hole filled in second position.
+  for (const std::string &S : Top)
+    EXPECT_EQ(S.find("DynamicGeometry.Math.Distance(point, "), 0u) << S;
+
+  EXPECT_EQ(Top[0], "DynamicGeometry.Math.Distance(point, point)");
+
+  auto Rank = [&Top](const std::string &Needle) -> int {
+    for (size_t I = 0; I != Top.size(); ++I)
+      if (Top[I].find(Needle) != std::string::npos)
+        return static_cast<int>(I);
+    return 1000;
+  };
+  // One-lookup candidates precede two-lookup chains.
+  EXPECT_LT(Rank("this.Center)"), Rank("this.shape.RenderTransformOrigin"));
+  EXPECT_LT(Rank("Math.InfinitePoint"),
+            Rank("shapeStyle.GetSampleGlyph().RenderTransformOrigin"));
+  // All of Fig. 3's entries are present.
+  EXPECT_NE(Rank("this.BeginLocation)"), 1000);
+  EXPECT_NE(Rank("this.EndLocation)"), 1000);
+  EXPECT_NE(Rank("this.ArcShape.Point"), 1000);
+  EXPECT_NE(Rank("this.FigureField.StartPoint"), 1000);
+  EXPECT_NE(Rank("shapeStyle.GetSampleGlyph().RenderTransformOrigin"), 1000);
+}
+
+// Fig. 4: point.?*m >= this.?*m — both sides complete simultaneously and
+// only type-compatible pairs appear; same-named field pairs rank first.
+TEST_F(WorkedExampleTest, Fig4ComparisonCompletion) {
+  load(corpora::GeometryCorpus, "EllipseArc", "Examine");
+  std::vector<std::string> Top = topStrings("point.?*m >= this.?*m", 14);
+  ASSERT_GE(Top.size(), 8u);
+
+  auto Rank = [&Top](const std::string &Needle) -> int {
+    for (size_t I = 0; I != Top.size(); ++I)
+      if (Top[I] == Needle)
+        return static_cast<int>(I);
+    return 1000;
+  };
+
+  // Matching-name completions come first (Fig. 4 lists point.X >= this.P1.X
+  // etc. before point.X >= this.Length).
+  EXPECT_LT(Rank("point.X >= this.P1.X"), Rank("point.X >= this.Length"));
+  EXPECT_LT(Rank("point.Y >= this.P2.Y"), Rank("point.Y >= this.Length"));
+  EXPECT_NE(Rank("point.X >= this.Midpoint.X"), 1000);
+  EXPECT_NE(Rank("point.Y >= this.FirstValidValue().Y"), 1000);
+
+  // Mismatched-name pairs like point.X >= this.P1.Y must rank beneath the
+  // matched ones (they cost +3).
+  int Matched = Rank("point.X >= this.P1.X");
+  ASSERT_NE(Matched, 1000);
+  for (const std::string &S : Top)
+    EXPECT_EQ(S.find("point.X >= this.P1.Y"), std::string::npos)
+        << "mismatched pair should not outrank the matched ones";
+}
+
+} // namespace
