@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_args_needed.dir/fig10_args_needed.cpp.o"
+  "CMakeFiles/fig10_args_needed.dir/fig10_args_needed.cpp.o.d"
+  "fig10_args_needed"
+  "fig10_args_needed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_args_needed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_intellisense.dir/fig11_intellisense.cpp.o"
+  "CMakeFiles/fig11_intellisense.dir/fig11_intellisense.cpp.o.d"
+  "fig11_intellisense"
+  "fig11_intellisense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_intellisense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

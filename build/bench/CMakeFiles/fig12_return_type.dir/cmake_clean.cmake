@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_return_type.dir/fig12_return_type.cpp.o"
+  "CMakeFiles/fig12_return_type.dir/fig12_return_type.cpp.o.d"
+  "fig12_return_type"
+  "fig12_return_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_return_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_arguments.dir/fig13_arguments.cpp.o"
+  "CMakeFiles/fig13_arguments.dir/fig13_arguments.cpp.o.d"
+  "fig13_arguments"
+  "fig13_arguments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_arguments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_assignments.dir/fig15_assignments.cpp.o"
+  "CMakeFiles/fig15_assignments.dir/fig15_assignments.cpp.o.d"
+  "fig15_assignments"
+  "fig15_assignments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_assignments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

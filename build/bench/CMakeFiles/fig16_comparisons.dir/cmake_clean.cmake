@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_comparisons.dir/fig16_comparisons.cpp.o"
+  "CMakeFiles/fig16_comparisons.dir/fig16_comparisons.cpp.o.d"
+  "fig16_comparisons"
+  "fig16_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

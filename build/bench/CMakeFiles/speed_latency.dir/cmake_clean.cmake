@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_latency.dir/speed_latency.cpp.o"
+  "CMakeFiles/speed_latency.dir/speed_latency.cpp.o.d"
+  "speed_latency"
+  "speed_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_method_prediction.dir/table1_method_prediction.cpp.o"
+  "CMakeFiles/table1_method_prediction.dir/table1_method_prediction.cpp.o.d"
+  "table1_method_prediction"
+  "table1_method_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_method_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

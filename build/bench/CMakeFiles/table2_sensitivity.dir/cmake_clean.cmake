@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sensitivity.dir/table2_sensitivity.cpp.o"
+  "CMakeFiles/table2_sensitivity.dir/table2_sensitivity.cpp.o.d"
+  "table2_sensitivity"
+  "table2_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

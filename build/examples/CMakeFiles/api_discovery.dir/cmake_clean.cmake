@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_discovery.dir/api_discovery.cpp.o"
+  "CMakeFiles/api_discovery.dir/api_discovery.cpp.o.d"
+  "api_discovery"
+  "api_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

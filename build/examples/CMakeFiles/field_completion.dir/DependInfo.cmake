@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/field_completion.cpp" "examples/CMakeFiles/field_completion.dir/field_completion.cpp.o" "gcc" "examples/CMakeFiles/field_completion.dir/field_completion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/petal_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/complete/CMakeFiles/petal_complete.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/petal_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/petal_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/petal_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/petal_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/petal_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/partial/CMakeFiles/petal_partial.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/petal_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/petal_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/petal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_completion.dir/field_completion.cpp.o"
+  "CMakeFiles/field_completion.dir/field_completion.cpp.o.d"
+  "field_completion"
+  "field_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/code/Expr.cpp" "src/code/CMakeFiles/petal_code.dir/Expr.cpp.o" "gcc" "src/code/CMakeFiles/petal_code.dir/Expr.cpp.o.d"
+  "/root/repo/src/code/ExprPrinter.cpp" "src/code/CMakeFiles/petal_code.dir/ExprPrinter.cpp.o" "gcc" "src/code/CMakeFiles/petal_code.dir/ExprPrinter.cpp.o.d"
+  "/root/repo/src/code/Verify.cpp" "src/code/CMakeFiles/petal_code.dir/Verify.cpp.o" "gcc" "src/code/CMakeFiles/petal_code.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/petal_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/petal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

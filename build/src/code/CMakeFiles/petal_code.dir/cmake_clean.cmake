@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_code.dir/Expr.cpp.o"
+  "CMakeFiles/petal_code.dir/Expr.cpp.o.d"
+  "CMakeFiles/petal_code.dir/ExprPrinter.cpp.o"
+  "CMakeFiles/petal_code.dir/ExprPrinter.cpp.o.d"
+  "CMakeFiles/petal_code.dir/Verify.cpp.o"
+  "CMakeFiles/petal_code.dir/Verify.cpp.o.d"
+  "libpetal_code.a"
+  "libpetal_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_complete.dir/Engine.cpp.o"
+  "CMakeFiles/petal_complete.dir/Engine.cpp.o.d"
+  "CMakeFiles/petal_complete.dir/Streams.cpp.o"
+  "CMakeFiles/petal_complete.dir/Streams.cpp.o.d"
+  "libpetal_complete.a"
+  "libpetal_complete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_complete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

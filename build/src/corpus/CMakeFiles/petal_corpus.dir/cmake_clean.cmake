@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_corpus.dir/Generator.cpp.o"
+  "CMakeFiles/petal_corpus.dir/Generator.cpp.o.d"
+  "CMakeFiles/petal_corpus.dir/Profiles.cpp.o"
+  "CMakeFiles/petal_corpus.dir/Profiles.cpp.o.d"
+  "CMakeFiles/petal_corpus.dir/SourceWriter.cpp.o"
+  "CMakeFiles/petal_corpus.dir/SourceWriter.cpp.o.d"
+  "libpetal_corpus.a"
+  "libpetal_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

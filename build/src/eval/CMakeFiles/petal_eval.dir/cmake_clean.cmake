@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_eval.dir/Experiments.cpp.o"
+  "CMakeFiles/petal_eval.dir/Experiments.cpp.o.d"
+  "CMakeFiles/petal_eval.dir/Harvest.cpp.o"
+  "CMakeFiles/petal_eval.dir/Harvest.cpp.o.d"
+  "CMakeFiles/petal_eval.dir/Intellisense.cpp.o"
+  "CMakeFiles/petal_eval.dir/Intellisense.cpp.o.d"
+  "CMakeFiles/petal_eval.dir/Metrics.cpp.o"
+  "CMakeFiles/petal_eval.dir/Metrics.cpp.o.d"
+  "CMakeFiles/petal_eval.dir/Report.cpp.o"
+  "CMakeFiles/petal_eval.dir/Report.cpp.o.d"
+  "libpetal_eval.a"
+  "libpetal_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpetal_eval.a"
+)

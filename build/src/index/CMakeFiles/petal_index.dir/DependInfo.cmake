@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/MemberCache.cpp" "src/index/CMakeFiles/petal_index.dir/MemberCache.cpp.o" "gcc" "src/index/CMakeFiles/petal_index.dir/MemberCache.cpp.o.d"
+  "/root/repo/src/index/MethodIndex.cpp" "src/index/CMakeFiles/petal_index.dir/MethodIndex.cpp.o" "gcc" "src/index/CMakeFiles/petal_index.dir/MethodIndex.cpp.o.d"
+  "/root/repo/src/index/ReachabilityIndex.cpp" "src/index/CMakeFiles/petal_index.dir/ReachabilityIndex.cpp.o" "gcc" "src/index/CMakeFiles/petal_index.dir/ReachabilityIndex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/petal_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/petal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_index.dir/MemberCache.cpp.o"
+  "CMakeFiles/petal_index.dir/MemberCache.cpp.o.d"
+  "CMakeFiles/petal_index.dir/MethodIndex.cpp.o"
+  "CMakeFiles/petal_index.dir/MethodIndex.cpp.o.d"
+  "CMakeFiles/petal_index.dir/ReachabilityIndex.cpp.o"
+  "CMakeFiles/petal_index.dir/ReachabilityIndex.cpp.o.d"
+  "libpetal_index.a"
+  "libpetal_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_infer.dir/AbstractTypes.cpp.o"
+  "CMakeFiles/petal_infer.dir/AbstractTypes.cpp.o.d"
+  "libpetal_infer.a"
+  "libpetal_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

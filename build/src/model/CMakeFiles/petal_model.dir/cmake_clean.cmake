@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_model.dir/TypeSystem.cpp.o"
+  "CMakeFiles/petal_model.dir/TypeSystem.cpp.o.d"
+  "libpetal_model.a"
+  "libpetal_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

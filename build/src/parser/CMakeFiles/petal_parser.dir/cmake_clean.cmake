@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_parser.dir/Frontend.cpp.o"
+  "CMakeFiles/petal_parser.dir/Frontend.cpp.o.d"
+  "CMakeFiles/petal_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/petal_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/petal_parser.dir/Parser.cpp.o"
+  "CMakeFiles/petal_parser.dir/Parser.cpp.o.d"
+  "CMakeFiles/petal_parser.dir/Resolver.cpp.o"
+  "CMakeFiles/petal_parser.dir/Resolver.cpp.o.d"
+  "libpetal_parser.a"
+  "libpetal_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_partial.dir/PartialExpr.cpp.o"
+  "CMakeFiles/petal_partial.dir/PartialExpr.cpp.o.d"
+  "CMakeFiles/petal_partial.dir/Semantics.cpp.o"
+  "CMakeFiles/petal_partial.dir/Semantics.cpp.o.d"
+  "libpetal_partial.a"
+  "libpetal_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

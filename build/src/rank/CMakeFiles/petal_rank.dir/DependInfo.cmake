@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/Explain.cpp" "src/rank/CMakeFiles/petal_rank.dir/Explain.cpp.o" "gcc" "src/rank/CMakeFiles/petal_rank.dir/Explain.cpp.o.d"
+  "/root/repo/src/rank/Ranking.cpp" "src/rank/CMakeFiles/petal_rank.dir/Ranking.cpp.o" "gcc" "src/rank/CMakeFiles/petal_rank.dir/Ranking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/petal_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/petal_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/petal_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/petal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

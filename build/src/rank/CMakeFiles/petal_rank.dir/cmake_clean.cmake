@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_rank.dir/Explain.cpp.o"
+  "CMakeFiles/petal_rank.dir/Explain.cpp.o.d"
+  "CMakeFiles/petal_rank.dir/Ranking.cpp.o"
+  "CMakeFiles/petal_rank.dir/Ranking.cpp.o.d"
+  "libpetal_rank.a"
+  "libpetal_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/petal_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/petal_support.dir/StrUtil.cpp.o"
+  "CMakeFiles/petal_support.dir/StrUtil.cpp.o.d"
+  "CMakeFiles/petal_support.dir/Table.cpp.o"
+  "CMakeFiles/petal_support.dir/Table.cpp.o.d"
+  "libpetal_support.a"
+  "libpetal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bruteforce_test.cpp" "tests/CMakeFiles/petal_tests.dir/bruteforce_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/bruteforce_test.cpp.o.d"
+  "/root/repo/tests/code_test.cpp" "tests/CMakeFiles/petal_tests.dir/code_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/code_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/petal_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/petal_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/petal_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/index_test.cpp" "tests/CMakeFiles/petal_tests.dir/index_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/index_test.cpp.o.d"
+  "/root/repo/tests/infer_test.cpp" "tests/CMakeFiles/petal_tests.dir/infer_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/infer_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/petal_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/petal_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/petal_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/petal_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/partial_test.cpp" "tests/CMakeFiles/petal_tests.dir/partial_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/partial_test.cpp.o.d"
+  "/root/repo/tests/rank_test.cpp" "tests/CMakeFiles/petal_tests.dir/rank_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/rank_test.cpp.o.d"
+  "/root/repo/tests/resolver_test.cpp" "tests/CMakeFiles/petal_tests.dir/resolver_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/resolver_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/petal_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/semantics_test.cpp" "tests/CMakeFiles/petal_tests.dir/semantics_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/semantics_test.cpp.o.d"
+  "/root/repo/tests/sourcewriter_test.cpp" "tests/CMakeFiles/petal_tests.dir/sourcewriter_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/sourcewriter_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/petal_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/worked_examples_test.cpp" "tests/CMakeFiles/petal_tests.dir/worked_examples_test.cpp.o" "gcc" "tests/CMakeFiles/petal_tests.dir/worked_examples_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/petal_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/complete/CMakeFiles/petal_complete.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/petal_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/petal_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/petal_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/petal_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/petal_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/partial/CMakeFiles/petal_partial.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/petal_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/petal_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/petal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
