@@ -1,0 +1,180 @@
+//===- bench/batch_throughput.cpp - Parallel batch-query throughput -------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures end-to-end completion throughput (queries/second) of the
+// BatchExecutor at 1, 2, 4, and hardware_concurrency() threads, over the
+// harvested ?({arg}) method queries of one mid-size synthetic project. The
+// paper evaluates per-query latency (§5.1–5.3); this benchmark adds the
+// batch dimension the parallel executor introduces: replaying a whole
+// corpus worth of queries, as the experiment drivers do.
+//
+// Writes a machine-readable BENCH_batch.json snapshot (into the current
+// directory, or $PETAL_BENCH_DIR) so the speedup trajectory can be tracked
+// across commits, then runs the google-benchmark harness for calibrated
+// per-configuration numbers.
+//
+// Note: the speedup column only shows >1 on multi-core hardware; on a
+// single-CPU machine all configurations collapse to serial throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "complete/BatchExecutor.h"
+#include "support/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+using namespace petal;
+using namespace petal::bench;
+
+namespace {
+
+/// One project plus the full batched query list, shared by every
+/// configuration so all thread counts answer identical requests.
+struct BatchFixture {
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  std::unique_ptr<CompletionIndexes> Idx;
+  std::vector<BatchExecutor::Request> Requests;
+
+  static BatchFixture &get() {
+    static BatchFixture F;
+    return F;
+  }
+
+private:
+  BatchFixture() {
+    ProjectProfile Prof = paperProjectProfiles(benchScale())[0];
+    TS = std::make_unique<TypeSystem>();
+    P = std::make_unique<Program>(*TS);
+    CorpusGenerator Gen(Prof);
+    Gen.generate(*P);
+    Idx = std::make_unique<CompletionIndexes>(*P);
+    Idx->freeze();
+
+    // One ?({arg}) query per harvested call with a guessable ingredient —
+    // the §5.1 query family, which dominates the experiment drivers.
+    Arena &A = P->arena();
+    HarvestResult Sites = harvestProgram(*P);
+    for (const CallSiteInfo &CS : Sites.Calls) {
+      const Expr *Arg = nullptr;
+      if (CS.Call->receiver() && isGuessableExpr(CS.Call->receiver()))
+        Arg = CS.Call->receiver();
+      for (const Expr *E : CS.Call->args())
+        if (!Arg && isGuessableExpr(E))
+          Arg = E;
+      if (!Arg)
+        continue;
+      const PartialExpr *Q = A.create<UnknownCallPE>(
+          std::vector<const PartialExpr *>{A.create<ConcretePE>(Arg)});
+      Requests.push_back({Q, CS.Site, 10, {}, nullptr});
+    }
+  }
+};
+
+/// The benchmarked thread counts: 1, 2, 4, and the machine width, deduped
+/// and sorted.
+std::vector<size_t> threadCounts() {
+  std::vector<size_t> Counts = {1, 2, 4, ThreadPool::defaultThreadCount()};
+  std::sort(Counts.begin(), Counts.end());
+  Counts.erase(std::unique(Counts.begin(), Counts.end()), Counts.end());
+  return Counts;
+}
+
+/// Times repeated completeBatch calls and returns queries/second.
+double measureQps(BatchExecutor &Exec,
+                  const std::vector<BatchExecutor::Request> &Requests) {
+  Exec.completeBatch(Requests); // warm-up (also computes the shared solution)
+  using Clock = std::chrono::steady_clock;
+  size_t Reps = 0;
+  Clock::time_point Start = Clock::now();
+  double Elapsed = 0;
+  while (Reps < 3 || Elapsed < 0.5) {
+    benchmark::DoNotOptimize(Exec.completeBatch(Requests));
+    ++Reps;
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+  return static_cast<double>(Reps * Requests.size()) / Elapsed;
+}
+
+/// Runs the manual sweep, prints the table, and snapshots the results.
+void sweepAndSnapshot() {
+  BatchFixture &F = BatchFixture::get();
+  std::cout << "batched queries per run: " << F.Requests.size()
+            << " (hardware threads: " << std::thread::hardware_concurrency()
+            << ")\n\n";
+
+  std::vector<std::pair<size_t, double>> Rows;
+  for (size_t T : threadCounts()) {
+    BatchExecutor Exec(*F.P, *F.Idx, T);
+    Rows.emplace_back(T, measureQps(Exec, F.Requests));
+  }
+
+  double Base = Rows.front().second;
+  TextTable Tab;
+  Tab.setHeader({"threads", "queries/sec", "speedup vs 1"});
+  for (const auto &[T, Qps] : Rows)
+    Tab.addRow({std::to_string(T), formatFixed(Qps, 1),
+                formatFixed(Qps / Base, 2) + "x"});
+  std::cout << "Batch throughput (manual sweep):\n";
+  Tab.print(std::cout);
+  std::cout << "\n";
+
+  std::string Dir = ".";
+  if (const char *D = std::getenv("PETAL_BENCH_DIR"))
+    Dir = D;
+  std::ofstream OS(Dir + "/BENCH_batch.json");
+  OS << "{\n"
+     << "  \"benchmark\": \"batch_throughput\",\n"
+     << "  \"scale\": " << formatFixed(benchScale(), 2) << ",\n"
+     << "  \"queries_per_batch\": " << F.Requests.size() << ",\n"
+     << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n"
+     << "  \"results\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I)
+    OS << "    {\"threads\": " << Rows[I].first
+       << ", \"qps\": " << formatFixed(Rows[I].second, 1)
+       << ", \"speedup\": " << formatFixed(Rows[I].second / Base, 3) << "}"
+       << (I + 1 == Rows.size() ? "\n" : ",\n");
+  OS << "  ]\n}\n";
+  std::cout << "wrote " << Dir << "/BENCH_batch.json\n\n";
+}
+
+void BM_BatchComplete(benchmark::State &State) {
+  BatchFixture &F = BatchFixture::get();
+  BatchExecutor Exec(*F.P, *F.Idx, static_cast<size_t>(State.range(0)));
+  Exec.completeBatch(F.Requests); // warm-up
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Exec.completeBatch(F.Requests));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(F.Requests.size()));
+}
+
+void registerBenchmarks() {
+  auto *B = benchmark::RegisterBenchmark("BM_BatchComplete", BM_BatchComplete)
+                ->UseRealTime();
+  for (size_t T : threadCounts())
+    B->Arg(static_cast<int64_t>(T));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  banner("parallel batch-query throughput", "§5 experiment replay, batched",
+         benchScale());
+  sweepAndSnapshot();
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

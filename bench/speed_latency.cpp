@@ -48,6 +48,9 @@ private:
     CorpusGenerator Gen(Prof);
     Gen.generate(*P);
     Idx = std::make_unique<CompletionIndexes>(*P);
+    // Pre-warm every lazy cache so the microbenchmarks measure the
+    // steady-state lookup cost, not first-touch cache fills.
+    Idx->freeze();
     Sites = harvestProgram(*P);
     for (const CallSiteInfo &CS : Sites.Calls) {
       size_t Guessable = 0;

@@ -14,17 +14,32 @@
 //===----------------------------------------------------------------------===//
 
 #include "code/ExprPrinter.h"
-#include "complete/Engine.h"
+#include "complete/BatchExecutor.h"
 #include "corpus/Generator.h"
 #include "eval/Experiments.h"
 #include "support/StrUtil.h"
 
+#include <chrono>
 #include <iostream>
 
 using namespace petal;
 
 int main(int argc, char **argv) {
-  double Scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  // Usage: corpus_explorer [scale] [--threads N]   (0 = auto)
+  double Scale = 0.3;
+  size_t Threads = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--threads") {
+      if (I + 1 == argc) {
+        std::cerr << "error: --threads needs a count (0 = auto)\n";
+        return 1;
+      }
+      Threads = static_cast<size_t>(std::atol(argv[++I]));
+    } else {
+      Scale = std::atof(Arg.c_str());
+    }
+  }
   ProjectProfile Prof = paperProjectProfiles(Scale)[0]; // PaintNet
 
   TypeSystem TS;
@@ -41,14 +56,18 @@ int main(int argc, char **argv) {
             << "  statements: " << P.numStatements() << "\n\n";
 
   CompletionIndexes Idx(P);
-  CompletionEngine Engine(P, Idx);
+  BatchExecutor Exec(P, Idx, Threads);
   HarvestResult Sites = harvestProgram(P);
   std::cout << "Harvested " << Sites.Calls.size() << " calls, "
             << Sites.Assigns.size() << " assignments, "
-            << Sites.Compares.size() << " comparisons.\n\n";
+            << Sites.Compares.size() << " comparisons. Running with "
+            << Exec.numThreads() << " worker thread"
+            << (Exec.numThreads() == 1 ? "" : "s") << ".\n\n";
 
-  // Replay the first few call sites the way §5.1 does.
-  size_t Shown = 0;
+  // Replay the first few call sites the way §5.1 does, as one batch.
+  Arena &A = P.arena();
+  std::vector<BatchExecutor::Request> Demo;
+  std::vector<const CallSiteInfo *> DemoSites;
   for (const CallSiteInfo &CS : Sites.Calls) {
     std::vector<const Expr *> Args;
     if (CS.Call->receiver() && isGuessableExpr(CS.Call->receiver()))
@@ -59,15 +78,23 @@ int main(int argc, char **argv) {
     if (Args.size() < 2)
       continue;
 
-    Arena &A = P.arena();
     std::vector<const PartialExpr *> PEArgs;
     for (const Expr *E : Args)
       PEArgs.push_back(A.create<ConcretePE>(E));
-    const PartialExpr *Q = A.create<UnknownCallPE>(std::move(PEArgs));
+    Demo.push_back({A.create<UnknownCallPE>(std::move(PEArgs)), CS.Site, 5,
+                    {}, nullptr});
+    DemoSites.push_back(&CS);
+    if (Demo.size() == 3)
+      break;
+  }
 
+  BatchExecutor::BatchResult Batch = Exec.completeBatch(Demo);
+  for (size_t R = 0; R != Batch.Results.size(); ++R) {
+    const CallSiteInfo &CS = *DemoSites[R];
     std::cout << "ground truth: " << printExpr(TS, CS.Call) << "\n";
-    std::cout << "query:        " << printPartialExpr(TS, Q) << "\n";
-    auto Results = Engine.complete(Q, CS.Site, 5);
+    std::cout << "query:        " << printPartialExpr(TS, Demo[R].Query)
+              << "\n";
+    const std::vector<Completion> &Results = Batch.Results[R];
     for (size_t I = 0; I != Results.size(); ++I) {
       const auto *Call = dyn_cast<CallExpr>(Results[I].E);
       bool Hit = Call && Call->method() == CS.Call->method();
@@ -76,13 +103,17 @@ int main(int argc, char **argv) {
                 << "\n";
     }
     std::cout << "\n";
-    if (++Shown == 3)
-      break;
   }
 
-  // And the aggregate §5.1 numbers for this one project.
-  Evaluator Ev(P, Idx, RankingOptions::all());
+  // And the aggregate §5.1 numbers for this one project, timed end to end
+  // so the thread count's throughput effect is visible.
+  Evaluator Ev(P, Idx, RankingOptions::all(), 100, Threads);
+  auto Start = std::chrono::steady_clock::now();
   MethodPredictionData Data = Ev.runMethodPrediction(false, false);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  size_t Queries = Ev.latency().Millis.size();
   std::cout << "Method prediction over all " << Data.Best.total()
             << " calls: top-10 "
             << formatPercent(Data.Best.withinTop(10), Data.Best.total())
@@ -90,6 +121,11 @@ int main(int argc, char **argv) {
             << formatPercent(Data.Best.withinTop(20), Data.Best.total())
             << "\nMedian query latency: "
             << formatFixed(Ev.latency().percentile(50), 3) << " ms (p99 "
-            << formatFixed(Ev.latency().percentile(99), 3) << " ms)\n";
+            << formatFixed(Ev.latency().percentile(99), 3) << " ms)\n"
+            << "Throughput: " << Queries << " queries in "
+            << formatFixed(Seconds, 2) << " s ("
+            << formatFixed(Queries / Seconds, 0) << " queries/sec at "
+            << Ev.numThreads() << " thread"
+            << (Ev.numThreads() == 1 ? "" : "s") << ")\n";
   return 0;
 }

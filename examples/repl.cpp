@@ -9,7 +9,7 @@
 // equivalent: load a (mini-C#) source file, pick a code context, and type
 // partial expressions to see ranked completions.
 //
-//   ./build/examples/repl [source.cs]
+//   ./build/examples/repl [--threads N] [source.cs]
 //
 //   > :context EllipseArc Examine     pick the enclosing class::method
 //   > :n 15                           number of results
@@ -23,7 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "code/ExprPrinter.h"
-#include "complete/Engine.h"
+#include "complete/BatchExecutor.h"
 #include "corpus/MiniFrameworks.h"
 #include "corpus/SourceWriter.h"
 #include "parser/Frontend.h"
@@ -42,11 +42,19 @@ struct Session {
   TypeSystem TS;
   Program P{TS};
   std::unique_ptr<CompletionIndexes> Idx;
-  std::unique_ptr<CompletionEngine> Engine;
+  std::unique_ptr<BatchExecutor> Exec;
   const CodeClass *Class = nullptr;
   const CodeMethod *Method = nullptr;
   size_t NumResults = 10;
-  std::vector<Completion> LastResults;
+  size_t Threads = 1; ///< 0 = PETAL_THREADS / hardware concurrency
+  /// The last query's batch. Holding the whole BatchResult keeps the result
+  /// expressions' arena alive across subsequent queries (for :explain).
+  BatchExecutor::BatchResult LastBatch;
+
+  const std::vector<Completion> &lastResults() const {
+    static const std::vector<Completion> Empty;
+    return LastBatch.Results.empty() ? Empty : LastBatch.Results.front();
+  }
 
   bool load(const std::string &Source) {
     DiagnosticEngine Diags;
@@ -55,7 +63,7 @@ struct Session {
       return false;
     }
     Idx = std::make_unique<CompletionIndexes>(P);
-    Engine = std::make_unique<CompletionEngine>(P, *Idx);
+    Exec = std::make_unique<BatchExecutor>(P, *Idx, Threads);
     // Default context: the method with the richest scope (most locals),
     // which is usually the interesting client code.
     size_t BestLocals = 0;
@@ -67,7 +75,9 @@ struct Session {
           Method = CM.get();
         }
     std::cout << "loaded: " << TS.numTypes() << " types, " << TS.numMethods()
-              << " methods, " << TS.numFields() << " fields\n";
+              << " methods, " << TS.numFields() << " fields ("
+              << Exec->numThreads() << " worker thread"
+              << (Exec->numThreads() == 1 ? "" : "s") << ")\n";
     printContext();
     return true;
   }
@@ -125,28 +135,29 @@ struct Session {
       return;
     }
     CodeSite Site{Class, Method, Scope.StmtIndex};
-    LastResults = Engine->complete(Q, Site, NumResults);
-    if (LastResults.empty()) {
+    LastBatch = Exec->completeBatch({{Q, Site, NumResults, {}, nullptr}});
+    const std::vector<Completion> &Results = lastResults();
+    if (Results.empty()) {
       std::cout << "  (no completions)\n";
       return;
     }
-    for (size_t I = 0; I != LastResults.size(); ++I)
-      std::cout << "  " << (I + 1) << ". [" << LastResults[I].Score << "] "
-                << printExpr(TS, LastResults[I].E) << "\n";
+    for (size_t I = 0; I != Results.size(); ++I)
+      std::cout << "  " << (I + 1) << ". [" << Results[I].Score << "] "
+                << printExpr(TS, Results[I].E) << "\n";
   }
 
   /// `:explain k` — per-term breakdown of the k-th result of the last
   /// query (1-based).
   void explain(size_t K) {
-    if (K == 0 || K > LastResults.size()) {
+    if (K == 0 || K > lastResults().size()) {
       std::cout << "error: no result #" << K << " (run a query first)\n";
       return;
     }
-    AbsTypeSolution Sol = Idx->Infer.solve();
+    const AbsTypeSolution &Sol = Exec->fullSolution();
     Ranker R(TS, RankingOptions::all());
     R.setSelfType(Class->type());
     R.setAbstractTypes(&Idx->Infer, &Sol, Method);
-    const Completion &C = LastResults[K - 1];
+    const Completion &C = lastResults()[K - 1];
     std::cout << "  " << printExpr(TS, C.E) << "\n  score: "
               << explainScore(R, C.E).toString() << "\n";
   }
@@ -170,11 +181,24 @@ void printHelp() {
 
 int main(int argc, char **argv) {
   Session S;
+  std::string File;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--threads") {
+      if (I + 1 == argc) {
+        std::cerr << "error: --threads needs a count (0 = auto)\n";
+        return 1;
+      }
+      S.Threads = static_cast<size_t>(std::atol(argv[++I]));
+    } else {
+      File = Arg;
+    }
+  }
   std::string Source;
-  if (argc > 1) {
-    std::ifstream In(argv[1]);
+  if (!File.empty()) {
+    std::ifstream In(File);
     if (!In) {
-      std::cerr << "error: cannot open '" << argv[1] << "'\n";
+      std::cerr << "error: cannot open '" << File << "'\n";
       return 1;
     }
     std::stringstream Buf;

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+#===- scripts/ci.sh - Build + test gate ------------------------------------===#
+#
+# Part of the petal project, an open-source reproduction of "Type-Directed
+# Completion of Partial Expressions" (PLDI 2012).
+#
+#===------------------------------------------------------------------------===#
+#
+# The full pre-merge gate, in two builds:
+#
+#   1. Release: the whole test suite.
+#   2. ThreadSanitizer (-DPETAL_SANITIZE=thread): the concurrency tests —
+#      ThreadPool, BatchExecutor, the parallel experiment drivers, and the
+#      frozen-index stress cases — which are exactly the tests designed to
+#      surface data races in the shared completion indexes.
+#
+# Usage: scripts/ci.sh [jobs]          (default: nproc)
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== [1/2] Release build + full test suite"
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo
+echo "== [2/2] ThreadSanitizer build + concurrency tests"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPETAL_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress'
+
+echo
+echo "== ci.sh: all green"

@@ -1,0 +1,98 @@
+//===- complete/BatchExecutor.h - Parallel batch queries --------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans independent completion queries out over a fixed pool of worker
+/// threads. The shared, read-mostly state is one frozen CompletionIndexes
+/// (freeze() is called on construction); the unit of isolation is the
+/// CompletionEngine — each worker owns one, and each engine owns its own
+/// result arena. Results always come back in input order, so batched runs
+/// are bit-identical to serial ones regardless of scheduling.
+///
+/// Two entry points:
+///  * completeBatch() — a plain vector of (query, site) requests in, a
+///    vector of completion lists out, with the arenas that own the result
+///    expressions carried alongside so they outlive the batch;
+///  * forEach() — the generic fan-out used by the evaluation drivers: the
+///    body gets a per-worker engine plus a per-task scratch arena for
+///    building partial expressions, and must fold its findings into
+///    per-index slots (never shared accumulators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_COMPLETE_BATCHEXECUTOR_H
+#define PETAL_COMPLETE_BATCHEXECUTOR_H
+
+#include "complete/Engine.h"
+#include "support/ThreadPool.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace petal {
+
+/// Executes batches of independent queries over per-worker engines.
+class BatchExecutor {
+public:
+  /// \p Threads = 0 means ThreadPool::defaultThreadCount() (the
+  /// PETAL_THREADS environment variable, else the hardware concurrency).
+  /// Construction freezes \p Idx (see CompletionIndexes::freeze()).
+  BatchExecutor(Program &P, CompletionIndexes &Idx, size_t Threads = 0);
+
+  size_t numThreads() const { return Pool.numThreads(); }
+
+  /// What a forEach task gets to work with.
+  struct TaskContext {
+    CompletionEngine &Engine; ///< this worker's engine
+    Arena &Scratch;           ///< per-task arena (partial-expression nodes)
+    size_t Worker;            ///< dense id in [0, numThreads())
+  };
+
+  /// Runs Fn(Ctx, Index) for every Index in [0, N) across the pool and
+  /// blocks until done. Deterministic outputs are the caller's contract:
+  /// write results into Out[Index]-style slots only.
+  void forEach(size_t N,
+               const std::function<void(TaskContext &, size_t)> &Fn);
+
+  /// One batched completion request. Leaving Solution null with abstract
+  /// types enabled uses one shared full-corpus solution computed once per
+  /// executor (not once per worker).
+  struct Request {
+    const PartialExpr *Query = nullptr;
+    CodeSite Site;
+    size_t N = 10;
+    CompletionOptions Opts = {};
+    const AbsTypeSolution *Solution = nullptr;
+  };
+
+  /// Batched results; Results[i] answers Requests[i]. The expression nodes
+  /// are owned by the carried arenas, so a BatchResult can be moved around
+  /// and consumed long after the executor ran other batches.
+  struct BatchResult {
+    std::vector<std::vector<Completion>> Results;
+    std::vector<std::unique_ptr<Arena>> Arenas;
+  };
+
+  BatchResult completeBatch(const std::vector<Request> &Requests);
+
+  /// The shared full-corpus abstract-type solution (computed on first use).
+  const AbsTypeSolution &fullSolution();
+
+  ThreadPool &pool() { return Pool; }
+
+private:
+  Program &P;
+  CompletionIndexes &Idx;
+  ThreadPool Pool;
+  std::vector<std::unique_ptr<CompletionEngine>> Engines; // one per worker
+  std::unique_ptr<AbsTypeSolution> FullSolution;
+};
+
+} // namespace petal
+
+#endif // PETAL_COMPLETE_BATCHEXECUTOR_H

@@ -7,7 +7,31 @@
 
 #include "complete/Engine.h"
 
+#include <cstddef>
+
 using namespace petal;
+
+// Reach is constructed with a reference to Members and consults it for the
+// whole lifetime of the indexes; enforce the declaration (= construction /
+// reverse-destruction) order at compile time. offsetof on this non-standard-
+// layout struct is conditionally supported, which GCC and Clang both honor.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+static_assert(offsetof(CompletionIndexes, Members) <
+                  offsetof(CompletionIndexes, Reach),
+              "Members must be declared before Reach: Reach holds a "
+              "reference to Members");
+#pragma GCC diagnostic pop
+
+void CompletionIndexes::freeze() {
+  if (Frozen)
+    return;
+  TS.warmRelationCaches();
+  Members.warmAll();
+  Methods.warmAll();
+  Reach.warmAll();
+  Frozen = true;
+}
 
 std::vector<Completion>
 CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,

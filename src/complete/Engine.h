@@ -41,15 +41,37 @@ namespace petal {
 /// The shared, query-independent indexes: the method index (§4.2), the
 /// member-lookup cache, the reachability index, and the abstract type
 /// inference. Build once per corpus.
+///
+/// Concurrency: several of the indexes populate caches lazily on first
+/// query, which is only safe single-threaded. Call freeze() once before
+/// sharing an instance across threads (BatchExecutor does this for you);
+/// afterwards every index read is either a pure lookup or internally
+/// synchronized. See DESIGN.md, "Concurrency model".
 struct CompletionIndexes {
   explicit CompletionIndexes(Program &P)
       : Methods(P.typeSystem()), Members(P.typeSystem()),
-        Reach(P.typeSystem(), Members), Infer(P) {}
+        Reach(P.typeSystem(), Members), Infer(P), TS(P.typeSystem()) {}
 
+  /// Eagerly populates every lazily filled cache (the type system's
+  /// ancestor distances, the member edges, the method-index supertype
+  /// unions, and the reachability distance maps). Idempotent; required
+  /// before concurrent use, harmless (and often useful — first-touch cost
+  /// moves out of the measured path) in single-threaded use.
+  void freeze();
+  bool frozen() const { return Frozen; }
+
+  // NOTE on member order: Reach holds a reference to Members (its BFS walks
+  // the member edges), so Members must be declared — and therefore
+  // constructed — before Reach, and destroyed after it. Engine.cpp
+  // static_asserts this ordering; do not reorder these fields.
   MethodIndex Methods;
   MemberCache Members;
   ReachabilityIndex Reach;
   AbstractTypeInference Infer;
+
+private:
+  const TypeSystem &TS;
+  bool Frozen = false;
 };
 
 /// Per-query knobs.
@@ -102,6 +124,11 @@ public:
                 const Expr *Expected, size_t Limit,
                 const CompletionOptions &Opts = {},
                 const AbsTypeSolution *Solution = nullptr);
+
+  /// Releases ownership of the arena holding the most recent complete()
+  /// call's result expressions, so they can outlive the next query on this
+  /// engine. Used by BatchExecutor to hand batched results to the caller.
+  std::unique_ptr<Arena> takeQueryArena() { return std::move(QueryArena); }
 
 private:
   Program &P;

@@ -38,26 +38,43 @@ double LatencyData::percentile(double P) const {
 }
 
 Evaluator::Evaluator(Program &P, CompletionIndexes &Idx, RankingOptions Opts,
-                     size_t SearchLimit)
-    : P(P), TS(P.typeSystem()), Idx(Idx), Engine(P, Idx), Opts(Opts),
-      SearchLimit(SearchLimit), Sites(harvestProgram(P)) {}
+                     size_t SearchLimit, size_t Threads)
+    : P(P), TS(P.typeSystem()), Idx(Idx), Opts(Opts),
+      SearchLimit(SearchLimit), Batch(P, Idx, Threads),
+      Sites(harvestProgram(P)) {}
 
-const AbsTypeSolution *Evaluator::solutionFor(const CodeSite &Site) {
+void Evaluator::prepareSolutions(const std::vector<CodeSite> &SiteList) {
+  if (!Opts.UseAbstractTypes)
+    return;
+  // Reserve a slot per distinct (method, statement) site serially, then
+  // solve the missing ones in parallel: solveExcluding only reads the
+  // inference, and each task writes its own pre-inserted slot, so no map
+  // node is created or moved during the fan-out.
+  std::vector<std::pair<const CodeMethod *, size_t>> Missing;
+  for (const CodeSite &S : SiteList)
+    if (SolutionCache[S.Method].emplace(S.StmtIndex, AbsTypeSolution()).second)
+      Missing.push_back({S.Method, S.StmtIndex});
+  Batch.pool().parallelFor(Missing.size(), [&](size_t I, size_t) {
+    auto [Method, Stmt] = Missing[I];
+    SolutionCache.find(Method)->second.find(Stmt)->second =
+        Idx.Infer.solveExcluding(Method, Stmt);
+  });
+}
+
+const AbsTypeSolution *Evaluator::solutionFor(const CodeSite &Site) const {
   if (!Opts.UseAbstractTypes)
     return nullptr;
-  auto &PerMethod = SolutionCache[Site.Method];
-  auto It = PerMethod.find(Site.StmtIndex);
-  if (It == PerMethod.end())
-    It = PerMethod
-             .emplace(Site.StmtIndex,
-                      Idx.Infer.solveExcluding(Site.Method, Site.StmtIndex))
-             .first;
+  auto MIt = SolutionCache.find(Site.Method);
+  assert(MIt != SolutionCache.end() && "site not covered by prepareSolutions");
+  auto It = MIt->second.find(Site.StmtIndex);
+  assert(It != MIt->second.end() && "site not covered by prepareSolutions");
   return &It->second;
 }
 
-size_t Evaluator::rankWhere(const PartialExpr *Query, const CodeSite &Site,
+size_t Evaluator::rankWhere(QueryCtx &Q, const PartialExpr *Query,
+                            const CodeSite &Site,
                             const std::function<bool(const Expr *)> &Match,
-                            TypeId ExpectedType) {
+                            TypeId ExpectedType) const {
   CompletionOptions CO;
   CO.Rank = Opts;
   CO.ExpectedType = ExpectedType;
@@ -65,9 +82,10 @@ size_t Evaluator::rankWhere(const PartialExpr *Query, const CodeSite &Site,
 
   auto Start = std::chrono::steady_clock::now();
   std::vector<Completion> Results =
-      Engine.complete(Query, Site, SearchLimit, CO, Sol);
+      Q.Engine.complete(Query, Site, SearchLimit, CO, Sol);
   auto End = std::chrono::steady_clock::now();
-  Latency.add(std::chrono::duration<double, std::milli>(End - Start).count());
+  Q.Lat.push_back(
+      std::chrono::duration<double, std::milli>(End - Start).count());
 
   for (size_t I = 0; I != Results.size(); ++I)
     if (Match(Results[I].E))
@@ -88,20 +106,44 @@ Evaluator::callSignatureArgs(const CallExpr *Call) const {
 // §5.1 Predicting method names
 //===----------------------------------------------------------------------===//
 
+namespace {
+/// Per-call-site outcome of the §5.1 trial fan-out, folded into
+/// MethodPredictionData in input order afterwards.
+struct CallTrial {
+  bool Skipped = false; ///< no guessable argument
+  size_t NumArgs = 0;
+  size_t Best1 = 0, Best2 = 0, BestRet = 0;
+  size_t IntelliRank = 0;
+  std::vector<double> Lat;
+};
+} // namespace
+
 MethodPredictionData Evaluator::runMethodPrediction(bool WithIntellisense,
                                                     bool WithKnownReturn) {
   MethodPredictionData Data;
-  Arena &A = P.arena();
 
-  for (const CallSiteInfo &CS : Sites.Calls) {
+  std::vector<CodeSite> SiteList;
+  SiteList.reserve(Sites.Calls.size());
+  for (const CallSiteInfo &CS : Sites.Calls)
+    SiteList.push_back(CS.Site);
+  prepareSolutions(SiteList);
+
+  std::vector<CallTrial> Trials(Sites.Calls.size());
+  Batch.forEach(Sites.Calls.size(), [&](BatchExecutor::TaskContext &Ctx,
+                                        size_t Index) {
+    const CallSiteInfo &CS = Sites.Calls[Index];
+    CallTrial &T = Trials[Index];
+    QueryCtx Q{Ctx.Engine, Ctx.Scratch, T.Lat};
+
     std::vector<const Expr *> Args = callSignatureArgs(CS.Call);
+    T.NumArgs = Args.size();
     std::vector<const Expr *> Guessable;
     for (const Expr *Arg : Args)
       if (isGuessableExpr(Arg))
         Guessable.push_back(Arg);
     if (Guessable.empty()) {
-      ++Data.SkippedNoGuessableArgs;
-      continue;
+      T.Skipped = true;
+      return;
     }
     if (Guessable.size() > 6)
       Guessable.resize(6); // cap the subset search
@@ -118,56 +160,72 @@ MethodPredictionData Evaluator::runMethodPrediction(bool WithIntellisense,
         [&](std::vector<const Expr *> Subset, TypeId Expected) -> size_t {
       std::vector<const PartialExpr *> PEArgs;
       for (const Expr *E : Subset)
-        PEArgs.push_back(A.create<ConcretePE>(E));
-      const PartialExpr *Q = A.create<UnknownCallPE>(std::move(PEArgs));
-      return rankWhere(Q, CS.Site, MatchMethod, Expected);
+        PEArgs.push_back(Ctx.Scratch.create<ConcretePE>(E));
+      const PartialExpr *Query =
+          Ctx.Scratch.create<UnknownCallPE>(std::move(PEArgs));
+      return rankWhere(Q, Query, CS.Site, MatchMethod, Expected);
     };
 
-    size_t Best1 = 0, Best2 = 0;
     auto Improve = [](size_t &Best, size_t Rank) {
       if (Rank != 0 && (Best == 0 || Rank < Best))
         Best = Rank;
     };
     for (size_t I = 0; I != Guessable.size(); ++I)
-      Improve(Best1, QueryWith({Guessable[I]}, InvalidId));
+      Improve(T.Best1, QueryWith({Guessable[I]}, InvalidId));
     for (size_t I = 0; I != Guessable.size(); ++I)
       for (size_t J = I + 1; J != Guessable.size(); ++J)
-        Improve(Best2, QueryWith({Guessable[I], Guessable[J]}, InvalidId));
-    size_t Best = Best1;
-    Improve(Best, Best2);
+        Improve(T.Best2, QueryWith({Guessable[I], Guessable[J]}, InvalidId));
+
+    if (WithIntellisense)
+      T.IntelliRank = intellisenseRank(TS, CS.Call);
+
+    if (WithKnownReturn) {
+      TypeId Expected = TS.method(Target).ReturnType;
+      for (size_t I = 0; I != Guessable.size(); ++I)
+        Improve(T.BestRet, QueryWith({Guessable[I]}, Expected));
+      for (size_t I = 0; I != Guessable.size(); ++I)
+        for (size_t J = I + 1; J != Guessable.size(); ++J)
+          Improve(T.BestRet, QueryWith({Guessable[I], Guessable[J]}, Expected));
+    }
+  });
+
+  // Fold in input order: identical accumulation to the serial loop.
+  for (size_t Index = 0; Index != Trials.size(); ++Index) {
+    const CallTrial &T = Trials[Index];
+    const CallSiteInfo &CS = Sites.Calls[Index];
+    Latency.addAll(T.Lat);
+    if (T.Skipped) {
+      ++Data.SkippedNoGuessableArgs;
+      continue;
+    }
+
+    size_t Best = T.Best1;
+    if (T.Best2 != 0 && (Best == 0 || T.Best2 < Best))
+      Best = T.Best2;
 
     Data.Best.add(Best);
-    if (TS.method(Target).IsStatic)
+    if (TS.method(CS.Call->method()).IsStatic)
       Data.Static.add(Best);
     else
       Data.Instance.add(Best);
 
-    ArityStats &AS = Data.ByArity[Args.size()];
+    ArityStats &AS = Data.ByArity[T.NumArgs];
     ++AS.Calls;
-    AS.SolvedWith1 += Best1 >= 1 && Best1 <= 20;
+    AS.SolvedWith1 += T.Best1 >= 1 && T.Best1 <= 20;
     AS.SolvedWith2 += Best >= 1 && Best <= 20;
 
     if (WithIntellisense) {
       size_t Ours = Best == 0 ? SearchLimit + 1 : Best;
-      size_t Intelli = intellisenseRank(TS, CS.Call);
       Data.RankDiff.push_back(static_cast<long>(Ours) -
-                              static_cast<long>(Intelli));
+                              static_cast<long>(T.IntelliRank));
     }
 
     if (WithKnownReturn) {
-      TypeId Expected = TS.method(Target).ReturnType;
-      size_t BestRet = 0;
-      for (size_t I = 0; I != Guessable.size(); ++I)
-        Improve(BestRet, QueryWith({Guessable[I]}, Expected));
-      for (size_t I = 0; I != Guessable.size(); ++I)
-        for (size_t J = I + 1; J != Guessable.size(); ++J)
-          Improve(BestRet, QueryWith({Guessable[I], Guessable[J]}, Expected));
-      Data.BestKnownReturn.add(BestRet);
+      Data.BestKnownReturn.add(T.BestRet);
       if (WithIntellisense) {
-        size_t Ours = BestRet == 0 ? SearchLimit + 1 : BestRet;
-        size_t Intelli = intellisenseRank(TS, CS.Call);
+        size_t Ours = T.BestRet == 0 ? SearchLimit + 1 : T.BestRet;
         Data.RankDiffKnownReturn.push_back(static_cast<long>(Ours) -
-                                           static_cast<long>(Intelli));
+                                           static_cast<long>(T.IntelliRank));
       }
     }
   }
@@ -178,41 +236,79 @@ MethodPredictionData Evaluator::runMethodPrediction(bool WithIntellisense,
 // §5.2 Predicting method arguments
 //===----------------------------------------------------------------------===//
 
+namespace {
+/// Per-argument-position outcome of one §5.2 call-site trial.
+struct ArgOutcome {
+  ExprForm Form = ExprForm::NotGuessable;
+  bool HasRank = false; ///< false for not-guessable positions
+  bool NoVar = false;   ///< counted into the "ignoring variables" slice
+  size_t Rank = 0;
+};
+
+struct ArgTrial {
+  std::vector<ArgOutcome> Outcomes;
+  std::vector<double> Lat;
+};
+} // namespace
+
 ArgumentPredictionData Evaluator::runArgumentPrediction() {
   ArgumentPredictionData Data;
-  Arena &A = P.arena();
 
-  for (const CallSiteInfo &CS : Sites.Calls) {
+  std::vector<CodeSite> SiteList;
+  SiteList.reserve(Sites.Calls.size());
+  for (const CallSiteInfo &CS : Sites.Calls)
+    SiteList.push_back(CS.Site);
+  prepareSolutions(SiteList);
+
+  std::vector<ArgTrial> Trials(Sites.Calls.size());
+  Batch.forEach(Sites.Calls.size(), [&](BatchExecutor::TaskContext &Ctx,
+                                        size_t Index) {
+    const CallSiteInfo &CS = Sites.Calls[Index];
+    ArgTrial &T = Trials[Index];
+    QueryCtx Q{Ctx.Engine, Ctx.Scratch, T.Lat};
+
     std::vector<const Expr *> Args = callSignatureArgs(CS.Call);
     const Expr *Original = CS.Call;
+    T.Outcomes.resize(Args.size());
     for (size_t Pos = 0; Pos != Args.size(); ++Pos) {
-      ++Data.TotalArgs;
-      ExprForm Form = classifyExprForm(Args[Pos]);
-      ++Data.FormCounts[static_cast<size_t>(Form)];
-      if (Form == ExprForm::NotGuessable) {
-        ++Data.NotGuessable;
+      ArgOutcome &O = T.Outcomes[Pos];
+      O.Form = classifyExprForm(Args[Pos]);
+      if (O.Form == ExprForm::NotGuessable)
         continue;
-      }
 
       // Replace this argument with `?`; the method name (and hence the
       // overload set) is known.
       std::vector<const PartialExpr *> PEArgs;
       for (size_t I = 0; I != Args.size(); ++I) {
         if (I == Pos)
-          PEArgs.push_back(A.create<HolePE>());
+          PEArgs.push_back(Ctx.Scratch.create<HolePE>());
         else
-          PEArgs.push_back(A.create<ConcretePE>(Args[I]));
+          PEArgs.push_back(Ctx.Scratch.create<ConcretePE>(Args[I]));
       }
       const MethodInfo &MI = TS.method(CS.Call->method());
-      const PartialExpr *Q = A.create<KnownCallPE>(
+      const PartialExpr *Query = Ctx.Scratch.create<KnownCallPE>(
           MI.Name, std::move(PEArgs), std::vector<MethodId>{CS.Call->method()});
 
-      size_t Rank = rankWhere(
-          Q, CS.Site,
+      O.HasRank = true;
+      O.Rank = rankWhere(
+          Q, Query, CS.Site,
           [&](const Expr *E) { return exprEquals(E, Original); });
-      Data.All.add(Rank);
-      if (!isa<VarExpr>(Args[Pos]) && !isa<ThisExpr>(Args[Pos]))
-        Data.NoVars.add(Rank);
+      O.NoVar = !isa<VarExpr>(Args[Pos]) && !isa<ThisExpr>(Args[Pos]);
+    }
+  });
+
+  for (const ArgTrial &T : Trials) {
+    Latency.addAll(T.Lat);
+    for (const ArgOutcome &O : T.Outcomes) {
+      ++Data.TotalArgs;
+      ++Data.FormCounts[static_cast<size_t>(O.Form)];
+      if (!O.HasRank) {
+        ++Data.NotGuessable;
+        continue;
+      }
+      Data.All.add(O.Rank);
+      if (O.NoVar)
+        Data.NoVars.add(O.Rank);
     }
   }
   return Data;
@@ -240,56 +336,113 @@ static const Expr *stripLookups(const Expr *E, int N) {
   return E;
 }
 
+namespace {
+/// One optionally-run query slot of a §5.3 trial.
+struct MaybeRank {
+  bool Ran = false;
+  size_t Rank = 0;
+};
+
+/// Per-assignment-site outcome: target / source / both variants.
+struct AssignTrial {
+  MaybeRank Target, Source, Both;
+  std::vector<double> Lat;
+};
+
+/// Per-comparison-site outcome: the five stripped variants of Fig. 16.
+struct CompareTrial {
+  MaybeRank Left, Right, Both, TwoLeft, TwoRight;
+  std::vector<double> Lat;
+};
+} // namespace
+
 AssignmentData Evaluator::runAssignments() {
   AssignmentData Data;
-  Arena &A = P.arena();
 
-  auto Query = [&](const CodeSite &Site, const Expr *Lhs, const Expr *Rhs,
-                   const Expr *Original) {
-    // ".?m added to the end of both sides" (§5.3).
-    const PartialExpr *L = A.create<SuffixPE>(A.create<ConcretePE>(Lhs),
-                                              SuffixKind::Member);
-    const PartialExpr *R = A.create<SuffixPE>(A.create<ConcretePE>(Rhs),
-                                              SuffixKind::Member);
-    const PartialExpr *Q = A.create<AssignPE>(L, R);
-    return rankWhere(Q, Site,
-                     [&](const Expr *E) { return exprEquals(E, Original); });
-  };
+  std::vector<CodeSite> SiteList;
+  SiteList.reserve(Sites.Assigns.size());
+  for (const AssignSiteInfo &AS : Sites.Assigns)
+    SiteList.push_back(AS.Site);
+  prepareSolutions(SiteList);
 
-  for (const AssignSiteInfo &AS : Sites.Assigns) {
+  std::vector<AssignTrial> Trials(Sites.Assigns.size());
+  Batch.forEach(Sites.Assigns.size(), [&](BatchExecutor::TaskContext &Ctx,
+                                          size_t Index) {
+    const AssignSiteInfo &AS = Sites.Assigns[Index];
+    AssignTrial &T = Trials[Index];
+    QueryCtx Q{Ctx.Engine, Ctx.Scratch, T.Lat};
+    Arena &A = Ctx.Scratch;
+
+    auto Query = [&](MaybeRank &Out, const Expr *Lhs, const Expr *Rhs) {
+      // ".?m added to the end of both sides" (§5.3).
+      const PartialExpr *L = A.create<SuffixPE>(A.create<ConcretePE>(Lhs),
+                                                SuffixKind::Member);
+      const PartialExpr *R = A.create<SuffixPE>(A.create<ConcretePE>(Rhs),
+                                                SuffixKind::Member);
+      const PartialExpr *PE = A.create<AssignPE>(L, R);
+      Out.Ran = true;
+      Out.Rank = rankWhere(Q, PE, AS.Site, [&](const Expr *E) {
+        return exprEquals(E, AS.Assign);
+      });
+    };
+
     const Expr *Lhs = AS.Assign->lhs();
     const Expr *Rhs = AS.Assign->rhs();
     const Expr *LhsBase = stripLookups(Lhs, 1);
     const Expr *RhsBase = stripLookups(Rhs, 1);
 
     if (LhsBase)
-      Data.Target.add(Query(AS.Site, LhsBase, Rhs, AS.Assign));
+      Query(T.Target, LhsBase, Rhs);
     if (RhsBase)
-      Data.Source.add(Query(AS.Site, Lhs, RhsBase, AS.Assign));
+      Query(T.Source, Lhs, RhsBase);
     if (LhsBase && RhsBase)
-      Data.Both.add(Query(AS.Site, LhsBase, RhsBase, AS.Assign));
+      Query(T.Both, LhsBase, RhsBase);
+  });
+
+  for (const AssignTrial &T : Trials) {
+    Latency.addAll(T.Lat);
+    if (T.Target.Ran)
+      Data.Target.add(T.Target.Rank);
+    if (T.Source.Ran)
+      Data.Source.add(T.Source.Rank);
+    if (T.Both.Ran)
+      Data.Both.add(T.Both.Rank);
   }
   return Data;
 }
 
 ComparisonData Evaluator::runComparisons() {
   ComparisonData Data;
-  Arena &A = P.arena();
 
-  auto Query = [&](const CodeSite &Site, CompareOp Op, const Expr *Lhs,
-                   const Expr *Rhs, const Expr *Original) {
-    // ".?m.?m added to the end of both sides" (§5.3).
-    auto Wrap = [&](const Expr *E) -> const PartialExpr * {
-      const PartialExpr *P0 = A.create<ConcretePE>(E);
-      const PartialExpr *P1 = A.create<SuffixPE>(P0, SuffixKind::Member);
-      return A.create<SuffixPE>(P1, SuffixKind::Member);
+  std::vector<CodeSite> SiteList;
+  SiteList.reserve(Sites.Compares.size());
+  for (const CompareSiteInfo &CS : Sites.Compares)
+    SiteList.push_back(CS.Site);
+  prepareSolutions(SiteList);
+
+  std::vector<CompareTrial> Trials(Sites.Compares.size());
+  Batch.forEach(Sites.Compares.size(), [&](BatchExecutor::TaskContext &Ctx,
+                                           size_t Index) {
+    const CompareSiteInfo &CS = Sites.Compares[Index];
+    CompareTrial &T = Trials[Index];
+    QueryCtx Q{Ctx.Engine, Ctx.Scratch, T.Lat};
+    Arena &A = Ctx.Scratch;
+
+    auto Query = [&](MaybeRank &Out, CompareOp Op, const Expr *Lhs,
+                     const Expr *Rhs) {
+      // ".?m.?m added to the end of both sides" (§5.3).
+      auto Wrap = [&](const Expr *E) -> const PartialExpr * {
+        const PartialExpr *P0 = A.create<ConcretePE>(E);
+        const PartialExpr *P1 = A.create<SuffixPE>(P0, SuffixKind::Member);
+        return A.create<SuffixPE>(P1, SuffixKind::Member);
+      };
+      const PartialExpr *PE = A.create<ComparePE>(Op, Wrap(Lhs), Wrap(Rhs));
+      Out.Ran = true;
+      Out.Rank = rankWhere(Q, PE, CS.Site, [&](const Expr *E) {
+        return exprEquals(E, CS.Compare);
+      });
     };
-    const PartialExpr *Q = A.create<ComparePE>(Op, Wrap(Lhs), Wrap(Rhs));
-    return rankWhere(Q, Site,
-                     [&](const Expr *E) { return exprEquals(E, Original); });
-  };
 
-  for (const CompareSiteInfo &CS : Sites.Compares) {
     const Expr *Lhs = CS.Compare->lhs();
     const Expr *Rhs = CS.Compare->rhs();
     CompareOp Op = CS.Compare->op();
@@ -300,15 +453,29 @@ ComparisonData Evaluator::runComparisons() {
     const Expr *R2 = stripLookups(Rhs, 2);
 
     if (L1)
-      Data.Left.add(Query(CS.Site, Op, L1, Rhs, CS.Compare));
+      Query(T.Left, Op, L1, Rhs);
     if (R1)
-      Data.Right.add(Query(CS.Site, Op, Lhs, R1, CS.Compare));
+      Query(T.Right, Op, Lhs, R1);
     if (L1 && R1)
-      Data.Both.add(Query(CS.Site, Op, L1, R1, CS.Compare));
+      Query(T.Both, Op, L1, R1);
     if (L2)
-      Data.TwoLeft.add(Query(CS.Site, Op, L2, Rhs, CS.Compare));
+      Query(T.TwoLeft, Op, L2, Rhs);
     if (R2)
-      Data.TwoRight.add(Query(CS.Site, Op, Lhs, R2, CS.Compare));
+      Query(T.TwoRight, Op, Lhs, R2);
+  });
+
+  for (const CompareTrial &T : Trials) {
+    Latency.addAll(T.Lat);
+    if (T.Left.Ran)
+      Data.Left.add(T.Left.Rank);
+    if (T.Right.Ran)
+      Data.Right.add(T.Right.Rank);
+    if (T.Both.Ran)
+      Data.Both.add(T.Both.Rank);
+    if (T.TwoLeft.Ran)
+      Data.TwoLeft.add(T.TwoLeft.Rank);
+    if (T.TwoRight.Ran)
+      Data.TwoRight.add(T.TwoRight.Rank);
   }
   return Data;
 }

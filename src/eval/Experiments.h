@@ -20,6 +20,7 @@
 #ifndef PETAL_EVAL_EXPERIMENTS_H
 #define PETAL_EVAL_EXPERIMENTS_H
 
+#include "complete/BatchExecutor.h"
 #include "complete/Engine.h"
 #include "eval/Harvest.h"
 #include "eval/Metrics.h"
@@ -80,6 +81,9 @@ struct LatencyData {
   std::vector<double> Millis;
 
   void add(double Ms) { Millis.push_back(Ms); }
+  void addAll(const std::vector<double> &Ms) {
+    Millis.insert(Millis.end(), Ms.begin(), Ms.end());
+  }
   double fracUnder(double Ms) const;
   double percentile(double P) const; ///< P in [0, 100]
 };
@@ -88,10 +92,19 @@ struct LatencyData {
 /// The CompletionIndexes are shared (they are ranking-independent), so the
 /// Table 2 sensitivity analysis constructs one Evaluator per variant over
 /// the same indexes.
+///
+/// Every driver executes through a BatchExecutor: harvested sites are
+/// turned into an indexed trial list, the trials fan out over per-worker
+/// CompletionEngines (per-site abstract-type solutions are precomputed in
+/// parallel first), and the per-trial outcomes are folded into the result
+/// structs strictly in input order — so the produced RankDistributions are
+/// bit-identical whatever the thread count. \p Threads = 1 (the default)
+/// runs everything on the calling thread; 0 means the PETAL_THREADS
+/// environment variable / hardware concurrency.
 class Evaluator {
 public:
   Evaluator(Program &P, CompletionIndexes &Idx, RankingOptions Opts,
-            size_t SearchLimit = 100);
+            size_t SearchLimit = 100, size_t Threads = 1);
 
   MethodPredictionData runMethodPrediction(bool WithIntellisense = true,
                                            bool WithKnownReturn = true);
@@ -99,21 +112,40 @@ public:
   AssignmentData runAssignments();
   ComparisonData runComparisons();
 
-  /// Per-query latencies accumulated across all run* calls.
+  /// Per-query latencies accumulated across all run* calls (appended in
+  /// deterministic trial order; the values themselves are wall-clock).
   const LatencyData &latency() const { return Latency; }
 
   const HarvestResult &harvest() const { return Sites; }
 
-private:
-  /// Per-site abstract-type solution, excluding the site statement and
-  /// everything after it (cached).
-  const AbsTypeSolution *solutionFor(const CodeSite &Site);
+  size_t numThreads() const { return Batch.numThreads(); }
 
-  /// Runs \p Query and returns the 1-based rank of the first completion
-  /// accepted by \p Match (0 if absent from the top SearchLimit).
-  size_t rankWhere(const PartialExpr *Query, const CodeSite &Site,
+private:
+  /// What one parallel trial works with: this worker's engine, the trial's
+  /// scratch arena for partial-expression nodes, and the trial's private
+  /// latency sink (folded into Latency afterwards, in trial order).
+  struct QueryCtx {
+    CompletionEngine &Engine;
+    Arena &A;
+    std::vector<double> &Lat;
+  };
+
+  /// Precomputes (in parallel) the abstract-type solutions of every site in
+  /// \p SiteList that is not cached yet. Must be called before the trial
+  /// fan-out; afterwards solutionFor is a read-only lookup.
+  void prepareSolutions(const std::vector<CodeSite> &SiteList);
+
+  /// The cached per-site solution (excluding the site statement and
+  /// everything after it); null when abstract types are disabled.
+  const AbsTypeSolution *solutionFor(const CodeSite &Site) const;
+
+  /// Runs \p Query on \p Q's engine and returns the 1-based rank of the
+  /// first completion accepted by \p Match (0 if absent from the top
+  /// SearchLimit).
+  size_t rankWhere(QueryCtx &Q, const PartialExpr *Query,
+                   const CodeSite &Site,
                    const std::function<bool(const Expr *)> &Match,
-                   TypeId ExpectedType = InvalidId);
+                   TypeId ExpectedType = InvalidId) const;
 
   /// The call-signature argument list of \p Call (receiver first).
   std::vector<const Expr *> callSignatureArgs(const CallExpr *Call) const;
@@ -121,9 +153,9 @@ private:
   Program &P;
   TypeSystem &TS;
   CompletionIndexes &Idx;
-  CompletionEngine Engine;
   RankingOptions Opts;
   size_t SearchLimit;
+  BatchExecutor Batch;
   HarvestResult Sites;
   LatencyData Latency;
   std::unordered_map<const CodeMethod *,

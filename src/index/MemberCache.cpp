@@ -9,6 +9,11 @@
 
 using namespace petal;
 
+void MemberCache::warmAll() const {
+  for (size_t T = 0; T != TS.numTypes(); ++T)
+    edges(static_cast<TypeId>(T));
+}
+
 const std::vector<LookupEdge> &MemberCache::edges(TypeId T) const {
   if (Cache.size() < TS.numTypes()) {
     Cache.resize(TS.numTypes());

@@ -33,6 +33,10 @@ struct LookupEdge {
 
 /// Lazily caches the lookup edges of every type. Field edges always precede
 /// method edges, so `.?f` consumers can stop at the first method edge.
+///
+/// Concurrency: the lazy fill is single-threaded; call warmAll() (done by
+/// CompletionIndexes::freeze()) before sharing one instance across query
+/// threads, after which every accessor is a pure read.
 class MemberCache {
 public:
   explicit MemberCache(const TypeSystem &TS) : TS(TS) {}
@@ -40,6 +44,9 @@ public:
   /// All edges from a value of type \p T (fields first, then zero-arg
   /// methods), in deterministic declaration order.
   const std::vector<LookupEdge> &edges(TypeId T) const;
+
+  /// Eagerly fills the edge cache of every type; idempotent.
+  void warmAll() const;
 
   /// Number of leading field edges of edges(T).
   size_t numFieldEdges(TypeId T) const {

@@ -32,6 +32,11 @@ MethodIndex::MethodIndex(const TypeSystem &TS) : TS(TS) {
   UnionCacheValid.assign(TS.numTypes(), false);
 }
 
+void MethodIndex::warmAll() const {
+  for (size_t T = 0; T != TS.numTypes(); ++T)
+    candidatesForArgType(static_cast<TypeId>(T));
+}
+
 const std::vector<MethodId> &MethodIndex::exactBucket(TypeId T) const {
   if (T < 0 || static_cast<size_t>(T) >= Buckets.size())
     return Empty;

@@ -38,6 +38,11 @@ public:
   /// (deduplicated, deterministic order). Memoized per type.
   const std::vector<MethodId> &candidatesForArgType(TypeId T) const;
 
+  /// Eagerly memoizes candidatesForArgType for every type; idempotent.
+  /// After this every accessor is a pure read, safe for concurrent readers
+  /// (CompletionIndexes::freeze() calls it).
+  void warmAll() const;
+
   /// Size of candidatesForArgType(T) without forcing full materialization
   /// cost twice (it memoizes anyway; provided for readability).
   size_t candidateCount(TypeId T) const {

@@ -8,6 +8,7 @@
 #include "index/ReachabilityIndex.h"
 
 #include <deque>
+#include <mutex>
 
 using namespace petal;
 
@@ -41,6 +42,13 @@ ReachabilityIndex::reachableFrom(TypeId From, bool MethodsAllowed) const {
   return CacheMap.emplace(From, std::move(Dist)).first->second;
 }
 
+void ReachabilityIndex::warmAll() const {
+  for (size_t T = 0; T != TS.numTypes(); ++T) {
+    reachableFrom(static_cast<TypeId>(T), /*MethodsAllowed=*/false);
+    reachableFrom(static_cast<TypeId>(T), /*MethodsAllowed=*/true);
+  }
+}
+
 std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
                                                  bool MethodsAllowed) const {
   const auto &Dist = reachableFrom(From, MethodsAllowed);
@@ -56,10 +64,16 @@ ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
   auto &CacheMap = ConvCache[MethodsAllowed ? 1 : 0];
   uint64_t Key = (static_cast<uint64_t>(static_cast<uint32_t>(From)) << 32) |
                  static_cast<uint32_t>(Target);
-  auto CIt = CacheMap.find(Key);
-  if (CIt != CacheMap.end())
-    return CIt->second;
+  {
+    std::shared_lock<std::shared_mutex> Lock(ConvMutex);
+    auto CIt = CacheMap.find(Key);
+    if (CIt != CacheMap.end())
+      return CIt->second;
+  }
 
+  // Recompute outside the lock (the distance map is warm / thread-local to
+  // the lazy single-threaded phase); a racing duplicate computes the same
+  // value and the second emplace is a no-op.
   std::optional<int> Best;
   for (const auto &[Ty, D] : reachableFrom(From, MethodsAllowed)) {
     if (!TS.implicitlyConvertible(Ty, Target))
@@ -67,6 +81,7 @@ ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
     if (!Best || D < *Best)
       Best = D;
   }
+  std::unique_lock<std::shared_mutex> Lock(ConvMutex);
   CacheMap.emplace(Key, Best);
   return Best;
 }

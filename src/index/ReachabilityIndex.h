@@ -24,6 +24,7 @@
 #include "model/TypeSystem.h"
 
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,16 @@ namespace petal {
 
 /// Lazily computed per-source-type reachability: the minimum number of
 /// lookup steps from a value of one type to a value of another.
+///
+/// Concurrency: the per-source distance maps are lazily filled with no
+/// locking; call warmAll() (done by CompletionIndexes::freeze()) before
+/// sharing an instance across query threads, after which minLookups /
+/// reachableFrom are pure reads. The convertible-target memo is keyed by
+/// (source, target) *pairs* — a quadratic key space that cannot sensibly be
+/// pre-enumerated — so it alone stays lazy behind a shared_mutex
+/// double-checked path (reads take the shared lock, a miss recomputes
+/// outside the lock from the warmed distance maps, then inserts under the
+/// exclusive lock).
 class ReachabilityIndex {
 public:
   ReachabilityIndex(const TypeSystem &TS, const MemberCache &Members,
@@ -53,6 +64,11 @@ public:
   const std::unordered_map<TypeId, int> &reachableFrom(TypeId From,
                                                        bool MethodsAllowed) const;
 
+  /// Eagerly computes the distance map of every type for both edge sets;
+  /// idempotent. Requires the MemberCache to be warm (or warms it as a
+  /// side effect of the BFS).
+  void warmAll() const;
+
 private:
   const TypeSystem &TS;
   const MemberCache &Members;
@@ -61,6 +77,8 @@ private:
   mutable std::unordered_map<TypeId, std::unordered_map<TypeId, int>>
       Cache[2];
   mutable std::unordered_map<uint64_t, std::optional<int>> ConvCache[2];
+  /// Guards ConvCache (only); see the class comment.
+  mutable std::shared_mutex ConvMutex;
 };
 
 } // namespace petal

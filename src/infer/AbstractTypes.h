@@ -42,10 +42,16 @@ namespace petal {
 
 /// A solved abstract-type assignment: a partition of the abstract-type
 /// variables into usage classes.
+///
+/// The forest is fully compressed at construction, so sameAbstractType()
+/// performs no writes and one solution may be shared by any number of
+/// concurrent query threads (BatchExecutor relies on this).
 class AbsTypeSolution {
 public:
   AbsTypeSolution() = default;
-  explicit AbsTypeSolution(UnionFind UF) : UF(std::move(UF)) {}
+  explicit AbsTypeSolution(UnionFind UF) : UF(std::move(UF)) {
+    this->UF.compress();
+  }
 
   /// True if both variables exist and were unified. Per the paper's note on
   /// Fig. 7, two "undefined" abstract types are NOT considered equal, so any

@@ -311,6 +311,11 @@ TypeSystem::ancestorDistances(TypeId T) const {
   return Dist;
 }
 
+void TypeSystem::warmRelationCaches() const {
+  for (size_t T = 0; T != Types.size(); ++T)
+    ancestorDistances(static_cast<TypeId>(T));
+}
+
 bool TypeSystem::implicitlyConvertible(TypeId From, TypeId To) const {
   if (From == To)
     return true;

@@ -247,6 +247,13 @@ public:
   /// type \p TargetTy.
   bool assignable(TypeId TargetTy, TypeId ValueTy) const;
 
+  /// Eagerly computes the ancestor-distance cache of every type. After this
+  /// (and absent further model mutation) typeDistance, operandDistance,
+  /// implicitlyConvertible, comparable, and assignable are pure reads and
+  /// safe to call from concurrent threads. Invoked by
+  /// CompletionIndexes::freeze(); idempotent.
+  void warmRelationCaches() const;
+
   /// The declared immediate supertypes of \p T used by td: base class and
   /// interfaces for classes/structs, widening target (or Object) for
   /// primitives, Object for enums/interfaces without bases.

@@ -1,0 +1,177 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately simple fixed-size thread pool for data-parallel index
+/// loops: one blocking parallelFor at a time, indexes handed out through a
+/// shared atomic counter (no work stealing — completion queries are
+/// milliseconds each, so a fetch_add per index is noise). The calling
+/// thread participates as worker 0, so a pool of size N spawns N-1 threads
+/// and a pool of size 1 degenerates to a plain serial loop with zero
+/// threading overhead — the property BatchExecutor uses to make its
+/// single-threaded mode bit-identical to (and as cheap as) serial code.
+///
+/// The worker id passed to the body is stable and dense in [0, size()), so
+/// callers can maintain per-worker state (e.g. one CompletionEngine per
+/// worker) without locks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_THREADPOOL_H
+#define PETAL_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace petal {
+
+/// Fixed-size pool. Threads are spawned once in the constructor and parked
+/// on a condition variable between jobs.
+class ThreadPool {
+public:
+  /// The pool size used when none is requested: the PETAL_THREADS
+  /// environment variable if set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  static size_t defaultThreadCount() {
+    if (const char *S = std::getenv("PETAL_THREADS")) {
+      long N = std::atol(S);
+      if (N >= 1)
+        return static_cast<size_t>(N);
+    }
+    unsigned HW = std::thread::hardware_concurrency();
+    return HW ? HW : 1;
+  }
+
+  /// \p Threads = 0 means defaultThreadCount().
+  explicit ThreadPool(size_t Threads = 0) {
+    if (Threads == 0)
+      Threads = defaultThreadCount();
+    NumThreads = Threads;
+    Workers.reserve(Threads > 0 ? Threads - 1 : 0);
+    for (size_t W = 1; W < Threads; ++W)
+      Workers.emplace_back([this, W] { workerLoop(W); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    WorkCV.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  size_t numThreads() const { return NumThreads; }
+
+  /// Runs Fn(Index, Worker) for every Index in [0, N), distributing
+  /// indexes over all workers, and blocks until every call returned. The
+  /// calling thread participates as worker 0. Not reentrant: bodies must
+  /// not call parallelFor on the same pool. If a body throws, the first
+  /// exception is rethrown on the caller after the loop drains.
+  void parallelFor(size_t N,
+                   const std::function<void(size_t, size_t)> &Fn) {
+    if (N == 0)
+      return;
+    if (NumThreads == 1 || N == 1) {
+      for (size_t I = 0; I != N; ++I)
+        Fn(I, 0);
+      return;
+    }
+
+    Job J;
+    J.Fn = &Fn;
+    J.N = N;
+    {
+      std::lock_guard<std::mutex> L(M);
+      assert(!Cur && "parallelFor is not reentrant");
+      Cur = &J;
+      ++JobGen;
+    }
+    WorkCV.notify_all();
+
+    runJob(J, /*Worker=*/0);
+
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [&] { return J.Active == 0; });
+    Cur = nullptr;
+    if (J.Error)
+      std::rethrow_exception(J.Error);
+  }
+
+private:
+  struct Job {
+    const std::function<void(size_t, size_t)> *Fn = nullptr;
+    size_t N = 0;
+    std::atomic<size_t> Next{0};
+    /// Workers currently inside runJob (guarded by M).
+    size_t Active = 0;
+    std::exception_ptr Error; // first exception (guarded by M)
+  };
+
+  void runJob(Job &J, size_t Worker) {
+    for (;;) {
+      size_t I = J.Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= J.N)
+        break;
+      try {
+        (*J.Fn)(I, Worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> L(M);
+        if (!J.Error)
+          J.Error = std::current_exception();
+        // Drain the remaining indexes without running them.
+        J.Next.store(J.N, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void workerLoop(size_t Worker) {
+    uint64_t SeenGen = 0;
+    for (;;) {
+      Job *J;
+      {
+        std::unique_lock<std::mutex> L(M);
+        WorkCV.wait(L, [&] { return Stop || (Cur && JobGen != SeenGen); });
+        if (Stop)
+          return;
+        SeenGen = JobGen;
+        J = Cur;
+        ++J->Active;
+      }
+      runJob(*J, Worker);
+      {
+        std::lock_guard<std::mutex> L(M);
+        if (--J->Active == 0)
+          DoneCV.notify_all();
+      }
+    }
+  }
+
+  size_t NumThreads = 1;
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable WorkCV;
+  std::condition_variable DoneCV;
+  Job *Cur = nullptr;
+  uint64_t JobGen = 0;
+  bool Stop = false;
+};
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_THREADPOOL_H

@@ -44,11 +44,28 @@ public:
   uint32_t find(uint32_t X) const {
     assert(X < Parent.size() && "find() id out of range");
     // Iterative find with path halving; Parent is mutable for compression.
-    while (Parent[X] != X) {
-      Parent[X] = Parent[Parent[X]];
-      X = Parent[X];
+    // The store is skipped when the entry is already fully compressed, so
+    // find() on a compress()ed forest never writes — the property that
+    // makes a frozen forest safe for concurrent readers.
+    for (;;) {
+      uint32_t P = Parent[X];
+      if (P == X)
+        return X;
+      uint32_t GP = Parent[P];
+      if (GP == P)
+        return P;
+      Parent[X] = GP;
+      X = GP;
     }
-    return X;
+  }
+
+  /// Fully compresses the forest: every node points directly at its root.
+  /// Afterwards find() performs no stores (see above), so a compressed
+  /// forest may be queried from many threads concurrently — until the next
+  /// unite() or grow(), which reintroduce single-writer semantics.
+  void compress() {
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Parent.size()); I != E; ++I)
+      Parent[I] = find(I);
   }
 
   /// Merges the sets of \p A and \p B; returns the new representative.
