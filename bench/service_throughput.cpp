@@ -1,0 +1,304 @@
+//===- bench/service_throughput.cpp - petald end-to-end throughput --------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the resident completion service the way an editor fleet would:
+// N client threads share one PetalService (via InProcessClient), each
+// opens its own copy of a generated project and replays a corpus of
+// harvested ?({arg}) queries — a cold pass (every query computed) and a
+// warm pass (every query answered from the result cache).
+//
+// Every single response is checked bit-for-bit against a direct
+// CompletionEngine::complete over a private parse of the same document
+// text, serialized through the same JSON path: the daemon must add
+// scheduling and caching, never answers of its own. A mismatch fails the
+// benchmark.
+//
+// Writes BENCH_service.json (into the current directory, or
+// $PETAL_BENCH_DIR) with cold/warm queries-per-second per client count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "code/ExprPrinter.h"
+#include "corpus/SourceWriter.h"
+#include "parser/Frontend.h"
+#include "service/Client.h"
+
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <thread>
+
+using namespace petal;
+using namespace petal::bench;
+
+namespace {
+
+/// A protocol-level query: everything a petal/complete request needs.
+struct QueryCase {
+  std::string Class;
+  std::string Method;
+  std::string Query;
+  std::string Reference; ///< serialized "completions" array, the oracle
+};
+
+constexpr size_t ResultsPerQuery = 10;
+constexpr size_t MaxQueries = 96;
+
+/// The shared fixture: one generated project round-tripped through the
+/// source writer (so the service can open it as text), plus the filtered
+/// query corpus with precomputed reference answers.
+struct Fixture {
+  std::string Text;
+  std::vector<QueryCase> Queries;
+};
+
+/// Serializes completions exactly the way the service does, so the
+/// comparison is on bytes, not on parsed structure.
+std::string serializeCompletions(const TypeSystem &TS,
+                                 const std::vector<Completion> &Results) {
+  json::Value List = json::Value::array();
+  for (const Completion &C : Results) {
+    json::Value Item = json::Value::object();
+    Item.set("expr", printExpr(TS, C.E));
+    Item.set("score", static_cast<int64_t>(C.Score));
+    List.push(std::move(Item));
+  }
+  return List.write();
+}
+
+bool isIdentifier(const std::string &S) {
+  if (S.empty() || std::isdigit(static_cast<unsigned char>(S[0])))
+    return false;
+  for (char C : S)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+Fixture buildFixture() {
+  Fixture F;
+
+  // Generate a project and flatten it to source text.
+  ProjectProfile Prof = paperProjectProfiles(benchScale())[0];
+  {
+    TypeSystem TS;
+    Program P(TS);
+    CorpusGenerator Gen(Prof);
+    Gen.generate(P);
+    F.Text = writeProgramSource(P);
+  }
+
+  // Reference side: a private parse of that text and a serial engine.
+  TypeSystem TS;
+  Program P(TS);
+  DiagnosticEngine Diags;
+  if (!loadProgramText(F.Text, P, Diags)) {
+    Diags.print(std::cerr);
+    std::exit(1);
+  }
+  CompletionIndexes Idx(P);
+  CompletionEngine Engine(P, Idx);
+
+  // Harvest the §5.1 query family: one ?({arg}) per call with a local
+  // identifier ingredient. The service completes at end-of-method scope,
+  // so keep only queries that parse (ingredient still visible) there.
+  std::set<std::string> Seen;
+  for (const CallSiteInfo &CS : harvestProgram(P).Calls) {
+    const Expr *Arg = nullptr;
+    if (CS.Call->receiver() && isGuessableExpr(CS.Call->receiver()))
+      Arg = CS.Call->receiver();
+    for (const Expr *E : CS.Call->args())
+      if (!Arg && isGuessableExpr(E))
+        Arg = E;
+    if (!Arg)
+      continue;
+    std::string ArgName = printExpr(TS, Arg);
+    if (!isIdentifier(ArgName))
+      continue;
+
+    QueryCase Q;
+    Q.Class = TS.qualifiedName(CS.Site.Class->type());
+    Q.Method = TS.method(CS.Site.Method->decl()).Name;
+    Q.Query = "?({" + ArgName + "})";
+    if (!Seen.insert(Q.Class + "#" + Q.Method + "#" + Q.Query).second)
+      continue; // duplicates would turn the cold pass into cache hits
+
+    const CodeClass *Class = findCodeClass(P, Q.Class);
+    const CodeMethod *Method = findCodeMethod(P, *Class, Q.Method);
+    QueryScope Scope = scopeAtEnd(Class, Method);
+    DiagnosticEngine QDiags;
+    const PartialExpr *PE = parseQueryText(Q.Query, P, Scope, QDiags);
+    if (!PE)
+      continue;
+    CodeSite Site{Class, Method, Scope.StmtIndex};
+    std::vector<Completion> Results =
+        Engine.complete(PE, Site, ResultsPerQuery);
+    if (Results.empty())
+      continue;
+    Q.Reference = serializeCompletions(TS, Results);
+    F.Queries.push_back(std::move(Q));
+    if (F.Queries.size() == MaxQueries)
+      break;
+  }
+  return F;
+}
+
+struct PassResult {
+  double Seconds = 0;
+  size_t Mismatches = 0;
+  size_t Errors = 0;
+};
+
+/// All clients replay the full query corpus against their own document;
+/// returns wall time and the number of responses that differed from the
+/// reference.
+PassResult runPass(InProcessClient &C, const Fixture &F, size_t Clients) {
+  std::vector<std::thread> Threads;
+  std::vector<PassResult> PerClient(Clients);
+  auto Start = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != Clients; ++I)
+    Threads.emplace_back([&, I] {
+      for (size_t K = 0; K != F.Queries.size(); ++K) {
+        // Stagger start points so clients do not move in lockstep.
+        const QueryCase &Q =
+            F.Queries[(K + I * 7) % F.Queries.size()];
+        json::Value P = json::Value::object();
+        P.set("doc", "client" + std::to_string(I) + ".cs");
+        P.set("version", 1);
+        P.set("class", Q.Class);
+        P.set("method", Q.Method);
+        P.set("query", Q.Query);
+        P.set("n", static_cast<int64_t>(ResultsPerQuery));
+        json::Value Resp = C.call("petal/complete", std::move(P));
+        const json::Value *Result = Resp.find("result");
+        if (!Result) {
+          ++PerClient[I].Errors;
+          continue;
+        }
+        if (Result->find("completions")->write() != Q.Reference)
+          ++PerClient[I].Mismatches;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  PassResult Total;
+  Total.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  for (const PassResult &R : PerClient) {
+    Total.Mismatches += R.Mismatches;
+    Total.Errors += R.Errors;
+  }
+  return Total;
+}
+
+struct Round {
+  size_t Clients;
+  double ColdQps;
+  double WarmQps;
+  double HitRate;
+  size_t Mismatches;
+};
+
+Round runRound(const Fixture &F, size_t Clients) {
+  PetalService::Options Opts;
+  Opts.Workers = 4;
+  Opts.DocThreads = 1;
+  Opts.CacheCapacity = 4096;
+  InProcessClient C(Opts);
+
+  for (size_t I = 0; I != Clients; ++I) {
+    json::Value P = json::Value::object();
+    P.set("doc", "client" + std::to_string(I) + ".cs");
+    P.set("text", F.Text);
+    P.set("version", 1);
+    json::Value Resp = C.call("petal/open", std::move(P));
+    if (!Resp.find("result")) {
+      std::cerr << "open failed: " << Resp.write() << "\n";
+      std::exit(1);
+    }
+  }
+
+  PassResult Cold = runPass(C, F, Clients);
+  PassResult Warm = runPass(C, F, Clients);
+  json::Value Stats = C.callResult("$/stats", json::Value::object());
+
+  double N = static_cast<double>(Clients * F.Queries.size());
+  Round R;
+  R.Clients = Clients;
+  R.ColdQps = N / Cold.Seconds;
+  R.WarmQps = N / Warm.Seconds;
+  R.HitRate = Stats.find("cache")->getNumber("hitRate", 0);
+  R.Mismatches =
+      Cold.Mismatches + Warm.Mismatches + Cold.Errors + Warm.Errors;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  banner("petald service throughput", "framed-protocol clients vs direct engine",
+         benchScale());
+  Fixture F = buildFixture();
+  std::cout << "document: " << F.Text.size() / 1024 << " KiB of source, "
+            << F.Queries.size() << " distinct queries per client\n\n";
+  if (F.Queries.empty()) {
+    std::cerr << "no usable queries harvested\n";
+    return 1;
+  }
+
+  std::vector<Round> Rounds;
+  for (size_t Clients : {1, 2, 4, 8})
+    Rounds.push_back(runRound(F, Clients));
+
+  TextTable Tab;
+  Tab.setHeader({"clients", "cold q/s", "warm q/s", "hit rate", "verified"});
+  size_t TotalMismatches = 0;
+  for (const Round &R : Rounds) {
+    TotalMismatches += R.Mismatches;
+    Tab.addRow({std::to_string(R.Clients), formatFixed(R.ColdQps, 1),
+                formatFixed(R.WarmQps, 1), formatFixed(R.HitRate, 3),
+                R.Mismatches == 0 ? "bit-identical"
+                                  : std::to_string(R.Mismatches) +
+                                        " MISMATCHES"});
+  }
+  std::cout << "Service throughput (cold = computed, warm = cached; every "
+               "response\nchecked against a direct engine run):\n";
+  Tab.print(std::cout);
+  std::cout << "\n";
+
+  std::string Dir = ".";
+  if (const char *D = std::getenv("PETAL_BENCH_DIR"))
+    Dir = D;
+  std::ofstream OS(Dir + "/BENCH_service.json");
+  OS << "{\n"
+     << "  \"benchmark\": \"service_throughput\",\n"
+     << "  \"scale\": " << formatFixed(benchScale(), 2) << ",\n"
+     << "  \"queries_per_client\": " << F.Queries.size() << ",\n"
+     << "  \"workers\": 4,\n"
+     << "  \"verified_bit_identical\": "
+     << (TotalMismatches == 0 ? "true" : "false") << ",\n"
+     << "  \"results\": [\n";
+  for (size_t I = 0; I != Rounds.size(); ++I)
+    OS << "    {\"clients\": " << Rounds[I].Clients
+       << ", \"cold_qps\": " << formatFixed(Rounds[I].ColdQps, 1)
+       << ", \"warm_qps\": " << formatFixed(Rounds[I].WarmQps, 1)
+       << ", \"cache_hit_rate\": " << formatFixed(Rounds[I].HitRate, 3)
+       << "}" << (I + 1 == Rounds.size() ? "\n" : ",\n");
+  OS << "  ]\n}\n";
+  std::cout << "wrote " << Dir << "/BENCH_service.json\n";
+
+  if (TotalMismatches != 0) {
+    std::cerr << "FAIL: " << TotalMismatches
+              << " responses differed from the direct engine\n";
+    return 1;
+  }
+  return 0;
+}

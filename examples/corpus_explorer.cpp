@@ -17,6 +17,7 @@
 #include "complete/BatchExecutor.h"
 #include "corpus/Generator.h"
 #include "eval/Experiments.h"
+#include "support/CliArgs.h"
 #include "support/StrUtil.h"
 
 #include <chrono>
@@ -25,21 +26,29 @@
 using namespace petal;
 
 int main(int argc, char **argv) {
-  // Usage: corpus_explorer [scale] [--threads N]   (0 = auto)
   double Scale = 0.3;
   size_t Threads = 1;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg == "--threads") {
-      if (I + 1 == argc) {
-        std::cerr << "error: --threads needs a count (0 = auto)\n";
-        return 1;
-      }
-      Threads = static_cast<size_t>(std::atol(argv[++I]));
-    } else {
-      Scale = std::atof(Arg.c_str());
-    }
-  }
+  FlagParser Flags("corpus_explorer",
+                   "synthetic-corpus generation + §5.1 evaluation demo",
+                   "[scale]");
+  Flags.addFlag("threads", "N", "worker threads (default 1, 0 = auto)",
+                [&](const std::string &V) {
+                  return parseCount(V, "threads", Threads);
+                });
+  Flags.addPositional("scale is the corpus size factor (default 0.3).",
+                      [&](const std::string &V) {
+                        char *End = nullptr;
+                        Scale = std::strtod(V.c_str(), &End);
+                        if (End == V.c_str() || *End != '\0' || Scale <= 0) {
+                          std::cerr << "error: scale must be a positive "
+                                       "number, got '"
+                                    << V << "'\n";
+                          return false;
+                        }
+                        return true;
+                      });
+  if (!Flags.parse(argc, argv))
+    return Flags.exitCode();
   ProjectProfile Prof = paperProjectProfiles(Scale)[0]; // PaintNet
 
   TypeSystem TS;

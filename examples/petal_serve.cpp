@@ -1,0 +1,191 @@
+//===- examples/petal_serve.cpp - The petald completion daemon ------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving entry point the ROADMAP asks for: a resident process that
+// owns parsed documents and completion indexes and answers framed JSON-RPC
+// requests (see service/Protocol.h for the method set). By default it
+// speaks Content-Length framing over stdin/stdout, exactly like a language
+// server, so an editor plugin — or a human with printf — can drive it:
+//
+//   $ printf 'Content-Length: 64\r\n\r\n{...}' | ./build/examples/petal_serve
+//
+// With --tcp PORT it listens on 127.0.0.1:PORT instead and serves one
+// connection at a time (each connection gets a fresh service, i.e. its own
+// sessions and cache).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+#include "service/Transport.h"
+#include "support/CliArgs.h"
+
+#include <iostream>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace petal;
+
+namespace {
+
+/// A minimal read/write std::streambuf over a POSIX file descriptor, so
+/// the TCP path reuses the same iostream-based transport as stdio.
+class FdStreamBuf : public std::streambuf {
+public:
+  explicit FdStreamBuf(int Fd) : Fd(Fd) {
+    setg(InBuf, InBuf, InBuf);
+    setp(OutBuf, OutBuf + sizeof(OutBuf));
+  }
+
+protected:
+  int_type underflow() override {
+    ssize_t N = ::read(Fd, InBuf, sizeof(InBuf));
+    if (N <= 0)
+      return traits_type::eof();
+    setg(InBuf, InBuf, InBuf + N);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type C) override {
+    if (sync() == -1)
+      return traits_type::eof();
+    if (!traits_type::eq_int_type(C, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(C);
+      pbump(1);
+    }
+    return traits_type::not_eof(C);
+  }
+
+  int sync() override {
+    char *P = pbase();
+    while (P != pptr()) {
+      ssize_t N = ::write(Fd, P, static_cast<size_t>(pptr() - P));
+      if (N <= 0)
+        return -1;
+      P += N;
+    }
+    setp(OutBuf, OutBuf + sizeof(OutBuf));
+    return 0;
+  }
+
+private:
+  int Fd;
+  char InBuf[16384];
+  char OutBuf[16384];
+};
+
+/// Runs one connection: read frames, dispatch, write responses, drain.
+void serveStreams(std::istream &In, std::ostream &Out,
+                  const PetalService::Options &Opts) {
+  FramedReader Reader(In);
+  FramedWriter Writer(Out);
+  PetalService Service(Opts, [&Writer](const json::Value &Response) {
+    Writer.write(Response.write());
+  });
+
+  std::string Payload;
+  for (;;) {
+    FramedReader::Status St = Reader.read(Payload);
+    if (St == FramedReader::Status::Eof)
+      break;
+    if (St == FramedReader::Status::Error) {
+      std::cerr << "petal_serve: framing error: " << Reader.message()
+                << " (dropping connection)\n";
+      break;
+    }
+    if (!Service.handleMessage(Payload))
+      break; // exit requested
+  }
+  Service.waitIdle(); // answer everything already accepted
+}
+
+int serveTcp(uint16_t Port, const PetalService::Options &Opts) {
+  int Listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    std::cerr << "petal_serve: socket() failed\n";
+    return 1;
+  }
+  int One = 1;
+  ::setsockopt(Listener, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(Listener, 4) < 0) {
+    std::cerr << "petal_serve: cannot listen on 127.0.0.1:" << Port << "\n";
+    ::close(Listener);
+    return 1;
+  }
+  std::cerr << "petal_serve: listening on 127.0.0.1:" << Port << "\n";
+  for (;;) {
+    int Conn = ::accept(Listener, nullptr, nullptr);
+    if (Conn < 0)
+      break;
+    std::cerr << "petal_serve: client connected\n";
+    FdStreamBuf Buf(Conn);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    serveStreams(In, Out, Opts);
+    ::close(Conn);
+    std::cerr << "petal_serve: client disconnected\n";
+  }
+  ::close(Listener);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  PetalService::Options Opts;
+  size_t TcpPort = 0;
+  bool UseTcp = false;
+
+  FlagParser Flags("petal_serve",
+                   "resident completion daemon (framed JSON-RPC)");
+  Flags.addFlag("workers", "N", "service worker threads (default 2)",
+                [&](const std::string &V) {
+                  return parseCount(V, "workers", Opts.Workers);
+                });
+  Flags.addFlag("doc-threads", "N",
+                "BatchExecutor threads per document (default 1, 0 = auto)",
+                [&](const std::string &V) {
+                  return parseCount(V, "doc-threads", Opts.DocThreads);
+                });
+  Flags.addFlag("cache", "N", "result cache entries (default 1024, 0 = off)",
+                [&](const std::string &V) {
+                  return parseCount(V, "cache", Opts.CacheCapacity);
+                });
+  Flags.addFlag("tcp", "PORT", "listen on 127.0.0.1:PORT instead of stdio",
+                [&](const std::string &V) {
+                  UseTcp = true;
+                  if (!parseCount(V, "tcp", TcpPort))
+                    return false;
+                  if (TcpPort == 0 || TcpPort > 65535) {
+                    std::cerr << "error: --tcp expects a port in [1, 65535]\n";
+                    return false;
+                  }
+                  return true;
+                });
+  Flags.addSwitch("test-hooks",
+                  "enable the $/test/* scheduling hooks (testing only)",
+                  [&] {
+                    Opts.EnableTestHooks = true;
+                    return true;
+                  });
+  if (!Flags.parse(argc, argv))
+    return Flags.exitCode();
+
+  if (Opts.Workers == 0)
+    Opts.Workers = 2;
+  if (UseTcp)
+    return serveTcp(static_cast<uint16_t>(TcpPort), Opts);
+  serveStreams(std::cin, std::cout, Opts);
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "corpus/SourceWriter.h"
 #include "parser/Frontend.h"
 #include "rank/Explain.h"
+#include "support/CliArgs.h"
 
 #include <fstream>
 #include <iostream>
@@ -182,18 +183,20 @@ void printHelp() {
 int main(int argc, char **argv) {
   Session S;
   std::string File;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg == "--threads") {
-      if (I + 1 == argc) {
-        std::cerr << "error: --threads needs a count (0 = auto)\n";
-        return 1;
-      }
-      S.Threads = static_cast<size_t>(std::atol(argv[++I]));
-    } else {
-      File = Arg;
-    }
-  }
+  FlagParser Flags("repl", "interactive partial-expression completion shell",
+                   "[source.cs]");
+  Flags.addFlag("threads", "N", "worker threads (default 1, 0 = auto)",
+                [&](const std::string &V) {
+                  return parseCount(V, "threads", S.Threads);
+                });
+  Flags.addPositional(
+      "With no source file, the built-in DynamicGeometry corpus is loaded.",
+      [&](const std::string &V) {
+        File = V;
+        return true;
+      });
+  if (!Flags.parse(argc, argv))
+    return Flags.exitCode();
   std::string Source;
   if (!File.empty()) {
     std::ifstream In(File);

@@ -6,13 +6,19 @@
 #
 #===------------------------------------------------------------------------===#
 #
-# The full pre-merge gate, in two builds:
+# The full pre-merge gate, in three builds:
 #
 #   1. Release: the whole test suite.
 #   2. ThreadSanitizer (-DPETAL_SANITIZE=thread): the concurrency tests —
-#      ThreadPool, BatchExecutor, the parallel experiment drivers, and the
-#      frozen-index stress cases — which are exactly the tests designed to
-#      surface data races in the shared completion indexes.
+#      ThreadPool, BatchExecutor, the parallel experiment drivers, the
+#      frozen-index stress cases, and the petald service tests (framing,
+#      cancellation, cache invalidation under concurrent clients) — which
+#      are exactly the tests designed to surface data races in the shared
+#      completion indexes and the service's session handoff.
+#   3. AddressSanitizer (-DPETAL_SANITIZE=address): the same service tests
+#      plus the parser/robustness suites, where lifetime bugs would live
+#      (documents swapped under in-flight requests, cached payloads
+#      outliving their sessions).
 #
 # Usage: scripts/ci.sh [jobs]          (default: nproc)
 #
@@ -23,18 +29,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/2] Release build + full test suite"
+echo "== [1/3] Release build + full test suite"
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo
-echo "== [2/2] ThreadSanitizer build + concurrency tests"
+echo "== [2/3] ThreadSanitizer build + concurrency tests"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress'
+  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing'
+
+echo
+echo "== [3/3] AddressSanitizer build + service/robustness tests"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPETAL_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer'
 
 echo
 echo "== ci.sh: all green"

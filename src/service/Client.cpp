@@ -1,0 +1,63 @@
+//===- service/Client.cpp - In-process service client ---------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+using namespace petal;
+using json::Value;
+
+InProcessClient::InProcessClient(const PetalService::Options &Opts)
+    : S(Opts, [this](const Value &Message) { onResponse(Message); }) {}
+
+void InProcessClient::onResponse(const Value &Message) {
+  const Value *Id = Message.find("id");
+  std::lock_guard<std::mutex> L(PM);
+  if (!Id || !Id->isNumber()) {
+    ++Strays; // parse errors and the like carry a null id
+  } else {
+    Ready[Id->intValue()] = Message;
+  }
+  PCV.notify_all();
+}
+
+int64_t InProcessClient::send(std::string_view Method, Value Params) {
+  int64_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  rpc::RequestId Rid;
+  Rid.Present = true;
+  Rid.Num = Id;
+  S.handleParsed(rpc::makeRequest(Rid, Method, std::move(Params)));
+  return Id;
+}
+
+json::Value InProcessClient::await(int64_t Id) {
+  std::unique_lock<std::mutex> L(PM);
+  PCV.wait(L, [&] { return Ready.count(Id) != 0; });
+  Value Response = std::move(Ready[Id]);
+  Ready.erase(Id);
+  return Response;
+}
+
+json::Value InProcessClient::call(std::string_view Method, Value Params) {
+  return await(send(Method, std::move(Params)));
+}
+
+void InProcessClient::notify(std::string_view Method, Value Params) {
+  S.handleParsed(
+      rpc::makeRequest(rpc::RequestId(), Method, std::move(Params)));
+}
+
+json::Value InProcessClient::callResult(std::string_view Method,
+                                        Value Params) {
+  Value Response = call(Method, std::move(Params));
+  const Value *R = Response.find("result");
+  return R ? *R : Value();
+}
+
+size_t InProcessClient::strayResponses() const {
+  std::lock_guard<std::mutex> L(PM);
+  return Strays;
+}

@@ -1,0 +1,73 @@
+//===- service/Client.h - In-process service client -------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A synchronous client that talks to a PetalService in the same process,
+/// skipping the wire framing. It owns the service, routes responses back
+/// to callers by request id, and is safe to share across threads — the
+/// service throughput bench drives one service from N client threads
+/// through a single InProcessClient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SERVICE_CLIENT_H
+#define PETAL_SERVICE_CLIENT_H
+
+#include "service/Service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+namespace petal {
+
+/// Owns a PetalService and offers blocking request/response calls.
+class InProcessClient {
+public:
+  explicit InProcessClient(const PetalService::Options &Opts);
+
+  PetalService &service() { return S; }
+
+  /// Sends a request and blocks until its response arrives. Returns the
+  /// full response message ("result" or "error" member). Thread-safe.
+  json::Value call(std::string_view Method, json::Value Params);
+
+  /// Sends a request without waiting; the response is retrieved later
+  /// with await(). Returns the assigned id.
+  int64_t send(std::string_view Method, json::Value Params);
+
+  /// Blocks until the response for \p Id arrives and returns it.
+  json::Value await(int64_t Id);
+
+  /// Sends a notification (no id, no response).
+  void notify(std::string_view Method, json::Value Params);
+
+  /// Convenience: call() and return the "result" member (null on error).
+  json::Value callResult(std::string_view Method, json::Value Params);
+
+  /// Responses to requests the client did not send (server pushes); none
+  /// are expected today, but the count is observable for tests.
+  size_t strayResponses() const;
+
+private:
+  void onResponse(const json::Value &Message);
+
+  mutable std::mutex PM;
+  std::condition_variable PCV;
+  std::unordered_map<int64_t, json::Value> Ready;
+  size_t Strays = 0;
+  std::atomic<int64_t> NextId{1};
+
+  // Declared last: workers may call onResponse until the service (and its
+  // worker threads) are torn down, which happens before the members above.
+  PetalService S;
+};
+
+} // namespace petal
+
+#endif // PETAL_SERVICE_CLIENT_H

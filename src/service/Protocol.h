@@ -1,0 +1,129 @@
+//===- service/Protocol.h - JSON-RPC message helpers ------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The petald protocol: JSON-RPC 2.0 messages over the Content-Length
+/// framing of Transport.h. Methods:
+///
+///   initialize / shutdown / exit            lifecycle
+///   petal/open    {doc, text, version}      open a document session
+///   petal/change  {doc, text, version}      replace a document's text
+///   petal/close   {doc}                     drop a session
+///   petal/complete{doc, version?, class, method, query, n?, rank?, ...}
+///   $/cancelRequest {id}                    cancel a queued request
+///   $/stats                                 service counters + latency
+///
+/// Error codes follow JSON-RPC / LSP where codes exist and extend them in
+/// the -330xx range where they do not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SERVICE_PROTOCOL_H
+#define PETAL_SERVICE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <string>
+
+namespace petal {
+namespace rpc {
+
+/// JSON-RPC and LSP error codes used by the service.
+enum ErrorCode {
+  ParseError = -32700,        ///< payload was not valid JSON
+  InvalidRequest = -32600,    ///< not a well-formed JSON-RPC request
+  MethodNotFound = -32601,    ///< unknown method
+  InvalidParams = -32602,     ///< params missing or of the wrong shape
+  RequestCancelled = -32800,  ///< LSP: cancelled via $/cancelRequest
+  ContentModified = -32801,   ///< LSP: document changed under the request
+  UnknownDocument = -33000,   ///< no open session for the named document
+  DeadlineExceeded = -33001,  ///< request could not start before deadline
+  BuildFailed = -33002,       ///< document text failed to parse/resolve
+  ShuttingDown = -33003,      ///< request arrived after shutdown
+};
+
+/// A parsed request id: JSON-RPC allows numbers and strings; requests
+/// without an id are notifications and get no response.
+struct RequestId {
+  bool Present = false;
+  bool IsString = false;
+  int64_t Num = 0;
+  std::string Str;
+
+  static RequestId of(const json::Value &Message) {
+    RequestId Id;
+    const json::Value *V = Message.find("id");
+    if (!V)
+      return Id;
+    if (V->isNumber()) {
+      Id.Present = true;
+      Id.Num = V->intValue();
+    } else if (V->isString()) {
+      Id.Present = true;
+      Id.IsString = true;
+      Id.Str = V->stringValue();
+    }
+    return Id;
+  }
+
+  json::Value toJson() const {
+    if (!Present)
+      return json::Value();
+    if (IsString)
+      return json::Value(Str);
+    return json::Value(Num);
+  }
+
+  bool operator==(const RequestId &O) const {
+    return Present == O.Present && IsString == O.IsString && Num == O.Num &&
+           Str == O.Str;
+  }
+
+  /// A printable key for maps and logs.
+  std::string key() const {
+    if (!Present)
+      return "<none>";
+    return IsString ? "s:" + Str : "n:" + std::to_string(Num);
+  }
+};
+
+inline json::Value makeRequest(RequestId Id, std::string_view Method,
+                               json::Value Params) {
+  json::Value M = json::Value::object();
+  M.set("jsonrpc", "2.0");
+  if (Id.Present)
+    M.set("id", Id.toJson());
+  M.set("method", json::Value(Method));
+  if (!Params.isNull())
+    M.set("params", std::move(Params));
+  return M;
+}
+
+inline json::Value makeResult(const RequestId &Id, json::Value Result) {
+  json::Value M = json::Value::object();
+  M.set("jsonrpc", "2.0");
+  M.set("id", Id.toJson());
+  M.set("result", std::move(Result));
+  return M;
+}
+
+inline json::Value makeError(const RequestId &Id, int Code,
+                             std::string_view Message) {
+  json::Value E = json::Value::object();
+  E.set("code", Code);
+  E.set("message", json::Value(Message));
+  json::Value M = json::Value::object();
+  M.set("jsonrpc", "2.0");
+  M.set("id", Id.toJson());
+  M.set("error", std::move(E));
+  return M;
+}
+
+} // namespace rpc
+} // namespace petal
+
+#endif // PETAL_SERVICE_PROTOCOL_H

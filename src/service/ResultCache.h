@@ -1,0 +1,129 @@
+//===- service/ResultCache.h - LRU completion-result cache ------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded LRU cache from query keys to serialized completion results.
+/// The key encodes everything that determines the answer — document name,
+/// document *version*, query text, result count, and every CompletionOptions
+/// knob — so a hit is by construction bit-identical to recomputing. Entries
+/// are additionally tagged with their document so an edit can drop the
+/// dead version's entries eagerly instead of waiting for LRU pressure.
+///
+/// Thread-safe: the service's workers probe and fill it concurrently; one
+/// mutex suffices because entries are small (a serialized JSON array) and
+/// the hit path is a hash lookup plus a list splice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SERVICE_RESULTCACHE_H
+#define PETAL_SERVICE_RESULTCACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace petal {
+
+/// LRU map of query key -> serialized result, with per-document
+/// invalidation and hit/miss counters.
+class ResultCache {
+public:
+  explicit ResultCache(size_t Capacity = 1024) : Capacity(Capacity) {}
+
+  /// Probes for \p Key; on hit copies the cached payload into \p Out,
+  /// promotes the entry to most-recently-used, and bumps the hit counter.
+  bool lookup(const std::string &Key, std::string &Out) {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      ++Misses;
+      return false;
+    }
+    Order.splice(Order.begin(), Order, It->second);
+    Out = It->second->Payload;
+    ++Hits;
+    return true;
+  }
+
+  /// Inserts (or refreshes) \p Key, evicting the least-recently-used entry
+  /// when full. \p Doc tags the entry for invalidate().
+  void insert(const std::string &Key, const std::string &Doc,
+              std::string Payload) {
+    std::lock_guard<std::mutex> L(M);
+    if (Capacity == 0)
+      return;
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Order.splice(Order.begin(), Order, It->second);
+      It->second->Payload = std::move(Payload);
+      return;
+    }
+    if (Order.size() == Capacity) {
+      Index.erase(Order.back().Key);
+      Order.pop_back();
+    }
+    Order.push_front(Entry{Key, Doc, std::move(Payload)});
+    Index[Key] = Order.begin();
+  }
+
+  /// Drops every entry belonging to \p Doc (called on change/close: the
+  /// old version's results can never be served again).
+  size_t invalidate(const std::string &Doc) {
+    std::lock_guard<std::mutex> L(M);
+    size_t Dropped = 0;
+    for (auto It = Order.begin(); It != Order.end();) {
+      if (It->Doc == Doc) {
+        Index.erase(It->Key);
+        It = Order.erase(It);
+        ++Dropped;
+      } else {
+        ++It;
+      }
+    }
+    return Dropped;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> L(M);
+    Order.clear();
+    Index.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> L(M);
+    return Order.size();
+  }
+  size_t capacity() const { return Capacity; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> L(M);
+    return Hits;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> L(M);
+    return Misses;
+  }
+
+private:
+  struct Entry {
+    std::string Key;
+    std::string Doc;
+    std::string Payload;
+  };
+
+  size_t Capacity;
+  mutable std::mutex M;
+  std::list<Entry> Order; ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> Index;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace petal
+
+#endif // PETAL_SERVICE_RESULTCACHE_H

@@ -1,0 +1,664 @@
+//===- service/Service.cpp - The petald completion service ----------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+using namespace petal;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// Construction / teardown
+//===----------------------------------------------------------------------===//
+
+PetalService::PetalService(const Options &Opts, ResponseSink Sink)
+    : Opts(Opts), Sink(std::move(Sink)), Cache(Opts.CacheCapacity) {
+  size_t Workers = std::max<size_t>(1, this->Opts.Workers);
+  this->Opts.Workers = Workers;
+  WorkerThreads.reserve(Workers);
+  for (size_t W = 0; W != Workers; ++W)
+    WorkerThreads.emplace_back([this] { workerLoop(); });
+}
+
+PetalService::~PetalService() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    StopWorkers = true;
+    // Open every gate so a blocked $/test/block cannot wedge the join.
+    for (auto &[Token, G] : Gates) {
+      std::lock_guard<std::mutex> GL(G->GM);
+      G->Opened = true;
+      G->GCV.notify_all();
+    }
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : WorkerThreads)
+    T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Response plumbing
+//===----------------------------------------------------------------------===//
+
+void PetalService::respond(const Value &Message) {
+  if (Sink)
+    Sink(Message);
+}
+
+void PetalService::respondResult(const rpc::RequestId &Id, Value Result) {
+  if (!Id.Present)
+    return; // notification: no response channel
+  respond(rpc::makeResult(Id, std::move(Result)));
+}
+
+void PetalService::respondError(const rpc::RequestId &Id, int Code,
+                                const std::string &Message) {
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    ++ErrorCount;
+  }
+  if (!Id.Present)
+    return;
+  respond(rpc::makeError(Id, Code, Message));
+}
+
+void PetalService::recordLatency(const Task &T) {
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T.Enqueued)
+                  .count();
+  std::lock_guard<std::mutex> L(StatsM);
+  ++QueryCount;
+  if (LatencyMs.size() < (1u << 20))
+    LatencyMs.push_back(Ms);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+bool PetalService::handleMessage(std::string_view Payload) {
+  Value Message;
+  std::string Error;
+  if (!json::parse(Payload, Message, Error)) {
+    {
+      std::lock_guard<std::mutex> L(StatsM);
+      ++ReceivedCount;
+    }
+    respond(rpc::makeError(rpc::RequestId(), rpc::ParseError,
+                           "invalid JSON: " + Error));
+    return true;
+  }
+  return handleParsed(Message);
+}
+
+bool PetalService::handleParsed(const Value &Message) {
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    ++ReceivedCount;
+  }
+  if (!Message.isObject()) {
+    respond(rpc::makeError(rpc::RequestId(), rpc::InvalidRequest,
+                           "message is not an object"));
+    return true;
+  }
+  rpc::RequestId Id = rpc::RequestId::of(Message);
+  std::string Method = Message.getString("method");
+  if (Method.empty()) {
+    respondError(Id, rpc::InvalidRequest, "missing 'method'");
+    return true;
+  }
+  const Value *ParamsPtr = Message.find("params");
+  Value Params = ParamsPtr ? *ParamsPtr : Value::object();
+  dispatch(Message, Id, Method, Params);
+  return !exitRequested();
+}
+
+void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
+                            const std::string &Method, const Value &Params) {
+  if (Method == "initialize") {
+    Value Caps = Value::object();
+    Caps.set("documentSync", "full");
+    Caps.set("completion", true);
+    Caps.set("cancel", true);
+    Caps.set("stats", true);
+    Value R = Value::object();
+    R.set("name", "petald");
+    R.set("version", "0.1.0");
+    R.set("capabilities", std::move(Caps));
+    respondResult(Id, std::move(R));
+    return;
+  }
+  if (Method == "shutdown") {
+    {
+      std::lock_guard<std::mutex> L(M);
+      ShuttingDown = true;
+    }
+    respondResult(Id, Value());
+    return;
+  }
+  if (Method == "exit") {
+    Exit.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (Method == "$/cancelRequest") {
+    rpc::RequestId Target = rpc::RequestId::of(Params);
+    if (Target.Present) {
+      std::lock_guard<std::mutex> L(M);
+      // Only requests still waiting can be cancelled; marking unknown ids
+      // would let a hostile client grow the set without bound.
+      if (QueuedIds.count(Target.key()))
+        CancelledIds.insert(Target.key());
+    }
+    return; // notification
+  }
+  if (Method == "$/stats") {
+    respondResult(Id, statsJson());
+    return;
+  }
+
+  bool Rejected;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Rejected = ShuttingDown;
+  }
+  if (Rejected) {
+    respondError(Id, rpc::ShuttingDown, "service is shutting down");
+    return;
+  }
+
+  if (Method == "$/test/block" || Method == "$/test/release") {
+    if (!Opts.EnableTestHooks) {
+      respondError(Id, rpc::MethodNotFound,
+                   "test hooks are disabled (" + Method + ")");
+      return;
+    }
+    if (Method == "$/test/release") {
+      releaseGate(Params.getString("token"));
+      respondResult(Id, Value());
+      return;
+    }
+    Task T{Id, Method, Params, std::chrono::steady_clock::now(),
+           Params.getNumber("deadlineMs", 0)};
+    std::string Doc = Params.getString("doc");
+    if (Doc.empty()) {
+      enqueueGlobal(std::move(T));
+      return;
+    }
+    std::shared_ptr<SessionState> S;
+    {
+      std::lock_guard<std::mutex> L(M);
+      auto It = Sessions.find(Doc);
+      if (It != Sessions.end())
+        S = It->second;
+    }
+    if (!S) {
+      respondError(Id, rpc::UnknownDocument, "no open document '" + Doc + "'");
+      return;
+    }
+    enqueueSession(S, std::move(T));
+    return;
+  }
+
+  bool IsOpen = Method == "petal/open";
+  bool IsChange = Method == "petal/change";
+  bool IsClose = Method == "petal/close";
+  bool IsComplete = Method == "petal/complete";
+  if (!IsOpen && !IsChange && !IsClose && !IsComplete) {
+    respondError(Id, rpc::MethodNotFound, "unknown method '" + Method + "'");
+    return;
+  }
+
+  std::string Doc = Params.getString("doc");
+  if (Doc.empty()) {
+    respondError(Id, rpc::InvalidParams, "missing string param 'doc'");
+    return;
+  }
+  if (IsOpen || IsChange) {
+    const Value *Text = Params.find("text");
+    const Value *Version = Params.find("version");
+    if (!Text || !Text->isString() || !Version || !Version->isNumber()) {
+      respondError(Id, rpc::InvalidParams,
+                   Method + " needs 'text' (string) and 'version' (number)");
+      return;
+    }
+  }
+
+  Task T{Id, Method, Params, std::chrono::steady_clock::now(),
+         Params.getNumber("deadlineMs", 0)};
+
+  std::shared_ptr<SessionState> S;
+  bool AlreadyOpen = false;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Sessions.find(Doc);
+    if (It != Sessions.end())
+      S = It->second;
+    if (IsOpen) {
+      if (S) {
+        AlreadyOpen = true;
+      } else {
+        S = std::make_shared<SessionState>();
+        S->Name = Doc;
+        Sessions[Doc] = S;
+      }
+    }
+  }
+  if (AlreadyOpen) {
+    respondError(Id, rpc::InvalidParams,
+                 "document '" + Doc + "' is already open");
+    return;
+  }
+  if (!S) {
+    respondError(Id, rpc::UnknownDocument, "no open document '" + Doc + "'");
+    return;
+  }
+  enqueueSession(S, std::move(T));
+}
+
+void PetalService::enqueueSession(const std::shared_ptr<SessionState> &S,
+                                  Task T) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (T.Id.Present)
+      QueuedIds.insert(T.Id.key());
+    ++Outstanding;
+    S->Pending.push_back(std::move(T));
+    if (!S->Scheduled) {
+      S->Scheduled = true;
+      RunQueue.push_back(RunItem{S, Task{}});
+    }
+  }
+  WorkCV.notify_one();
+}
+
+void PetalService::enqueueGlobal(Task T) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (T.Id.Present)
+      QueuedIds.insert(T.Id.key());
+    ++Outstanding;
+    RunQueue.push_back(RunItem{nullptr, std::move(T)});
+  }
+  WorkCV.notify_one();
+}
+
+void PetalService::waitIdle() {
+  std::unique_lock<std::mutex> L(M);
+  IdleCV.wait(L, [&] { return Outstanding == 0; });
+}
+
+void PetalService::releaseGate(const std::string &Token) {
+  std::shared_ptr<Gate> G;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Gates.find(Token);
+    if (It == Gates.end()) {
+      // Release-before-block: create the gate already opened so the
+      // upcoming block falls straight through.
+      G = std::make_shared<Gate>();
+      Gates[Token] = G;
+    } else {
+      G = It->second;
+    }
+  }
+  std::lock_guard<std::mutex> GL(G->GM);
+  G->Opened = true;
+  G->GCV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void PetalService::workerLoop() {
+  for (;;) {
+    std::shared_ptr<SessionState> S;
+    Task T;
+    {
+      std::unique_lock<std::mutex> L(M);
+      WorkCV.wait(L, [&] { return StopWorkers || !RunQueue.empty(); });
+      if (RunQueue.empty())
+        return; // StopWorkers and fully drained
+      RunItem Item = std::move(RunQueue.front());
+      RunQueue.pop_front();
+      if (Item.Session) {
+        S = std::move(Item.Session);
+        T = std::move(S->Pending.front());
+        S->Pending.pop_front();
+      } else {
+        T = std::move(Item.Global);
+      }
+    }
+
+    runTask(S, T);
+
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (S) {
+        if (!S->Pending.empty())
+          RunQueue.push_back(RunItem{S, Task{}});
+        else
+          S->Scheduled = false;
+      }
+      if (T.Id.Present) {
+        QueuedIds.erase(T.Id.key());
+        CancelledIds.erase(T.Id.key());
+      }
+      if (--Outstanding == 0)
+        IdleCV.notify_all();
+      if (!RunQueue.empty())
+        WorkCV.notify_one();
+    }
+  }
+}
+
+void PetalService::runTask(const std::shared_ptr<SessionState> &S, Task &T) {
+  if (T.Id.Present) {
+    bool Cancelled;
+    {
+      std::lock_guard<std::mutex> L(M);
+      Cancelled = CancelledIds.count(T.Id.key()) != 0;
+    }
+    if (Cancelled) {
+      {
+        std::lock_guard<std::mutex> L(StatsM);
+        ++CancelledCount;
+      }
+      respondError(T.Id, rpc::RequestCancelled, "request cancelled");
+      return;
+    }
+  }
+  if (T.DeadlineMs > 0) {
+    double WaitedMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - T.Enqueued)
+                          .count();
+    if (WaitedMs > T.DeadlineMs) {
+      {
+        std::lock_guard<std::mutex> L(StatsM);
+        ++DeadlineCount;
+      }
+      respondError(T.Id, rpc::DeadlineExceeded,
+                   "deadline of " + std::to_string(T.DeadlineMs) +
+                       " ms expired before execution");
+      return;
+    }
+  }
+
+  if (T.Method == "$/test/block") {
+    execBlock(T);
+    return;
+  }
+  if (!S) {
+    respondError(T.Id, rpc::InvalidRequest,
+                 "internal: session task without session");
+    return;
+  }
+  if (T.Method == "petal/open")
+    execOpenChange(*S, T, /*IsChange=*/false);
+  else if (T.Method == "petal/change")
+    execOpenChange(*S, T, /*IsChange=*/true);
+  else if (T.Method == "petal/close")
+    execClose(*S, T);
+  else if (T.Method == "petal/complete")
+    execComplete(*S, T);
+  else
+    respondError(T.Id, rpc::MethodNotFound,
+                 "unknown session method '" + T.Method + "'");
+}
+
+void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (!S.Open) {
+      // Closed while this task was queued behind the close.
+      respondError(T.Id, rpc::UnknownDocument,
+                   "document '" + S.Name + "' was closed");
+      return;
+    }
+  }
+  std::string Text = T.Params.getString("text");
+  int64_t Version = T.Params.getInt("version", 0);
+  if (IsChange && S.Doc && Version <= S.Doc->Version) {
+    respondError(T.Id, rpc::InvalidParams,
+                 "version must increase (current " +
+                     std::to_string(S.Doc->Version) + ", got " +
+                     std::to_string(Version) + ")");
+    return;
+  }
+
+  std::string Error;
+  std::unique_ptr<DocumentState> Built =
+      buildDocumentState(S.Name, Text, Version, Opts.DocThreads, Error);
+  if (!Built) {
+    {
+      std::lock_guard<std::mutex> L(StatsM);
+      ++BuildFailCount;
+    }
+    if (!IsChange) {
+      // A document that never had a good build holds no session open.
+      std::lock_guard<std::mutex> L(M);
+      S.Open = false;
+      auto It = Sessions.find(S.Name);
+      if (It != Sessions.end() && It->second.get() == &S)
+        Sessions.erase(It);
+    }
+    // On change: the previous DocumentState — text, version, indexes — is
+    // untouched; the session keeps answering queries against it.
+    respondError(T.Id, rpc::BuildFailed,
+                 std::string(IsChange ? "change" : "open") +
+                     " failed; document " +
+                     (IsChange ? "keeps version " +
+                                     std::to_string(S.Doc ? S.Doc->Version
+                                                          : 0)
+                               : "not opened") +
+                     ": " + Error);
+    return;
+  }
+
+  if (IsChange)
+    Cache.invalidate(S.Name);
+  double BuildMs = Built->BuildMillis;
+  size_t NumTypes = Built->TS->numTypes();
+  size_t NumMethods = Built->TS->numMethods();
+  S.Doc = std::move(Built);
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    ++BuildCount;
+  }
+
+  Value R = Value::object();
+  R.set("doc", S.Name);
+  R.set("version", Version);
+  R.set("types", NumTypes);
+  R.set("methods", NumMethods);
+  R.set("buildMs", BuildMs);
+  respondResult(T.Id, std::move(R));
+}
+
+void PetalService::execClose(SessionState &S, Task &T) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (!S.Open) {
+      respondError(T.Id, rpc::UnknownDocument,
+                   "document '" + S.Name + "' was closed");
+      return;
+    }
+    S.Open = false;
+    auto It = Sessions.find(S.Name);
+    if (It != Sessions.end() && It->second.get() == &S)
+      Sessions.erase(It);
+  }
+  S.Doc.reset();
+  Cache.invalidate(S.Name);
+  respondResult(T.Id, Value());
+}
+
+void PetalService::execComplete(SessionState &S, Task &T) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (!S.Open) {
+      respondError(T.Id, rpc::UnknownDocument,
+                   "document '" + S.Name + "' was closed");
+      return;
+    }
+  }
+  if (!S.Doc) {
+    respondError(T.Id, rpc::UnknownDocument,
+                 "document '" + S.Name + "' has no built version");
+    return;
+  }
+
+  CompleteSpec Spec;
+  std::string Error;
+  if (!parseCompleteSpec(T.Params, Spec, Error)) {
+    respondError(T.Id, rpc::InvalidParams, Error);
+    return;
+  }
+
+  if (const Value *V = T.Params.find("version")) {
+    if (V->isNumber() && V->intValue() != S.Doc->Version) {
+      {
+        std::lock_guard<std::mutex> L(StatsM);
+        ++StaleCount;
+      }
+      respondError(T.Id, rpc::ContentModified,
+                   "stale version " + std::to_string(V->intValue()) +
+                       " (current " + std::to_string(S.Doc->Version) + ")");
+      return;
+    }
+  }
+
+  std::string Key = S.Name + '\x1f' + std::to_string(S.Doc->Version) +
+                    '\x1f' + encodeSpecKey(Spec);
+  std::string CachedPayload;
+  if (Cache.lookup(Key, CachedPayload)) {
+    Value Cached;
+    std::string ParseErr;
+    bool Ok = json::parse(CachedPayload, Cached, ParseErr);
+    (void)Ok;
+    assert(Ok && "cache holds only service-serialized results");
+    recordLatency(T);
+    respondResult(T.Id, std::move(Cached));
+    return;
+  }
+
+  QueryOutcome O = runCompletion(*S.Doc, Spec);
+  if (!O.Ok) {
+    respondError(T.Id, O.ErrCode, O.ErrMsg);
+    return;
+  }
+  Value R = Value::object();
+  R.set("doc", S.Name);
+  R.set("version", S.Doc->Version);
+  R.set("completions", std::move(O.Completions));
+  Cache.insert(Key, S.Name, R.write());
+  recordLatency(T);
+  respondResult(T.Id, std::move(R));
+}
+
+void PetalService::execBlock(Task &T) {
+  std::string Token = T.Params.getString("token");
+  std::shared_ptr<Gate> G;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Gates.find(Token);
+    if (It == Gates.end()) {
+      G = std::make_shared<Gate>();
+      Gates[Token] = G;
+    } else {
+      G = It->second;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> GL(G->GM);
+    G->GCV.wait(GL, [&] { return G->Opened; });
+  }
+  Value R = Value::object();
+  R.set("released", Token);
+  respondResult(T.Id, std::move(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+/// The \p Q-th percentile (nearest-rank) of \p Samples; 0 when empty.
+static double percentileOf(std::vector<double> Samples, double Q) {
+  if (Samples.empty())
+    return 0;
+  size_t Rank = static_cast<size_t>(Q / 100.0 *
+                                    static_cast<double>(Samples.size() - 1));
+  std::nth_element(Samples.begin(),
+                   Samples.begin() + static_cast<ptrdiff_t>(Rank),
+                   Samples.end());
+  return Samples[Rank];
+}
+
+json::Value PetalService::statsJson() {
+  size_t NumSessions;
+  size_t QueueDepth;
+  {
+    std::lock_guard<std::mutex> L(M);
+    NumSessions = Sessions.size();
+    QueueDepth = Outstanding;
+  }
+  uint64_t Received, Queries, Cancelled, Deadline, Stale, Errors, Builds,
+      BuildFails;
+  std::vector<double> Lat;
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    Received = ReceivedCount;
+    Queries = QueryCount;
+    Cancelled = CancelledCount;
+    Deadline = DeadlineCount;
+    Stale = StaleCount;
+    Errors = ErrorCount;
+    Builds = BuildCount;
+    BuildFails = BuildFailCount;
+    Lat = LatencyMs;
+  }
+  uint64_t Hits = Cache.hits(), Misses = Cache.misses();
+
+  Value CacheV = Value::object();
+  CacheV.set("size", Cache.size());
+  CacheV.set("capacity", Cache.capacity());
+  CacheV.set("hits", Hits);
+  CacheV.set("misses", Misses);
+  CacheV.set("hitRate", Hits + Misses == 0
+                            ? 0.0
+                            : static_cast<double>(Hits) /
+                                  static_cast<double>(Hits + Misses));
+
+  Value LatV = Value::object();
+  LatV.set("count", Lat.size());
+  LatV.set("p50", percentileOf(Lat, 50));
+  LatV.set("p90", percentileOf(Lat, 90));
+  LatV.set("p99", percentileOf(Lat, 99));
+  LatV.set("max", Lat.empty() ? 0.0
+                              : *std::max_element(Lat.begin(), Lat.end()));
+
+  Value R = Value::object();
+  R.set("service", "petald");
+  R.set("workers", Opts.Workers);
+  R.set("docThreads", Opts.DocThreads);
+  R.set("sessions", NumSessions);
+  R.set("outstanding", QueueDepth);
+  R.set("received", Received);
+  R.set("queries", Queries);
+  R.set("cancelled", Cancelled);
+  R.set("deadlineExpired", Deadline);
+  R.set("staleRejected", Stale);
+  R.set("errors", Errors);
+  R.set("builds", Builds);
+  R.set("buildFailures", BuildFails);
+  R.set("cache", std::move(CacheV));
+  R.set("latencyMs", std::move(LatV));
+  return R;
+}

@@ -1,0 +1,204 @@
+//===- service/Service.h - The petald completion service --------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident completion daemon behind `petal_serve`: JSON-RPC requests
+/// in (already unframed — see Transport.h), responses out through a
+/// thread-safe sink. The design:
+///
+///  * **Dispatch** is cheap and synchronous: the transport thread parses
+///    the message, answers trivial requests (initialize, $/stats,
+///    $/cancelRequest) inline, and enqueues everything else. Document
+///    parsing and completion queries never run on the transport thread.
+///
+///  * **Sessions are strands.** Each open document owns a FIFO of pending
+///    tasks; a session is enqueued on the global run queue only while it
+///    has work, and at most one worker executes a given session's tasks at
+///    a time. This serializes open → change → complete per document (so
+///    version bookkeeping needs no locks around the engine) while letting
+///    different documents proceed in parallel across the worker pool.
+///    Queries themselves are routed through the session's BatchExecutor,
+///    i.e. onto the existing ThreadPool execution layer.
+///
+///  * **Versioned rejection.** Every edit builds a fresh DocumentState
+///    with a client-supplied monotonic version; a petal/complete carrying
+///    a version other than the current one is rejected with
+///    ContentModified rather than silently answered from the wrong text.
+///
+///  * **Cancellation and deadlines.** $/cancelRequest marks a queued
+///    request; workers check the mark (and the request's deadlineMs
+///    budget) when they pick a task up, answering RequestCancelled /
+///    DeadlineExceeded without touching the engine. A request that
+///    already started runs to completion, as in LSP.
+///
+///  * **Result cache.** An LRU keyed by (document, version, query, every
+///    option knob) fronts the engine; entries are invalidated on edit and
+///    close. A hit replays the stored serialized result, byte-identical
+///    to the original computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SERVICE_SERVICE_H
+#define PETAL_SERVICE_SERVICE_H
+
+#include "service/Protocol.h"
+#include "service/ResultCache.h"
+#include "service/Session.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace petal {
+
+/// The service. Construct one per connection (sessions are per-service
+/// state); handleMessage() is the wire entry point, handleParsed() the
+/// in-process one.
+class PetalService {
+public:
+  struct Options {
+    /// Service worker threads executing session tasks (builds + queries).
+    size_t Workers = 2;
+    /// BatchExecutor threads per document (1 = serial per-query).
+    size_t DocThreads = 1;
+    /// Result cache capacity in entries; 0 disables caching.
+    size_t CacheCapacity = 1024;
+    /// Enables $/test/block and $/test/release, the deterministic
+    /// scheduling hooks the cancellation/deadline tests use. Off in
+    /// production daemons.
+    bool EnableTestHooks = false;
+  };
+
+  /// Receives every outgoing response message. Called from worker threads
+  /// and the dispatch thread concurrently; must be thread-safe.
+  using ResponseSink = std::function<void(const json::Value &)>;
+
+  PetalService(const Options &Opts, ResponseSink Sink);
+  ~PetalService();
+
+  PetalService(const PetalService &) = delete;
+  PetalService &operator=(const PetalService &) = delete;
+
+  /// Parses one framed payload and dispatches it. Returns false once the
+  /// client sent `exit` (the transport loop should stop).
+  bool handleMessage(std::string_view Payload);
+
+  /// Dispatches an already-parsed message (the in-process client path).
+  bool handleParsed(const json::Value &Message);
+
+  /// Blocks until every enqueued task has finished. Used by tests, the
+  /// bench driver, and the daemon's drain-on-exit.
+  void waitIdle();
+
+  bool exitRequested() const { return Exit.load(std::memory_order_relaxed); }
+  const Options &options() const { return Opts; }
+
+  /// Opens a named test gate, releasing any $/test/block waiting on it
+  /// (tests may also do this via the $/test/release request).
+  void releaseGate(const std::string &Token);
+
+private:
+  /// One queued request.
+  struct Task {
+    rpc::RequestId Id;
+    std::string Method;
+    json::Value Params;
+    std::chrono::steady_clock::time_point Enqueued;
+    double DeadlineMs = 0; ///< <= 0 means no deadline
+  };
+
+  /// One open document: the strand of pending tasks plus the current
+  /// built state. Pending/Scheduled/Open are guarded by M; Doc is only
+  /// touched by the worker currently running this session's strand.
+  struct SessionState {
+    std::string Name;
+    bool Open = true;
+    std::shared_ptr<DocumentState> Doc;
+    std::deque<Task> Pending;
+    bool Scheduled = false;
+  };
+
+  /// A named condition the test hooks block on.
+  struct Gate {
+    std::mutex GM;
+    std::condition_variable GCV;
+    bool Opened = false;
+  };
+
+  /// An entry on the global run queue: either a session with pending
+  /// strand work, or a free-standing task (test gates without a document).
+  struct RunItem {
+    std::shared_ptr<SessionState> Session; ///< null for global tasks
+    Task Global;
+  };
+
+  // Dispatch (transport thread).
+  void dispatch(const json::Value &Message, const rpc::RequestId &Id,
+                const std::string &Method, const json::Value &Params);
+  void enqueueSession(const std::shared_ptr<SessionState> &S, Task T);
+  void enqueueGlobal(Task T);
+  json::Value statsJson();
+
+  // Execution (worker threads).
+  void workerLoop();
+  void runTask(const std::shared_ptr<SessionState> &S, Task &T);
+  void execOpenChange(SessionState &S, Task &T, bool IsChange);
+  void execClose(SessionState &S, Task &T);
+  void execComplete(SessionState &S, Task &T);
+  void execBlock(Task &T);
+
+  // Response plumbing.
+  void respond(const json::Value &Message);
+  void respondResult(const rpc::RequestId &Id, json::Value Result);
+  void respondError(const rpc::RequestId &Id, int Code,
+                    const std::string &Message);
+  void recordLatency(const Task &T);
+
+  Options Opts;
+  ResponseSink Sink;
+  ResultCache Cache;
+
+  std::mutex M;
+  std::condition_variable WorkCV;
+  std::condition_variable IdleCV;
+  std::deque<RunItem> RunQueue;
+  std::unordered_map<std::string, std::shared_ptr<SessionState>> Sessions;
+  std::unordered_set<std::string> QueuedIds;    ///< ids awaiting execution
+  std::unordered_set<std::string> CancelledIds; ///< marked via $/cancelRequest
+  std::unordered_map<std::string, std::shared_ptr<Gate>> Gates;
+  size_t Outstanding = 0;
+  bool ShuttingDown = false;
+  bool StopWorkers = false;
+  std::atomic<bool> Exit{false};
+
+  // Counters (guarded by StatsM; latencies only for petal/complete).
+  mutable std::mutex StatsM;
+  uint64_t ReceivedCount = 0;
+  uint64_t QueryCount = 0;
+  uint64_t CancelledCount = 0;
+  uint64_t DeadlineCount = 0;
+  uint64_t StaleCount = 0;
+  uint64_t ErrorCount = 0;
+  uint64_t BuildCount = 0;
+  uint64_t BuildFailCount = 0;
+  std::vector<double> LatencyMs;
+
+  std::vector<std::thread> WorkerThreads;
+};
+
+} // namespace petal
+
+#endif // PETAL_SERVICE_SERVICE_H

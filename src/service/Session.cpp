@@ -1,0 +1,158 @@
+//===- service/Session.cpp - Versioned document sessions ------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Session.h"
+
+#include "code/ExprPrinter.h"
+#include "service/Protocol.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace petal;
+
+std::unique_ptr<DocumentState>
+petal::buildDocumentState(const std::string &Name, const std::string &Text,
+                          int64_t Version, size_t DocThreads,
+                          std::string &Error) {
+  auto Start = std::chrono::steady_clock::now();
+  auto Doc = std::make_unique<DocumentState>();
+  Doc->Name = Name;
+  Doc->Version = Version;
+  Doc->Text = Text;
+  Doc->TS = std::make_unique<TypeSystem>();
+  Doc->P = std::make_unique<Program>(*Doc->TS);
+
+  DiagnosticEngine Diags;
+  if (!loadProgramText(Text, *Doc->P, Diags)) {
+    std::ostringstream OS;
+    Diags.print(OS);
+    Error = OS.str();
+    if (Error.empty())
+      Error = "document failed to parse";
+    return nullptr;
+  }
+
+  Doc->Idx = std::make_unique<CompletionIndexes>(*Doc->P);
+  // The executor freezes the indexes; computing the shared abstract-type
+  // solution here moves that cost out of the first query's latency.
+  Doc->Exec =
+      std::make_unique<BatchExecutor>(*Doc->P, *Doc->Idx, DocThreads);
+  Doc->Exec->fullSolution();
+
+  Doc->BuildMillis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  return Doc;
+}
+
+bool petal::parseCompleteSpec(const json::Value &Params, CompleteSpec &Out,
+                              std::string &Error) {
+  if (!Params.isObject()) {
+    Error = "params must be an object";
+    return false;
+  }
+  Out.Class = Params.getString("class");
+  Out.Method = Params.getString("method");
+  Out.Query = Params.getString("query");
+  if (Out.Class.empty() || Out.Method.empty() || Out.Query.empty()) {
+    Error = "petal/complete needs string params 'class', 'method', "
+            "and 'query'";
+    return false;
+  }
+  int64_t N = Params.getInt("n", 10);
+  if (N < 1 || N > 1000) {
+    Error = "'n' must be between 1 and 1000";
+    return false;
+  }
+  Out.N = static_cast<size_t>(N);
+
+  CompletionOptions &O = Out.Opts;
+  if (const json::Value *Rank = Params.find("rank")) {
+    if (!Rank->isString()) {
+      Error = "'rank' must be a Table 2 style spec string";
+      return false;
+    }
+    O.Rank = RankingOptions::fromSpec(Rank->stringValue());
+  }
+  O.MaxScore = static_cast<int>(Params.getInt("maxScore", O.MaxScore));
+  O.MaxChainLen =
+      static_cast<int>(Params.getInt("maxChainLen", O.MaxChainLen));
+  O.UseReachabilityPruning =
+      Params.getBool("reachability", O.UseReachabilityPruning);
+  O.UseAbstractTypes = Params.getBool("abstractTypes", O.UseAbstractTypes);
+  return true;
+}
+
+std::string petal::encodeSpecKey(const CompleteSpec &Spec) {
+  // '\x1f' (unit separator) cannot occur in identifiers or query syntax,
+  // so the concatenation is unambiguous.
+  std::string Key;
+  Key += Spec.Class;
+  Key += '\x1f';
+  Key += Spec.Method;
+  Key += '\x1f';
+  Key += Spec.Query;
+  Key += '\x1f';
+  Key += std::to_string(Spec.N);
+  Key += '\x1f';
+  Key += Spec.Opts.Rank.spec();
+  Key += '\x1f';
+  Key += std::to_string(Spec.Opts.MaxScore);
+  Key += '\x1f';
+  Key += std::to_string(Spec.Opts.MaxChainLen);
+  Key += Spec.Opts.UseReachabilityPruning ? 'R' : 'r';
+  Key += Spec.Opts.UseAbstractTypes ? 'A' : 'a';
+  return Key;
+}
+
+QueryOutcome petal::runCompletion(DocumentState &Doc,
+                                  const CompleteSpec &Spec) {
+  QueryOutcome Out;
+  const CodeClass *Class = findCodeClass(*Doc.P, Spec.Class);
+  if (!Class) {
+    Out.ErrCode = rpc::InvalidParams;
+    Out.ErrMsg = "no class '" + Spec.Class + "' with code in document '" +
+                 Doc.Name + "'";
+    return Out;
+  }
+  const CodeMethod *Method = findCodeMethod(*Doc.P, *Class, Spec.Method);
+  if (!Method) {
+    Out.ErrCode = rpc::InvalidParams;
+    Out.ErrMsg =
+        "no method '" + Spec.Method + "' in class '" + Spec.Class + "'";
+    return Out;
+  }
+
+  QueryScope Scope = scopeAtEnd(Class, Method);
+  DiagnosticEngine Diags;
+  const PartialExpr *Query =
+      parseQueryText(Spec.Query, *Doc.P, Scope, Diags);
+  if (!Query) {
+    std::ostringstream OS;
+    Diags.print(OS);
+    Out.ErrCode = rpc::InvalidParams;
+    Out.ErrMsg = "query failed to parse: " + OS.str();
+    return Out;
+  }
+
+  CodeSite Site{Class, Method, Scope.StmtIndex};
+  BatchExecutor::BatchResult Batch =
+      Doc.Exec->completeBatch({{Query, Site, Spec.N, Spec.Opts, nullptr}});
+
+  json::Value List = json::Value::array();
+  for (const Completion &C : Batch.Results.front()) {
+    json::Value Item = json::Value::object();
+    Item.set("expr", printExpr(*Doc.TS, C.E));
+    Item.set("score", static_cast<int64_t>(C.Score));
+    List.push(std::move(Item));
+  }
+  Out.Ok = true;
+  Out.Completions = std::move(List);
+  return Out;
+}

@@ -1,0 +1,93 @@
+//===- service/Session.h - Versioned document sessions ----------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One open document in the petald service: its source text, its version,
+/// and the engine-side state derived from it — a freshly parsed Program, a
+/// frozen CompletionIndexes, and a BatchExecutor that routes this
+/// document's queries onto the existing parallel execution layer. A
+/// DocumentState is immutable once built; an edit builds a *new* state (on
+/// a service worker, never the transport thread) and atomically swaps it
+/// in, so a query always runs against exactly one consistent version and
+/// stale versions can be rejected by number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SERVICE_SESSION_H
+#define PETAL_SERVICE_SESSION_H
+
+#include "complete/BatchExecutor.h"
+#include "parser/Frontend.h"
+#include "support/Json.h"
+
+#include <memory>
+#include <string>
+
+namespace petal {
+
+/// Everything derived from one (document, version) pair. Queries against a
+/// DocumentState go through runCompletion() below; the service guarantees
+/// at most one query per DocumentState runs at a time (sessions are
+/// strands), which is what makes the per-state engine reuse safe.
+struct DocumentState {
+  std::string Name;
+  int64_t Version = 0;
+  std::string Text;
+
+  // Declaration order is construction order: the Program refers to the
+  // TypeSystem, the indexes to the Program, the executor to both.
+  std::unique_ptr<TypeSystem> TS;
+  std::unique_ptr<Program> P;
+  std::unique_ptr<CompletionIndexes> Idx;
+  std::unique_ptr<BatchExecutor> Exec;
+
+  double BuildMillis = 0; ///< parse + index + warm-up time
+};
+
+/// Parses \p Text and builds the full query-ready state for it.
+/// \p DocThreads sizes the per-document BatchExecutor (1 = serial).
+/// Returns null on parse/resolve failure with the diagnostics rendered
+/// into \p Error.
+std::unique_ptr<DocumentState>
+buildDocumentState(const std::string &Name, const std::string &Text,
+                   int64_t Version, size_t DocThreads, std::string &Error);
+
+/// A petal/complete request after parameter validation: where, what, and
+/// the per-query knobs.
+struct CompleteSpec {
+  std::string Class;
+  std::string Method;
+  std::string Query;
+  size_t N = 10;
+  CompletionOptions Opts;
+};
+
+/// Extracts a CompleteSpec from JSON-RPC params. Returns false with a
+/// message when a required field is missing or malformed.
+bool parseCompleteSpec(const json::Value &Params, CompleteSpec &Out,
+                       std::string &Error);
+
+/// A deterministic encoding of everything in \p Spec that affects the
+/// answer, used (together with document name and version) as the result
+/// cache key.
+std::string encodeSpecKey(const CompleteSpec &Spec);
+
+/// Outcome of one completion query.
+struct QueryOutcome {
+  bool Ok = false;
+  int ErrCode = 0;
+  std::string ErrMsg;
+  json::Value Completions; ///< array of {"expr": ..., "score": ...}
+};
+
+/// Runs \p Spec against \p Doc through its BatchExecutor. The caller must
+/// hold the session strand (no concurrent call on the same DocumentState).
+QueryOutcome runCompletion(DocumentState &Doc, const CompleteSpec &Spec);
+
+} // namespace petal
+
+#endif // PETAL_SERVICE_SESSION_H

@@ -1,0 +1,93 @@
+//===- service/Transport.cpp - Content-Length framed messages -------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Transport.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+
+using namespace petal;
+
+/// Reads one header line up to "\r\n" (tolerating a bare "\n" from sloppy
+/// clients). Returns false on EOF before any byte was read.
+static bool readHeaderLine(std::istream &In, std::string &Line, bool &Eof) {
+  Line.clear();
+  Eof = false;
+  int C = In.get();
+  if (C == std::char_traits<char>::eof()) {
+    Eof = true;
+    return false;
+  }
+  for (; C != std::char_traits<char>::eof(); C = In.get()) {
+    if (C == '\n')
+      break;
+    Line += static_cast<char>(C);
+  }
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  return true;
+}
+
+FramedReader::Status FramedReader::read(std::string &Payload) {
+  // Header block: one or more "Name: value" lines, then a blank line.
+  bool SawLength = false;
+  size_t Length = 0;
+  for (;;) {
+    std::string Line;
+    bool Eof;
+    if (!readHeaderLine(In, Line, Eof)) {
+      if (Eof && !SawLength)
+        return Status::Eof; // clean EOF between messages
+      return fail("unexpected end of stream inside header block");
+    }
+    if (Line.empty())
+      break; // end of headers
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      return fail("malformed header line '" + Line + "'");
+    std::string Name = Line.substr(0, Colon);
+    size_t ValueBegin = Colon + 1;
+    while (ValueBegin < Line.size() && Line[ValueBegin] == ' ')
+      ++ValueBegin;
+    std::string Value = Line.substr(ValueBegin);
+    if (Name == "Content-Length") {
+      if (SawLength)
+        return fail("duplicate Content-Length header");
+      if (Value.empty())
+        return fail("empty Content-Length value");
+      size_t N = 0;
+      for (char Ch : Value) {
+        if (!std::isdigit(static_cast<unsigned char>(Ch)))
+          return fail("non-numeric Content-Length '" + Value + "'");
+        N = N * 10 + static_cast<size_t>(Ch - '0');
+        if (N > MaxPayloadBytes)
+          return fail("Content-Length " + Value + " exceeds the " +
+                      std::to_string(MaxPayloadBytes) + " byte cap");
+      }
+      Length = N;
+      SawLength = true;
+    }
+    // Other headers (Content-Type, ...) are tolerated and ignored.
+  }
+  if (!SawLength)
+    return fail("header block without Content-Length");
+
+  Payload.resize(Length);
+  In.read(Payload.data(), static_cast<std::streamsize>(Length));
+  if (static_cast<size_t>(In.gcount()) != Length)
+    return fail("truncated payload: expected " + std::to_string(Length) +
+                " bytes, got " + std::to_string(In.gcount()));
+  return Status::Ok;
+}
+
+void FramedWriter::write(std::string_view Payload) {
+  std::lock_guard<std::mutex> L(M);
+  Out << "Content-Length: " << Payload.size() << "\r\n\r\n";
+  Out.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
+  Out.flush();
+}

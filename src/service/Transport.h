@@ -1,0 +1,84 @@
+//===- service/Transport.h - Content-Length framed messages -----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LSP-style wire framing used by the petald completion service: each
+/// message is a JSON payload preceded by a header block,
+///
+///   Content-Length: <bytes>\r\n
+///   \r\n
+///   <payload>
+///
+/// FramedReader pulls messages off a std::istream (strict about the header
+/// grammar, tolerant about unknown header fields, hard-capped on payload
+/// size so a corrupt length cannot allocate unboundedly); FramedWriter
+/// serializes messages onto a std::ostream behind a mutex so responses from
+/// concurrent service workers never interleave. Both work over any iostream
+/// — stdio for the daemon, stringstreams in the wire tests, and a socket
+/// streambuf for --tcp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SERVICE_TRANSPORT_H
+#define PETAL_SERVICE_TRANSPORT_H
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace petal {
+
+/// Reads Content-Length framed messages. Not thread-safe; a transport has
+/// exactly one reader loop.
+class FramedReader {
+public:
+  /// Payloads above this are rejected as corrupt (the daemon would rather
+  /// drop a connection than trust a multi-gigabyte length field).
+  static constexpr size_t MaxPayloadBytes = 32u << 20;
+
+  enum class Status {
+    Ok,    ///< a message was read into the payload
+    Eof,   ///< clean end of stream at a message boundary
+    Error, ///< framing violation; message() describes it
+  };
+
+  explicit FramedReader(std::istream &In) : In(In) {}
+
+  /// Reads one message; on Error the stream position is unspecified and
+  /// the connection should be dropped.
+  Status read(std::string &Payload);
+
+  /// The description of the last Error.
+  const std::string &message() const { return Err; }
+
+private:
+  Status fail(std::string Message) {
+    Err = std::move(Message);
+    return Status::Error;
+  }
+
+  std::istream &In;
+  std::string Err;
+};
+
+/// Writes Content-Length framed messages; write() is safe to call from any
+/// thread.
+class FramedWriter {
+public:
+  explicit FramedWriter(std::ostream &Out) : Out(Out) {}
+
+  void write(std::string_view Payload);
+
+private:
+  std::ostream &Out;
+  std::mutex M;
+};
+
+} // namespace petal
+
+#endif // PETAL_SERVICE_TRANSPORT_H

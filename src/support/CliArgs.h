@@ -1,0 +1,191 @@
+//===- support/CliArgs.h - Tiny command-line flag parser --------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small flag parser shared by the example binaries (repl,
+/// corpus_explorer, petal_serve) so they agree on the basics: a generated
+/// --help, flags spelled `--name value`, at most one free positional
+/// argument, and a hard error — never a silent ignore — on anything that
+/// looks like a flag but is not registered.
+///
+/// Header-only; no allocation beyond the registration vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_CLIARGS_H
+#define PETAL_SUPPORT_CLIARGS_H
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace petal {
+
+/// Declarative flag registry + parser. Usage:
+/// \code
+///   FlagParser Flags("repl", "interactive completion shell",
+///                    "[source.cs]");
+///   Flags.addFlag("threads", "N", "worker threads (0 = auto)",
+///                 [&](const std::string &V) { ... });
+///   if (!Flags.parse(argc, argv)) return Flags.exitCode();
+/// \endcode
+class FlagParser {
+public:
+  FlagParser(std::string Program, std::string OneLiner,
+             std::string PositionalUsage = "")
+      : Program(std::move(Program)), OneLiner(std::move(OneLiner)),
+        PositionalUsage(std::move(PositionalUsage)) {}
+
+  /// Registers `--name <valueName>`; \p Apply returns false (after printing
+  /// its own message) to reject the value.
+  void addFlag(std::string Name, std::string ValueName, std::string Help,
+               std::function<bool(const std::string &)> Apply) {
+    Flags.push_back({std::move(Name), std::move(ValueName), std::move(Help),
+                     std::move(Apply), /*TakesValue=*/true});
+  }
+
+  /// Registers a valueless `--name` switch.
+  void addSwitch(std::string Name, std::string Help,
+                 std::function<bool()> Apply) {
+    Flags.push_back({std::move(Name), "", std::move(Help),
+                     [Fn = std::move(Apply)](const std::string &) {
+                       return Fn();
+                     },
+                     /*TakesValue=*/false});
+  }
+
+  /// Accepts one free (non-flag) argument, e.g. a file name or a scale.
+  void addPositional(std::string Help,
+                     std::function<bool(const std::string &)> Apply) {
+    PositionalHelp = std::move(Help);
+    Positional = std::move(Apply);
+  }
+
+  /// Parses argv. Returns true to continue running; false means "exit now"
+  /// with exitCode() — 0 for --help, 1 for a usage error (which is printed
+  /// to stderr along with a pointer to --help).
+  bool parse(int Argc, char **Argv) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg == "--help" || Arg == "-h") {
+        printHelp(std::cout);
+        Code = 0;
+        return false;
+      }
+      if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
+        Flag *F = findFlag(Arg.substr(2));
+        if (!F)
+          return usageError("unknown flag '" + Arg + "'");
+        std::string Value;
+        if (F->TakesValue) {
+          if (I + 1 == Argc)
+            return usageError("--" + F->Name + " needs a <" + F->ValueName +
+                              "> value");
+          Value = Argv[++I];
+        }
+        if (!F->Apply(Value)) {
+          Code = 1;
+          return false;
+        }
+        continue;
+      }
+      if (!Arg.empty() && Arg[0] == '-' && Arg.size() > 1 &&
+          !std::isdigit(static_cast<unsigned char>(Arg[1])))
+        return usageError("unknown flag '" + Arg + "'");
+      if (!Positional)
+        return usageError("unexpected argument '" + Arg + "'");
+      if (SawPositional)
+        return usageError("more than one positional argument ('" + Arg +
+                          "')");
+      SawPositional = true;
+      if (!Positional(Arg)) {
+        Code = 1;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int exitCode() const { return Code; }
+
+  void printHelp(std::ostream &OS) const {
+    OS << Program << " — " << OneLiner << "\n\n"
+       << "usage: " << Program << " [flags]"
+       << (PositionalUsage.empty() ? "" : " " + PositionalUsage) << "\n\n"
+       << "flags:\n";
+    for (const Flag &F : Flags) {
+      std::string Head = "  --" + F.Name;
+      if (F.TakesValue)
+        Head += " <" + F.ValueName + ">";
+      OS << Head;
+      for (size_t Pad = Head.size(); Pad < 26; ++Pad)
+        OS << ' ';
+      OS << F.Help << "\n";
+    }
+    OS << "  --help";
+    for (size_t Pad = 8; Pad < 26; ++Pad)
+      OS << ' ';
+    OS << "this text\n";
+    if (!PositionalHelp.empty())
+      OS << "\n" << PositionalHelp << "\n";
+  }
+
+private:
+  struct Flag {
+    std::string Name;
+    std::string ValueName;
+    std::string Help;
+    std::function<bool(const std::string &)> Apply;
+    bool TakesValue;
+  };
+
+  Flag *findFlag(const std::string &Name) {
+    for (Flag &F : Flags)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+
+  bool usageError(const std::string &Msg) {
+    std::cerr << Program << ": error: " << Msg << " (try --help)\n";
+    Code = 1;
+    return false;
+  }
+
+  std::string Program;
+  std::string OneLiner;
+  std::string PositionalUsage;
+  std::string PositionalHelp;
+  std::vector<Flag> Flags;
+  std::function<bool(const std::string &)> Positional;
+  bool SawPositional = false;
+  int Code = 0;
+};
+
+/// Parses a non-negative integer flag value; returns false and prints an
+/// error when \p S is not a whole number.
+inline bool parseCount(const std::string &S, const std::string &FlagName,
+                       size_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  long N = std::strtol(S.c_str(), &End, 10);
+  if (End == S.c_str() || *End != '\0' || errno == ERANGE || N < 0) {
+    std::cerr << "error: --" << FlagName << " expects a non-negative "
+              << "integer, got '" << S << "'\n";
+    return false;
+  }
+  Out = static_cast<size_t>(N);
+  return true;
+}
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_CLIARGS_H

@@ -26,6 +26,8 @@
 
 #include <atomic>
 #include <cassert>
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -40,13 +42,32 @@ namespace petal {
 /// on a condition variable between jobs.
 class ThreadPool {
 public:
+  /// The hard upper bound on a PETAL_THREADS request. Anything larger is
+  /// treated as a configuration mistake (a stray value pasted into the
+  /// environment), not a real pool size: spawning thousands of threads
+  /// would only thrash.
+  static constexpr size_t MaxSaneThreads = 512;
+
   /// The pool size used when none is requested: the PETAL_THREADS
-  /// environment variable if set to a positive integer, otherwise
-  /// std::thread::hardware_concurrency() (at least 1).
+  /// environment variable if it holds a plausible positive integer,
+  /// otherwise std::thread::hardware_concurrency() (at least 1).
+  ///
+  /// PETAL_THREADS is untrusted input. It must be numeric in its entirety
+  /// ("8" yes, "8x" or "fast" no), at least 1, and at most MaxSaneThreads;
+  /// any other value — including empty, zero, negative, overflowing, or
+  /// trailing garbage — falls back to the hardware concurrency instead of
+  /// being passed to the pool verbatim.
   static size_t defaultThreadCount() {
     if (const char *S = std::getenv("PETAL_THREADS")) {
-      long N = std::atol(S);
-      if (N >= 1)
+      // strtol would skip leading whitespace; "entirety" means the first
+      // character must already be a digit.
+      char *End = nullptr;
+      errno = 0;
+      long N = std::strtol(S, &End, 10);
+      bool WholeString = std::isdigit(static_cast<unsigned char>(S[0])) &&
+                         End != S && *End == '\0';
+      if (WholeString && errno != ERANGE && N >= 1 &&
+          N <= static_cast<long>(MaxSaneThreads))
         return static_cast<size_t>(N);
     }
     unsigned HW = std::thread::hardware_concurrency();

@@ -9,6 +9,7 @@
 
 #include "eval/Report.h"
 #include "parser/Frontend.h"
+#include "service/Client.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -146,5 +147,117 @@ TEST_P(QueryFuzzTest, MutatedQueriesNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
                          ::testing::Values(7, 77, 777));
+
+//===----------------------------------------------------------------------===//
+// Service sessions under malformed edits
+//===----------------------------------------------------------------------===//
+
+namespace servicefuzz {
+
+json::Value docParams(const char *Doc, const std::string &Text, int64_t V) {
+  json::Value P = json::Value::object();
+  P.set("doc", Doc);
+  P.set("text", Text);
+  P.set("version", V);
+  return P;
+}
+
+json::Value geoComplete(const char *Doc, int64_t Version = -1) {
+  json::Value P = json::Value::object();
+  P.set("doc", Doc);
+  P.set("class", "EllipseArc");
+  P.set("method", "Examine");
+  P.set("query", "?({point})");
+  if (Version >= 0)
+    P.set("version", Version);
+  return P;
+}
+
+int errCode(const json::Value &Resp) {
+  const json::Value *E = Resp.find("error");
+  return E ? static_cast<int>(E->getInt("code", 0)) : 0;
+}
+
+} // namespace servicefuzz
+
+TEST(ServiceRobustnessTest, MalformedChangeKeepsPreviousDocumentAlive) {
+  using namespace servicefuzz;
+  PetalService::Options Opts;
+  Opts.Workers = 2;
+  InProcessClient C(Opts);
+  ASSERT_EQ(errCode(C.call("petal/open",
+                           docParams("geo.cs", corpora::GeometryCorpus, 1))),
+            0);
+  json::Value Before = C.call("petal/complete", geoComplete("geo.cs"));
+  ASSERT_EQ(errCode(Before), 0);
+
+  // A change whose text does not parse must fail the request but leave the
+  // session answering against version 1.
+  json::Value Bad = C.call(
+      "petal/change", docParams("geo.cs", "class Broken { oops((((", 2));
+  EXPECT_EQ(errCode(Bad), rpc::BuildFailed);
+  // The error names the version still being served.
+  EXPECT_NE(Bad.find("error")->getString("message").find("1"),
+            std::string::npos);
+
+  json::Value After = C.call("petal/complete", geoComplete("geo.cs"));
+  ASSERT_EQ(errCode(After), 0);
+  EXPECT_EQ(After.find("result")->getInt("version", -1), 1);
+  EXPECT_EQ(Before.find("result")->write(), After.find("result")->write());
+  // Pinning the surviving version explicitly also still works.
+  EXPECT_EQ(errCode(C.call("petal/complete", geoComplete("geo.cs", 1))), 0);
+
+  json::Value Stats = C.callResult("$/stats", json::Value::object());
+  EXPECT_EQ(Stats.getInt("sessions", -1), 1);
+  EXPECT_EQ(Stats.getInt("buildFailures", -1), 1);
+}
+
+TEST(ServiceRobustnessTest, MalformedChangeParamsKeepSessionAndVersion) {
+  using namespace servicefuzz;
+  PetalService::Options Opts;
+  InProcessClient C(Opts);
+  C.call("petal/open", docParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  // Structurally broken change requests: wrong/missing fields. None of
+  // them may tear down the session or bump the version.
+  json::Value NoText = json::Value::object();
+  NoText.set("doc", "geo.cs");
+  NoText.set("version", 2);
+  EXPECT_EQ(errCode(C.call("petal/change", NoText)), rpc::InvalidParams);
+
+  json::Value NumberText = json::Value::object();
+  NumberText.set("doc", "geo.cs");
+  NumberText.set("text", 12345);
+  NumberText.set("version", 2);
+  EXPECT_EQ(errCode(C.call("petal/change", NumberText)),
+            rpc::InvalidParams);
+
+  json::Value NoVersion = json::Value::object();
+  NoVersion.set("doc", "geo.cs");
+  NoVersion.set("text", corpora::GeometryCorpus);
+  EXPECT_EQ(errCode(C.call("petal/change", NoVersion)), rpc::InvalidParams);
+
+  json::Value Resp = C.call("petal/complete", geoComplete("geo.cs"));
+  ASSERT_EQ(errCode(Resp), 0);
+  EXPECT_EQ(Resp.find("result")->getInt("version", -1), 1);
+}
+
+TEST(ServiceRobustnessTest, FailedOpenLeavesNoSessionBehind) {
+  using namespace servicefuzz;
+  PetalService::Options Opts;
+  InProcessClient C(Opts);
+  json::Value Resp = C.call(
+      "petal/open", docParams("bad.cs", "this is not mini-C# at all", 1));
+  EXPECT_EQ(errCode(Resp), rpc::BuildFailed);
+  EXPECT_EQ(errCode(C.call("petal/complete", geoComplete("bad.cs"))),
+            rpc::UnknownDocument);
+  json::Value Stats = C.callResult("$/stats", json::Value::object());
+  EXPECT_EQ(Stats.getInt("sessions", -1), 0);
+  // A later open of the same name starts cleanly.
+  EXPECT_EQ(errCode(C.call("petal/open",
+                           docParams("bad.cs", corpora::GeometryCorpus, 1))),
+            0);
+  EXPECT_EQ(errCode(C.call("petal/complete", geoComplete("bad.cs"))), 0);
+}
 
 } // namespace

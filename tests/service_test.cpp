@@ -1,0 +1,523 @@
+//===- tests/service_test.cpp - petald service + wire-layer tests ---------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the completion service end to end: Content-Length framing
+// (round-trips, truncated and oversized lengths), the JSON-RPC dispatch,
+// session/version lifecycle, the result cache (hits byte-identical,
+// invalidation on edit), interleaved cancellation and deadlines via the
+// deterministic $/test gates, and a multi-client stress that checks every
+// service answer against a direct CompletionEngine::complete on the same
+// text. The concurrency cases run under ThreadSanitizer in scripts/ci.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestCorpora.h"
+
+#include "code/ExprPrinter.h"
+#include "complete/Engine.h"
+#include "service/Client.h"
+#include "service/Transport.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+using namespace petal;
+using json::Value;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(FramingTest, RoundTripsSeveralMessages) {
+  std::stringstream SS;
+  FramedWriter W(SS);
+  W.write("{\"a\":1}");
+  W.write("");
+  std::string Big(100000, 'x');
+  W.write(Big);
+
+  FramedReader R(SS);
+  std::string P;
+  ASSERT_EQ(R.read(P), FramedReader::Status::Ok);
+  EXPECT_EQ(P, "{\"a\":1}");
+  ASSERT_EQ(R.read(P), FramedReader::Status::Ok);
+  EXPECT_EQ(P, "");
+  ASSERT_EQ(R.read(P), FramedReader::Status::Ok);
+  EXPECT_EQ(P, Big);
+  EXPECT_EQ(R.read(P), FramedReader::Status::Eof);
+}
+
+TEST(FramingTest, ToleratesExtraHeadersAndBareNewlines) {
+  std::stringstream SS;
+  SS << "Content-Type: application/vscode-jsonrpc\r\n"
+     << "Content-Length: 2\r\n\r\nhi";
+  FramedReader R(SS);
+  std::string P;
+  ASSERT_EQ(R.read(P), FramedReader::Status::Ok);
+  EXPECT_EQ(P, "hi");
+
+  std::stringstream SS2("Content-Length: 3\n\nabc"); // bare LF client
+  FramedReader R2(SS2);
+  ASSERT_EQ(R2.read(P), FramedReader::Status::Ok);
+  EXPECT_EQ(P, "abc");
+}
+
+TEST(FramingTest, TruncatedPayloadIsAnError) {
+  std::stringstream SS("Content-Length: 50\r\n\r\nonly-10-by");
+  FramedReader R(SS);
+  std::string P;
+  EXPECT_EQ(R.read(P), FramedReader::Status::Error);
+  EXPECT_NE(R.message().find("truncated"), std::string::npos);
+}
+
+TEST(FramingTest, TruncatedHeaderBlockIsAnError) {
+  std::stringstream SS("Content-Length: 5\r\n"); // EOF before blank line
+  FramedReader R(SS);
+  std::string P;
+  EXPECT_EQ(R.read(P), FramedReader::Status::Error);
+}
+
+TEST(FramingTest, MissingContentLengthIsAnError) {
+  std::stringstream SS("Content-Type: text/json\r\n\r\n{}");
+  FramedReader R(SS);
+  std::string P;
+  EXPECT_EQ(R.read(P), FramedReader::Status::Error);
+  EXPECT_NE(R.message().find("Content-Length"), std::string::npos);
+}
+
+TEST(FramingTest, NonNumericAndDuplicateLengthsAreErrors) {
+  {
+    std::stringstream SS("Content-Length: twelve\r\n\r\n");
+    FramedReader R(SS);
+    std::string P;
+    EXPECT_EQ(R.read(P), FramedReader::Status::Error);
+    EXPECT_NE(R.message().find("non-numeric"), std::string::npos);
+  }
+  {
+    std::stringstream SS("Content-Length: 2\r\nContent-Length: 2\r\n\r\nhi");
+    FramedReader R(SS);
+    std::string P;
+    EXPECT_EQ(R.read(P), FramedReader::Status::Error);
+    EXPECT_NE(R.message().find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(FramingTest, OversizedContentLengthIsRejectedBeforeAllocation) {
+  std::stringstream SS("Content-Length: 99999999999999999999\r\n\r\n");
+  FramedReader R(SS);
+  std::string P;
+  EXPECT_EQ(R.read(P), FramedReader::Status::Error);
+  EXPECT_NE(R.message().find("cap"), std::string::npos);
+}
+
+TEST(FramingTest, CleanEofAtMessageBoundary) {
+  std::stringstream SS("");
+  FramedReader R(SS);
+  std::string P;
+  EXPECT_EQ(R.read(P), FramedReader::Status::Eof);
+}
+
+//===----------------------------------------------------------------------===//
+// Service harness
+//===----------------------------------------------------------------------===//
+
+PetalService::Options testOptions(size_t Workers = 2,
+                                  bool TestHooks = false) {
+  PetalService::Options O;
+  O.Workers = Workers;
+  O.DocThreads = 1;
+  O.CacheCapacity = 64;
+  O.EnableTestHooks = TestHooks;
+  return O;
+}
+
+Value openParams(const std::string &Doc, const char *Text, int64_t V) {
+  Value P = Value::object();
+  P.set("doc", Doc);
+  P.set("text", Text);
+  P.set("version", V);
+  return P;
+}
+
+Value completeParams(const std::string &Doc, const std::string &Class,
+                     const std::string &Method, const std::string &Query,
+                     int64_t N = 10, int64_t Version = -1) {
+  Value P = Value::object();
+  P.set("doc", Doc);
+  P.set("class", Class);
+  P.set("method", Method);
+  P.set("query", Query);
+  P.set("n", N);
+  if (Version >= 0)
+    P.set("version", Version);
+  return P;
+}
+
+int errorCode(const Value &Response) {
+  const Value *E = Response.find("error");
+  return E ? static_cast<int>(E->getInt("code", 0)) : 0;
+}
+
+/// (expr, score) pairs from a petal/complete response.
+std::vector<std::pair<std::string, int>> completionsOf(const Value &Resp) {
+  std::vector<std::pair<std::string, int>> Out;
+  const Value *R = Resp.find("result");
+  if (!R)
+    return Out;
+  const Value *List = R->find("completions");
+  if (!List || !List->isArray())
+    return Out;
+  for (const Value &Item : List->elements())
+    Out.emplace_back(Item.getString("expr"),
+                     static_cast<int>(Item.getInt("score", -1)));
+  return Out;
+}
+
+/// The reference answer: a direct CompletionEngine::complete over a
+/// private parse of the same text — what the service must be
+/// bit-identical to.
+std::vector<std::pair<std::string, int>>
+directComplete(const char *Text, const std::string &Class,
+               const std::string &Method, const std::string &Query,
+               size_t N) {
+  TypeSystem TS;
+  Program P(TS);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(loadProgramText(Text, P, Diags));
+  CompletionIndexes Idx(P);
+  CompletionEngine Engine(P, Idx);
+
+  const CodeClass *CC = findCodeClass(P, Class);
+  EXPECT_NE(CC, nullptr);
+  const CodeMethod *CM = findCodeMethod(P, *CC, Method);
+  EXPECT_NE(CM, nullptr);
+  QueryScope Scope = scopeAtEnd(CC, CM);
+  const PartialExpr *Q = parseQueryText(Query, P, Scope, Diags);
+  EXPECT_NE(Q, nullptr);
+
+  std::vector<std::pair<std::string, int>> Out;
+  CodeSite Site{CC, CM, Scope.StmtIndex};
+  for (const Completion &C : Engine.complete(Q, Site, N))
+    Out.emplace_back(printExpr(TS, C.E), C.Score);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Sessions, versions, cache
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, CompleteMatchesDirectEngineBitForBit) {
+  InProcessClient C(testOptions());
+  Value OpenResp =
+      C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  ASSERT_EQ(errorCode(OpenResp), 0) << OpenResp.write();
+  EXPECT_EQ(OpenResp.find("result")->getInt("version", -1), 1);
+
+  Value Resp = C.call("petal/complete",
+                      completeParams("geo.cs", "EllipseArc", "Examine",
+                                     "Distance(point, ?)", 10));
+  ASSERT_EQ(errorCode(Resp), 0) << Resp.write();
+  auto Got = completionsOf(Resp);
+  auto Want = directComplete(corpora::GeometryCorpus, "EllipseArc",
+                             "Examine", "Distance(point, ?)", 10);
+  EXPECT_EQ(Got, Want);
+  ASSERT_FALSE(Got.empty());
+  EXPECT_EQ(Got.front().first, "DynamicGeometry.Math.Distance(point, point)");
+}
+
+TEST(ServiceTest, CacheHitIsByteIdenticalAndCounted) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  Value P = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  Value First = C.call("petal/complete", P);
+  Value Second = C.call("petal/complete", P);
+  ASSERT_EQ(errorCode(First), 0);
+  // The replayed result must be byte-identical, not merely equivalent.
+  EXPECT_EQ(First.find("result")->write(), Second.find("result")->write());
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 1);
+  EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 1);
+  EXPECT_EQ(Stats.getInt("queries", -1), 2);
+}
+
+TEST(ServiceTest, DifferentOptionsMissTheCache) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  Value P1 = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  Value P2 = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  P2.set("rank", "none");
+  C.call("petal/complete", P1);
+  C.call("petal/complete", P2);
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 0);
+  EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 2);
+}
+
+TEST(ServiceTest, EditInvalidatesCacheAndBumpsVersion) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  Value P = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  C.call("petal/complete", P);
+
+  // Full-text change to version 2 (same text: versions need not differ in
+  // content to invalidate).
+  Value ChangeResp = C.call(
+      "petal/change", openParams("geo.cs", corpora::GeometryCorpus, 2));
+  ASSERT_EQ(errorCode(ChangeResp), 0);
+
+  Value Resp = C.call("petal/complete", P);
+  ASSERT_EQ(errorCode(Resp), 0);
+  EXPECT_EQ(Resp.find("result")->getInt("version", -1), 2);
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  // Both queries computed: the edit dropped the version-1 entry.
+  EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 0);
+  EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 2);
+  EXPECT_EQ(Stats.find("cache")->getInt("size", -1), 1);
+}
+
+TEST(ServiceTest, StaleVersionIsRejected) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  C.call("petal/change", openParams("geo.cs", corpora::GeometryCorpus, 5));
+
+  Value Resp = C.call("petal/complete",
+                      completeParams("geo.cs", "EllipseArc", "Examine",
+                                     "?({point})", 10, /*Version=*/1));
+  EXPECT_EQ(errorCode(Resp), rpc::ContentModified);
+
+  Value Ok = C.call("petal/complete",
+                    completeParams("geo.cs", "EllipseArc", "Examine",
+                                   "?({point})", 10, /*Version=*/5));
+  EXPECT_EQ(errorCode(Ok), 0);
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("staleRejected", -1), 1);
+}
+
+TEST(ServiceTest, NonMonotonicChangeIsRejected) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 3));
+  Value Resp =
+      C.call("petal/change", openParams("geo.cs", corpora::GeometryCorpus, 3));
+  EXPECT_EQ(errorCode(Resp), rpc::InvalidParams);
+}
+
+TEST(ServiceTest, LifecycleErrors) {
+  InProcessClient C(testOptions());
+  // Complete before open.
+  EXPECT_EQ(errorCode(C.call("petal/complete",
+                             completeParams("nope.cs", "A", "B", "?"))),
+            rpc::UnknownDocument);
+  // Change before open.
+  EXPECT_EQ(errorCode(C.call("petal/change",
+                             openParams("nope.cs", "class A {}", 1))),
+            rpc::UnknownDocument);
+  // Unknown method.
+  EXPECT_EQ(errorCode(C.call("petal/frobnicate", Value::object())),
+            rpc::MethodNotFound);
+  // Double open.
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  EXPECT_EQ(errorCode(C.call("petal/open",
+                             openParams("geo.cs", corpora::GeometryCorpus, 2))),
+            rpc::InvalidParams);
+  // Close, then the document is gone and its cache entries with it.
+  Value CloseParams = Value::object();
+  CloseParams.set("doc", "geo.cs");
+  EXPECT_EQ(errorCode(C.call("petal/close", CloseParams)), 0);
+  EXPECT_EQ(errorCode(C.call("petal/complete",
+                             completeParams("geo.cs", "EllipseArc", "Examine",
+                                            "?({point})"))),
+            rpc::UnknownDocument);
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("sessions", -1), 0);
+  EXPECT_EQ(Stats.find("cache")->getInt("size", -1), 0);
+}
+
+TEST(ServiceTest, MalformedJsonGetsParseErrorResponse) {
+  InProcessClient C(testOptions());
+  EXPECT_TRUE(C.service().handleMessage("{\"jsonrpc\": oops"));
+  // The error response carries a null id, which the client counts as a
+  // stray rather than matching it to a call.
+  EXPECT_EQ(C.strayResponses(), 1u);
+}
+
+TEST(ServiceTest, ShutdownRejectsNewWork) {
+  InProcessClient C(testOptions());
+  EXPECT_EQ(errorCode(C.call("shutdown", Value())), 0);
+  EXPECT_EQ(errorCode(C.call("petal/open",
+                             openParams("geo.cs", corpora::GeometryCorpus, 1))),
+            rpc::ShuttingDown);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation and deadlines (deterministic via $/test gates)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, InterleavedCancellationCancelsQueuedRequest) {
+  // One worker: the gate occupies it, so the complete stays queued while
+  // the cancel arrives — the interleaving the LSP flow produces.
+  InProcessClient C(testOptions(/*Workers=*/1, /*TestHooks=*/true));
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  Value Block = Value::object();
+  Block.set("token", "gate1");
+  int64_t BlockId = C.send("$/test/block", std::move(Block));
+
+  int64_t CompleteId = C.send(
+      "petal/complete",
+      completeParams("geo.cs", "EllipseArc", "Examine", "?({point})"));
+
+  Value Cancel = Value::object();
+  Cancel.set("id", CompleteId);
+  C.notify("$/cancelRequest", std::move(Cancel));
+
+  C.service().releaseGate("gate1");
+  EXPECT_EQ(errorCode(C.await(BlockId)), 0);
+  EXPECT_EQ(errorCode(C.await(CompleteId)), rpc::RequestCancelled);
+
+  // The session is unaffected; later queries still work.
+  Value Resp = C.call("petal/complete",
+                      completeParams("geo.cs", "EllipseArc", "Examine",
+                                     "?({point})"));
+  EXPECT_EQ(errorCode(Resp), 0);
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("cancelled", -1), 1);
+}
+
+TEST(ServiceTest, CancellingFinishedRequestIsANoop) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  Value Resp = C.call("petal/complete",
+                      completeParams("geo.cs", "EllipseArc", "Examine",
+                                     "?({point})"));
+  ASSERT_EQ(errorCode(Resp), 0);
+  Value Cancel = Value::object();
+  Cancel.set("id", Resp.find("id")->intValue());
+  C.notify("$/cancelRequest", std::move(Cancel));
+  C.service().waitIdle();
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("cancelled", -1), 0);
+}
+
+TEST(ServiceTest, DeadlineExpiresWhileQueued) {
+  InProcessClient C(testOptions(/*Workers=*/1, /*TestHooks=*/true));
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  Value Block = Value::object();
+  Block.set("token", "gate2");
+  int64_t BlockId = C.send("$/test/block", std::move(Block));
+
+  Value P = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  P.set("deadlineMs", 1.0);
+  int64_t CompleteId = C.send("petal/complete", std::move(P));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  C.service().releaseGate("gate2");
+  C.await(BlockId);
+  EXPECT_EQ(errorCode(C.await(CompleteId)), rpc::DeadlineExceeded);
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("deadlineExpired", -1), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: many clients, answers checked against the direct engine
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ConcurrentClientsGetDirectEngineAnswers) {
+  constexpr size_t NumClients = 4;
+  constexpr size_t QueriesPerClient = 6;
+  const char *Queries[] = {"?({point})", "Distance(point, ?)",
+                           "?({point, shapeStyle})"};
+
+  InProcessClient C(testOptions(/*Workers=*/4));
+  for (size_t I = 0; I != NumClients; ++I)
+    ASSERT_EQ(errorCode(C.call("petal/open",
+                               openParams("doc" + std::to_string(I) + ".cs",
+                                          corpora::GeometryCorpus, 1))),
+              0);
+
+  // Reference answers, one per query family.
+  std::vector<std::vector<std::pair<std::string, int>>> Want;
+  for (const char *Q : Queries)
+    Want.push_back(
+        directComplete(corpora::GeometryCorpus, "EllipseArc", "Examine", Q,
+                       10));
+
+  std::vector<std::thread> Clients;
+  std::vector<int> Failures(NumClients, 0);
+  for (size_t I = 0; I != NumClients; ++I)
+    Clients.emplace_back([&, I] {
+      std::string Doc = "doc" + std::to_string(I) + ".cs";
+      for (size_t K = 0; K != QueriesPerClient; ++K) {
+        size_t QIdx = (I + K) % 3;
+        Value Resp = C.call(
+            "petal/complete",
+            completeParams(Doc, "EllipseArc", "Examine", Queries[QIdx]));
+        if (errorCode(Resp) != 0 || completionsOf(Resp) != Want[QIdx])
+          ++Failures[I];
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (size_t I = 0; I != NumClients; ++I)
+    EXPECT_EQ(Failures[I], 0) << "client " << I;
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("queries", -1),
+            static_cast<int64_t>(NumClients * QueriesPerClient));
+  EXPECT_GT(Stats.find("cache")->getInt("hits", -1), 0);
+}
+
+TEST(ServiceTest, ConcurrentEditsAndQueriesStayConsistent) {
+  // Two documents: one is edited continuously while the other is queried;
+  // every answer must carry the version it was computed against. Run
+  // under TSan this exercises dispatch/worker handoff and the cache.
+  InProcessClient C(testOptions(/*Workers=*/3));
+  C.call("petal/open", openParams("edit.cs", corpora::GeometryCorpus, 1));
+  C.call("petal/open", openParams("read.cs", corpora::GeometryCorpus, 1));
+
+  std::thread Editor([&] {
+    for (int64_t V = 2; V <= 8; ++V)
+      ASSERT_EQ(errorCode(C.call("petal/change",
+                                 openParams("edit.cs",
+                                            corpora::GeometryCorpus, V))),
+                0);
+  });
+  std::thread Reader([&] {
+    for (int K = 0; K != 10; ++K) {
+      Value Resp = C.call("petal/complete",
+                          completeParams("read.cs", "EllipseArc", "Examine",
+                                         "?({point})"));
+      EXPECT_EQ(errorCode(Resp), 0);
+      EXPECT_EQ(Resp.find("result")->getInt("version", -1), 1);
+    }
+  });
+  std::thread EditQuerier([&] {
+    for (int K = 0; K != 10; ++K) {
+      Value Resp = C.call("petal/complete",
+                          completeParams("edit.cs", "EllipseArc", "Examine",
+                                         "?({point})"));
+      // Either a real answer at some version, or (never, with full-text
+      // changes serialized per session) an error.
+      EXPECT_EQ(errorCode(Resp), 0);
+      EXPECT_GE(Resp.find("result")->getInt("version", -1), 1);
+    }
+  });
+  Editor.join();
+  Reader.join();
+  EditQuerier.join();
+}
+
+} // namespace

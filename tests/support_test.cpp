@@ -6,16 +6,21 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Arena.h"
+#include "support/CliArgs.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/StrUtil.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "support/UnionFind.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <thread>
 
 using namespace petal;
 
@@ -291,4 +296,209 @@ TEST(DiagnosticsTest, PrintIncludesLocationAndKind) {
   std::ostringstream OS;
   D.print(OS);
   EXPECT_EQ(OS.str(), "12:5: error: unexpected token\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, V, Err)) << Text << ": " << Err;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse(Text, V, Err)) << Text;
+  return Err;
+}
+
+} // namespace
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_EQ(parseOk("true").boolValue(), true);
+  EXPECT_EQ(parseOk("-42").intValue(), -42);
+  EXPECT_DOUBLE_EQ(parseOk("2.5e2").numberValue(), 250.0);
+  EXPECT_EQ(parseOk("\"hi\\n\\\"there\\\"\"").stringValue(), "hi\n\"there\"");
+  json::Value A = parseOk("[1, [2, 3], {\"k\": false}]");
+  ASSERT_TRUE(A.isArray());
+  ASSERT_EQ(A.elements().size(), 3u);
+  EXPECT_EQ(A.elements()[1].elements()[1].intValue(), 3);
+  EXPECT_EQ(A.elements()[2].getBool("k", true), false);
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  EXPECT_EQ(parseOk("\"\\u0041\"").stringValue(), "A");
+  EXPECT_EQ(parseOk("\"\\u00e9\"").stringValue(), "\xc3\xa9"); // é
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").stringValue(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_NE(parseErr(""), "");
+  EXPECT_NE(parseErr("{"), "");
+  EXPECT_NE(parseErr("[1, 2,]"), "");
+  EXPECT_NE(parseErr("{\"a\" 1}"), "");
+  EXPECT_NE(parseErr("\"unterminated"), "");
+  EXPECT_NE(parseErr("01"), "");
+  EXPECT_NE(parseErr("{} trailing"), "");
+  EXPECT_NE(parseErr("nul"), "");
+  // Nesting past the depth cap.
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  EXPECT_NE(parseErr(Deep).find("deep"), std::string::npos);
+}
+
+TEST(JsonTest, WriteIsDeterministicAndRoundTrips) {
+  json::Value O = json::Value::object();
+  O.set("zeta", 1);
+  O.set("alpha", json::Value::array());
+  O.set("text", "a\\b\"c\n");
+  O.set("pi", 3.5);
+  O.set("count", 7.0); // integral double prints as integer
+  std::string Wire = O.write();
+  // Insertion order, not alphabetical.
+  EXPECT_EQ(Wire, "{\"zeta\":1,\"alpha\":[],\"text\":\"a\\\\b\\\"c\\n\","
+                  "\"pi\":3.5,\"count\":7}");
+  EXPECT_EQ(parseOk(Wire), O);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool PETAL_THREADS hardening
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sets PETAL_THREADS for one test and restores the old value after.
+class ThreadsEnvGuard {
+public:
+  explicit ThreadsEnvGuard(const char *Value) {
+    if (const char *Old = std::getenv("PETAL_THREADS")) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    if (Value)
+      setenv("PETAL_THREADS", Value, 1);
+    else
+      unsetenv("PETAL_THREADS");
+  }
+  ~ThreadsEnvGuard() {
+    if (HadOld)
+      setenv("PETAL_THREADS", OldValue.c_str(), 1);
+    else
+      unsetenv("PETAL_THREADS");
+  }
+
+private:
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+size_t hardwareFallback() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+} // namespace
+
+TEST(ThreadPoolEnvTest, UnsetFallsBackToHardwareConcurrency) {
+  ThreadsEnvGuard G(nullptr);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), hardwareFallback());
+}
+
+TEST(ThreadPoolEnvTest, ValidValueIsUsed) {
+  ThreadsEnvGuard G("3");
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+}
+
+TEST(ThreadPoolEnvTest, GarbageValuesFallBack) {
+  for (const char *Bad : {"abc", "", "8x", "3.5", " 4", "-3", "0",
+                          "999999", "99999999999999999999"}) {
+    ThreadsEnvGuard G(Bad);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), hardwareFallback())
+        << "PETAL_THREADS='" << Bad << "'";
+  }
+}
+
+TEST(ThreadPoolEnvTest, PoolConstructionHonorsHardenedCount) {
+  ThreadsEnvGuard G("not-a-number");
+  ThreadPool Pool(0); // 0 = use the environment/default
+  EXPECT_EQ(Pool.numThreads(), hardwareFallback());
+}
+
+//===----------------------------------------------------------------------===//
+// CliArgs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a FlagParser over the given argv words; returns parse()'s result.
+bool runParser(FlagParser &Flags, std::initializer_list<const char *> Words) {
+  std::vector<std::string> Storage{"prog"};
+  Storage.insert(Storage.end(), Words.begin(), Words.end());
+  std::vector<char *> Argv;
+  for (std::string &W : Storage)
+    Argv.push_back(W.data());
+  return Flags.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(CliArgsTest, ParsesFlagsAndPositional) {
+  size_t Threads = 0;
+  std::string File;
+  FlagParser Flags("prog", "test tool", "[file]");
+  Flags.addFlag("threads", "N", "thread count", [&](const std::string &V) {
+    return parseCount(V, "threads", Threads);
+  });
+  Flags.addPositional("the input file", [&](const std::string &V) {
+    File = V;
+    return true;
+  });
+  EXPECT_TRUE(runParser(Flags, {"--threads", "4", "input.cs"}));
+  EXPECT_EQ(Threads, 4u);
+  EXPECT_EQ(File, "input.cs");
+}
+
+TEST(CliArgsTest, UnknownFlagIsAHardError) {
+  FlagParser Flags("prog", "test tool");
+  EXPECT_FALSE(runParser(Flags, {"--bogus"}));
+  EXPECT_EQ(Flags.exitCode(), 1);
+}
+
+TEST(CliArgsTest, HelpStopsParsingWithSuccessExit) {
+  FlagParser Flags("prog", "test tool");
+  EXPECT_FALSE(runParser(Flags, {"--help"}));
+  EXPECT_EQ(Flags.exitCode(), 0);
+}
+
+TEST(CliArgsTest, MissingValueAndExtraPositionalFail) {
+  size_t N = 0;
+  FlagParser Flags("prog", "test tool", "[x]");
+  Flags.addFlag("n", "N", "a count", [&](const std::string &V) {
+    return parseCount(V, "n", N);
+  });
+  Flags.addPositional("x", [](const std::string &) { return true; });
+  EXPECT_FALSE(runParser(Flags, {"--n"}));
+  EXPECT_EQ(Flags.exitCode(), 1);
+
+  FlagParser Flags2("prog", "test tool", "[x]");
+  Flags2.addPositional("x", [](const std::string &) { return true; });
+  EXPECT_FALSE(runParser(Flags2, {"one", "two"}));
+  EXPECT_EQ(Flags2.exitCode(), 1);
+}
+
+TEST(CliArgsTest, ParseCountRejectsGarbage) {
+  size_t Out = 7;
+  EXPECT_TRUE(parseCount("12", "n", Out));
+  EXPECT_EQ(Out, 12u);
+  for (const char *Bad : {"", "x", "1.5", "-2", "12abc"})
+    EXPECT_FALSE(parseCount(Bad, "n", Out)) << Bad;
 }
