@@ -17,6 +17,12 @@
 // across commits, then runs the google-benchmark harness for calibrated
 // per-configuration numbers.
 //
+// Regression-gate mode: --check-against BENCH_batch.json [--tolerance PCT]
+// reruns the sweep and compares per-thread-count throughput against the
+// snapshot, exiting nonzero if any configuration dropped more than PCT
+// (default 10) percent. Check mode neither rewrites the snapshot nor runs
+// the google-benchmark harness, so it is safe to wire into CI.
+//
 // Note: the speedup column only shows >1 on multi-core hardware; on a
 // single-CPU machine all configurations collapse to serial throughput.
 //
@@ -25,13 +31,17 @@
 #include "BenchCommon.h"
 
 #include "complete/BatchExecutor.h"
+#include "support/Json.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 
 using namespace petal;
@@ -107,8 +117,8 @@ double measureQps(BatchExecutor &Exec,
   return static_cast<double>(Reps * Requests.size()) / Elapsed;
 }
 
-/// Runs the manual sweep, prints the table, and snapshots the results.
-void sweepAndSnapshot() {
+/// The manual sweep: queries/second per thread count.
+std::vector<std::pair<size_t, double>> runSweep() {
   BatchFixture &F = BatchFixture::get();
   std::cout << "batched queries per run: " << F.Requests.size()
             << " (hardware threads: " << std::thread::hardware_concurrency()
@@ -119,6 +129,13 @@ void sweepAndSnapshot() {
     BatchExecutor Exec(*F.P, *F.Idx, T);
     Rows.emplace_back(T, measureQps(Exec, F.Requests));
   }
+  return Rows;
+}
+
+/// Runs the manual sweep, prints the table, and snapshots the results.
+void sweepAndSnapshot() {
+  BatchFixture &F = BatchFixture::get();
+  std::vector<std::pair<size_t, double>> Rows = runSweep();
 
   double Base = Rows.front().second;
   TextTable Tab;
@@ -150,6 +167,74 @@ void sweepAndSnapshot() {
   std::cout << "wrote " << Dir << "/BENCH_batch.json\n\n";
 }
 
+/// Reruns the sweep and compares against a BENCH_batch.json snapshot.
+/// Returns the process exit code: 1 if any thread count regressed by more
+/// than \p TolerancePct percent (or the snapshot is unreadable), else 0.
+int checkAgainst(const std::string &File, double TolerancePct) {
+  std::ifstream In(File);
+  if (!In) {
+    std::cerr << "error: cannot open baseline '" << File << "'\n";
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  json::Value Snapshot;
+  std::string Error;
+  if (!json::parse(Buf.str(), Snapshot, Error)) {
+    std::cerr << "error: '" << File << "' is not valid JSON: " << Error
+              << "\n";
+    return 1;
+  }
+  const json::Value *Results = Snapshot.find("results");
+  if (!Results || !Results->isArray() || Results->elements().empty()) {
+    std::cerr << "error: '" << File << "' has no \"results\" array\n";
+    return 1;
+  }
+  std::map<size_t, double> Baseline;
+  for (const json::Value &Row : Results->elements())
+    Baseline[static_cast<size_t>(Row.getInt("threads", 0))] =
+        Row.getNumber("qps", 0);
+  if (std::abs(Snapshot.getNumber("scale", -1) - benchScale()) > 1e-9)
+    std::cout << "note: baseline was recorded at scale "
+              << formatFixed(Snapshot.getNumber("scale", -1), 2)
+              << ", current scale is " << formatFixed(benchScale(), 2)
+              << " — comparison is not meaningful across scales\n\n";
+
+  std::vector<std::pair<size_t, double>> Rows = runSweep();
+
+  TextTable Tab;
+  Tab.setHeader({"threads", "baseline q/s", "current q/s", "delta",
+                 "verdict"});
+  bool Regressed = false;
+  for (const auto &[T, Qps] : Rows) {
+    auto It = Baseline.find(T);
+    if (It == Baseline.end()) {
+      Tab.addRow({std::to_string(T), "-", formatFixed(Qps, 1), "-",
+                  "no baseline"});
+      continue;
+    }
+    double DeltaPct = (Qps - It->second) / It->second * 100.0;
+    bool Bad = DeltaPct < -TolerancePct;
+    Regressed |= Bad;
+    Tab.addRow({std::to_string(T), formatFixed(It->second, 1),
+                formatFixed(Qps, 1),
+                (DeltaPct >= 0 ? "+" : "") + formatFixed(DeltaPct, 1) + "%",
+                Bad ? "REGRESSION" : "ok"});
+  }
+  std::cout << "Throughput vs '" << File << "' (tolerance "
+            << formatFixed(TolerancePct, 1) << "%):\n";
+  Tab.print(std::cout);
+  std::cout << "\n";
+  if (Regressed) {
+    std::cerr << "FAIL: throughput regressed more than "
+              << formatFixed(TolerancePct, 1)
+              << "% against the baseline snapshot\n";
+    return 1;
+  }
+  std::cout << "throughput within tolerance of the baseline\n";
+  return 0;
+}
+
 void BM_BatchComplete(benchmark::State &State) {
   BatchFixture &F = BatchFixture::get();
   BatchExecutor Exec(*F.P, *F.Idx, static_cast<size_t>(State.range(0)));
@@ -170,11 +255,37 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  // Strip the regression-gate flags before google-benchmark sees argv.
+  std::string CheckFile;
+  double TolerancePct = 10.0;
+  std::vector<char *> Rest = {argv[0]};
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--check-against" && I + 1 < argc) {
+      CheckFile = argv[++I];
+    } else if (Arg == "--tolerance" && I + 1 < argc) {
+      char *End = nullptr;
+      TolerancePct = std::strtod(argv[++I], &End);
+      if (End == argv[I] || *End != '\0' || TolerancePct < 0) {
+        std::cerr << "error: --tolerance needs a non-negative percentage, "
+                     "got '"
+                  << argv[I] << "'\n";
+        return 1;
+      }
+    } else {
+      Rest.push_back(argv[I]);
+    }
+  }
+
   banner("parallel batch-query throughput", "§5 experiment replay, batched",
          benchScale());
+  if (!CheckFile.empty())
+    return checkAgainst(CheckFile, TolerancePct);
+
   sweepAndSnapshot();
   registerBenchmarks();
-  benchmark::Initialize(&argc, argv);
+  int RestArgc = static_cast<int>(Rest.size());
+  benchmark::Initialize(&RestArgc, Rest.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

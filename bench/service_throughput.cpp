@@ -8,8 +8,12 @@
 // Drives the resident completion service the way an editor fleet would:
 // N client threads share one PetalService (via InProcessClient), each
 // opens its own copy of a generated project and replays a corpus of
-// harvested ?({arg}) queries — a cold pass (every query computed) and a
-// warm pass (every query answered from the result cache).
+// harvested ?({arg}) queries — a cold pass (every query computed), a
+// warm pass (every query answered from the result cache), and an explain
+// pass (the same queries with per-term score breakdowns requested, which
+// miss the cache by design since explain payloads are keyed separately).
+// The cold-vs-explain delta is the end-to-end cost of the structured cost
+// model, recorded in the snapshot.
 //
 // Every single response is checked bit-for-bit against a direct
 // CompletionEngine::complete over a private parse of the same document
@@ -45,7 +49,8 @@ struct QueryCase {
   std::string Class;
   std::string Method;
   std::string Query;
-  std::string Reference; ///< serialized "completions" array, the oracle
+  std::string Reference;        ///< serialized "completions" array, the oracle
+  std::string ExplainReference; ///< same, with per-term breakdowns attached
 };
 
 constexpr size_t ResultsPerQuery = 10;
@@ -60,14 +65,24 @@ struct Fixture {
 };
 
 /// Serializes completions exactly the way the service does, so the
-/// comparison is on bytes, not on parsed structure.
+/// comparison is on bytes, not on parsed structure. \p WithCards mirrors
+/// the service's explain payload (terms object + subexpr rollup).
 std::string serializeCompletions(const TypeSystem &TS,
-                                 const std::vector<Completion> &Results) {
+                                 const std::vector<Completion> &Results,
+                                 bool WithCards = false) {
   json::Value List = json::Value::array();
   for (const Completion &C : Results) {
     json::Value Item = json::Value::object();
     Item.set("expr", printExpr(TS, C.E));
     Item.set("score", static_cast<int64_t>(C.Score));
+    if (WithCards && C.Card) {
+      json::Value Terms = json::Value::object();
+      for (ScoreTerm Term : AllScoreTerms)
+        Terms.set(std::string(1, scoreTermLetter(Term)),
+                  static_cast<int64_t>(C.Card->term(Term)));
+      Item.set("terms", std::move(Terms));
+      Item.set("subexpr", static_cast<int64_t>(C.Card->Subexpr));
+    }
     List.push(std::move(Item));
   }
   return List.write();
@@ -138,11 +153,17 @@ Fixture buildFixture() {
     if (!PE)
       continue;
     CodeSite Site{Class, Method, Scope.StmtIndex};
+    // One explain-enabled run serves both oracles: cards are computed
+    // post-hoc for the selected results, so the (expr, score) list is the
+    // plain run's list.
+    CompletionOptions CO;
+    CO.Explain = true;
     std::vector<Completion> Results =
-        Engine.complete(PE, Site, ResultsPerQuery);
+        Engine.complete(PE, Site, ResultsPerQuery, CO);
     if (Results.empty())
       continue;
     Q.Reference = serializeCompletions(TS, Results);
+    Q.ExplainReference = serializeCompletions(TS, Results, /*WithCards=*/true);
     F.Queries.push_back(std::move(Q));
     if (F.Queries.size() == MaxQueries)
       break;
@@ -159,7 +180,8 @@ struct PassResult {
 /// All clients replay the full query corpus against their own document;
 /// returns wall time and the number of responses that differed from the
 /// reference.
-PassResult runPass(InProcessClient &C, const Fixture &F, size_t Clients) {
+PassResult runPass(InProcessClient &C, const Fixture &F, size_t Clients,
+                   bool Explain = false) {
   std::vector<std::thread> Threads;
   std::vector<PassResult> PerClient(Clients);
   auto Start = std::chrono::steady_clock::now();
@@ -176,13 +198,16 @@ PassResult runPass(InProcessClient &C, const Fixture &F, size_t Clients) {
         P.set("method", Q.Method);
         P.set("query", Q.Query);
         P.set("n", static_cast<int64_t>(ResultsPerQuery));
+        if (Explain)
+          P.set("explain", true);
         json::Value Resp = C.call("petal/complete", std::move(P));
         const json::Value *Result = Resp.find("result");
         if (!Result) {
           ++PerClient[I].Errors;
           continue;
         }
-        if (Result->find("completions")->write() != Q.Reference)
+        if (Result->find("completions")->write() !=
+            (Explain ? Q.ExplainReference : Q.Reference))
           ++PerClient[I].Mismatches;
       }
     });
@@ -203,6 +228,8 @@ struct Round {
   size_t Clients;
   double ColdQps;
   double WarmQps;
+  double ExplainQps;   ///< cold, with per-term breakdowns requested
+  double OverheadPct;  ///< (ColdQps - ExplainQps) / ColdQps * 100
   double HitRate;
   size_t Mismatches;
 };
@@ -228,6 +255,9 @@ Round runRound(const Fixture &F, size_t Clients) {
 
   PassResult Cold = runPass(C, F, Clients);
   PassResult Warm = runPass(C, F, Clients);
+  // Explain requests are keyed separately in the cache, so this pass is
+  // computed fresh: cold-vs-explain isolates the cost of the breakdowns.
+  PassResult Explain = runPass(C, F, Clients, /*Explain=*/true);
   json::Value Stats = C.callResult("$/stats", json::Value::object());
 
   double N = static_cast<double>(Clients * F.Queries.size());
@@ -235,9 +265,11 @@ Round runRound(const Fixture &F, size_t Clients) {
   R.Clients = Clients;
   R.ColdQps = N / Cold.Seconds;
   R.WarmQps = N / Warm.Seconds;
+  R.ExplainQps = N / Explain.Seconds;
+  R.OverheadPct = (R.ColdQps - R.ExplainQps) / R.ColdQps * 100.0;
   R.HitRate = Stats.find("cache")->getNumber("hitRate", 0);
-  R.Mismatches =
-      Cold.Mismatches + Warm.Mismatches + Cold.Errors + Warm.Errors;
+  R.Mismatches = Cold.Mismatches + Warm.Mismatches + Explain.Mismatches +
+                 Cold.Errors + Warm.Errors + Explain.Errors;
   return R;
 }
 
@@ -259,18 +291,22 @@ int main() {
     Rounds.push_back(runRound(F, Clients));
 
   TextTable Tab;
-  Tab.setHeader({"clients", "cold q/s", "warm q/s", "hit rate", "verified"});
+  Tab.setHeader({"clients", "cold q/s", "warm q/s", "explain q/s",
+                 "overhead", "hit rate", "verified"});
   size_t TotalMismatches = 0;
   for (const Round &R : Rounds) {
     TotalMismatches += R.Mismatches;
     Tab.addRow({std::to_string(R.Clients), formatFixed(R.ColdQps, 1),
-                formatFixed(R.WarmQps, 1), formatFixed(R.HitRate, 3),
+                formatFixed(R.WarmQps, 1), formatFixed(R.ExplainQps, 1),
+                formatFixed(R.OverheadPct, 1) + "%",
+                formatFixed(R.HitRate, 3),
                 R.Mismatches == 0 ? "bit-identical"
                                   : std::to_string(R.Mismatches) +
                                         " MISMATCHES"});
   }
-  std::cout << "Service throughput (cold = computed, warm = cached; every "
-               "response\nchecked against a direct engine run):\n";
+  std::cout << "Service throughput (cold = computed, warm = cached, explain "
+               "= computed\nwith per-term breakdowns; every response checked "
+               "against a direct engine run):\n";
   Tab.print(std::cout);
   std::cout << "\n";
 
@@ -290,6 +326,9 @@ int main() {
     OS << "    {\"clients\": " << Rounds[I].Clients
        << ", \"cold_qps\": " << formatFixed(Rounds[I].ColdQps, 1)
        << ", \"warm_qps\": " << formatFixed(Rounds[I].WarmQps, 1)
+       << ", \"explain_cold_qps\": " << formatFixed(Rounds[I].ExplainQps, 1)
+       << ", \"explain_overhead_pct\": "
+       << formatFixed(Rounds[I].OverheadPct, 1)
        << ", \"cache_hit_rate\": " << formatFixed(Rounds[I].HitRate, 3)
        << "}" << (I + 1 == Rounds.size() ? "\n" : ",\n");
   OS << "  ]\n}\n";

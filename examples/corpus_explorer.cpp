@@ -16,6 +16,7 @@
 #include "code/ExprPrinter.h"
 #include "complete/BatchExecutor.h"
 #include "corpus/Generator.h"
+#include "eval/Attribution.h"
 #include "eval/Experiments.h"
 #include "support/CliArgs.h"
 #include "support/StrUtil.h"
@@ -28,12 +29,22 @@ using namespace petal;
 int main(int argc, char **argv) {
   double Scale = 0.3;
   size_t Threads = 1;
+  RankingOptions RankOpts = RankingOptions::all();
   FlagParser Flags("corpus_explorer",
                    "synthetic-corpus generation + §5.1 evaluation demo",
                    "[scale]");
   Flags.addFlag("threads", "N", "worker threads (default 1, 0 = auto)",
                 [&](const std::string &V) {
                   return parseCount(V, "threads", Threads);
+                });
+  Flags.addFlag("rank", "SPEC",
+                "ranking terms: all, none, -nd (all minus), +ta (only)",
+                [&](const std::string &V) {
+                  std::string Error;
+                  if (RankingOptions::fromSpec(V, RankOpts, Error))
+                    return true;
+                  std::cerr << "error: " << Error << "\n";
+                  return false;
                 });
   Flags.addPositional("scale is the corpus size factor (default 0.3).",
                       [&](const std::string &V) {
@@ -75,6 +86,8 @@ int main(int argc, char **argv) {
 
   // Replay the first few call sites the way §5.1 does, as one batch.
   Arena &A = P.arena();
+  CompletionOptions DemoOpts;
+  DemoOpts.Rank = RankOpts;
   std::vector<BatchExecutor::Request> Demo;
   std::vector<const CallSiteInfo *> DemoSites;
   for (const CallSiteInfo &CS : Sites.Calls) {
@@ -91,7 +104,7 @@ int main(int argc, char **argv) {
     for (const Expr *E : Args)
       PEArgs.push_back(A.create<ConcretePE>(E));
     Demo.push_back({A.create<UnknownCallPE>(std::move(PEArgs)), CS.Site, 5,
-                    {}, nullptr});
+                    DemoOpts, nullptr});
     DemoSites.push_back(&CS);
     if (Demo.size() == 3)
       break;
@@ -116,7 +129,8 @@ int main(int argc, char **argv) {
 
   // And the aggregate §5.1 numbers for this one project, timed end to end
   // so the thread count's throughput effect is visible.
-  Evaluator Ev(P, Idx, RankingOptions::all(), 100, Threads);
+  std::cout << "Ranking configuration: " << RankOpts.spec() << "\n";
+  Evaluator Ev(P, Idx, RankOpts, 100, Threads);
   auto Start = std::chrono::steady_clock::now();
   MethodPredictionData Data = Ev.runMethodPrediction(false, false);
   double Seconds =
@@ -136,5 +150,9 @@ int main(int argc, char **argv) {
             << formatFixed(Queries / Seconds, 0) << " queries/sec at "
             << Ev.numThreads() << " thread"
             << (Ev.numThreads() == 1 ? "" : "s") << ")\n";
+
+  // Which terms are responsible when the intended call does not win.
+  std::cout << "\n"
+            << runTermAttribution(P, Idx, RankOpts, 20, Threads).toString();
   return 0;
 }

@@ -27,7 +27,7 @@
 #include "corpus/MiniFrameworks.h"
 #include "corpus/SourceWriter.h"
 #include "parser/Frontend.h"
-#include "rank/Explain.h"
+#include "rank/Ranking.h"
 #include "support/CliArgs.h"
 
 #include <fstream>
@@ -48,6 +48,8 @@ struct Session {
   const CodeMethod *Method = nullptr;
   size_t NumResults = 10;
   size_t Threads = 1; ///< 0 = PETAL_THREADS / hardware concurrency
+  RankingOptions RankOpts = RankingOptions::all();
+  bool Explain = false; ///< append per-term breakdowns to every result
   /// The last query's batch. Holding the whole BatchResult keeps the result
   /// expressions' arena alive across subsequent queries (for :explain).
   BatchExecutor::BatchResult LastBatch;
@@ -136,15 +138,32 @@ struct Session {
       return;
     }
     CodeSite Site{Class, Method, Scope.StmtIndex};
-    LastBatch = Exec->completeBatch({{Q, Site, NumResults, {}, nullptr}});
+    CompletionOptions Opts;
+    Opts.Rank = RankOpts;
+    Opts.Explain = Explain;
+    LastBatch = Exec->completeBatch({{Q, Site, NumResults, Opts, nullptr}});
     const std::vector<Completion> &Results = lastResults();
     if (Results.empty()) {
       std::cout << "  (no completions)\n";
       return;
     }
-    for (size_t I = 0; I != Results.size(); ++I)
+    for (size_t I = 0; I != Results.size(); ++I) {
       std::cout << "  " << (I + 1) << ". [" << Results[I].Score << "] "
-                << printExpr(TS, Results[I].E) << "\n";
+                << printExpr(TS, Results[I].E);
+      if (Results[I].Card)
+        std::cout << "   (" << Results[I].Card->toString() << ")";
+      std::cout << "\n";
+    }
+  }
+
+  /// `:rank <spec>` — switch the ranking configuration for later queries.
+  void setRank(const std::string &Spec) {
+    std::string Error;
+    if (!RankingOptions::fromSpec(Spec, RankOpts, Error)) {
+      std::cout << "error: " << Error << "\n";
+      return;
+    }
+    std::cout << "ranking: " << RankOpts.spec() << "\n";
   }
 
   /// `:explain k` — per-term breakdown of the k-th result of the last
@@ -154,13 +173,18 @@ struct Session {
       std::cout << "error: no result #" << K << " (run a query first)\n";
       return;
     }
-    const AbsTypeSolution &Sol = Exec->fullSolution();
-    Ranker R(TS, RankingOptions::all());
-    R.setSelfType(Class->type());
-    R.setAbstractTypes(&Idx->Infer, &Sol, Method);
     const Completion &C = lastResults()[K - 1];
+    if (C.Card) { // the query already ran with explain on
+      std::cout << "  " << printExpr(TS, C.E) << "\n  score: "
+                << C.Card->toString() << "\n";
+      return;
+    }
+    Ranker R(TS, RankOpts);
+    R.setSelfType(Class->type());
+    if (RankOpts.UseAbstractTypes)
+      R.setAbstractTypes(&Idx->Infer, &Exec->fullSolution(), Method);
     std::cout << "  " << printExpr(TS, C.E) << "\n  score: "
-              << explainScore(R, C.E).toString() << "\n";
+              << R.scoreCard(C.E).toString() << "\n";
   }
 };
 
@@ -170,6 +194,7 @@ void printHelp() {
       "  :context <Class> <Method>   set the enclosing code context\n"
       "  :vars                       list values in scope\n"
       "  :n <count>                  set the number of results\n"
+      "  :rank <spec>                ranking terms: all, none, -nd, +ta, ...\n"
       "  :explain <k>                score breakdown of result k\n"
       "  :dump                       print the loaded program as source\n"
       "  :help                       this text\n"
@@ -189,6 +214,21 @@ int main(int argc, char **argv) {
                 [&](const std::string &V) {
                   return parseCount(V, "threads", S.Threads);
                 });
+  Flags.addFlag("rank", "SPEC",
+                "ranking terms: all, none, -nd (all minus), +ta (only)",
+                [&](const std::string &V) {
+                  std::string Error;
+                  if (RankingOptions::fromSpec(V, S.RankOpts, Error))
+                    return true;
+                  std::cerr << "error: " << Error << "\n";
+                  return false;
+                });
+  Flags.addSwitch("explain",
+                  "show the per-term score breakdown of every result",
+                  [&] {
+                    S.Explain = true;
+                    return true;
+                  });
   Flags.addPositional(
       "With no source file, the built-in DynamicGeometry corpus is loaded.",
       [&](const std::string &V) {
@@ -242,6 +282,13 @@ int main(int argc, char **argv) {
         if (Cmd >> N && N > 0)
           S.NumResults = N;
         std::cout << "showing " << S.NumResults << " results\n";
+      } else if (Word == ":rank") {
+        std::string Spec;
+        if (Cmd >> Spec)
+          S.setRank(Spec);
+        else
+          std::cout << "usage: :rank <spec>   (current: "
+                    << S.RankOpts.spec() << ")\n";
       } else if (Word == ":explain") {
         size_t K = 0;
         Cmd >> K;

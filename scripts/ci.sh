@@ -6,7 +6,7 @@
 #
 #===------------------------------------------------------------------------===#
 #
-# The full pre-merge gate, in three builds:
+# The full pre-merge gate, in four builds:
 #
 #   1. Release: the whole test suite.
 #   2. ThreadSanitizer (-DPETAL_SANITIZE=thread): the concurrency tests —
@@ -19,6 +19,10 @@
 #      plus the parser/robustness suites, where lifetime bugs would live
 #      (documents swapped under in-flight requests, cached payloads
 #      outliving their sessions).
+#   4. UndefinedBehaviorSanitizer (-DPETAL_SANITIZE=undefined): the whole
+#      suite again under UBSan alone (leg 3 bundles it with ASan, but ASan
+#      reshapes the heap and skips the TSan-only paths; this leg runs every
+#      test with unrecoverable UBSan checks and no other instrumentation).
 #
 # Usage: scripts/ci.sh [jobs]          (default: nproc)
 #
@@ -29,13 +33,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/3] Release build + full test suite"
+echo "== [1/4] Release build + full test suite"
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo
-echo "== [2/3] ThreadSanitizer build + concurrency tests"
+echo "== [2/4] ThreadSanitizer build + concurrency tests"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -43,12 +47,19 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing'
 
 echo
-echo "== [3/3] AddressSanitizer build + service/robustness tests"
+echo "== [3/4] AddressSanitizer build + service/robustness tests"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
   -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer'
+
+echo
+echo "== [4/4] UndefinedBehaviorSanitizer build + full test suite"
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPETAL_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
 echo
 echo "== ci.sh: all green"

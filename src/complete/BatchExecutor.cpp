@@ -40,6 +40,7 @@ BatchExecutor::completeBatch(const std::vector<Request> &Requests) {
   BatchResult Out;
   Out.Results.resize(Requests.size());
   Out.Arenas.resize(Requests.size());
+  Out.Stats.resize(Requests.size());
 
   // If any request will fall back to the full-corpus solution, compute it
   // once up front (serially) instead of once per worker engine.
@@ -56,6 +57,7 @@ BatchExecutor::completeBatch(const std::vector<Request> &Requests) {
     CompletionEngine &Engine = *Engines[Worker];
     const AbsTypeSolution *Sol = R.Solution ? R.Solution : Shared;
     Out.Results[Index] = Engine.complete(R.Query, R.Site, R.N, R.Opts, Sol);
+    Out.Stats[Index] = Engine.lastQueryStats();
     // Steal the arena holding this query's result expressions so the next
     // query on this worker does not free them.
     Out.Arenas[Index] = Engine.takeQueryArena();

@@ -71,11 +71,14 @@ public:
   };
 
   /// Batched results; Results[i] answers Requests[i]. The expression nodes
-  /// are owned by the carried arenas, so a BatchResult can be moved around
-  /// and consumed long after the executor ran other batches.
+  /// (and, under CompletionOptions::Explain, the ScoreCards) are owned by
+  /// the carried arenas, so a BatchResult can be moved around and consumed
+  /// long after the executor ran other batches. Stats[i] is the engine
+  /// telemetry for Requests[i].
   struct BatchResult {
     std::vector<std::vector<Completion>> Results;
     std::vector<std::unique_ptr<Arena>> Arenas;
+    std::vector<CompletionEngine::QueryStats> Stats;
   };
 
   BatchResult completeBatch(const std::vector<Request> &Requests);

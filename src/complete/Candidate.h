@@ -41,13 +41,24 @@ struct Candidate {
 /// Base class of all candidate streams. bucket(S) returns the candidates of
 /// exactly score S; buckets are computed on demand, strictly in order, and
 /// cached so a stream may be consumed by several parents.
+///
+/// Bucket storage grows with the highest score requested, so every stream
+/// carries a *score ceiling* (set from EngineState::ScoreCeiling at
+/// construction): buckets beyond it are permanently empty and allocate
+/// nothing, which cleanly terminates enumeration no matter how large a
+/// MaxScore a caller asks for.
 class CandidateStream {
 public:
   virtual ~CandidateStream() = default;
 
-  /// All candidates with score exactly \p S (deterministic order).
+  /// All candidates with score exactly \p S (deterministic order). Beyond
+  /// the ceiling the bucket is empty and the hit flag latches.
   const std::vector<Candidate> &bucket(int S) {
     assert(S >= 0 && "negative score bucket");
+    if (Ceiling >= 0 && S > Ceiling) {
+      CeilingHit = true;
+      return EmptyBucket;
+    }
     while (static_cast<int>(Buckets.size()) <= S) {
       int Cur = static_cast<int>(Buckets.size());
       Buckets.emplace_back();
@@ -56,6 +67,13 @@ public:
     return Buckets[S];
   }
 
+  /// Caps bucket growth at score \p C (-1 = unlimited).
+  void setCeiling(int C) { Ceiling = C; }
+  int ceiling() const { return Ceiling; }
+
+  /// Whether a bucket beyond the ceiling was ever requested.
+  bool ceilingHit() const { return CeilingHit; }
+
 protected:
   /// Computes the candidates of score \p S into \p Out. Called exactly once
   /// per S, in increasing order.
@@ -63,6 +81,9 @@ protected:
 
 private:
   std::vector<std::vector<Candidate>> Buckets;
+  int Ceiling = -1;
+  bool CeilingHit = false;
+  static inline const std::vector<Candidate> EmptyBucket{};
 };
 
 } // namespace petal

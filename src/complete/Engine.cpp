@@ -38,6 +38,7 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
                            size_t N, const CompletionOptions &Opts,
                            const AbsTypeSolution *Solution) {
   TypeSystem &TS = P.typeSystem();
+  Stats = {};
 
   // Fresh arena for this query's synthesized expressions.
   QueryArena = std::make_unique<Arena>();
@@ -66,8 +67,12 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
   ES.Class = Site.Class;
   ES.Method = Site.Method;
   ES.StmtIndex = Site.StmtIndex;
-  ES.MaxScore = Opts.MaxScore;
+  // The ceiling bounds memory even against hostile MaxScore values: the
+  // loop below and every stream's bucket storage stop there.
+  int EffMaxScore = std::min(Opts.MaxScore, Opts.ScoreCeiling);
+  ES.MaxScore = EffMaxScore;
   ES.MaxChainLen = Opts.MaxChainLen;
+  ES.ScoreCeiling = Opts.ScoreCeiling;
 
   std::unique_ptr<CandidateStream> Top =
       buildStream(ES, Query, Opts.ExpectedType);
@@ -75,7 +80,8 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
     return {};
 
   std::vector<Completion> Results;
-  for (int S = 0; S <= Opts.MaxScore; ++S) {
+  for (int S = 0; S <= EffMaxScore; ++S) {
+    Stats.LastBucket = S;
     for (const Candidate &C : Top->bucket(S)) {
       // Top-level expected-type filter for candidates whose stream did not
       // already apply it (streams treat their Target as an emission filter,
@@ -93,8 +99,21 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
     if (Results.size() >= N)
       break;
   }
+  // The ceiling "hit" stat means it was the binding constraint: the caller
+  // asked for deeper exploration than the ceiling allows and still came up
+  // short. Running out at the caller's own MaxScore is normal operation.
+  Stats.ScoreCeilingHit =
+      Results.size() < N && Opts.MaxScore > Opts.ScoreCeiling;
   if (Results.size() > N)
     Results.resize(N);
+  if (Opts.Explain) {
+    // Cards are exact by construction: scoreCard() is the same traversal
+    // scoreExpr() (the streams' emission oracle) runs, with a structured
+    // accumulator. Computed only for the N survivors, in the query arena,
+    // so results stay self-contained when the arena is handed off.
+    for (Completion &C : Results)
+      C.Card = QueryArena->create<ScoreCard>(Rank.scoreCard(C.E));
+  }
   return Results;
 }
 

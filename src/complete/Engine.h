@@ -82,6 +82,14 @@ struct CompletionOptions {
   TypeId ExpectedType = InvalidId;
   /// Exploration cap on the ranking score.
   int MaxScore = 48;
+  /// Hard ceiling on candidate enumeration, independent of MaxScore: the
+  /// effective exploration cap is min(MaxScore, ScoreCeiling), and bucket
+  /// storage inside the streams cannot grow past it (see
+  /// CandidateStream::setCeiling). The generous default means it only
+  /// binds when a caller raises MaxScore past it — it exists so untrusted
+  /// MaxScore values (e.g. from a service request) bound memory. Reported
+  /// in QueryStats when it terminates an unfinished enumeration.
+  int ScoreCeiling = 256;
   /// Star-suffix chain-length cap (see EngineState::MaxChainLen).
   int MaxChainLen = 4;
   /// Disable to measure the effect of the reachability index (an ablation;
@@ -89,12 +97,21 @@ struct CompletionOptions {
   bool UseReachabilityPruning = true;
   /// Disable to skip the abstract-type term without rebuilding options.
   bool UseAbstractTypes = true;
+  /// Attach a per-term ScoreCard to every returned completion (see
+  /// Completion::Card). Off by default: the hot path ranks by the scalar
+  /// score alone, and cards are computed only for the N results actually
+  /// returned, so explain costs nothing until asked for.
+  bool Explain = false;
 };
 
 /// One result: the completion and its ranking score (lower = better).
 struct Completion {
   const Expr *E = nullptr;
   int Score = 0;
+  /// The per-term breakdown of Score, present iff the query ran with
+  /// CompletionOptions::Explain. Allocated in the same query arena as E,
+  /// so it has exactly E's lifetime; Card->total() == Score always.
+  const ScoreCard *Card = nullptr;
 };
 
 /// The completion engine. Holds shared indexes by reference; each call to
@@ -105,6 +122,16 @@ class CompletionEngine {
 public:
   CompletionEngine(Program &P, CompletionIndexes &Idx)
       : P(P), Idx(Idx) {}
+
+  /// Telemetry about one complete() call (see lastQueryStats()).
+  struct QueryStats {
+    /// The enumeration stopped at the score ceiling with fewer than N
+    /// results — deeper candidates exist that MaxScore alone would have
+    /// reached. Surfaced by the service in $/stats.
+    bool ScoreCeilingHit = false;
+    /// The last score bucket scanned (-1 if the query built no stream).
+    int LastBucket = -1;
+  };
 
   /// Completes \p Query at \p Site, returning at most \p N results in
   /// ascending score order (ties in discovery order, deterministically).
@@ -130,10 +157,14 @@ public:
   /// engine. Used by BatchExecutor to hand batched results to the caller.
   std::unique_ptr<Arena> takeQueryArena() { return std::move(QueryArena); }
 
+  /// Telemetry for the most recent complete() call (reset per call).
+  const QueryStats &lastQueryStats() const { return Stats; }
+
 private:
   Program &P;
   CompletionIndexes &Idx;
   std::unique_ptr<Arena> QueryArena;
+  QueryStats Stats;
   /// Cached full-corpus abstract-type solution (no exclusions).
   std::unique_ptr<AbsTypeSolution> FullSolution;
 };

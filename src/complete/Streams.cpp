@@ -18,6 +18,7 @@ using namespace petal;
 //===----------------------------------------------------------------------===//
 
 ConcreteStream::ConcreteStream(EngineState &ES, const Expr *E, TypeId Target) {
+  setCeiling(ES.ScoreCeiling);
   C.E = E;
   C.Score = ES.Rank->scoreExpr(E);
   C.Type = E->type();
@@ -35,6 +36,7 @@ void ConcreteStream::fillBucket(int S, std::vector<Candidate> &Out) {
 //===----------------------------------------------------------------------===//
 
 DontCareStream::DontCareStream(EngineState &ES) {
+  setCeiling(ES.ScoreCeiling);
   C.E = ES.Factory->dontCare();
   C.Score = 0;
   C.Type = InvalidId;
@@ -49,7 +51,9 @@ void DontCareStream::fillBucket(int S, std::vector<Candidate> &Out) {
 // VarsStream
 //===----------------------------------------------------------------------===//
 
-VarsStream::VarsStream(EngineState &ES) : ES(ES) {}
+VarsStream::VarsStream(EngineState &ES) : ES(ES) {
+  setCeiling(ES.ScoreCeiling);
+}
 
 void VarsStream::fillBucket(int S, std::vector<Candidate> &Out) {
   const TypeSystem &TS = *ES.TS;
@@ -101,7 +105,9 @@ void VarsStream::fillBucket(int S, std::vector<Candidate> &Out) {
 SuffixStream::SuffixStream(EngineState &ES,
                            std::unique_ptr<CandidateStream> Base,
                            SuffixKind Kind, TypeId Target)
-    : ES(ES), Base(std::move(Base)), Kind(Kind), Target(Target) {}
+    : ES(ES), Base(std::move(Base)), Kind(Kind), Target(Target) {
+  setCeiling(ES.ScoreCeiling);
+}
 
 bool SuffixStream::emits(const Candidate &C) const {
   if (!isValidId(Target))
@@ -203,7 +209,9 @@ void SuffixStream::fillBucket(int S, std::vector<Candidate> &Out) {
 UnknownCallStream::UnknownCallStream(
     EngineState &ES, std::vector<std::unique_ptr<CandidateStream>> Args,
     TypeId Target)
-    : ES(ES), Args(std::move(Args)), Target(Target) {}
+    : ES(ES), Args(std::move(Args)), Target(Target) {
+  setCeiling(ES.ScoreCeiling);
+}
 
 void UnknownCallStream::fillBucket(int S, std::vector<Candidate> &Out) {
   for (int Sum = CombosDone + 1; Sum <= S; ++Sum)
@@ -368,6 +376,7 @@ KnownCallStream::KnownCallStream(
     EngineState &ES, MethodId M,
     std::vector<std::unique_ptr<CandidateStream>> Args, TypeId Target)
     : ES(ES), M(M), Args(std::move(Args)), Target(Target) {
+  setCeiling(ES.ScoreCeiling);
   assert(this->Args.size() == ES.TS->numCallParams(M) &&
          "argument count must match the call signature");
 }
@@ -462,7 +471,9 @@ BinaryStream::BinaryStream(EngineState &ES, bool IsCompare, CompareOp Op,
                            std::unique_ptr<CandidateStream> Lhs,
                            std::unique_ptr<CandidateStream> Rhs, TypeId Target)
     : ES(ES), IsCompare(IsCompare), Op(Op), Lhs(std::move(Lhs)),
-      Rhs(std::move(Rhs)), Target(Target) {}
+      Rhs(std::move(Rhs)), Target(Target) {
+  setCeiling(ES.ScoreCeiling);
+}
 
 void BinaryStream::fillBucket(int S, std::vector<Candidate> &Out) {
   for (int Diag = DiagDone + 1; Diag <= S; ++Diag)
@@ -590,7 +601,7 @@ petal::buildStream(EngineState &ES, const PartialExpr *PE, TypeId Target) {
       PerMethod.push_back(
           std::make_unique<KnownCallStream>(ES, M, std::move(Args), Target));
     }
-    return std::make_unique<MergeStream>(std::move(PerMethod));
+    return std::make_unique<MergeStream>(ES, std::move(PerMethod));
   }
 
   case PartialKind::Compare: {

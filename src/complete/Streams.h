@@ -54,6 +54,11 @@ struct EngineState {
   size_t StmtIndex = static_cast<size_t>(-1);
   /// Exploration cap: buckets beyond this score are never requested.
   int MaxScore = 48;
+  /// Hard ceiling stamped onto every stream (CandidateStream::setCeiling):
+  /// bucket storage cannot grow past it regardless of MaxScore, so a
+  /// hostile or misconfigured MaxScore cannot exhaust memory. The engine
+  /// clamps its own loop to min(MaxScore, ScoreCeiling).
+  int ScoreCeiling = 256;
   /// Star-suffix chain-length cap. The paper's generator is unbounded; a
   /// practical engine must bound the frontier because the number of chains
   /// grows exponentially with length. Values the experiments strip are at
@@ -237,8 +242,11 @@ private:
 /// Union of several streams (used for overload sets of known calls).
 class MergeStream : public CandidateStream {
 public:
-  explicit MergeStream(std::vector<std::unique_ptr<CandidateStream>> Children)
-      : Children(std::move(Children)) {}
+  MergeStream(EngineState &ES,
+              std::vector<std::unique_ptr<CandidateStream>> Children)
+      : Children(std::move(Children)) {
+    setCeiling(ES.ScoreCeiling);
+  }
 
 private:
   void fillBucket(int S, std::vector<Candidate> &Out) override {

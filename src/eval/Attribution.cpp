@@ -1,0 +1,183 @@
+//===- eval/Attribution.cpp - Term attribution of ranking misses ----------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Attribution.h"
+
+#include "complete/BatchExecutor.h"
+#include "eval/Harvest.h"
+#include "partial/PartialExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace petal;
+
+namespace {
+
+/// Per-site outcome of the trial fan-out, folded in site order.
+struct AttributionTrial {
+  enum Kind { Skipped, Rank1, Tied, Below, Missing } What = Skipped;
+  ScoreCard Truth;  ///< card of the ground-truth completion (Below only)
+  ScoreCard Winner; ///< card of the rank-1 candidate (Below only)
+};
+
+} // namespace
+
+TermAttributionReport petal::runTermAttribution(Program &P,
+                                                CompletionIndexes &Idx,
+                                                RankingOptions Opts,
+                                                size_t SearchLimit,
+                                                size_t Threads) {
+  BatchExecutor Batch(P, Idx, Threads);
+  HarvestResult Sites = harvestProgram(P);
+
+  // Per-site abstract-type solutions (the site statement and everything
+  // after it excluded), precomputed in parallel over distinct sites.
+  std::map<std::pair<const CodeMethod *, size_t>, AbsTypeSolution> Solutions;
+  if (Opts.UseAbstractTypes) {
+    for (const CallSiteInfo &CS : Sites.Calls)
+      Solutions.try_emplace({CS.Site.Method, CS.Site.StmtIndex});
+    std::vector<std::pair<const CodeMethod *, size_t>> Keys;
+    Keys.reserve(Solutions.size());
+    for (const auto &[Key, Sol] : Solutions)
+      Keys.push_back(Key);
+    Batch.pool().parallelFor(Keys.size(), [&](size_t I, size_t) {
+      Solutions.find(Keys[I])->second =
+          Idx.Infer.solveExcluding(Keys[I].first, Keys[I].second);
+    });
+  }
+
+  std::vector<AttributionTrial> Trials(Sites.Calls.size());
+  Batch.forEach(Sites.Calls.size(), [&](BatchExecutor::TaskContext &Ctx,
+                                        size_t Index) {
+    const CallSiteInfo &CS = Sites.Calls[Index];
+    AttributionTrial &T = Trials[Index];
+
+    std::vector<const Expr *> Guessable;
+    if (CS.Call->receiver() && isGuessableExpr(CS.Call->receiver()))
+      Guessable.push_back(CS.Call->receiver());
+    for (const Expr *Arg : CS.Call->args())
+      if (isGuessableExpr(Arg))
+        Guessable.push_back(Arg);
+    if (Guessable.empty())
+      return; // Skipped
+    if (Guessable.size() > 6)
+      Guessable.resize(6); // same cap as the §5.1 subset search
+
+    std::vector<const PartialExpr *> PEArgs;
+    for (const Expr *E : Guessable)
+      PEArgs.push_back(Ctx.Scratch.create<ConcretePE>(E));
+    const PartialExpr *Query =
+        Ctx.Scratch.create<UnknownCallPE>(std::move(PEArgs));
+
+    CompletionOptions CO;
+    CO.Rank = Opts;
+    CO.Explain = true;
+    const AbsTypeSolution *Sol = nullptr;
+    if (Opts.UseAbstractTypes)
+      Sol = &Solutions.find({CS.Site.Method, CS.Site.StmtIndex})->second;
+
+    std::vector<Completion> Results =
+        Ctx.Engine.complete(Query, CS.Site, SearchLimit, CO, Sol);
+
+    MethodId Target = CS.Call->method();
+    size_t TruthIdx = Results.size();
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const auto *C = dyn_cast<CallExpr>(Results[I].E);
+      if (C && C->method() == Target) {
+        TruthIdx = I;
+        break;
+      }
+    }
+
+    if (TruthIdx == Results.size()) {
+      T.What = AttributionTrial::Missing;
+      return;
+    }
+    assert(Results[TruthIdx].Card && Results.front().Card &&
+           "explain mode attaches a card to every result");
+    if (TruthIdx == 0) {
+      T.What = AttributionTrial::Rank1;
+      return;
+    }
+    if (Results[TruthIdx].Score == Results.front().Score) {
+      T.What = AttributionTrial::Tied;
+      return;
+    }
+    T.What = AttributionTrial::Below;
+    T.Truth = *Results[TruthIdx].Card;
+    T.Winner = *Results.front().Card;
+  });
+
+  TermAttributionReport R;
+  for (const AttributionTrial &T : Trials) {
+    switch (T.What) {
+    case AttributionTrial::Skipped:
+      continue;
+    case AttributionTrial::Rank1:
+      ++R.OracleAtRank1;
+      break;
+    case AttributionTrial::Tied:
+      ++R.OracleTied;
+      break;
+    case AttributionTrial::Missing:
+      ++R.OracleMissing;
+      break;
+    case AttributionTrial::Below: {
+      ++R.OracleBelow;
+      for (ScoreTerm Term : AllScoreTerms) {
+        int Diff = T.Truth.term(Term) - T.Winner.term(Term);
+        size_t I = static_cast<size_t>(Term);
+        if (Diff > 0) {
+          ++R.SeparatingSites[I];
+          R.MarginSum[I] += Diff;
+        } else if (Diff < 0) {
+          R.SavingsSum[I] += -Diff;
+        }
+      }
+      break;
+    }
+    }
+    ++R.Sites;
+  }
+  return R;
+}
+
+std::string TermAttributionReport::toString() const {
+  std::ostringstream OS;
+  auto Pct = [&](size_t N) {
+    if (Sites == 0)
+      return std::string("-");
+    std::ostringstream P;
+    P.precision(1);
+    P << std::fixed
+      << (100.0 * static_cast<double>(N) / static_cast<double>(Sites)) << "%";
+    return P.str();
+  };
+  OS << "term attribution over " << Sites << " call sites\n";
+  OS << "  ground truth at rank 1 : " << OracleAtRank1 << " ("
+     << Pct(OracleAtRank1) << ")\n";
+  OS << "  tied with the winner   : " << OracleTied << " (" << Pct(OracleTied)
+     << ")\n";
+  OS << "  ranked below           : " << OracleBelow << " (" << Pct(OracleBelow)
+     << ")\n";
+  OS << "  not in the top list    : " << OracleMissing << " ("
+     << Pct(OracleMissing) << ")\n";
+  if (OracleBelow != 0) {
+    OS << "  terms separating the truth from rank 1 (sites / total margin / "
+          "total savings):\n";
+    for (ScoreTerm Term : AllScoreTerms) {
+      size_t I = static_cast<size_t>(Term);
+      OS << "    " << scoreTermName(Term) << " (" << scoreTermLetter(Term)
+         << "): " << SeparatingSites[I] << " / " << MarginSum[I] << " / "
+         << SavingsSum[I] << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,75 @@
+//===- eval/Attribution.h - Term attribution of ranking misses --*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2 answers "how much does each term help overall"; this module
+/// answers the per-site question behind it: when the ground-truth answer is
+/// *not* ranked first, which Fig. 7 terms put it there? Each harvested call
+/// site is replayed as a §5.1-style unknown-method query with per-term
+/// score breakdowns enabled, and the ground truth's ScoreCard is compared
+/// against the rank-1 candidate's: every term where the truth pays strictly
+/// more is a *separating* term, and the sum of those positive differences
+/// is exactly the score gap (the cards decompose the same scalar score).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_EVAL_ATTRIBUTION_H
+#define PETAL_EVAL_ATTRIBUTION_H
+
+#include "complete/Engine.h"
+#include "rank/ScoreCard.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace petal {
+
+class Program;
+
+/// Aggregated term attribution over one corpus replay.
+struct TermAttributionReport {
+  /// Call sites replayed (those with at least one guessable argument).
+  size_t Sites = 0;
+  size_t OracleAtRank1 = 0; ///< ground truth won outright
+  /// Ground truth scored the same total as rank 1 and lost only the
+  /// deterministic tie order — no term separates it.
+  size_t OracleTied = 0;
+  size_t OracleBelow = 0;   ///< found, but a cheaper candidate won
+  size_t OracleMissing = 0; ///< not in the top SearchLimit completions
+
+  /// Per term: at how many OracleBelow sites the ground truth paid
+  /// strictly more than the winner on this term.
+  std::array<size_t, NumScoreTerms> SeparatingSites{};
+  /// Per term: the summed positive (truth - winner) cost differences.
+  /// Across terms these margins sum to the total score gap of every
+  /// OracleBelow site (negative differences, where the truth was cheaper,
+  /// are tracked separately below).
+  std::array<int64_t, NumScoreTerms> MarginSum{};
+  /// Per term: summed cost the truth *saved* relative to the winner at
+  /// OracleBelow sites (the other side of the ledger).
+  std::array<int64_t, NumScoreTerms> SavingsSum{};
+
+  /// Renders the report as an aligned text table.
+  std::string toString() const;
+};
+
+/// Replays every harvested call site of \p P as an unknown-method query
+/// (all guessable call-signature arguments given, capped at six) and
+/// attributes each ranking miss to the terms that caused it. Uses per-site
+/// abstract-type exclusion exactly like the §5.1 experiment. \p Threads
+/// follows the Evaluator convention (1 = serial, 0 = auto); results are
+/// folded in site order and therefore thread-count independent.
+TermAttributionReport runTermAttribution(Program &P, CompletionIndexes &Idx,
+                                         RankingOptions Opts,
+                                         size_t SearchLimit = 20,
+                                         size_t Threads = 1);
+
+} // namespace petal
+
+#endif // PETAL_EVAL_ATTRIBUTION_H

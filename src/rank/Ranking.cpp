@@ -18,37 +18,76 @@ using namespace petal;
 // RankingOptions
 //===----------------------------------------------------------------------===//
 
-RankingOptions RankingOptions::fromSpec(const std::string &Spec) {
-  if (Spec == "all" || Spec.empty())
-    return all();
-  if (Spec == "none")
-    return none();
+bool &RankingOptions::use(ScoreTerm T) {
+  switch (T) {
+  case ScoreTerm::TypeDistance:
+    return UseTypeDistance;
+  case ScoreTerm::AbstractType:
+    return UseAbstractTypes;
+  case ScoreTerm::Depth:
+    return UseDepth;
+  case ScoreTerm::InScopeStatic:
+    return UseInScopeStatic;
+  case ScoreTerm::Namespace:
+    return UseNamespace;
+  case ScoreTerm::MatchingName:
+    return UseMatchingName;
+  }
+  return UseTypeDistance; // unreachable
+}
+
+bool RankingOptions::uses(ScoreTerm T) const {
+  return const_cast<RankingOptions *>(this)->use(T);
+}
+
+bool RankingOptions::fromSpec(const std::string &Spec, RankingOptions &Out,
+                              std::string &Error) {
+  if (Spec == "all" || Spec.empty()) {
+    Out = all();
+    return true;
+  }
+  if (Spec == "none") {
+    Out = none();
+    return true;
+  }
+  if (Spec[0] != '+' && Spec[0] != '-') {
+    Error = "ranking spec must be 'all', 'none', or '+'/'-' followed by "
+            "term letters (got '" +
+            Spec + "')";
+    return false;
+  }
+  if (Spec.size() == 1) {
+    Error = "ranking spec '" + Spec +
+            "' names no terms (expected letters from 'tadsnm')";
+    return false;
+  }
   bool Add = Spec[0] == '+';
   RankingOptions O = Add ? none() : all();
   for (size_t I = 1; I < Spec.size(); ++I) {
-    switch (Spec[I]) {
-    case 'n':
-      O.UseNamespace = Add;
-      break;
-    case 's':
-      O.UseInScopeStatic = Add;
-      break;
-    case 'd':
-      O.UseDepth = Add;
-      break;
-    case 'm':
-      O.UseMatchingName = Add;
-      break;
-    case 't':
-      O.UseTypeDistance = Add;
-      break;
-    case 'a':
-      O.UseAbstractTypes = Add;
-      break;
-    default:
-      break;
+    bool Known = false;
+    for (ScoreTerm T : AllScoreTerms) {
+      if (Spec[I] == scoreTermLetter(T)) {
+        O.use(T) = Add; // duplicates normalize to the same state
+        Known = true;
+        break;
+      }
+    }
+    if (!Known) {
+      Error = std::string("unknown ranking term letter '") + Spec[I] +
+              "' in spec '" + Spec + "' (valid letters: t a d s n m)";
+      return false;
     }
   }
+  Out = O;
+  return true;
+}
+
+RankingOptions RankingOptions::fromSpec(const std::string &Spec) {
+  RankingOptions O;
+  std::string Error;
+  bool Ok = fromSpec(Spec, O, Error);
+  assert(Ok && "invalid ranking spec literal");
+  (void)Ok;
   return O;
 }
 
@@ -111,45 +150,43 @@ int Ranker::abstractOperandCost(const Expr *A, const Expr *B) const {
   return Solution->sameAbstractType(VA, VB) ? 0 : 1;
 }
 
-int Ranker::callExtrasCost(MethodId M,
-                           const std::vector<const Expr *> &CallArgs) const {
-  int Cost = 0;
+int Ranker::inScopeStaticCost(MethodId M) const {
+  if (!Opts.UseInScopeStatic)
+    return 0;
+  // +1 unless the callee is a static method callable unqualified from the
+  // enclosing type (its owner is the enclosing type or an ancestor).
   const MethodInfo &MI = TS.method(M);
+  bool InScopeStatic = MI.IsStatic && isValidId(SelfType) &&
+                       TS.implicitlyConvertible(SelfType, MI.Owner);
+  return InScopeStatic ? 0 : 1;
+}
 
-  if (Opts.UseInScopeStatic) {
-    // +1 unless the callee is a static method callable unqualified from the
-    // enclosing type (its owner is the enclosing type or an ancestor).
-    bool InScopeStatic = MI.IsStatic && isValidId(SelfType) &&
-                         TS.implicitlyConvertible(SelfType, MI.Owner);
-    if (!InScopeStatic)
-      Cost += 1;
+int Ranker::namespaceCost(MethodId M,
+                          const std::vector<const Expr *> &CallArgs) const {
+  if (!Opts.UseNamespace)
+    return 0;
+  // Common namespace prefix over the owner and all non-primitive argument
+  // types; similarity forced to 0 when <= 1 non-primitive argument.
+  const MethodInfo &MI = TS.method(M);
+  std::vector<const std::vector<std::string> *> ArgNss;
+  for (const Expr *Arg : CallArgs) {
+    if (isa<DontCareExpr>(Arg) || !isValidId(Arg->type()))
+      continue;
+    if (TS.isPrimitiveLike(Arg->type()))
+      continue;
+    ArgNss.push_back(&TS.namespaceSegmentsOf(Arg->type()));
   }
-
-  if (Opts.UseNamespace) {
-    // Common namespace prefix over the owner and all non-primitive argument
-    // types; similarity forced to 0 when <= 1 non-primitive argument.
-    std::vector<const std::vector<std::string> *> ArgNss;
-    for (const Expr *Arg : CallArgs) {
-      if (isa<DontCareExpr>(Arg) || !isValidId(Arg->type()))
-        continue;
-      if (TS.isPrimitiveLike(Arg->type()))
-        continue;
-      ArgNss.push_back(&TS.namespaceSegmentsOf(Arg->type()));
-    }
-    size_t Similarity = 0;
-    if (ArgNss.size() >= 2) {
-      const std::vector<std::string> &OwnerNs = TS.namespaceSegmentsOf(MI.Owner);
-      Similarity = OwnerNs.size();
-      for (const auto *Ns : ArgNss)
-        Similarity = std::min(Similarity, commonPrefixLength(OwnerNs, *Ns));
-      // The prefix must be common to all argument namespaces pairwise as
-      // well; since it is anchored at the owner prefix, the min above
-      // already bounds it.
-    }
-    Cost += 3 - static_cast<int>(std::min<size_t>(3, Similarity));
+  size_t Similarity = 0;
+  if (ArgNss.size() >= 2) {
+    const std::vector<std::string> &OwnerNs = TS.namespaceSegmentsOf(MI.Owner);
+    Similarity = OwnerNs.size();
+    for (const auto *Ns : ArgNss)
+      Similarity = std::min(Similarity, commonPrefixLength(OwnerNs, *Ns));
+    // The prefix must be common to all argument namespaces pairwise as
+    // well; since it is anchored at the owner prefix, the min above
+    // already bounds it.
   }
-
-  return Cost;
+  return 3 - static_cast<int>(std::min<size_t>(3, Similarity));
 }
 
 int Ranker::compareNameCost(const Expr *L, const Expr *R) const {
@@ -163,21 +200,64 @@ int Ranker::compareNameCost(const Expr *L, const Expr *R) const {
 }
 
 //===----------------------------------------------------------------------===//
-// Standalone scorer
+// Standalone scorers
 //===----------------------------------------------------------------------===//
 
-Ranker::SpineScore Ranker::scoreSpine(const Expr *E) const {
+namespace {
+
+/// The two accumulators the shared traversal below is instantiated with.
+/// ScalarCost is the hot-path representation (one int, exactly the
+/// historical arithmetic); CardCost tags every charge with its ScoreTerm.
+/// One traversal, two views — which is what makes scoreCard().total()
+/// bit-identical to scoreExpr() under every option set.
+struct ScalarCost {
+  int V = 0;
+  void charge(ScoreTerm, int Cost) { V += Cost; }
+  /// Folds a finished subexpression cost into this one. \p Rollup marks
+  /// charges that cross a subexpression boundary (ignored here).
+  void fold(const ScalarCost &Sub, bool Rollup) {
+    (void)Rollup;
+    V += Sub.V;
+  }
+  int total() const { return V; }
+};
+
+struct CardCost {
+  ScoreCard C;
+  void charge(ScoreTerm T, int Cost) { C.term(T) += Cost; }
+  void fold(const CardCost &Sub, bool Rollup) {
+    for (size_t I = 0; I != NumScoreTerms; ++I)
+      C.Terms[I] += Sub.C.Terms[I];
+    // The rollup axis tracks the top-level node's *immediate*
+    // subexpressions only; nested rollups stay inside their own card.
+    if (Rollup)
+      C.Subexpr += Sub.C.total();
+  }
+  int total() const { return C.total(); }
+};
+
+/// Cost of \p E plus the number of member accesses on E's own spine.
+template <class Cost> struct Spine {
+  Cost C;
+  int Dots = 0;
+};
+
+template <class Cost> Cost scoreExprT(const Ranker &R, const Expr *E);
+
+template <class Cost> Spine<Cost> scoreSpineT(const Ranker &R, const Expr *E) {
+  const TypeSystem &TS = R.typeSystem();
   switch (E->kind()) {
   case ExprKind::Var:
   case ExprKind::This:
   case ExprKind::TypeRef:
   case ExprKind::Literal:
   case ExprKind::DontCare:
-    return {0, 0};
+    return {};
 
   case ExprKind::FieldAccess: {
-    SpineScore S = scoreSpine(cast<FieldAccessExpr>(E)->base());
-    return {S.Score, S.Dots + 1};
+    Spine<Cost> S = scoreSpineT<Cost>(R, cast<FieldAccessExpr>(E)->base());
+    ++S.Dots;
+    return S;
   }
 
   case ExprKind::Call: {
@@ -185,9 +265,10 @@ Ranker::SpineScore Ranker::scoreSpine(const Expr *E) const {
     if (C->args().empty()) {
       // A pure lookup step (`.?m`-style zero-argument call, or a global
       // static nullary method); no call tweaks apply.
-      SpineScore S = C->receiver() ? scoreSpine(C->receiver())
-                                   : SpineScore{0, 0};
-      return {S.Score, S.Dots + 1};
+      Spine<Cost> S = C->receiver() ? scoreSpineT<Cost>(R, C->receiver())
+                                    : Spine<Cost>{};
+      ++S.Dots;
+      return S;
     }
 
     // A genuine call with arguments: full call scoring. Its own dot is
@@ -201,45 +282,69 @@ Ranker::SpineScore Ranker::scoreSpine(const Expr *E) const {
       CallArgs.push_back(C->receiver());
     CallArgs.insert(CallArgs.end(), C->args().begin(), C->args().end());
 
-    int Total = 0;
+    Spine<Cost> S;
     for (size_t I = 0; I != CallArgs.size(); ++I) {
       const Expr *Arg = CallArgs[I];
-      Total += scoreExpr(Arg);
+      S.C.fold(scoreExprT<Cost>(R, Arg), /*Rollup=*/true);
       if (isa<DontCareExpr>(Arg))
         continue;
-      Total += typeDistanceCost(Arg->type(), TS.callParamType(C->method(), I));
-      Total += abstractArgCost(Arg, C->method(), I, RecvTy);
+      S.C.charge(ScoreTerm::TypeDistance,
+                 R.typeDistanceCost(Arg->type(),
+                                    TS.callParamType(C->method(), I)));
+      S.C.charge(ScoreTerm::AbstractType,
+                 R.abstractArgCost(Arg, C->method(), I, RecvTy));
     }
-    Total += lookupStepCost(); // the call's own dot
-    Total += callExtrasCost(C->method(), CallArgs);
-    return {Total, 0};
+    S.C.charge(ScoreTerm::Depth, R.lookupStepCost()); // the call's own dot
+    S.C.charge(ScoreTerm::InScopeStatic, R.inScopeStaticCost(C->method()));
+    S.C.charge(ScoreTerm::Namespace, R.namespaceCost(C->method(), CallArgs));
+    return S;
   }
 
   case ExprKind::Compare: {
     const auto *C = cast<CompareExpr>(E);
-    int Total = scoreExpr(C->lhs()) + scoreExpr(C->rhs());
+    Spine<Cost> S;
+    S.C.fold(scoreExprT<Cost>(R, C->lhs()), /*Rollup=*/true);
+    S.C.fold(scoreExprT<Cost>(R, C->rhs()), /*Rollup=*/true);
     if (!isa<DontCareExpr>(C->lhs()) && !isa<DontCareExpr>(C->rhs())) {
-      Total += operandDistanceCost(C->lhs()->type(), C->rhs()->type());
-      Total += abstractOperandCost(C->lhs(), C->rhs());
-      Total += compareNameCost(C->lhs(), C->rhs());
+      S.C.charge(ScoreTerm::TypeDistance,
+                 R.operandDistanceCost(C->lhs()->type(), C->rhs()->type()));
+      S.C.charge(ScoreTerm::AbstractType,
+                 R.abstractOperandCost(C->lhs(), C->rhs()));
+      S.C.charge(ScoreTerm::MatchingName,
+                 R.compareNameCost(C->lhs(), C->rhs()));
     }
-    return {Total, 0};
+    return S;
   }
 
   case ExprKind::Assign: {
     const auto *A = cast<AssignExpr>(E);
-    int Total = scoreExpr(A->lhs()) + scoreExpr(A->rhs());
+    Spine<Cost> S;
+    S.C.fold(scoreExprT<Cost>(R, A->lhs()), /*Rollup=*/true);
+    S.C.fold(scoreExprT<Cost>(R, A->rhs()), /*Rollup=*/true);
     if (!isa<DontCareExpr>(A->lhs()) && !isa<DontCareExpr>(A->rhs())) {
-      Total += typeDistanceCost(A->rhs()->type(), A->lhs()->type());
-      Total += abstractOperandCost(A->lhs(), A->rhs());
+      S.C.charge(ScoreTerm::TypeDistance,
+                 R.typeDistanceCost(A->rhs()->type(), A->lhs()->type()));
+      S.C.charge(ScoreTerm::AbstractType,
+                 R.abstractOperandCost(A->lhs(), A->rhs()));
     }
-    return {Total, 0};
+    return S;
   }
   }
-  return {0, 0};
+  return {};
 }
 
+template <class Cost> Cost scoreExprT(const Ranker &R, const Expr *E) {
+  Spine<Cost> S = scoreSpineT<Cost>(R, E);
+  S.C.charge(ScoreTerm::Depth, R.lookupStepCost() * S.Dots);
+  return S.C;
+}
+
+} // namespace
+
 int Ranker::scoreExpr(const Expr *E) const {
-  SpineScore S = scoreSpine(E);
-  return S.Score + lookupStepCost() * S.Dots;
+  return scoreExprT<ScalarCost>(*this, E).V;
+}
+
+ScoreCard Ranker::scoreCard(const Expr *E) const {
+  return scoreExprT<CardCost>(*this, E).C;
 }

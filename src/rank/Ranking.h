@@ -47,6 +47,7 @@
 #include "code/Expr.h"
 #include "infer/AbstractTypes.h"
 #include "model/TypeSystem.h"
+#include "rank/ScoreCard.h"
 
 #include <cstdint>
 #include <string>
@@ -76,11 +77,23 @@ struct RankingOptions {
   }
 
   /// Parses a Table 2 style spec: "all", "none", "-nd" (all minus terms),
-  /// or "+ta" (only those terms). Unknown letters are ignored.
+  /// or "+ta" (only those terms). Duplicate letters are accepted and
+  /// normalized; an unknown letter (or a spec that is neither a keyword nor
+  /// sign-prefixed) is rejected with a message in \p Error.
+  static bool fromSpec(const std::string &Spec, RankingOptions &Out,
+                       std::string &Error);
+
+  /// Convenience overload for specs known valid at the call site (literals
+  /// in tests and benches). Asserts on an invalid spec.
   static RankingOptions fromSpec(const std::string &Spec);
 
   /// The Table 2 style spec string of this option set.
   std::string spec() const;
+
+  /// The toggle owning \p T (so term-generic code need not switch on six
+  /// booleans).
+  bool &use(ScoreTerm T);
+  bool uses(ScoreTerm T) const;
 };
 
 /// Scores completions. One Ranker is configured per query: it needs the
@@ -115,6 +128,17 @@ public:
 
   //===--------------------------------------------------------------------===
   // Incremental pieces (used by the completion engine)
+  //
+  // Each piece funds exactly one ScoreTerm, so the engine's incremental
+  // score and the structured ScoreCard are sums of the same named costs:
+  //   lookupStepCost            -> ScoreTerm::Depth
+  //   typeDistanceCost,
+  //   operandDistanceCost       -> ScoreTerm::TypeDistance
+  //   abstractArgCost,
+  //   abstractOperandCost       -> ScoreTerm::AbstractType
+  //   inScopeStaticCost         -> ScoreTerm::InScopeStatic
+  //   namespaceCost             -> ScoreTerm::Namespace
+  //   compareNameCost           -> ScoreTerm::MatchingName
   //===--------------------------------------------------------------------===
 
   /// Cost of one lookup step (a dot): 2, or 0 with depth disabled.
@@ -137,17 +161,27 @@ public:
   /// Abstract-type mismatch cost between two operand expressions.
   int abstractOperandCost(const Expr *A, const Expr *B) const;
 
-  /// The in-scope-static and common-namespace tweaks for a call to \p M
-  /// whose call-signature arguments are \p CallArgs (receiver included for
-  /// instance methods; DontCare arguments are skipped by the namespace
-  /// term).
-  int callExtrasCost(MethodId M, const std::vector<const Expr *> &CallArgs) const;
+  /// The in-scope-static penalty for a call to \p M: +1 unless the callee
+  /// is a static method callable unqualified from the enclosing type.
+  int inScopeStaticCost(MethodId M) const;
+
+  /// The common-namespace penalty for a call to \p M whose call-signature
+  /// arguments are \p CallArgs (receiver included for instance methods;
+  /// DontCare arguments are skipped).
+  int namespaceCost(MethodId M, const std::vector<const Expr *> &CallArgs) const;
+
+  /// Both call tweaks summed (kept for callers that do not need the
+  /// per-term split).
+  int callExtrasCost(MethodId M,
+                     const std::vector<const Expr *> &CallArgs) const {
+    return inScopeStaticCost(M) + namespaceCost(M, CallArgs);
+  }
 
   /// The matching-name penalty for a comparison of \p L and \p R.
   int compareNameCost(const Expr *L, const Expr *R) const;
 
   //===--------------------------------------------------------------------===
-  // Standalone scorer (the executable specification)
+  // Standalone scorers (the executable specification)
   //===--------------------------------------------------------------------===
 
   /// Scores a complete expression exactly as the engine's incremental
@@ -155,14 +189,13 @@ public:
   /// want to score expressions they built themselves.
   int scoreExpr(const Expr *E) const;
 
-private:
-  /// Score of \p E plus the number of member accesses on E's own spine.
-  struct SpineScore {
-    int Score = 0;
-    int Dots = 0;
-  };
-  SpineScore scoreSpine(const Expr *E) const;
+  /// The per-term decomposition of scoreExpr(E): the same single traversal
+  /// with a structured accumulator, so scoreCard(E).total() == scoreExpr(E)
+  /// bit-for-bit under every RankingOptions configuration. Terms disabled
+  /// in the options contribute zero.
+  ScoreCard scoreCard(const Expr *E) const;
 
+private:
   const TypeSystem &TS;
   RankingOptions Opts;
   const AbstractTypeInference *Infer = nullptr;

@@ -1,0 +1,67 @@
+//===- rank/ScoreCard.cpp - The structured cost model ---------------------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rank/ScoreCard.h"
+
+using namespace petal;
+
+char petal::scoreTermLetter(ScoreTerm T) {
+  switch (T) {
+  case ScoreTerm::TypeDistance:
+    return 't';
+  case ScoreTerm::AbstractType:
+    return 'a';
+  case ScoreTerm::Depth:
+    return 'd';
+  case ScoreTerm::InScopeStatic:
+    return 's';
+  case ScoreTerm::Namespace:
+    return 'n';
+  case ScoreTerm::MatchingName:
+    return 'm';
+  }
+  return '?';
+}
+
+const char *petal::scoreTermName(ScoreTerm T) {
+  switch (T) {
+  case ScoreTerm::TypeDistance:
+    return "td";
+  case ScoreTerm::AbstractType:
+    return "abs";
+  case ScoreTerm::Depth:
+    return "depth";
+  case ScoreTerm::InScopeStatic:
+    return "static";
+  case ScoreTerm::Namespace:
+    return "ns";
+  case ScoreTerm::MatchingName:
+    return "name";
+  }
+  return "?";
+}
+
+std::string ScoreCard::toString() const {
+  // Display order matches the historical breakdown rendering (depth first),
+  // not the enum order.
+  static constexpr ScoreTerm DisplayOrder[] = {
+      ScoreTerm::Depth,         ScoreTerm::TypeDistance,
+      ScoreTerm::AbstractType,  ScoreTerm::InScopeStatic,
+      ScoreTerm::Namespace,     ScoreTerm::MatchingName,
+  };
+  std::string Out;
+  for (ScoreTerm T : DisplayOrder) {
+    if (term(T) == 0)
+      continue;
+    if (!Out.empty())
+      Out += " + ";
+    Out += std::string(scoreTermName(T)) + " " + std::to_string(term(T));
+  }
+  if (Out.empty())
+    Out = "0";
+  return Out + " = " + std::to_string(total());
+}

@@ -1,0 +1,98 @@
+//===- rank/ScoreCard.h - The structured cost model -------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ranking function (§4.1, Fig. 7) is a *sum of named terms*; the
+/// paper's whole sensitivity analysis (Table 2) is about attributing
+/// outcomes to individual terms. A ScoreCard keeps that sum structured: one
+/// integer per term, whose total() is bit-identical to the scalar score the
+/// engine ranks by. Ranker::scoreCard() produces one in a single pass over
+/// the expression (same code path as Ranker::scoreExpr, different
+/// accumulator), so the decomposition is exact by construction, not by
+/// re-scoring.
+///
+/// The card additionally carries a *subexpression rollup*: how much of the
+/// total was contributed by the immediate subexpressions (call arguments,
+/// binary operands) rather than by the top-level node itself. The rollup
+/// overlaps the six terms — it is an orthogonal attribution axis, never
+/// added into total().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_RANK_SCORECARD_H
+#define PETAL_RANK_SCORECARD_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace petal {
+
+/// The six ranking terms, named after the paper's Table 2 column letters.
+enum class ScoreTerm : uint8_t {
+  TypeDistance = 0, ///< t: summed td(arg, param)
+  AbstractType,     ///< a: abstract-type mismatches
+  Depth,            ///< d: 2 x dots
+  InScopeStatic,    ///< s: instance / out-of-scope-static penalty
+  Namespace,        ///< n: 3 - common namespace prefix
+  MatchingName,     ///< m: comparison name-mismatch penalty
+};
+
+inline constexpr size_t NumScoreTerms = 6;
+
+/// All terms, in enum order (handy for iteration).
+inline constexpr std::array<ScoreTerm, NumScoreTerms> AllScoreTerms = {
+    ScoreTerm::TypeDistance,  ScoreTerm::AbstractType, ScoreTerm::Depth,
+    ScoreTerm::InScopeStatic, ScoreTerm::Namespace,    ScoreTerm::MatchingName,
+};
+
+/// The Table 2 column letter of a term ('t', 'a', 'd', 's', 'n', 'm').
+char scoreTermLetter(ScoreTerm T);
+
+/// A short human-readable name ("td", "abs", "depth", "static", "ns",
+/// "name") — the vocabulary the repl and test diagnostics use.
+const char *scoreTermName(ScoreTerm T);
+
+/// One completion's score, split by ranking term. Lower is better, exactly
+/// as for the scalar score; total() reconstructs it.
+struct ScoreCard {
+  std::array<int, NumScoreTerms> Terms = {};
+  /// Portion of total() contributed by the immediate subexpressions of the
+  /// top-level node (informational overlap, not a seventh term).
+  int Subexpr = 0;
+
+  int &term(ScoreTerm T) { return Terms[static_cast<size_t>(T)]; }
+  int term(ScoreTerm T) const { return Terms[static_cast<size_t>(T)]; }
+
+  /// The scalar ranking score this card decomposes.
+  int total() const {
+    int Sum = 0;
+    for (int V : Terms)
+      Sum += V;
+    return Sum;
+  }
+
+  ScoreCard &operator+=(const ScoreCard &O) {
+    for (size_t I = 0; I != NumScoreTerms; ++I)
+      Terms[I] += O.Terms[I];
+    Subexpr += O.Subexpr;
+    return *this;
+  }
+
+  bool operator==(const ScoreCard &O) const {
+    return Terms == O.Terms && Subexpr == O.Subexpr;
+  }
+  bool operator!=(const ScoreCard &O) const { return !(*this == O); }
+
+  /// Renders the non-zero terms, e.g. "depth 4 + td 1 + ns 3 = 8".
+  std::string toString() const;
+};
+
+} // namespace petal
+
+#endif // PETAL_RANK_SCORECARD_H

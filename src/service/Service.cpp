@@ -554,6 +554,16 @@ void PetalService::execComplete(SessionState &S, Task &T) {
     respondError(T.Id, O.ErrCode, O.ErrMsg);
     return;
   }
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    if (O.Stats.ScoreCeilingHit)
+      ++ScoreCeilingHitCount;
+    if (O.Explained) {
+      ++ExplainedCount;
+      for (size_t I = 0; I != NumScoreTerms; ++I)
+        TermTotals[I] += O.TermTotals[I];
+    }
+  }
   Value R = Value::object();
   R.set("doc", S.Name);
   R.set("version", S.Doc->Version);
@@ -610,7 +620,8 @@ json::Value PetalService::statsJson() {
     QueueDepth = Outstanding;
   }
   uint64_t Received, Queries, Cancelled, Deadline, Stale, Errors, Builds,
-      BuildFails;
+      BuildFails, Explained, CeilingHits;
+  std::array<uint64_t, NumScoreTerms> Terms{};
   std::vector<double> Lat;
   {
     std::lock_guard<std::mutex> L(StatsM);
@@ -622,6 +633,9 @@ json::Value PetalService::statsJson() {
     Errors = ErrorCount;
     Builds = BuildCount;
     BuildFails = BuildFailCount;
+    Explained = ExplainedCount;
+    CeilingHits = ScoreCeilingHitCount;
+    Terms = TermTotals;
     Lat = LatencyMs;
   }
   uint64_t Hits = Cache.hits(), Misses = Cache.misses();
@@ -658,6 +672,20 @@ json::Value PetalService::statsJson() {
   R.set("errors", Errors);
   R.set("builds", Builds);
   R.set("buildFailures", BuildFails);
+  R.set("scoreCeilingHits", CeilingHits);
+
+  // Per-term cost aggregates over explained completions: the live
+  // sensitivity view — which Fig. 7 terms are actually separating
+  // candidates in this workload.
+  Value TermsV = Value::object();
+  for (ScoreTerm Term : AllScoreTerms)
+    TermsV.set(std::string(1, scoreTermLetter(Term)),
+               Terms[static_cast<size_t>(Term)]);
+  Value ExplainV = Value::object();
+  ExplainV.set("queries", Explained);
+  ExplainV.set("termTotals", std::move(TermsV));
+  R.set("explain", std::move(ExplainV));
+
   R.set("cache", std::move(CacheV));
   R.set("latencyMs", std::move(LatV));
   return R;

@@ -49,6 +49,7 @@
 #include "service/ResultCache.h"
 #include "service/Session.h"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -194,6 +195,11 @@ private:
   uint64_t ErrorCount = 0;
   uint64_t BuildCount = 0;
   uint64_t BuildFailCount = 0;
+  uint64_t ExplainedCount = 0;     ///< queries answered with explain on
+  uint64_t ScoreCeilingHitCount = 0; ///< queries the score ceiling cut short
+  /// Summed per-term costs over every explained completion served (cache
+  /// replays excluded — they repeat bytes, not work).
+  std::array<uint64_t, NumScoreTerms> TermTotals{};
   std::vector<double> LatencyMs;
 
   std::vector<std::thread> WorkerThreads;

@@ -10,6 +10,8 @@
 #include "code/ExprPrinter.h"
 #include "service/Protocol.h"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <sstream>
 
@@ -78,14 +80,26 @@ bool petal::parseCompleteSpec(const json::Value &Params, CompleteSpec &Out,
       Error = "'rank' must be a Table 2 style spec string";
       return false;
     }
-    O.Rank = RankingOptions::fromSpec(Rank->stringValue());
+    std::string SpecError;
+    if (!RankingOptions::fromSpec(Rank->stringValue(), O.Rank, SpecError)) {
+      Error = "invalid 'rank': " + SpecError;
+      return false;
+    }
   }
-  O.MaxScore = static_cast<int>(Params.getInt("maxScore", O.MaxScore));
+  // maxScore is client-controlled. The engine already clamps exploration
+  // (and bucket memory) to the score ceiling, so any value above it
+  // behaves identically to ScoreCeiling + 1: exploration stops at the
+  // ceiling and the ceiling-hit stat may fire. Canonicalize to that one
+  // representative so equivalent requests share a cache key.
+  int64_t MaxScore = Params.getInt("maxScore", O.MaxScore);
+  O.MaxScore = static_cast<int>(
+      std::clamp<int64_t>(MaxScore, 0, int64_t(O.ScoreCeiling) + 1));
   O.MaxChainLen =
       static_cast<int>(Params.getInt("maxChainLen", O.MaxChainLen));
   O.UseReachabilityPruning =
       Params.getBool("reachability", O.UseReachabilityPruning);
   O.UseAbstractTypes = Params.getBool("abstractTypes", O.UseAbstractTypes);
+  O.Explain = Params.getBool("explain", false);
   return true;
 }
 
@@ -108,6 +122,7 @@ std::string petal::encodeSpecKey(const CompleteSpec &Spec) {
   Key += std::to_string(Spec.Opts.MaxChainLen);
   Key += Spec.Opts.UseReachabilityPruning ? 'R' : 'r';
   Key += Spec.Opts.UseAbstractTypes ? 'A' : 'a';
+  Key += Spec.Opts.Explain ? 'E' : 'e';
   return Key;
 }
 
@@ -150,9 +165,25 @@ QueryOutcome petal::runCompletion(DocumentState &Doc,
     json::Value Item = json::Value::object();
     Item.set("expr", printExpr(*Doc.TS, C.E));
     Item.set("score", static_cast<int64_t>(C.Score));
+    if (C.Card) {
+      assert(C.Card->total() == C.Score &&
+             "ScoreCard must decompose the ranking score exactly");
+      // Keys in Table 2 letter order; all six terms always present so the
+      // payload shape (and the cached bytes) are deterministic.
+      json::Value Terms = json::Value::object();
+      for (ScoreTerm Term : AllScoreTerms)
+        Terms.set(std::string(1, scoreTermLetter(Term)),
+                  static_cast<int64_t>(C.Card->term(Term)));
+      Item.set("terms", std::move(Terms));
+      Item.set("subexpr", static_cast<int64_t>(C.Card->Subexpr));
+      for (size_t I = 0; I != NumScoreTerms; ++I)
+        Out.TermTotals[I] += static_cast<uint64_t>(C.Card->Terms[I]);
+    }
     List.push(std::move(Item));
   }
   Out.Ok = true;
   Out.Completions = std::move(List);
+  Out.Stats = Batch.Stats.front();
+  Out.Explained = Spec.Opts.Explain;
   return Out;
 }

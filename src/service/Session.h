@@ -24,6 +24,7 @@
 #include "parser/Frontend.h"
 #include "support/Json.h"
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -81,7 +82,14 @@ struct QueryOutcome {
   bool Ok = false;
   int ErrCode = 0;
   std::string ErrMsg;
-  json::Value Completions; ///< array of {"expr": ..., "score": ...}
+  /// Array of {"expr", "score"}; with explain also {"terms", "subexpr"}.
+  json::Value Completions;
+  /// Engine telemetry for the query (score-ceiling hit, deepest bucket).
+  CompletionEngine::QueryStats Stats;
+  /// Summed per-term costs over the returned completions (all zero unless
+  /// the query ran with explain). Feeds the service's $/stats aggregates.
+  std::array<uint64_t, NumScoreTerms> TermTotals{};
+  bool Explained = false;
 };
 
 /// Runs \p Spec against \p Doc through its BatchExecutor. The caller must

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Generator.h"
+#include "eval/Attribution.h"
 #include "eval/Experiments.h"
 #include "eval/Intellisense.h"
 #include "parser/Frontend.h"
@@ -282,6 +283,43 @@ TEST_F(ExperimentTest, LatencyIsRecordedPerQuery) {
   Evaluator Ev(*P, *Idx, RankingOptions::all());
   Ev.runMethodPrediction(false, false);
   EXPECT_GT(Ev.latency().Millis.size(), 0u);
+}
+
+TEST_F(ExperimentTest, TermAttributionLedgerIsConsistent) {
+  TermAttributionReport R =
+      runTermAttribution(*P, *Idx, RankingOptions::all());
+  // Every replayed site lands in exactly one outcome bucket.
+  EXPECT_EQ(R.Sites,
+            R.OracleAtRank1 + R.OracleTied + R.OracleBelow + R.OracleMissing);
+  EXPECT_EQ(R.Sites, 2u); // the two Util calls have guessable args
+  // Margins and separating sites exist only when something ranked below.
+  for (ScoreTerm Term : AllScoreTerms) {
+    size_t I = static_cast<size_t>(Term);
+    if (R.OracleBelow == 0) {
+      EXPECT_EQ(R.SeparatingSites[I], 0u);
+      EXPECT_EQ(R.MarginSum[I], 0);
+    }
+    EXPECT_LE(R.SeparatingSites[I], R.OracleBelow);
+    EXPECT_GE(R.MarginSum[I], 0);
+    EXPECT_GE(R.SavingsSum[I], 0);
+  }
+  EXPECT_NE(R.toString().find("term attribution over 2 call sites"),
+            std::string::npos);
+}
+
+TEST(AttributionOnGeneratedCorpus, ThreadCountIndependent) {
+  ProjectProfile Prof = paperProjectProfiles(0.15)[5];
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+  CompletionIndexes Idx(P);
+  TermAttributionReport Serial =
+      runTermAttribution(P, Idx, RankingOptions::all(), 20, 1);
+  TermAttributionReport Threaded =
+      runTermAttribution(P, Idx, RankingOptions::all(), 20, 4);
+  EXPECT_GT(Serial.Sites, 0u);
+  EXPECT_EQ(Serial.toString(), Threaded.toString());
 }
 
 TEST(EvaluatorOnGeneratedCorpus, DeterministicResults) {

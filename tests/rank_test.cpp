@@ -41,6 +41,37 @@ TEST(RankingOptionsTest, MinusAndPlusSpecs) {
   EXPECT_FALSE(PlusTA.UseNamespace);
 }
 
+TEST(RankingOptionsTest, CheckingFromSpecRejectsBadSpecs) {
+  RankingOptions O;
+  std::string Error;
+  // Unknown term letter, named in the message.
+  EXPECT_FALSE(RankingOptions::fromSpec("-x", O, Error));
+  EXPECT_NE(Error.find("unknown ranking term letter 'x'"), std::string::npos)
+      << Error;
+  EXPECT_FALSE(RankingOptions::fromSpec("+tz", O, Error));
+  EXPECT_NE(Error.find("'z'"), std::string::npos) << Error;
+  // Missing +/- prefix.
+  EXPECT_FALSE(RankingOptions::fromSpec("bogus", O, Error));
+  EXPECT_NE(Error.find("'+'/'-'"), std::string::npos) << Error;
+  // A sign with no letters.
+  EXPECT_FALSE(RankingOptions::fromSpec("+", O, Error));
+  EXPECT_NE(Error.find("names no terms"), std::string::npos) << Error;
+  // A failed parse leaves the output untouched.
+  RankingOptions Before = RankingOptions::fromSpec("-d");
+  RankingOptions Out = Before;
+  EXPECT_FALSE(RankingOptions::fromSpec("-q", Out, Error));
+  EXPECT_EQ(Out.spec(), Before.spec());
+}
+
+TEST(RankingOptionsTest, CheckingFromSpecNormalizesDuplicates) {
+  RankingOptions O;
+  std::string Error;
+  ASSERT_TRUE(RankingOptions::fromSpec("-ddd", O, Error)) << Error;
+  EXPECT_EQ(O.spec(), RankingOptions::fromSpec("-d").spec());
+  ASSERT_TRUE(RankingOptions::fromSpec("+tat", O, Error)) << Error;
+  EXPECT_EQ(O.spec(), RankingOptions::fromSpec("+ta").spec());
+}
+
 class SpecRoundTripTest : public ::testing::TestWithParam<const char *> {};
 
 TEST_P(SpecRoundTripTest, SpecSurvivesRoundTrip) {

@@ -11,7 +11,7 @@
 #include "complete/Engine.h"
 #include "parser/Frontend.h"
 #include "partial/Semantics.h"
-#include "rank/Explain.h"
+#include "rank/ScoreCard.h"
 
 #include <gtest/gtest.h>
 
@@ -153,7 +153,7 @@ TEST_F(SemanticsTest, BreakdownTermsSumToTheFullScore) {
   for (const char *QT : {"?", "Distance(point, ?)", "?({point, this})"}) {
     const PartialExpr *Q = query(QT);
     for (const Completion &C : Engine->complete(Q, Site, 60)) {
-      ScoreBreakdown B = explainScore(R, C.E);
+      ScoreCard B = R.scoreCard(C.E);
       ASSERT_EQ(B.total(), C.Score)
           << printExpr(*TS, C.E) << ": " << B.toString();
     }
@@ -161,11 +161,11 @@ TEST_F(SemanticsTest, BreakdownTermsSumToTheFullScore) {
 }
 
 TEST_F(SemanticsTest, BreakdownRendersReadably) {
-  ScoreBreakdown B;
-  B.Depth = 4;
-  B.Namespace = 3;
+  ScoreCard B;
+  B.term(ScoreTerm::Depth) = 4;
+  B.term(ScoreTerm::Namespace) = 3;
   EXPECT_EQ(B.toString(), "depth 4 + ns 3 = 7");
-  ScoreBreakdown Zero;
+  ScoreCard Zero;
   EXPECT_EQ(Zero.toString(), "0 = 0");
 }
 

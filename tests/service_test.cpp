@@ -25,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
 #include <sstream>
 #include <thread>
 
@@ -359,6 +360,111 @@ TEST(ServiceTest, ShutdownRejectsNewWork) {
   EXPECT_EQ(errorCode(C.call("petal/open",
                              openParams("geo.cs", corpora::GeometryCorpus, 1))),
             rpc::ShuttingDown);
+}
+
+//===----------------------------------------------------------------------===//
+// Explain mode and the score ceiling
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ExplainAttachesTermBreakdownsThatSumToTheScore) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  Value P = completeParams("geo.cs", "EllipseArc", "Examine",
+                           "Distance(point, ?)");
+  P.set("explain", true);
+  Value Resp = C.call("petal/complete", P);
+  ASSERT_EQ(errorCode(Resp), 0) << Resp.write();
+
+  const Value *List = Resp.find("result")->find("completions");
+  ASSERT_TRUE(List && List->isArray() && !List->elements().empty());
+  const char *Letters[] = {"t", "a", "d", "s", "n", "m"};
+  std::map<std::string, int64_t> WantTotals;
+  for (const Value &Item : List->elements()) {
+    const Value *Terms = Item.find("terms");
+    ASSERT_NE(Terms, nullptr) << Item.write();
+    int64_t Sum = 0;
+    for (const char *L : Letters) {
+      int64_t T = Terms->getInt(L, -1);
+      ASSERT_GE(T, 0) << Item.write(); // all six keys always present
+      Sum += T;
+      WantTotals[L] += T;
+    }
+    // The breakdown decomposes the reported score exactly; the subexpr
+    // rollup is informational, not part of the sum.
+    EXPECT_EQ(Sum, Item.getInt("score", -1)) << Item.write();
+    EXPECT_GE(Item.getInt("subexpr", -1), 0) << Item.write();
+  }
+
+  // $/stats aggregates the same totals.
+  Value Stats = C.callResult("$/stats", Value::object());
+  const Value *Explain = Stats.find("explain");
+  ASSERT_NE(Explain, nullptr);
+  EXPECT_EQ(Explain->getInt("queries", -1), 1);
+  const Value *Totals = Explain->find("termTotals");
+  ASSERT_NE(Totals, nullptr);
+  for (const char *L : Letters)
+    EXPECT_EQ(Totals->getInt(L, -1), WantTotals[L]) << L;
+}
+
+TEST(ServiceTest, ExplainAndPlainQueriesCacheSeparately) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  Value Plain = completeParams("geo.cs", "EllipseArc", "Examine",
+                               "?({point})");
+  Value Explained = Plain;
+  Explained.set("explain", true);
+
+  Value P1 = C.call("petal/complete", Plain);
+  Value E1 = C.call("petal/complete", Explained);
+  ASSERT_EQ(errorCode(P1), 0);
+  ASSERT_EQ(errorCode(E1), 0);
+
+  // Same query text, different payload shape: two distinct cache entries.
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 0);
+  EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 2);
+
+  // Plain responses carry no breakdown, and each variant replays
+  // byte-identical from the cache.
+  const Value *PlainList = P1.find("result")->find("completions");
+  ASSERT_TRUE(PlainList && !PlainList->elements().empty());
+  for (const Value &Item : PlainList->elements())
+    EXPECT_EQ(Item.find("terms"), nullptr) << Item.write();
+  Value E2 = C.call("petal/complete", Explained);
+  EXPECT_EQ(E1.find("result")->write(), E2.find("result")->write());
+
+  // Cache replays do not inflate the explain aggregates.
+  Value Stats2 = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats2.find("explain")->getInt("queries", -1), 1);
+}
+
+TEST(ServiceTest, MaxScoreAboveTheCeilingIsReportedInStats) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  // A hostile maxScore cannot drive bucket growth past the engine's score
+  // ceiling; asking for more results than exist under the ceiling reports
+  // the truncation.
+  Value P = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})",
+                           /*N=*/1000);
+  P.set("maxScore", int64_t(1) << 40);
+  Value Resp = C.call("petal/complete", P);
+  ASSERT_EQ(errorCode(Resp), 0) << Resp.write();
+  ASSERT_LT(Resp.find("result")->find("completions")->elements().size(),
+            1000u);
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("scoreCeilingHits", -1), 1);
+
+  // Equivalent oversized values canonicalize to one cache entry.
+  P.set("maxScore", int64_t(123456789));
+  C.call("petal/complete", P);
+  Value Stats2 = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats2.find("cache")->getInt("hits", -1), 1);
+  // The replay is not recounted as a ceiling hit.
+  EXPECT_EQ(Stats2.getInt("scoreCeilingHits", -1), 1);
 }
 
 //===----------------------------------------------------------------------===//
