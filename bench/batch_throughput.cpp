@@ -23,6 +23,11 @@
 // (default 10) percent. Check mode neither rewrites the snapshot nor runs
 // the google-benchmark harness, so it is safe to wire into CI.
 //
+// Sizing flags (honored in both sweep and check mode):
+//   --scale S    corpus scale factor; overrides $PETAL_SCALE (default 0.5)
+//   --repeat N   minimum completeBatch repetitions per measurement
+//                (default 3; the 0.5 s floor still applies)
+//
 // Note: the speedup column only shows >1 on multi-core hardware; on a
 // single-CPU machine all configurations collapse to serial throughput.
 //
@@ -49,6 +54,23 @@ using namespace petal::bench;
 
 namespace {
 
+/// --scale override; negative means "not set, fall back to $PETAL_SCALE".
+double &scaleOverride() {
+  static double S = -1.0;
+  return S;
+}
+
+/// The corpus scale in effect: --scale beats $PETAL_SCALE beats 0.5.
+double activeScale() {
+  return scaleOverride() >= 0 ? scaleOverride() : benchScale();
+}
+
+/// --repeat: minimum completeBatch repetitions per measurement.
+size_t &minRepeats() {
+  static size_t N = 3;
+  return N;
+}
+
 /// One project plus the full batched query list, shared by every
 /// configuration so all thread counts answer identical requests.
 struct BatchFixture {
@@ -64,7 +86,7 @@ struct BatchFixture {
 
 private:
   BatchFixture() {
-    ProjectProfile Prof = paperProjectProfiles(benchScale())[0];
+    ProjectProfile Prof = paperProjectProfiles(activeScale())[0];
     TS = std::make_unique<TypeSystem>();
     P = std::make_unique<Program>(*TS);
     CorpusGenerator Gen(Prof);
@@ -109,7 +131,7 @@ double measureQps(BatchExecutor &Exec,
   size_t Reps = 0;
   Clock::time_point Start = Clock::now();
   double Elapsed = 0;
-  while (Reps < 3 || Elapsed < 0.5) {
+  while (Reps < minRepeats() || Elapsed < 0.5) {
     benchmark::DoNotOptimize(Exec.completeBatch(Requests));
     ++Reps;
     Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
@@ -139,10 +161,13 @@ void sweepAndSnapshot() {
 
   double Base = Rows.front().second;
   TextTable Tab;
-  Tab.setHeader({"threads", "queries/sec", "speedup vs 1"});
+  // Efficiency = speedup / threads: 1.00 is perfect linear scaling. On a
+  // single-CPU machine every multi-thread row degenerates to ~1/threads.
+  Tab.setHeader({"threads", "queries/sec", "speedup vs 1", "efficiency"});
   for (const auto &[T, Qps] : Rows)
     Tab.addRow({std::to_string(T), formatFixed(Qps, 1),
-                formatFixed(Qps / Base, 2) + "x"});
+                formatFixed(Qps / Base, 2) + "x",
+                formatFixed(Qps / Base / static_cast<double>(T), 2)});
   std::cout << "Batch throughput (manual sweep):\n";
   Tab.print(std::cout);
   std::cout << "\n";
@@ -153,16 +178,20 @@ void sweepAndSnapshot() {
   std::ofstream OS(Dir + "/BENCH_batch.json");
   OS << "{\n"
      << "  \"benchmark\": \"batch_throughput\",\n"
-     << "  \"scale\": " << formatFixed(benchScale(), 2) << ",\n"
+     << "  \"scale\": " << formatFixed(activeScale(), 2) << ",\n"
+     << "  \"repeat\": " << minRepeats() << ",\n"
      << "  \"queries_per_batch\": " << F.Requests.size() << ",\n"
      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
      << ",\n"
      << "  \"results\": [\n";
-  for (size_t I = 0; I != Rows.size(); ++I)
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    double T = static_cast<double>(Rows[I].first);
     OS << "    {\"threads\": " << Rows[I].first
        << ", \"qps\": " << formatFixed(Rows[I].second, 1)
-       << ", \"speedup\": " << formatFixed(Rows[I].second / Base, 3) << "}"
-       << (I + 1 == Rows.size() ? "\n" : ",\n");
+       << ", \"speedup\": " << formatFixed(Rows[I].second / Base, 3)
+       << ", \"efficiency\": " << formatFixed(Rows[I].second / Base / T, 3)
+       << "}" << (I + 1 == Rows.size() ? "\n" : ",\n");
+  }
   OS << "  ]\n}\n";
   std::cout << "wrote " << Dir << "/BENCH_batch.json\n\n";
 }
@@ -194,10 +223,10 @@ int checkAgainst(const std::string &File, double TolerancePct) {
   for (const json::Value &Row : Results->elements())
     Baseline[static_cast<size_t>(Row.getInt("threads", 0))] =
         Row.getNumber("qps", 0);
-  if (std::abs(Snapshot.getNumber("scale", -1) - benchScale()) > 1e-9)
+  if (std::abs(Snapshot.getNumber("scale", -1) - activeScale()) > 1e-9)
     std::cout << "note: baseline was recorded at scale "
               << formatFixed(Snapshot.getNumber("scale", -1), 2)
-              << ", current scale is " << formatFixed(benchScale(), 2)
+              << ", current scale is " << formatFixed(activeScale(), 2)
               << " — comparison is not meaningful across scales\n\n";
 
   std::vector<std::pair<size_t, double>> Rows = runSweep();
@@ -272,13 +301,31 @@ int main(int argc, char **argv) {
                   << argv[I] << "'\n";
         return 1;
       }
+    } else if (Arg == "--scale" && I + 1 < argc) {
+      char *End = nullptr;
+      double S = std::strtod(argv[++I], &End);
+      if (End == argv[I] || *End != '\0' || S <= 0) {
+        std::cerr << "error: --scale needs a positive factor, got '"
+                  << argv[I] << "'\n";
+        return 1;
+      }
+      scaleOverride() = S;
+    } else if (Arg == "--repeat" && I + 1 < argc) {
+      char *End = nullptr;
+      long N = std::strtol(argv[++I], &End, 10);
+      if (End == argv[I] || *End != '\0' || N < 1) {
+        std::cerr << "error: --repeat needs a positive integer, got '"
+                  << argv[I] << "'\n";
+        return 1;
+      }
+      minRepeats() = static_cast<size_t>(N);
     } else {
       Rest.push_back(argv[I]);
     }
   }
 
   banner("parallel batch-query throughput", "§5 experiment replay, batched",
-         benchScale());
+         activeScale());
   if (!CheckFile.empty())
     return checkAgainst(CheckFile, TolerancePct);
 

@@ -6,7 +6,7 @@
 #
 #===------------------------------------------------------------------------===#
 #
-# The full pre-merge gate, in four builds:
+# The full pre-merge gate, in four builds plus a perf smoke:
 #
 #   1. Release: the whole test suite.
 #   2. ThreadSanitizer (-DPETAL_SANITIZE=thread): the concurrency tests —
@@ -23,6 +23,12 @@
 #      suite again under UBSan alone (leg 3 bundles it with ASan, but ASan
 #      reshapes the heap and skips the TSan-only paths; this leg runs every
 #      test with unrecoverable UBSan checks and no other instrumentation).
+#   5. Perf smoke: batch_throughput --check-against BENCH_batch.json, the
+#      frozen-index fast path vs the committed snapshot. The tolerance is
+#      deliberately loose (50%) — CI machines are noisy and differ from the
+#      snapshot's hardware; the leg exists to catch order-of-magnitude
+#      regressions (a lock reintroduced on the query path, an index
+#      silently falling back to the lazy representation), not 10% drift.
 #
 # Usage: scripts/ci.sh [jobs]          (default: nproc)
 #
@@ -33,13 +39,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/4] Release build + full test suite"
+echo "== [1/5] Release build + full test suite"
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo
-echo "== [2/4] ThreadSanitizer build + concurrency tests"
+echo "== [2/5] ThreadSanitizer build + concurrency tests"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -47,7 +53,7 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing'
 
 echo
-echo "== [3/4] AddressSanitizer build + service/robustness tests"
+echo "== [3/5] AddressSanitizer build + service/robustness tests"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -55,11 +61,16 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
   -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer'
 
 echo
-echo "== [4/4] UndefinedBehaviorSanitizer build + full test suite"
+echo "== [4/5] UndefinedBehaviorSanitizer build + full test suite"
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+
+echo
+echo "== [5/5] Perf smoke: batch throughput vs committed snapshot"
+build-ci/bench/batch_throughput --check-against BENCH_batch.json \
+  --tolerance 50
 
 echo
 echo "== ci.sh: all green"

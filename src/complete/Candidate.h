@@ -22,6 +22,7 @@
 
 #include "code/Expr.h"
 #include "model/Ids.h"
+#include "support/Arena.h"
 
 #include <cassert>
 #include <vector>
@@ -38,6 +39,13 @@ struct Candidate {
   int Depth = 0;
 };
 
+/// The bucket container: candidates are POD, so backing these vectors with
+/// the engine's per-query scratch arena makes the whole enumeration phase
+/// allocate from bump storage that is reclaimed wholesale when the query
+/// ends. A default-constructed CandidateVec (no arena) uses the heap,
+/// which keeps streams usable standalone in tests.
+using CandidateVec = std::vector<Candidate, ArenaAllocator<Candidate>>;
+
 /// Base class of all candidate streams. bucket(S) returns the candidates of
 /// exactly score S; buckets are computed on demand, strictly in order, and
 /// cached so a stream may be consumed by several parents.
@@ -53,7 +61,7 @@ public:
 
   /// All candidates with score exactly \p S (deterministic order). Beyond
   /// the ceiling the bucket is empty and the hit flag latches.
-  const std::vector<Candidate> &bucket(int S) {
+  const CandidateVec &bucket(int S) {
     assert(S >= 0 && "negative score bucket");
     if (Ceiling >= 0 && S > Ceiling) {
       CeilingHit = true;
@@ -61,7 +69,7 @@ public:
     }
     while (static_cast<int>(Buckets.size()) <= S) {
       int Cur = static_cast<int>(Buckets.size());
-      Buckets.emplace_back();
+      Buckets.emplace_back(ArenaAllocator<Candidate>(Scratch));
       fillBucket(Cur, Buckets.back());
     }
     return Buckets[S];
@@ -71,19 +79,26 @@ public:
   void setCeiling(int C) { Ceiling = C; }
   int ceiling() const { return Ceiling; }
 
+  /// Backs all future bucket storage with \p A (nullptr = heap). Streams
+  /// set this from EngineState::Scratch at construction, so every bucket a
+  /// query fills lives in the query's scratch arena.
+  void setScratch(Arena *A) { Scratch = A; }
+  Arena *scratch() const { return Scratch; }
+
   /// Whether a bucket beyond the ceiling was ever requested.
   bool ceilingHit() const { return CeilingHit; }
 
 protected:
   /// Computes the candidates of score \p S into \p Out. Called exactly once
   /// per S, in increasing order.
-  virtual void fillBucket(int S, std::vector<Candidate> &Out) = 0;
+  virtual void fillBucket(int S, CandidateVec &Out) = 0;
 
 private:
-  std::vector<std::vector<Candidate>> Buckets;
+  std::vector<CandidateVec> Buckets;
+  Arena *Scratch = nullptr;
   int Ceiling = -1;
   bool CeilingHit = false;
-  static inline const std::vector<Candidate> EmptyBucket{};
+  static inline const CandidateVec EmptyBucket{};
 };
 
 } // namespace petal

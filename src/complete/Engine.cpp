@@ -23,13 +23,23 @@ static_assert(offsetof(CompletionIndexes, Members) <
               "reference to Members");
 #pragma GCC diagnostic pop
 
-void CompletionIndexes::freeze() {
+void CompletionIndexes::freeze(const FreezeOptions &Opts) {
   if (Frozen)
     return;
   TS.warmRelationCaches();
   Members.warmAll();
   Methods.warmAll();
   Reach.warmAll();
+  if (Opts.MaxDenseBytes != 0) {
+    // Compile the warmed caches into dense storage. Order matters only for
+    // speed: Reach.freeze() performs N² convertibility checks that become
+    // single int16 loads once the type system's matrix is in place, and it
+    // walks member edges, which the CSR layout serves linearly.
+    TS.freezeDenseDistances(Opts.MaxDenseBytes);
+    Members.freeze();
+    Methods.freeze();
+    Reach.freeze(Opts.MaxDenseBytes);
+  }
   Frozen = true;
 }
 
@@ -40,11 +50,19 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
   TypeSystem &TS = P.typeSystem();
   Stats = {};
 
-  // Fresh arena for this query's synthesized expressions.
+  // Fresh arena for this query's synthesized expressions. A second,
+  // *scratch* arena backs everything the enumeration allocates but the
+  // caller never sees — stream buckets, expansion pools, pending heaps,
+  // and the scorers' per-call argument buffers. Keeping them separate
+  // matters for batching: the result arena is handed off with the
+  // completions (takeQueryArena), and must not drag dead enumeration
+  // storage along with it. Scratch dies at the end of this call.
   QueryArena = std::make_unique<Arena>();
+  Arena Scratch;
   ExprFactory Factory(TS, *QueryArena);
 
   Ranker Rank(TS, Opts.Rank);
+  Rank.setScratchArena(&Scratch);
   if (Site.Class)
     Rank.setSelfType(Site.Class->type());
   if (Opts.Rank.UseAbstractTypes && Opts.UseAbstractTypes) {
@@ -73,6 +91,7 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
   ES.MaxScore = EffMaxScore;
   ES.MaxChainLen = Opts.MaxChainLen;
   ES.ScoreCeiling = Opts.ScoreCeiling;
+  ES.Scratch = &Scratch;
 
   std::unique_ptr<CandidateStream> Top =
       buildStream(ES, Query, Opts.ExpectedType);

@@ -38,6 +38,19 @@
 
 namespace petal {
 
+/// Controls how CompletionIndexes::freeze() compiles the lazy caches into
+/// dense storage (see DESIGN.md, "Frozen index memory layout").
+struct FreezeOptions {
+  /// Byte budget for each family of dense TypeId×TypeId int16 matrices
+  /// (the type system's conversion distances, and the reachability index's
+  /// exact- and convertible-distance tables). Corpora whose matrices would
+  /// exceed the budget keep the warmed lazy path for that index instead.
+  /// 0 disables dense compilation entirely — freeze() then only warms the
+  /// lazy caches, which is the legacy behavior the equivalence tests
+  /// compare against.
+  size_t MaxDenseBytes = 256u << 20;
+};
+
 /// The shared, query-independent indexes: the method index (§4.2), the
 /// member-lookup cache, the reachability index, and the abstract type
 /// inference. Build once per corpus.
@@ -45,8 +58,9 @@ namespace petal {
 /// Concurrency: several of the indexes populate caches lazily on first
 /// query, which is only safe single-threaded. Call freeze() once before
 /// sharing an instance across threads (BatchExecutor does this for you);
-/// afterwards every index read is either a pure lookup or internally
-/// synchronized. See DESIGN.md, "Concurrency model".
+/// afterwards every index read is a pure load from immutable storage —
+/// there is no lock anywhere on the post-freeze query read path. See
+/// DESIGN.md, "Concurrency model".
 struct CompletionIndexes {
   explicit CompletionIndexes(Program &P)
       : Methods(P.typeSystem()), Members(P.typeSystem()),
@@ -54,10 +68,14 @@ struct CompletionIndexes {
 
   /// Eagerly populates every lazily filled cache (the type system's
   /// ancestor distances, the member edges, the method-index supertype
-  /// unions, and the reachability distance maps). Idempotent; required
-  /// before concurrent use, harmless (and often useful — first-touch cost
-  /// moves out of the measured path) in single-threaded use.
-  void freeze();
+  /// unions, and the reachability distance maps), then — budget permitting
+  /// — compiles them into immutable dense tables: TypeId×TypeId int16
+  /// distance matrices, CSR member edges, and contiguous pre-merged
+  /// method-index spans. Idempotent; required before concurrent use,
+  /// harmless (and often useful — first-touch cost moves out of the
+  /// measured path) in single-threaded use.
+  void freeze() { freeze(FreezeOptions{}); }
+  void freeze(const FreezeOptions &Opts);
   bool frozen() const { return Frozen; }
 
   // NOTE on member order: Reach holds a reference to Members (its BFS walks

@@ -19,6 +19,7 @@ using namespace petal;
 
 ConcreteStream::ConcreteStream(EngineState &ES, const Expr *E, TypeId Target) {
   setCeiling(ES.ScoreCeiling);
+  setScratch(ES.Scratch);
   C.E = E;
   C.Score = ES.Rank->scoreExpr(E);
   C.Type = E->type();
@@ -26,7 +27,7 @@ ConcreteStream::ConcreteStream(EngineState &ES, const Expr *E, TypeId Target) {
                !ES.TS->implicitlyConvertible(C.Type, Target);
 }
 
-void ConcreteStream::fillBucket(int S, std::vector<Candidate> &Out) {
+void ConcreteStream::fillBucket(int S, CandidateVec &Out) {
   if (!Suppressed && S == C.Score)
     Out.push_back(C);
 }
@@ -37,12 +38,13 @@ void ConcreteStream::fillBucket(int S, std::vector<Candidate> &Out) {
 
 DontCareStream::DontCareStream(EngineState &ES) {
   setCeiling(ES.ScoreCeiling);
+  setScratch(ES.Scratch);
   C.E = ES.Factory->dontCare();
   C.Score = 0;
   C.Type = InvalidId;
 }
 
-void DontCareStream::fillBucket(int S, std::vector<Candidate> &Out) {
+void DontCareStream::fillBucket(int S, CandidateVec &Out) {
   if (S == 0)
     Out.push_back(C);
 }
@@ -53,9 +55,10 @@ void DontCareStream::fillBucket(int S, std::vector<Candidate> &Out) {
 
 VarsStream::VarsStream(EngineState &ES) : ES(ES) {
   setCeiling(ES.ScoreCeiling);
+  setScratch(ES.Scratch);
 }
 
-void VarsStream::fillBucket(int S, std::vector<Candidate> &Out) {
+void VarsStream::fillBucket(int S, CandidateVec &Out) {
   const TypeSystem &TS = *ES.TS;
   int GlobalScore = ES.Rank->lookupStepCost(); // `Type.Member` is one dot
 
@@ -107,6 +110,7 @@ SuffixStream::SuffixStream(EngineState &ES,
                            SuffixKind Kind, TypeId Target)
     : ES(ES), Base(std::move(Base)), Kind(Kind), Target(Target) {
   setCeiling(ES.ScoreCeiling);
+  setScratch(ES.Scratch);
 }
 
 bool SuffixStream::emits(const Candidate &C) const {
@@ -131,9 +135,9 @@ bool SuffixStream::worthExpanding(const Candidate &C) const {
       .has_value();
 }
 
-void SuffixStream::expand(const Candidate &C, std::vector<Candidate> &Out) {
+void SuffixStream::expand(const Candidate &C, CandidateVec &Out) {
   int Step = ES.Rank->lookupStepCost();
-  const auto &Edges = ES.Members->edges(C.Type);
+  const auto Edges = ES.Members->edges(C.Type);
   size_t Limit = suffixAllowsMethods(Kind) ? Edges.size()
                                            : ES.Members->numFieldEdges(C.Type);
   for (size_t I = 0; I != Limit; ++I) {
@@ -146,14 +150,15 @@ void SuffixStream::expand(const Candidate &C, std::vector<Candidate> &Out) {
   }
 }
 
-void SuffixStream::fillBucket(int S, std::vector<Candidate> &Out) {
+void SuffixStream::fillBucket(int S, CandidateVec &Out) {
   int Step = ES.Rank->lookupStepCost();
-  const std::vector<Candidate> &BaseBucket = Base->bucket(S);
+  const CandidateVec &BaseBucket = Base->bucket(S);
+  ArenaAllocator<Candidate> Alloc(scratch());
 
   if (Step == 0) {
     // Depth term disabled: chains no longer change the score, so bound the
     // expansion by chain length instead of by score.
-    std::vector<Candidate> Frontier;
+    CandidateVec Frontier(Alloc);
     for (const Candidate &C : BaseBucket) {
       if (emits(C))
         Out.push_back(C);
@@ -162,7 +167,7 @@ void SuffixStream::fillBucket(int S, std::vector<Candidate> &Out) {
     }
     int MaxLen = isStarSuffix(Kind) ? ES.MaxChainLen : 1;
     for (int Len = 0; Len != MaxLen && !Frontier.empty(); ++Len) {
-      std::vector<Candidate> Next;
+      CandidateVec Next(Alloc);
       for (const Candidate &C : Frontier)
         expand(C, Next);
       Frontier.clear();
@@ -176,7 +181,8 @@ void SuffixStream::fillBucket(int S, std::vector<Candidate> &Out) {
     return;
   }
 
-  Pool.resize(S + 1);
+  while (Pool.size() <= static_cast<size_t>(S))
+    Pool.emplace_back(Alloc);
 
   // Base candidates: emitted as-is (a `.?` suffix may complete to nothing)
   // and pooled as chain starting points.
@@ -189,7 +195,7 @@ void SuffixStream::fillBucket(int S, std::vector<Candidate> &Out) {
 
   // Lookup expansions of the frontier one step below.
   if (S - Step >= 0) {
-    std::vector<Candidate> Expanded;
+    CandidateVec Expanded(Alloc);
     for (const Candidate &C : Pool[S - Step])
       expand(C, Expanded);
     for (const Candidate &C : Expanded) {
@@ -209,11 +215,12 @@ void SuffixStream::fillBucket(int S, std::vector<Candidate> &Out) {
 UnknownCallStream::UnknownCallStream(
     EngineState &ES, std::vector<std::unique_ptr<CandidateStream>> Args,
     TypeId Target)
-    : ES(ES), Args(std::move(Args)), Target(Target) {
+    : ES(ES), Args(std::move(Args)), Target(Target), Pending(ES.Scratch) {
   setCeiling(ES.ScoreCeiling);
+  setScratch(ES.Scratch);
 }
 
-void UnknownCallStream::fillBucket(int S, std::vector<Candidate> &Out) {
+void UnknownCallStream::fillBucket(int S, CandidateVec &Out) {
   for (int Sum = CombosDone + 1; Sum <= S; ++Sum)
     processCombosWithSum(Sum);
   CombosDone = S;
@@ -254,17 +261,20 @@ void UnknownCallStream::enumerateMethods(const std::vector<Candidate> &Combo,
   // Scan the index bucket of the most selective argument type (§4.2).
   // Don't-cares and null literals constrain nothing, so they cannot drive
   // the index choice.
-  const std::vector<MethodId> *Methods = nullptr;
+  Span<const MethodId> Methods;
+  bool Constrained = false;
   for (const Candidate &C : Combo) {
     if (!isValidId(C.Type) || C.Type == ES.TS->nullType())
       continue;
-    const auto &Set = ES.MIndex->candidatesForArgType(C.Type);
-    if (!Methods || Set.size() < Methods->size())
-      Methods = &Set;
+    Span<const MethodId> Set = ES.MIndex->candidatesForArgType(C.Type);
+    if (!Constrained || Set.size() < Methods.size()) {
+      Methods = Set;
+      Constrained = true;
+    }
   }
-  if (!Methods)
-    Methods = &ES.MIndex->allMethods();
-  for (MethodId M : *Methods)
+  if (!Constrained)
+    Methods = ES.MIndex->allMethods();
+  for (MethodId M : Methods)
     tryMethod(M, Combo, ArgScore);
 }
 
@@ -375,13 +385,15 @@ void UnknownCallStream::tryMethod(MethodId M,
 KnownCallStream::KnownCallStream(
     EngineState &ES, MethodId M,
     std::vector<std::unique_ptr<CandidateStream>> Args, TypeId Target)
-    : ES(ES), M(M), Args(std::move(Args)), Target(Target) {
+    : ES(ES), M(M), Args(std::move(Args)), Target(Target),
+      Pending(ES.Scratch) {
   setCeiling(ES.ScoreCeiling);
+  setScratch(ES.Scratch);
   assert(this->Args.size() == ES.TS->numCallParams(M) &&
          "argument count must match the call signature");
 }
 
-void KnownCallStream::fillBucket(int S, std::vector<Candidate> &Out) {
+void KnownCallStream::fillBucket(int S, CandidateVec &Out) {
   for (int Sum = CombosDone + 1; Sum <= S; ++Sum)
     processCombosWithSum(Sum);
   CombosDone = S;
@@ -471,11 +483,12 @@ BinaryStream::BinaryStream(EngineState &ES, bool IsCompare, CompareOp Op,
                            std::unique_ptr<CandidateStream> Lhs,
                            std::unique_ptr<CandidateStream> Rhs, TypeId Target)
     : ES(ES), IsCompare(IsCompare), Op(Op), Lhs(std::move(Lhs)),
-      Rhs(std::move(Rhs)), Target(Target) {
+      Rhs(std::move(Rhs)), Target(Target), Pending(ES.Scratch) {
   setCeiling(ES.ScoreCeiling);
+  setScratch(ES.Scratch);
 }
 
-void BinaryStream::fillBucket(int S, std::vector<Candidate> &Out) {
+void BinaryStream::fillBucket(int S, CandidateVec &Out) {
   for (int Diag = DiagDone + 1; Diag <= S; ++Diag)
     for (int SL = 0; SL <= Diag; ++SL)
       crossJoin(Lhs->bucket(SL), Rhs->bucket(Diag - SL));
@@ -483,8 +496,7 @@ void BinaryStream::fillBucket(int S, std::vector<Candidate> &Out) {
   Pending.drain(S, Out);
 }
 
-void BinaryStream::crossJoin(const std::vector<Candidate> &L,
-                             const std::vector<Candidate> &R) {
+void BinaryStream::crossJoin(const CandidateVec &L, const CandidateVec &R) {
   if (L.empty() || R.empty())
     return;
   for (const Candidate &CL : L)

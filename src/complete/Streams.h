@@ -66,6 +66,12 @@ struct EngineState {
   int MaxChainLen = 4;
   /// Safety valve on the per-bucket expansion frontier of one star suffix.
   size_t MaxPoolPerBucket = 4096;
+  /// Per-query scratch arena backing the streams' bucket storage, expansion
+  /// pools, and pending heaps (see CandidateVec). Distinct from the query
+  /// *result* arena (ExprFactory's): the result arena is handed to the
+  /// caller with the completions, while scratch dies with the query, so
+  /// batched results do not retain dead enumeration storage. Null = heap.
+  Arena *Scratch = nullptr;
 };
 
 /// Builds the stream for a partial expression. \p Target, when valid,
@@ -81,7 +87,7 @@ public:
   ConcreteStream(EngineState &ES, const Expr *E, TypeId Target);
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override;
+  void fillBucket(int S, CandidateVec &Out) override;
   Candidate C;
   bool Suppressed;
 };
@@ -92,7 +98,7 @@ public:
   explicit DontCareStream(EngineState &ES);
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override;
+  void fillBucket(int S, CandidateVec &Out) override;
   Candidate C;
 };
 
@@ -104,7 +110,7 @@ public:
   explicit VarsStream(EngineState &ES);
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override;
+  void fillBucket(int S, CandidateVec &Out) override;
   EngineState &ES;
   bool EmittedLocals = false;
   bool EmittedGlobals = false;
@@ -120,9 +126,9 @@ public:
                SuffixKind Kind, TypeId Target);
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override;
+  void fillBucket(int S, CandidateVec &Out) override;
   /// Appends the single-step expansions of \p C to \p Out (score += step).
-  void expand(const Candidate &C, std::vector<Candidate> &Out);
+  void expand(const Candidate &C, CandidateVec &Out);
   bool emits(const Candidate &C) const;
   bool worthExpanding(const Candidate &C) const;
 
@@ -131,20 +137,26 @@ private:
   SuffixKind Kind;
   TypeId Target;
   /// Pool[S]: all chain states (emitted or not) of score S, the expansion
-  /// frontier for score S + step.
-  std::vector<std::vector<Candidate>> Pool;
+  /// frontier for score S + step. Arena-backed like the buckets.
+  std::vector<CandidateVec> Pool;
 };
 
 /// Shared helper for composite call/binary streams: a min-heap of
-/// completions discovered early (the "out of score order" buffer).
+/// completions discovered early (the "out of score order" buffer). The
+/// heap's backing vector allocates from the query scratch arena when one
+/// is supplied (default-constructed heaps use the global allocator).
 class PendingHeap {
 public:
+  PendingHeap() = default;
+  explicit PendingHeap(Arena *A)
+      : Heap(std::greater<Entry>(), EntryVec(ArenaAllocator<Entry>(A))) {}
+
   void push(int Score, uint64_t Tie, Candidate C) {
     Heap.push({Score, Tie, std::move(C)});
   }
 
   /// Pops every pending candidate of score exactly \p S into \p Out.
-  void drain(int S, std::vector<Candidate> &Out) {
+  void drain(int S, CandidateVec &Out) {
     while (!Heap.empty() && Heap.top().Score <= S) {
       assert(Heap.top().Score == S && "pending candidate was skipped");
       Out.push_back(Heap.top().C);
@@ -163,7 +175,8 @@ private:
       return Tie > O.Tie;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Heap;
+  using EntryVec = std::vector<Entry, ArenaAllocator<Entry>>;
+  std::priority_queue<Entry, EntryVec, std::greater<Entry>> Heap;
 };
 
 /// `?({e1, ..., en})`: unknown-method calls over the method index. For each
@@ -178,7 +191,7 @@ public:
                     TypeId Target);
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override;
+  void fillBucket(int S, CandidateVec &Out) override;
   void processCombosWithSum(int Sum);
   void enumerateMethods(const std::vector<Candidate> &Combo, int ArgScore);
   void tryMethod(MethodId M, const std::vector<Candidate> &Combo,
@@ -201,7 +214,7 @@ public:
                   TypeId Target);
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override;
+  void fillBucket(int S, CandidateVec &Out) override;
   void processCombosWithSum(int Sum);
   void emitCombo(const std::vector<Candidate> &Combo, int ArgScore);
 
@@ -224,9 +237,8 @@ public:
                std::unique_ptr<CandidateStream> Rhs, TypeId Target);
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override;
-  void crossJoin(const std::vector<Candidate> &L,
-                 const std::vector<Candidate> &R);
+  void fillBucket(int S, CandidateVec &Out) override;
+  void crossJoin(const CandidateVec &L, const CandidateVec &R);
   void emitPair(const Candidate &L, const Candidate &R);
 
   EngineState &ES;
@@ -246,10 +258,11 @@ public:
               std::vector<std::unique_ptr<CandidateStream>> Children)
       : Children(std::move(Children)) {
     setCeiling(ES.ScoreCeiling);
+    setScratch(ES.Scratch);
   }
 
 private:
-  void fillBucket(int S, std::vector<Candidate> &Out) override {
+  void fillBucket(int S, CandidateVec &Out) override {
     for (auto &C : Children) {
       const auto &B = C->bucket(S);
       Out.insert(Out.end(), B.begin(), B.end());

@@ -7,14 +7,54 @@
 
 #include "index/MemberCache.h"
 
+#include <cassert>
+
 using namespace petal;
 
 void MemberCache::warmAll() const {
+  if (frozen())
+    return;
   for (size_t T = 0; T != TS.numTypes(); ++T)
     edges(static_cast<TypeId>(T));
 }
 
-const std::vector<LookupEdge> &MemberCache::edges(TypeId T) const {
+void MemberCache::freeze() const {
+  if (frozen())
+    return;
+  warmAll();
+
+  size_t N = TS.numTypes();
+  std::vector<uint32_t> Offs(N + 1, 0);
+  size_t Total = 0;
+  for (size_t T = 0; T != N; ++T) {
+    Offs[T] = static_cast<uint32_t>(Total);
+    Total += Cache[T].size();
+  }
+  assert(Total <= UINT32_MAX && "member edge count overflows CSR offsets");
+  Offs[N] = static_cast<uint32_t>(Total);
+
+  std::vector<LookupEdge> Data;
+  Data.reserve(Total);
+  for (size_t T = 0; T != N; ++T)
+    Data.insert(Data.end(), Cache[T].begin(), Cache[T].end());
+
+  EdgeData = std::move(Data);
+  // Publish Offsets last: frozen() keys off it, and once it is non-empty
+  // edges() never touches the lazy representation again.
+  Offsets = std::move(Offs);
+  Cache.clear();
+  Cache.shrink_to_fit();
+  Valid.clear();
+  Valid.shrink_to_fit();
+}
+
+Span<const LookupEdge> MemberCache::edges(TypeId T) const {
+  if (frozen()) {
+    assert(static_cast<size_t>(T) + 1 < Offsets.size() && "bad TypeId");
+    uint32_t B = Offsets[T], E = Offsets[static_cast<size_t>(T) + 1];
+    return Span<const LookupEdge>(EdgeData.data() + B, E - B);
+  }
+
   if (Cache.size() < TS.numTypes()) {
     Cache.resize(TS.numTypes());
     FieldCounts.resize(TS.numTypes(), 0);

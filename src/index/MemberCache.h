@@ -18,7 +18,9 @@
 #define PETAL_INDEX_MEMBERCACHE_H
 
 #include "model/TypeSystem.h"
+#include "support/Span.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace petal {
@@ -31,34 +33,51 @@ struct LookupEdge {
   TypeId ResultType = InvalidId;
 };
 
-/// Lazily caches the lookup edges of every type. Field edges always precede
+/// Caches the lookup edges of every type. Field edges always precede
 /// method edges, so `.?f` consumers can stop at the first method edge.
 ///
-/// Concurrency: the lazy fill is single-threaded; call warmAll() (done by
-/// CompletionIndexes::freeze()) before sharing one instance across query
-/// threads, after which every accessor is a pure read.
+/// Two representations share one accessor: the lazy per-type vectors fill
+/// on first touch (single-threaded only), and freeze() — called by
+/// CompletionIndexes::freeze() — compacts everything into one CSR array
+/// (all edges contiguous, per-type [Offsets[T], Offsets[T+1]) windows).
+/// After freeze() every accessor is a pure read of immutable flat storage,
+/// safe for any number of concurrent readers, and a whole-frontier star
+/// expansion walks memory linearly instead of chasing per-type heap
+/// vectors.
 class MemberCache {
 public:
   explicit MemberCache(const TypeSystem &TS) : TS(TS) {}
 
   /// All edges from a value of type \p T (fields first, then zero-arg
   /// methods), in deterministic declaration order.
-  const std::vector<LookupEdge> &edges(TypeId T) const;
+  Span<const LookupEdge> edges(TypeId T) const;
 
   /// Eagerly fills the edge cache of every type; idempotent.
   void warmAll() const;
 
+  /// Compacts the per-type edge vectors into the CSR layout (warming any
+  /// still-unfilled entries first) and frees the lazy storage; idempotent.
+  void freeze() const;
+  bool frozen() const { return !Offsets.empty(); }
+
   /// Number of leading field edges of edges(T).
   size_t numFieldEdges(TypeId T) const {
-    edges(T);
+    if (!frozen())
+      edges(T);
     return FieldCounts[T];
   }
 
 private:
   const TypeSystem &TS;
+  // Lazy (pre-freeze) representation.
   mutable std::vector<std::vector<LookupEdge>> Cache;
-  mutable std::vector<size_t> FieldCounts;
   mutable std::vector<bool> Valid;
+  // Frozen CSR representation: edges of type T are
+  // EdgeData[Offsets[T] .. Offsets[T+1]).
+  mutable std::vector<LookupEdge> EdgeData;
+  mutable std::vector<uint32_t> Offsets;
+  // Shared by both representations.
+  mutable std::vector<size_t> FieldCounts;
 };
 
 } // namespace petal

@@ -8,6 +8,7 @@
 #include "index/MethodIndex.h"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <unordered_set>
 
@@ -33,18 +34,56 @@ MethodIndex::MethodIndex(const TypeSystem &TS) : TS(TS) {
 }
 
 void MethodIndex::warmAll() const {
+  if (frozen())
+    return;
   for (size_t T = 0; T != TS.numTypes(); ++T)
     candidatesForArgType(static_cast<TypeId>(T));
 }
 
-const std::vector<MethodId> &MethodIndex::exactBucket(TypeId T) const {
+void MethodIndex::freeze() const {
+  if (frozen())
+    return;
+  warmAll();
+
+  size_t N = UnionCache.size();
+  std::vector<uint32_t> Offs(N + 1, 0);
+  size_t Total = 0;
+  for (size_t T = 0; T != N; ++T) {
+    Offs[T] = static_cast<uint32_t>(Total);
+    Total += UnionCache[T].size();
+  }
+  assert(Total <= UINT32_MAX && "method-union size overflows CSR offsets");
+  Offs[N] = static_cast<uint32_t>(Total);
+
+  std::vector<MethodId> Data;
+  Data.reserve(Total);
+  for (size_t T = 0; T != N; ++T)
+    Data.insert(Data.end(), UnionCache[T].begin(), UnionCache[T].end());
+
+  UnionData = std::move(Data);
+  // Publish UnionOffsets last: frozen() keys off it, and once it is
+  // non-empty candidatesForArgType never touches the lazy representation.
+  UnionOffsets = std::move(Offs);
+  UnionCache.clear();
+  UnionCache.shrink_to_fit();
+  UnionCacheValid.clear();
+  UnionCacheValid.shrink_to_fit();
+}
+
+Span<const MethodId> MethodIndex::exactBucket(TypeId T) const {
   if (T < 0 || static_cast<size_t>(T) >= Buckets.size())
     return Empty;
   return Buckets[T];
 }
 
-const std::vector<MethodId> &
-MethodIndex::candidatesForArgType(TypeId T) const {
+Span<const MethodId> MethodIndex::candidatesForArgType(TypeId T) const {
+  if (frozen()) {
+    if (T < 0 || static_cast<size_t>(T) + 1 >= UnionOffsets.size())
+      return Empty;
+    uint32_t B = UnionOffsets[T], E = UnionOffsets[static_cast<size_t>(T) + 1];
+    return Span<const MethodId>(UnionData.data() + B, E - B);
+  }
+
   if (T < 0 || static_cast<size_t>(T) >= Buckets.size())
     return Empty;
   if (UnionCacheValid[T])

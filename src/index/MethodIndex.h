@@ -19,29 +19,41 @@
 #define PETAL_INDEX_METHODINDEX_H
 
 #include "model/TypeSystem.h"
+#include "support/Span.h"
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 namespace petal {
 
 /// Immutable method index built over a finished TypeSystem.
+///
+/// The per-type supertype-union candidate lists start as lazily memoized
+/// heap vectors (single-threaded fills). freeze() — called by
+/// CompletionIndexes::freeze() — pre-merges every supertype chain into one
+/// contiguous CSR array with per-type [UnionOffsets[T], UnionOffsets[T+1])
+/// spans; afterwards every accessor is a lock-free read of immutable flat
+/// storage.
 class MethodIndex {
 public:
   explicit MethodIndex(const TypeSystem &TS);
 
   /// Methods with a call-signature parameter of exactly type \p T.
-  const std::vector<MethodId> &exactBucket(TypeId T) const;
+  Span<const MethodId> exactBucket(TypeId T) const;
 
   /// Methods usable with an argument of type \p T in some position: the
   /// union of the exact buckets of \p T and all its transitive supertypes
-  /// (deduplicated, deterministic order). Memoized per type.
-  const std::vector<MethodId> &candidatesForArgType(TypeId T) const;
+  /// (deduplicated, deterministic nearer-supertype-first order). Memoized
+  /// per type; a pure flat-array read once frozen.
+  Span<const MethodId> candidatesForArgType(TypeId T) const;
 
   /// Eagerly memoizes candidatesForArgType for every type; idempotent.
-  /// After this every accessor is a pure read, safe for concurrent readers
-  /// (CompletionIndexes::freeze() calls it).
   void warmAll() const;
+
+  /// Compacts the memoized union lists into the CSR layout (warming any
+  /// still-unfilled entries first) and frees the lazy storage; idempotent.
+  void freeze() const;
+  bool frozen() const { return !UnionOffsets.empty(); }
 
   /// Size of candidatesForArgType(T) without forcing full materialization
   /// cost twice (it memoizes anyway; provided for readability).
@@ -55,8 +67,13 @@ public:
 private:
   const TypeSystem &TS;
   std::vector<std::vector<MethodId>> Buckets; // per TypeId
+  // Lazy (pre-freeze) union representation.
   mutable std::vector<std::vector<MethodId>> UnionCache;
   mutable std::vector<bool> UnionCacheValid;
+  // Frozen CSR representation: candidates of type T are
+  // UnionData[UnionOffsets[T] .. UnionOffsets[T+1]).
+  mutable std::vector<MethodId> UnionData;
+  mutable std::vector<uint32_t> UnionOffsets;
   std::vector<MethodId> All;
   std::vector<MethodId> Empty;
 };

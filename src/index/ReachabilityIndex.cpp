@@ -7,10 +7,19 @@
 
 #include "index/ReachabilityIndex.h"
 
+#include <cassert>
 #include <deque>
-#include <mutex>
 
 using namespace petal;
+
+// The retired lazy convertible-target memo packed (From, Target) into a
+// uint64_t as (From << 32) | Target, which silently aliased keys on any
+// platform where TypeId widened past 32 bits. The dense matrices index by
+// From * DenseN + Target in size_t and have no such hazard, but keep the
+// assumption visible for anything else that packs id pairs:
+static_assert(sizeof(TypeId) == 4,
+              "TypeId must stay 32-bit; pair-packed and dense row-major "
+              "indexes assume it");
 
 const std::unordered_map<TypeId, int> &
 ReachabilityIndex::reachableFrom(TypeId From, bool MethodsAllowed) const {
@@ -29,7 +38,7 @@ ReachabilityIndex::reachableFrom(TypeId From, bool MethodsAllowed) const {
     int D = Dist[Cur];
     if (D >= MaxDepth)
       continue;
-    const auto &Edges = Members.edges(Cur);
+    const auto Edges = Members.edges(Cur);
     size_t Limit = MethodsAllowed ? Edges.size() : Members.numFieldEdges(Cur);
     for (size_t I = 0; I != Limit; ++I) {
       TypeId Next = Edges[I].ResultType;
@@ -49,8 +58,60 @@ void ReachabilityIndex::warmAll() const {
   }
 }
 
+bool ReachabilityIndex::freeze(size_t MaxDenseBytes) const {
+  if (DenseN != 0)
+    return true;
+  size_t N = TS.numTypes();
+  if (N == 0 || 4 * N * N * sizeof(int16_t) > MaxDenseBytes)
+    return false;
+  warmAll();
+
+  // Per-type convertible-target adjacency, computed once up front so the
+  // ConvM fill below is a relaxation over precomputed lists instead of N³
+  // implicitlyConvertible calls. With the TypeSystem's own dense distance
+  // matrix frozen, each check is a single int16 load.
+  std::vector<std::vector<TypeId>> ConvTargets(N);
+  for (size_t Ty = 0; Ty != N; ++Ty)
+    for (size_t Tgt = 0; Tgt != N; ++Tgt)
+      if (TS.implicitlyConvertible(static_cast<TypeId>(Ty),
+                                   static_cast<TypeId>(Tgt)))
+        ConvTargets[Ty].push_back(static_cast<TypeId>(Tgt));
+
+  for (int K = 0; K != 2; ++K) {
+    std::vector<int16_t> DM(N * N, NoReach);
+    std::vector<int16_t> CM(N * N, NoReach);
+    for (size_t F = 0; F != N; ++F) {
+      int16_t *DRow = DM.data() + F * N;
+      int16_t *CRow = CM.data() + F * N;
+      for (const auto &[To, D] : reachableFrom(static_cast<TypeId>(F),
+                                               /*MethodsAllowed=*/K == 1)) {
+        assert(D >= 0 && D <= INT16_MAX && "lookup distance overflows int16");
+        auto D16 = static_cast<int16_t>(D);
+        DRow[To] = D16;
+        for (TypeId Tgt : ConvTargets[To])
+          if (CRow[Tgt] == NoReach || D16 < CRow[Tgt])
+            CRow[Tgt] = D16;
+      }
+    }
+    DistM[K] = std::move(DM);
+    ConvM[K] = std::move(CM);
+  }
+  DenseN = N;
+  return true;
+}
+
 std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
                                                  bool MethodsAllowed) const {
+  if (DenseN != 0) {
+    assert(static_cast<size_t>(From) < DenseN &&
+           static_cast<size_t>(To) < DenseN && "bad TypeId");
+    int16_t D = DistM[MethodsAllowed ? 1 : 0]
+                     [static_cast<size_t>(From) * DenseN +
+                      static_cast<size_t>(To)];
+    if (D == NoReach)
+      return std::nullopt;
+    return static_cast<int>(D);
+  }
   const auto &Dist = reachableFrom(From, MethodsAllowed);
   auto It = Dist.find(To);
   if (It == Dist.end())
@@ -61,19 +122,20 @@ std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
 std::optional<int>
 ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
                                            bool MethodsAllowed) const {
-  auto &CacheMap = ConvCache[MethodsAllowed ? 1 : 0];
-  uint64_t Key = (static_cast<uint64_t>(static_cast<uint32_t>(From)) << 32) |
-                 static_cast<uint32_t>(Target);
-  {
-    std::shared_lock<std::shared_mutex> Lock(ConvMutex);
-    auto CIt = CacheMap.find(Key);
-    if (CIt != CacheMap.end())
-      return CIt->second;
+  if (DenseN != 0) {
+    assert(static_cast<size_t>(From) < DenseN &&
+           static_cast<size_t>(Target) < DenseN && "bad TypeId");
+    int16_t D = ConvM[MethodsAllowed ? 1 : 0]
+                     [static_cast<size_t>(From) * DenseN +
+                      static_cast<size_t>(Target)];
+    if (D == NoReach)
+      return std::nullopt;
+    return static_cast<int>(D);
   }
 
-  // Recompute outside the lock (the distance map is warm / thread-local to
-  // the lazy single-threaded phase); a racing duplicate computes the same
-  // value and the second emplace is a no-op.
+  // Lazy (pre-freeze, single-threaded) path: scan the warmed distance map.
+  // No memo — the dense matrix is the memo, and freeze() builds it before
+  // any concurrent or repeated querying starts.
   std::optional<int> Best;
   for (const auto &[Ty, D] : reachableFrom(From, MethodsAllowed)) {
     if (!TS.implicitlyConvertible(Ty, Target))
@@ -81,7 +143,5 @@ ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
     if (!Best || D < *Best)
       Best = D;
   }
-  std::unique_lock<std::shared_mutex> Lock(ConvMutex);
-  CacheMap.emplace(Key, Best);
   return Best;
 }

@@ -23,8 +23,8 @@
 #include "index/MemberCache.h"
 #include "model/TypeSystem.h"
 
+#include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -33,15 +33,16 @@ namespace petal {
 /// Lazily computed per-source-type reachability: the minimum number of
 /// lookup steps from a value of one type to a value of another.
 ///
-/// Concurrency: the per-source distance maps are lazily filled with no
-/// locking; call warmAll() (done by CompletionIndexes::freeze()) before
-/// sharing an instance across query threads, after which minLookups /
-/// reachableFrom are pure reads. The convertible-target memo is keyed by
-/// (source, target) *pairs* — a quadratic key space that cannot sensibly be
-/// pre-enumerated — so it alone stays lazy behind a shared_mutex
-/// double-checked path (reads take the shared lock, a miss recomputes
-/// outside the lock from the warmed distance maps, then inserts under the
-/// exclusive lock).
+/// Concurrency: the lazy representation (per-source hash maps, filled on
+/// first touch) is single-threaded. freeze() — called by
+/// CompletionIndexes::freeze() — compiles both queries into dense
+/// TypeId×TypeId int16 matrices (distance-to-exact-type and
+/// distance-to-convertible-target, one pair per edge set), after which
+/// every accessor is a branch-free load from immutable flat storage with
+/// no locking whatsoever. This retired the old (source,target)-pair-keyed
+/// hash memo and the shared_mutex that guarded it: the dense matrix *is*
+/// the fully enumerated pair space, so there is nothing left to memoize
+/// and nothing left to lock.
 class ReachabilityIndex {
 public:
   ReachabilityIndex(const TypeSystem &TS, const MemberCache &Members,
@@ -69,16 +70,29 @@ public:
   /// side effect of the BFS).
   void warmAll() const;
 
+  /// Compiles the lazy caches into the dense matrices described in the
+  /// class comment. Returns false (leaving the lazy path in place) when
+  /// the four N×N int16 matrices would exceed \p MaxDenseBytes; idempotent.
+  bool freeze(size_t MaxDenseBytes) const;
+  bool frozen() const { return DenseN != 0; }
+
 private:
+  /// Sentinel for "not reachable within MaxDepth" in the dense matrices.
+  /// MaxDepth is tiny (default 8), so real distances always fit int16.
+  static constexpr int16_t NoReach = -1;
+
   const TypeSystem &TS;
   const MemberCache &Members;
   int MaxDepth;
   // Index 0: fields only; index 1: fields + methods.
   mutable std::unordered_map<TypeId, std::unordered_map<TypeId, int>>
       Cache[2];
-  mutable std::unordered_map<uint64_t, std::optional<int>> ConvCache[2];
-  /// Guards ConvCache (only); see the class comment.
-  mutable std::shared_mutex ConvMutex;
+  // Frozen dense representation, row-major From*DenseN+To. DistM answers
+  // minLookups, ConvM answers minLookupsToConvertible. DenseN is published
+  // last so frozen() only reads fully-built matrices.
+  mutable std::vector<int16_t> DistM[2];
+  mutable std::vector<int16_t> ConvM[2];
+  mutable size_t DenseN = 0;
 };
 
 } // namespace petal

@@ -83,6 +83,7 @@ NamespaceId TypeSystem::getOrAddNamespace(const std::string &FullName) {
 
 TypeId TypeSystem::addType(const std::string &Name, NamespaceId Ns,
                            TypeKind Kind, TypeId Base) {
+  assert(DenseN == 0 && "type system mutated after freezeDenseDistances()");
   TypeInfo TI;
   TI.Name = Name;
   TI.Namespace = Ns;
@@ -132,12 +133,14 @@ void TypeSystem::setComparable(TypeId T, bool Value) {
 void TypeSystem::setBaseClass(TypeId T, TypeId Base) {
   assert((Types[Base].Kind == TypeKind::Class) &&
          "base class must be a class");
+  assert(DenseN == 0 && "type system mutated after freezeDenseDistances()");
   Types[T].BaseClass = Base;
 }
 
 void TypeSystem::addInterface(TypeId T, TypeId Iface) {
   assert(Types[Iface].Kind == TypeKind::Interface &&
          "addInterface target is not an interface");
+  assert(DenseN == 0 && "type system mutated after freezeDenseDistances()");
   Types[T].Interfaces.push_back(Iface);
 }
 
@@ -316,9 +319,40 @@ void TypeSystem::warmRelationCaches() const {
     ancestorDistances(static_cast<TypeId>(T));
 }
 
+bool TypeSystem::freezeDenseDistances(size_t MaxBytes) const {
+  if (DenseN != 0)
+    return true; // idempotent
+  size_t N = Types.size();
+  if (N == 0 || N * N * sizeof(int16_t) > MaxBytes)
+    return false; // fallback: lazy hash maps (warm them instead)
+
+  warmRelationCaches();
+  std::vector<int16_t> M(N * N, NoConversion);
+  for (size_t F = 0; F != N; ++F) {
+    TypeId From = static_cast<TypeId>(F);
+    if (From == NullTy) {
+      // `null` converts (at distance 0) to every reference type; it has no
+      // supertype edges of its own.
+      for (size_t T = 0; T != N; ++T)
+        if (isReferenceType(static_cast<TypeId>(T)))
+          M[F * N + T] = 0;
+      continue;
+    }
+    for (const auto &[To, D] : ancestorDistances(From)) {
+      assert(D >= 0 && D <= INT16_MAX && "type distance overflows int16");
+      M[F * N + static_cast<size_t>(To)] = static_cast<int16_t>(D);
+    }
+  }
+  DistMatrix = std::move(M);
+  DenseN = N; // publish last: denseDistancesFrozen() keys off this
+  return true;
+}
+
 bool TypeSystem::implicitlyConvertible(TypeId From, TypeId To) const {
   if (From == To)
     return true;
+  if (DenseN != 0)
+    return denseDistance(From, To) != NoConversion;
   if (From == VoidTy || To == VoidTy)
     return false;
   if (From == NullTy)
@@ -328,6 +362,12 @@ bool TypeSystem::implicitlyConvertible(TypeId From, TypeId To) const {
 }
 
 std::optional<int> TypeSystem::typeDistance(TypeId From, TypeId To) const {
+  if (DenseN != 0) {
+    int16_t D = denseDistance(From, To);
+    if (D == NoConversion)
+      return std::nullopt;
+    return static_cast<int>(D);
+  }
   if (From == NullTy)
     return isReferenceType(To) ? std::optional<int>(0) : std::nullopt;
   const auto &Dist = ancestorDistances(From);

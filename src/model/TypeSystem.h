@@ -254,6 +254,17 @@ public:
   /// CompletionIndexes::freeze(); idempotent.
   void warmRelationCaches() const;
 
+  /// Compiles the lazy ancestor-distance maps into a dense TypeId×TypeId
+  /// int16 matrix (sentinel -1 = no implicit conversion), after which
+  /// typeDistance / implicitlyConvertible / operandDistance are single
+  /// array reads with no hashing and no pointer chasing. Skipped (returns
+  /// false) when numTypes()² entries would exceed \p MaxBytes — the lazy
+  /// hash-map path then stays in effect, which is still lock-free after
+  /// warmRelationCaches(). Idempotent; the model must not be mutated
+  /// afterwards (asserted by the mutators).
+  bool freezeDenseDistances(size_t MaxBytes) const;
+  bool denseDistancesFrozen() const { return DenseN != 0; }
+
   /// The declared immediate supertypes of \p T used by td: base class and
   /// interfaces for classes/structs, widening target (or Object) for
   /// primitives, Object for enums/interfaces without bases.
@@ -285,8 +296,19 @@ public:
 
 private:
   /// Distances from a type to each of its (transitive) supertypes, computed
-  /// by BFS over immediateSupertypes and cached.
+  /// by BFS over immediateSupertypes and cached. This is the legacy lazy
+  /// path; after freezeDenseDistances() the relation queries read the dense
+  /// matrix instead (the maps are kept as the equivalence oracle).
   const std::unordered_map<TypeId, int> &ancestorDistances(TypeId T) const;
+
+  /// Sentinel in DistMatrix for "no implicit conversion".
+  static constexpr int16_t NoConversion = -1;
+
+  /// Dense cell td(From, To), or NoConversion. Only valid when DenseN != 0.
+  int16_t denseDistance(TypeId From, TypeId To) const {
+    return DistMatrix[static_cast<size_t>(From) * DenseN +
+                      static_cast<size_t>(To)];
+  }
 
   std::vector<NamespaceInfo> Namespaces;
   std::vector<TypeInfo> Types;
@@ -296,6 +318,10 @@ private:
   std::unordered_map<std::string, TypeId> TypeByName;
   mutable std::vector<std::unordered_map<TypeId, int>> AncestorCache;
   mutable std::vector<bool> AncestorCacheValid;
+  /// Row-major numTypes()×numTypes() distance matrix (see
+  /// freezeDenseDistances); empty until frozen.
+  mutable std::vector<int16_t> DistMatrix;
+  mutable size_t DenseN = 0;
 
   TypeId ObjectTy, VoidTy, IntTy, LongTy, ShortTy, ByteTy, CharTy, FloatTy,
       DoubleTy, BoolTy, StringTy, NullTy;

@@ -161,14 +161,15 @@ int Ranker::inScopeStaticCost(MethodId M) const {
   return InScopeStatic ? 0 : 1;
 }
 
-int Ranker::namespaceCost(MethodId M,
-                          const std::vector<const Expr *> &CallArgs) const {
+int Ranker::namespaceCost(MethodId M, Span<const Expr *> CallArgs) const {
   if (!Opts.UseNamespace)
     return 0;
   // Common namespace prefix over the owner and all non-primitive argument
   // types; similarity forced to 0 when <= 1 non-primitive argument.
   const MethodInfo &MI = TS.method(M);
-  std::vector<const std::vector<std::string> *> ArgNss;
+  using NsPtr = const std::vector<std::string> *;
+  std::vector<NsPtr, ArenaAllocator<NsPtr>> ArgNss{
+      ArenaAllocator<NsPtr>(Scratch)};
   for (const Expr *Arg : CallArgs) {
     if (isa<DontCareExpr>(Arg) || !isValidId(Arg->type()))
       continue;
@@ -277,7 +278,12 @@ template <class Cost> Spine<Cost> scoreSpineT(const Ranker &R, const Expr *E) {
     TypeId RecvTy = C->receiver() && isValidId(C->receiver()->type())
                         ? C->receiver()->type()
                         : MI.Owner;
-    std::vector<const Expr *> CallArgs;
+    // Per-call argument buffer: bump-allocated from the engine's scratch
+    // arena when one is attached, which is what keeps the post-hoc explain
+    // pass (one full scoreCard traversal per returned result) off the heap.
+    using ArgVec = std::vector<const Expr *, ArenaAllocator<const Expr *>>;
+    ArgVec CallArgs{ArenaAllocator<const Expr *>(R.scratchArena())};
+    CallArgs.reserve(C->args().size() + 1);
     if (C->receiver())
       CallArgs.push_back(C->receiver());
     CallArgs.insert(CallArgs.end(), C->args().begin(), C->args().end());

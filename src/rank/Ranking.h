@@ -48,6 +48,8 @@
 #include "infer/AbstractTypes.h"
 #include "model/TypeSystem.h"
 #include "rank/ScoreCard.h"
+#include "support/Arena.h"
+#include "support/Span.h"
 
 #include <cstdint>
 #include <string>
@@ -119,6 +121,14 @@ public:
   /// static methods are "in scope".
   void setSelfType(TypeId T) { SelfType = T; }
 
+  /// Backs the standalone scorers' transient per-call argument buffers with
+  /// \p A (the engine passes its per-query scratch arena). This is what
+  /// makes the post-hoc explain pass (scoreCard over every survivor) cheap:
+  /// each call node visited used to heap-allocate its argument vector; with
+  /// a scratch arena they bump-allocate instead. Null = heap.
+  void setScratchArena(Arena *A) { Scratch = A; }
+  Arena *scratchArena() const { return Scratch; }
+
   const RankingOptions &options() const { return Opts; }
   const TypeSystem &typeSystem() const { return TS; }
   const AbstractTypeInference *abstractInference() const { return Infer; }
@@ -167,13 +177,13 @@ public:
 
   /// The common-namespace penalty for a call to \p M whose call-signature
   /// arguments are \p CallArgs (receiver included for instance methods;
-  /// DontCare arguments are skipped).
-  int namespaceCost(MethodId M, const std::vector<const Expr *> &CallArgs) const;
+  /// DontCare arguments are skipped). Takes a Span so arena-backed and
+  /// plain vectors both pass without conversion.
+  int namespaceCost(MethodId M, Span<const Expr *> CallArgs) const;
 
   /// Both call tweaks summed (kept for callers that do not need the
   /// per-term split).
-  int callExtrasCost(MethodId M,
-                     const std::vector<const Expr *> &CallArgs) const {
+  int callExtrasCost(MethodId M, Span<const Expr *> CallArgs) const {
     return inScopeStaticCost(M) + namespaceCost(M, CallArgs);
   }
 
@@ -202,6 +212,7 @@ private:
   const AbsTypeSolution *Solution = nullptr;
   const CodeMethod *ContextMethod = nullptr;
   TypeId SelfType = InvalidId;
+  Arena *Scratch = nullptr;
 };
 
 } // namespace petal

@@ -40,8 +40,14 @@ petal::buildDocumentState(const std::string &Name, const std::string &Text,
   }
 
   Doc->Idx = std::make_unique<CompletionIndexes>(*Doc->P);
-  // The executor freezes the indexes; computing the shared abstract-type
-  // solution here moves that cost out of the first query's latency.
+  // Freeze explicitly at document build time: per-document corpora are
+  // small, so the dense distance matrices always fit the default budget,
+  // and every query this document serves — at any DocThreads — then runs
+  // against lock-free flat tables. (The executor would freeze anyway; this
+  // keeps the full freeze cost inside BuildMillis and makes the dense-mode
+  // decision visible here.) Computing the shared abstract-type solution
+  // moves that cost out of the first query's latency too.
+  Doc->Idx->freeze(FreezeOptions{});
   Doc->Exec =
       std::make_unique<BatchExecutor>(*Doc->P, *Doc->Idx, DocThreads);
   Doc->Exec->fullSolution();

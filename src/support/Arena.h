@@ -115,6 +115,47 @@ private:
   std::vector<DtorEntry> Dtors;
 };
 
+/// A std-compatible allocator that bump-allocates from an Arena, so
+/// short-lived containers (the engine's per-query candidate buckets and
+/// expansion pools) stop hitting the global allocator on the hot path.
+/// deallocate() is a no-op — memory is reclaimed wholesale when the arena
+/// dies — so only use it for containers whose lifetime is bounded by the
+/// arena's. Default-constructed (arena-less) instances fall back to the
+/// global allocator, which keeps container types usable in contexts that
+/// have no arena (tests, the static empty bucket).
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena *A) : A(A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : A(O.arena()) {}
+
+  T *allocate(size_t N) {
+    if (A)
+      return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+    return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+  void deallocate(T *P, size_t) {
+    if (!A)
+      ::operator delete(P);
+    // Arena memory is reclaimed when the arena is destroyed.
+  }
+
+  Arena *arena() const { return A; }
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &O) const {
+    return A == O.arena();
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return A != O.arena();
+  }
+
+private:
+  Arena *A = nullptr;
+};
+
 } // namespace petal
 
 #endif // PETAL_SUPPORT_ARENA_H

@@ -1,0 +1,263 @@
+//===- tests/dense_index_test.cpp - Frozen dense index equivalence --------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// The frozen dense tables (TypeId×TypeId distance matrices, CSR member
+// edges, pre-merged method-index spans — see DESIGN.md §11) are a pure
+// representation change: every query they answer must be *value-identical*
+// to the legacy lazy path. These tests enforce that exhaustively — every
+// (type, type) pair, every member-edge list, every method-candidate list —
+// on two identically generated corpora, one frozen dense and one kept on
+// the warmed lazy path (FreezeOptions::MaxDenseBytes = 0). A concurrent
+// stress case (run under TSan via scripts/ci.sh; the suite name matches
+// the IndexStress regex) hammers the lock-free tables from eight threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestCorpora.h"
+
+#include "code/ExprPrinter.h"
+#include "complete/Engine.h"
+#include "corpus/Generator.h"
+#include "parser/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace petal;
+
+namespace {
+
+/// Two identically generated corpora (same profile, same seed): Dense is
+/// frozen into the flat tables, Legacy is warmed but kept on the lazy
+/// hash/vector path. Every index query must agree between the two.
+class DenseEquivalenceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ProjectProfile Prof = paperProjectProfiles(0.15)[2];
+
+    DenseTS = std::make_unique<TypeSystem>();
+    DenseP = std::make_unique<Program>(*DenseTS);
+    CorpusGenerator(Prof).generate(*DenseP);
+    Dense = std::make_unique<CompletionIndexes>(*DenseP);
+    Dense->freeze(); // default budget: dense tables
+
+    LegacyTS = std::make_unique<TypeSystem>();
+    LegacyP = std::make_unique<Program>(*LegacyTS);
+    CorpusGenerator(Prof).generate(*LegacyP);
+    Legacy = std::make_unique<CompletionIndexes>(*LegacyP);
+    Legacy->freeze(FreezeOptions{/*MaxDenseBytes=*/0}); // warmed lazy path
+
+    ASSERT_EQ(DenseTS->numTypes(), LegacyTS->numTypes());
+  }
+
+  std::unique_ptr<TypeSystem> DenseTS, LegacyTS;
+  std::unique_ptr<Program> DenseP, LegacyP;
+  std::unique_ptr<CompletionIndexes> Dense, Legacy;
+};
+
+TEST_F(DenseEquivalenceTest, FreezeModesTakeTheIntendedRepresentation) {
+  EXPECT_TRUE(Dense->frozen());
+  EXPECT_TRUE(DenseTS->denseDistancesFrozen());
+  EXPECT_TRUE(Dense->Members.frozen());
+  EXPECT_TRUE(Dense->Methods.frozen());
+  EXPECT_TRUE(Dense->Reach.frozen());
+
+  // Budget 0 keeps every index on the (warmed) lazy representation.
+  EXPECT_TRUE(Legacy->frozen());
+  EXPECT_FALSE(LegacyTS->denseDistancesFrozen());
+  EXPECT_FALSE(Legacy->Members.frozen());
+  EXPECT_FALSE(Legacy->Methods.frozen());
+  EXPECT_FALSE(Legacy->Reach.frozen());
+}
+
+TEST_F(DenseEquivalenceTest, TypeDistancesMatchLegacyOnEveryPair) {
+  size_t N = DenseTS->numTypes();
+  for (size_t F = 0; F != N; ++F)
+    for (size_t T = 0; T != N; ++T) {
+      TypeId From = static_cast<TypeId>(F), To = static_cast<TypeId>(T);
+      ASSERT_EQ(DenseTS->implicitlyConvertible(From, To),
+                LegacyTS->implicitlyConvertible(From, To))
+          << DenseTS->qualifiedName(From) << " -> "
+          << DenseTS->qualifiedName(To);
+      ASSERT_EQ(DenseTS->typeDistance(From, To),
+                LegacyTS->typeDistance(From, To))
+          << DenseTS->qualifiedName(From) << " -> "
+          << DenseTS->qualifiedName(To);
+    }
+}
+
+TEST_F(DenseEquivalenceTest, ReachabilityMatchesLegacyOnEveryPair) {
+  size_t N = DenseTS->numTypes();
+  for (size_t F = 0; F != N; ++F)
+    for (size_t T = 0; T != N; ++T) {
+      TypeId From = static_cast<TypeId>(F), To = static_cast<TypeId>(T);
+      for (bool Methods : {false, true}) {
+        ASSERT_EQ(Dense->Reach.minLookups(From, To, Methods),
+                  Legacy->Reach.minLookups(From, To, Methods))
+            << "minLookups " << F << " -> " << T << " methods=" << Methods;
+        ASSERT_EQ(Dense->Reach.minLookupsToConvertible(From, To, Methods),
+                  Legacy->Reach.minLookupsToConvertible(From, To, Methods))
+            << "minLookupsToConvertible " << F << " -> " << T
+            << " methods=" << Methods;
+      }
+    }
+}
+
+TEST_F(DenseEquivalenceTest, MemberEdgeListsMatchLegacyElementwise) {
+  size_t N = DenseTS->numTypes();
+  for (size_t T = 0; T != N; ++T) {
+    TypeId Ty = static_cast<TypeId>(T);
+    auto D = Dense->Members.edges(Ty);
+    auto L = Legacy->Members.edges(Ty);
+    ASSERT_EQ(D.size(), L.size()) << "type " << T;
+    ASSERT_EQ(Dense->Members.numFieldEdges(Ty),
+              Legacy->Members.numFieldEdges(Ty));
+    for (size_t I = 0; I != D.size(); ++I) {
+      ASSERT_EQ(D[I].IsField, L[I].IsField) << "type " << T << " edge " << I;
+      ASSERT_EQ(D[I].Field, L[I].Field);
+      ASSERT_EQ(D[I].Method, L[I].Method);
+      ASSERT_EQ(D[I].ResultType, L[I].ResultType);
+    }
+  }
+}
+
+TEST_F(DenseEquivalenceTest, MethodCandidateListsMatchLegacyInOrder) {
+  size_t N = DenseTS->numTypes();
+  for (size_t T = 0; T != N; ++T) {
+    TypeId Ty = static_cast<TypeId>(T);
+    auto D = Dense->Methods.candidatesForArgType(Ty);
+    auto L = Legacy->Methods.candidatesForArgType(Ty);
+    ASSERT_EQ(D.size(), L.size()) << "type " << T;
+    // Order is part of the contract: the pre-merged spans must preserve
+    // the nearer-supertype-first BFS order the ranking relies on.
+    for (size_t I = 0; I != D.size(); ++I)
+      ASSERT_EQ(D[I], L[I]) << "type " << T << " slot " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-level equivalence on the parsed running-example corpus
+//===----------------------------------------------------------------------===//
+
+/// Completions (expressions, scores, and explain cards) must be
+/// bit-identical whether the engine runs on dense-frozen or legacy-lazy
+/// indexes.
+TEST(DenseEngineEquivalenceTest, CompletionsIdenticalDenseVsLegacy) {
+  const char *Queries[] = {"?", "Distance(point, ?)",
+                           "point.?*m >= this.?*m", "?({point})", "this.?*f"};
+
+  auto Run = [&](size_t MaxDenseBytes) {
+    DiagnosticEngine Diags;
+    TypeSystem TS;
+    Program P(TS);
+    EXPECT_TRUE(loadProgramText(corpora::GeometryCorpus, P, Diags));
+    const CodeClass *Class = findCodeClass(P, "EllipseArc");
+    const CodeMethod *Method = findCodeMethod(P, *Class, "Examine");
+    CodeSite Site{Class, Method, Method->body().size()};
+
+    CompletionIndexes Idx(P);
+    Idx.freeze(FreezeOptions{MaxDenseBytes});
+    CompletionEngine Engine(P, Idx);
+
+    CompletionOptions Opts;
+    Opts.Explain = true;
+    std::ostringstream OS;
+    for (const char *Text : Queries) {
+      QueryScope Scope{Class, Method, Site.StmtIndex};
+      const PartialExpr *Q = parseQueryText(Text, P, Scope, Diags);
+      EXPECT_NE(Q, nullptr);
+      for (const Completion &C : Engine.complete(Q, Site, 10, Opts))
+        OS << C.Score << ' ' << printExpr(TS, C.E) << ' '
+           << C.Card->toString() << '\n';
+    }
+    return OS.str();
+  };
+
+  std::string DenseOut = Run(/*MaxDenseBytes=*/256u << 20);
+  std::string LegacyOut = Run(/*MaxDenseBytes=*/0);
+  EXPECT_FALSE(DenseOut.empty());
+  EXPECT_EQ(DenseOut, LegacyOut);
+}
+
+/// An over-tight budget must refuse dense compilation and fall back to the
+/// lazy path rather than building partial tables.
+TEST(DenseEngineEquivalenceTest, TinyBudgetFallsBackToLazyAndStillAnswers) {
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator(paperProjectProfiles(0.1)[0]).generate(P);
+  CompletionIndexes Idx(P);
+  Idx.freeze(FreezeOptions{/*MaxDenseBytes=*/1});
+  EXPECT_TRUE(Idx.frozen());
+  EXPECT_FALSE(TS.denseDistancesFrozen());
+  EXPECT_FALSE(Idx.Reach.frozen());
+  // CSR compaction is not byte-budgeted (it shrinks storage); it still runs.
+  EXPECT_TRUE(Idx.Members.frozen());
+  EXPECT_TRUE(Idx.Methods.frozen());
+  // And the index still answers.
+  size_t Total = 0;
+  for (size_t T = 0; T != TS.numTypes(); ++T)
+    Total += Idx.Methods.candidatesForArgType(static_cast<TypeId>(T)).size();
+  EXPECT_GT(Total, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent stress over the lock-free dense tables (TSan: scripts/ci.sh)
+//===----------------------------------------------------------------------===//
+
+/// Eight threads hammer the dense matrices and CSR spans with the *same*
+/// access pattern: every per-thread checksum must agree with a serial
+/// recompute (a torn read or partially published table would diverge).
+/// The suite name contains "IndexStress" so the TSan CI leg picks it up.
+TEST(DenseIndexStressTest, EightThreadsReadLockFreeTablesConsistently) {
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator(paperProjectProfiles(0.1)[0]).generate(P);
+  CompletionIndexes Idx(P);
+  Idx.freeze();
+  ASSERT_TRUE(Idx.Reach.frozen());
+  ASSERT_TRUE(TS.denseDistancesFrozen());
+
+  auto Checksum = [&] {
+    uint64_t Sum = 0;
+    size_t N = TS.numTypes();
+    for (size_t Round = 0; Round != 3; ++Round)
+      for (size_t I = 0; I != N; ++I) {
+        TypeId From = static_cast<TypeId>((I * 7 + Round) % N);
+        TypeId To = static_cast<TypeId>((I * 13 + 5) % N);
+        Sum += Idx.Members.edges(From).size();
+        Sum += Idx.Methods.candidatesForArgType(From).size();
+        for (bool Methods : {false, true}) {
+          Sum += static_cast<uint64_t>(
+              Idx.Reach.minLookups(From, To, Methods).value_or(-1) + 2);
+          Sum += static_cast<uint64_t>(
+              Idx.Reach.minLookupsToConvertible(From, To, Methods)
+                      .value_or(-1) +
+              2);
+        }
+        Sum += TS.implicitlyConvertible(From, To);
+        Sum +=
+            static_cast<uint64_t>(TS.typeDistance(From, To).value_or(-1) + 2);
+      }
+    return Sum;
+  };
+
+  uint64_t Expected = Checksum();
+  constexpr size_t NumThreads = 8;
+  std::vector<uint64_t> Got(NumThreads, 0);
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] { Got[T] = Checksum(); });
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (size_t T = 0; T != NumThreads; ++T)
+    EXPECT_EQ(Got[T], Expected) << "thread " << T;
+}
+
+} // namespace

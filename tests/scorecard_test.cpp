@@ -222,7 +222,7 @@ INSTANTIATE_TEST_SUITE_P(AllAblations, BatchExplainProperty,
 
 /// One candidate per bucket, recording the highest bucket materialized.
 struct CountingStream : CandidateStream {
-  void fillBucket(int S, std::vector<Candidate> &Out) override {
+  void fillBucket(int S, CandidateVec &Out) override {
     Filled = S;
     Out.push_back(Candidate{nullptr, S, InvalidId, 0});
   }
