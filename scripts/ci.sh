@@ -11,9 +11,11 @@
 #   1. Release: the whole test suite.
 #   2. ThreadSanitizer (-DPETAL_SANITIZE=thread): the concurrency tests —
 #      ThreadPool, BatchExecutor, the parallel experiment drivers, the
-#      frozen-index stress cases, and the petald service tests (framing,
-#      cancellation, cache invalidation under concurrent clients) — which
-#      are exactly the tests designed to surface data races in the shared
+#      frozen-index stress cases, the petald service tests (framing,
+#      cancellation, cache invalidation under concurrent clients), and the
+#      incremental-session tests (eight DocumentStates aliasing one
+#      version's frozen index tables, queried concurrently) — which are
+#      exactly the tests designed to surface data races in the shared
 #      completion indexes and the service's session handoff.
 #   3. AddressSanitizer (-DPETAL_SANITIZE=address): the same service tests
 #      plus the parser/robustness suites, where lifetime bugs would live
@@ -23,12 +25,15 @@
 #      suite again under UBSan alone (leg 3 bundles it with ASan, but ASan
 #      reshapes the heap and skips the TSan-only paths; this leg runs every
 #      test with unrecoverable UBSan checks and no other instrumentation).
-#   5. Perf smoke: batch_throughput --check-against BENCH_batch.json, the
-#      frozen-index fast path vs the committed snapshot. The tolerance is
-#      deliberately loose (50%) — CI machines are noisy and differ from the
-#      snapshot's hardware; the leg exists to catch order-of-magnitude
-#      regressions (a lock reintroduced on the query path, an index
-#      silently falling back to the lazy representation), not 10% drift.
+#   5. Perf smoke: batch_throughput --check-against BENCH_batch.json (the
+#      frozen-index fast path) and edit_latency --check-against
+#      BENCH_edit.json (the incremental-rebuild path), each vs its
+#      committed snapshot. The tolerance is deliberately loose (50%) — CI
+#      machines are noisy and differ from the snapshot's hardware; the leg
+#      exists to catch order-of-magnitude regressions (a lock reintroduced
+#      on the query path, an index silently falling back to the lazy
+#      representation, an edit shape silently demoted to a full rebuild),
+#      not 10% drift.
 #
 # Usage: scripts/ci.sh [jobs]          (default: nproc)
 #
@@ -50,7 +55,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing'
+  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing|SessionIncremental'
 
 echo
 echo "== [3/5] AddressSanitizer build + service/robustness tests"
@@ -58,7 +63,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer'
+  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer|SessionIncremental'
 
 echo
 echo "== [4/5] UndefinedBehaviorSanitizer build + full test suite"
@@ -68,8 +73,10 @@ cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
 echo
-echo "== [5/5] Perf smoke: batch throughput vs committed snapshot"
+echo "== [5/5] Perf smoke: batch throughput + edit latency vs committed snapshots"
 build-ci/bench/batch_throughput --check-against BENCH_batch.json \
+  --tolerance 50
+build-ci/bench/edit_latency --check-against BENCH_edit.json \
   --tolerance 50
 
 echo

@@ -31,8 +31,19 @@ void BatchExecutor::forEach(
 
 const AbsTypeSolution &BatchExecutor::fullSolution() {
   if (!FullSolution)
-    FullSolution = std::make_unique<AbsTypeSolution>(Idx.Infer.solve());
+    FullSolution = std::make_shared<const AbsTypeSolution>(Idx.Infer.solve());
   return *FullSolution;
+}
+
+std::shared_ptr<const AbsTypeSolution> BatchExecutor::sharedSolution() {
+  fullSolution();
+  return FullSolution;
+}
+
+void BatchExecutor::adoptSolution(
+    std::shared_ptr<const AbsTypeSolution> Solution) {
+  if (!FullSolution)
+    FullSolution = std::move(Solution);
 }
 
 BatchExecutor::BatchResult

@@ -86,6 +86,18 @@ public:
   /// The shared full-corpus abstract-type solution (computed on first use).
   const AbsTypeSolution &fullSolution();
 
+  /// fullSolution() with shared ownership, for handing the solution to
+  /// another executor over a token-identical corpus (see adoptSolution).
+  std::shared_ptr<const AbsTypeSolution> sharedSolution();
+
+  /// Seeds the full-corpus solution instead of computing it. Only sound
+  /// when this executor's corpus is *token-identical* to the one the
+  /// solution was solved over: abstract-type variables are numbered by a
+  /// deterministic structural walk of every method body, so the partition
+  /// carries over exactly — the no-op-edit case of an incremental session
+  /// build. No-op when a solution was already computed or adopted.
+  void adoptSolution(std::shared_ptr<const AbsTypeSolution> Solution);
+
   ThreadPool &pool() { return Pool; }
 
 private:
@@ -93,7 +105,7 @@ private:
   CompletionIndexes &Idx;
   ThreadPool Pool;
   std::vector<std::unique_ptr<CompletionEngine>> Engines; // one per worker
-  std::unique_ptr<AbsTypeSolution> FullSolution;
+  std::shared_ptr<const AbsTypeSolution> FullSolution;
 };
 
 } // namespace petal

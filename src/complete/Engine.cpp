@@ -11,21 +11,31 @@
 
 using namespace petal;
 
-// Reach is constructed with a reference to Members and consults it for the
-// whole lifetime of the indexes; enforce the declaration (= construction /
-// reverse-destruction) order at compile time. offsetof on this non-standard-
-// layout struct is conditionally supported, which GCC and Clang both honor.
+void CompletionIndexes::freeze(const FreezeOptions &Opts) {
+  // Reach is constructed with a reference to Members and consults it for
+  // the whole lifetime of the indexes; enforce the declaration
+  // (= construction / reverse-destruction) order at compile time. offsetof
+  // on this non-standard-layout struct is conditionally supported, which
+  // GCC and Clang both honor; member access is fine from inside a member
+  // function.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Winvalid-offsetof"
-static_assert(offsetof(CompletionIndexes, Members) <
-                  offsetof(CompletionIndexes, Reach),
-              "Members must be declared before Reach: Reach holds a "
-              "reference to Members");
+  static_assert(offsetof(CompletionIndexes, MembersPtr) <
+                    offsetof(CompletionIndexes, ReachPtr),
+                "MembersPtr must be declared before ReachPtr: Reach holds "
+                "a reference to Members");
 #pragma GCC diagnostic pop
-
-void CompletionIndexes::freeze(const FreezeOptions &Opts) {
   if (Frozen)
     return;
+  if (SharedTypeGraph) {
+    // The sharing constructor aliased an already-frozen set of type-graph
+    // tables (asserted there), and the fresh Infer is immutable after
+    // construction — nothing left to compile. Skipping the warm/freeze
+    // pass is what makes an incremental document build cheap.
+    assert(TS.denseDistancesFrozen() || !Members.frozen());
+    Frozen = true;
+    return;
+  }
   TS.warmRelationCaches();
   Members.warmAll();
   Methods.warmAll();

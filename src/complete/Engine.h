@@ -61,10 +61,42 @@ struct FreezeOptions {
 /// afterwards every index read is a pure load from immutable storage —
 /// there is no lock anywhere on the post-freeze query read path. See
 /// DESIGN.md, "Concurrency model".
+///
+/// Ownership: the four indexes are held by shared_ptr internally and
+/// exposed as references. The split exists for incremental document
+/// rebuilds (DESIGN.md §12): the type-graph-derived indexes (Methods,
+/// Members, Reach) depend only on the TypeSystem, so when an edit leaves
+/// the type graph untouched the sharing constructor aliases the previous
+/// version's *frozen* tables — immutable, hence race-free across the old
+/// and new document — while Infer, which reads every method body, is
+/// rebuilt against the new Program.
 struct CompletionIndexes {
   explicit CompletionIndexes(Program &P)
-      : Methods(P.typeSystem()), Members(P.typeSystem()),
-        Reach(P.typeSystem(), Members), Infer(P), TS(P.typeSystem()) {}
+      : MethodsPtr(std::make_shared<MethodIndex>(P.typeSystem())),
+        MembersPtr(std::make_shared<MemberCache>(P.typeSystem())),
+        ReachPtr(std::make_shared<ReachabilityIndex>(P.typeSystem(),
+                                                     *MembersPtr)),
+        InferPtr(std::make_shared<AbstractTypeInference>(P)),
+        Methods(*MethodsPtr), Members(*MembersPtr), Reach(*ReachPtr),
+        Infer(*InferPtr), TS(P.typeSystem()) {}
+
+  /// Sharing constructor: adopts \p Prev's frozen type-graph tables and
+  /// builds a fresh abstract-type inference over \p P. Requires \p Prev to
+  /// be frozen (sharing lazily-filling caches across documents would race)
+  /// and \p P to use the same TypeSystem instance \p Prev was built over —
+  /// the caller (the incremental session build) guarantees both.
+  CompletionIndexes(Program &P, const CompletionIndexes &Prev)
+      : MethodsPtr(Prev.MethodsPtr), MembersPtr(Prev.MembersPtr),
+        ReachPtr(Prev.ReachPtr),
+        InferPtr(std::make_shared<AbstractTypeInference>(P)),
+        Methods(*MethodsPtr), Members(*MembersPtr), Reach(*ReachPtr),
+        Infer(*InferPtr), TS(P.typeSystem()), SharedTypeGraph(true) {
+    assert(Prev.frozen() &&
+           "type-graph tables can only be shared after freeze()");
+    assert(&P.typeSystem() == &Prev.TS &&
+           "shared indexes must read the same TypeSystem they were built "
+           "over");
+  }
 
   /// Eagerly populates every lazily filled cache (the type system's
   /// ancestor distances, the member edges, the method-index supertype
@@ -78,18 +110,31 @@ struct CompletionIndexes {
   void freeze(const FreezeOptions &Opts);
   bool frozen() const { return Frozen; }
 
-  // NOTE on member order: Reach holds a reference to Members (its BFS walks
-  // the member edges), so Members must be declared — and therefore
-  // constructed — before Reach, and destroyed after it. Engine.cpp
-  // static_asserts this ordering; do not reorder these fields.
-  MethodIndex Methods;
-  MemberCache Members;
-  ReachabilityIndex Reach;
-  AbstractTypeInference Infer;
+  /// True when this instance aliases a previous version's type-graph
+  /// tables (built by the sharing constructor). Telemetry only.
+  bool sharesTypeGraphTables() const { return SharedTypeGraph; }
+
+private:
+  // NOTE on member order: Reach holds a reference to Members (its BFS
+  // walks the member edges), so MembersPtr must be declared — and
+  // therefore constructed — before ReachPtr, and destroyed after it.
+  // Engine.cpp static_asserts this ordering; do not reorder these fields.
+  // The reference members below must follow the pointers they bind to.
+  std::shared_ptr<MethodIndex> MethodsPtr;
+  std::shared_ptr<MemberCache> MembersPtr;
+  std::shared_ptr<ReachabilityIndex> ReachPtr;
+  std::shared_ptr<AbstractTypeInference> InferPtr;
+
+public:
+  MethodIndex &Methods;
+  MemberCache &Members;
+  ReachabilityIndex &Reach;
+  AbstractTypeInference &Infer;
 
 private:
   const TypeSystem &TS;
   bool Frozen = false;
+  bool SharedTypeGraph = false;
 };
 
 /// Per-query knobs.

@@ -43,7 +43,10 @@ struct LookupEdge {
 /// After freeze() every accessor is a pure read of immutable flat storage,
 /// safe for any number of concurrent readers, and a whole-frontier star
 /// expansion walks memory linearly instead of chasing per-type heap
-/// vectors.
+/// vectors. A frozen instance depends only on the TypeSystem it was built
+/// over, so incremental document rebuilds share it wholesale across
+/// versions whose type graph is unchanged (CompletionIndexes' sharing
+/// constructor); frozen() is the reuse precondition.
 class MemberCache {
 public:
   explicit MemberCache(const TypeSystem &TS) : TS(TS) {}

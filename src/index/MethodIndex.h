@@ -33,7 +33,9 @@ namespace petal {
 /// CompletionIndexes::freeze() — pre-merges every supertype chain into one
 /// contiguous CSR array with per-type [UnionOffsets[T], UnionOffsets[T+1])
 /// spans; afterwards every accessor is a lock-free read of immutable flat
-/// storage.
+/// storage. Like the other type-graph indexes, a frozen instance reads
+/// nothing but its TypeSystem, so body-only document edits share it
+/// across versions via CompletionIndexes' sharing constructor.
 class MethodIndex {
 public:
   explicit MethodIndex(const TypeSystem &TS);

@@ -73,6 +73,9 @@ public:
   /// Compiles the lazy caches into the dense matrices described in the
   /// class comment. Returns false (leaving the lazy path in place) when
   /// the four N×N int16 matrices would exceed \p MaxDenseBytes; idempotent.
+  /// Once frozen the index is a pure function of the TypeSystem and the
+  /// (equally frozen) MemberCache, which is what allows incremental
+  /// document rebuilds to share it across versions.
   bool freeze(size_t MaxDenseBytes) const;
   bool frozen() const { return DenseN != 0; }
 

@@ -148,6 +148,24 @@ public:
   const MethodInfo &method(MethodId M) const { return Methods[M]; }
   const NamespaceInfo &nspace(NamespaceId N) const { return Namespaces[N]; }
 
+  /// A cheap structural fingerprint: the entity counts. Every mutator grows
+  /// one of them, so an unchanged fingerprint across an operation that was
+  /// *supposed* to be read-only (e.g. re-resolving method bodies against a
+  /// type system shared with a previous document version — see
+  /// Resolver::resolveFileReusingDecls) is a usable "nothing was added"
+  /// check. It deliberately stays O(1); content equality is the job of the
+  /// declaration-unit hashes (parser/DeclUnits.h).
+  struct Fingerprint {
+    size_t Types = 0;
+    size_t Fields = 0;
+    size_t Methods = 0;
+    size_t Namespaces = 0;
+    bool operator==(const Fingerprint &) const = default;
+  };
+  Fingerprint fingerprint() const {
+    return {numTypes(), numFields(), numMethods(), numNamespaces()};
+  }
+
   size_t numTypes() const { return Types.size(); }
   size_t numFields() const { return Fields.size(); }
   size_t numMethods() const { return Methods.size(); }

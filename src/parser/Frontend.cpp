@@ -14,13 +14,28 @@ using namespace petal;
 
 bool petal::loadProgramText(std::string_view Source, Program &P,
                             DiagnosticEngine &Diags) {
+  SynFile File;
+  return parseSourceFile(Source, File, Diags) &&
+         resolveParsedFile(File, P, Diags);
+}
+
+bool petal::parseSourceFile(std::string_view Source, SynFile &File,
+                            DiagnosticEngine &Diags) {
   Lexer Lex(Source, Diags);
   Parser Parse(Lex.lexAll(), Diags);
-  SynFile File;
-  if (!Parse.parseFile(File))
-    return false;
+  return Parse.parseFile(File);
+}
+
+bool petal::resolveParsedFile(const SynFile &File, Program &P,
+                              DiagnosticEngine &Diags) {
   Resolver R(P, Diags);
   return R.resolveFile(File);
+}
+
+bool petal::resolveParsedFileReusingDecls(const SynFile &File, Program &P,
+                                          DiagnosticEngine &Diags) {
+  Resolver R(P, Diags);
+  return R.resolveFileReusingDecls(File);
 }
 
 const PartialExpr *petal::parseQueryText(std::string_view Query, Program &P,

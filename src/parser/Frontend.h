@@ -26,6 +26,26 @@ namespace petal {
 bool loadProgramText(std::string_view Source, Program &P,
                      DiagnosticEngine &Diags);
 
+/// Parses \p Source to a syntax tree without resolving it. The split entry
+/// point for callers that need the SynFile itself — the service hashes it
+/// into a DocumentShape (see DeclUnits.h) before deciding between
+/// resolveParsedFile and resolveParsedFileReusingDecls, so the text is
+/// lexed and parsed exactly once per edit.
+bool parseSourceFile(std::string_view Source, SynFile &File,
+                     DiagnosticEngine &Diags);
+
+/// Resolves an already-parsed file into \p P (full build: extends the
+/// TypeSystem with the file's declarations).
+bool resolveParsedFile(const SynFile &File, Program &P,
+                       DiagnosticEngine &Diags);
+
+/// Resolves an already-parsed file's method bodies against a TypeSystem
+/// that already holds declaration-identical types (lookup-only; never
+/// mutates the type system). False on any structural mismatch — the
+/// caller should fall back to resolveParsedFile on a fresh Program.
+bool resolveParsedFileReusingDecls(const SynFile &File, Program &P,
+                                   DiagnosticEngine &Diags);
+
 /// Parses and resolves a partial-expression query (e.g. "?({img, size})")
 /// posed at \p Scope. Returns null on error.
 const PartialExpr *parseQueryText(std::string_view Query, Program &P,

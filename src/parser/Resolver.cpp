@@ -27,6 +27,89 @@ bool Resolver::resolveFile(const SynFile &File) {
   return Diags.errorCount() == Before;
 }
 
+bool Resolver::resolveFileReusingDecls(const SynFile &File) {
+  unsigned Before = Diags.errorCount();
+  // Declaration phases in lookup-only mode. A false return here means the
+  // existing model does not structurally match the file — the caller must
+  // not trust RegisteredTypes/MemberMethodIds and should rebuild fully.
+  if (!registerTypesReusing(File))
+    return false;
+  if (!resolveMembersReusing(File))
+    return false;
+  resolveBodies(File);
+  return Diags.errorCount() == Before;
+}
+
+bool Resolver::registerTypesReusing(const SynFile &File) {
+  RegisteredTypes.assign(File.Types.size(), InvalidId);
+  for (size_t I = 0; I != File.Types.size(); ++I) {
+    const SynType &ST = File.Types[I];
+    std::string Qual = ST.NamespaceName.empty()
+                           ? ST.Name
+                           : ST.NamespaceName + "." + ST.Name;
+    TypeId T = TS.findType(Qual);
+    if (!isValidId(T) || TS.type(T).Kind != ST.Kind)
+      return false;
+    RegisteredTypes[I] = T;
+  }
+  return true;
+}
+
+bool Resolver::resolveMembersReusing(const SynFile &File) {
+  MemberMethodIds.assign(File.Types.size(), {});
+  for (size_t I = 0; I != File.Types.size(); ++I) {
+    const SynType &ST = File.Types[I];
+    TypeId T = RegisteredTypes[I];
+    MemberMethodIds[I].assign(ST.Members.size(), InvalidId);
+    const TypeInfo &TI = TS.type(T);
+
+    // Members were registered in declaration order, so pairing is two
+    // order cursors — with the names re-verified, because a cheap check
+    // here buys a full-build fallback instead of a miscompiled reuse.
+    size_t FC = 0, MC = 0;
+    // resolveBases() materializes enum members as static fields before
+    // resolveMembers() ran; skip past them first.
+    if (ST.Kind == TypeKind::Enum) {
+      if (TI.Fields.size() < ST.Enumerators.size())
+        return false;
+      for (const std::string &Name : ST.Enumerators)
+        if (TS.field(TI.Fields[FC++]).Name != Name)
+          return false;
+    }
+    for (size_t MI = 0; MI != ST.Members.size(); ++MI) {
+      const SynMember &M = ST.Members[MI];
+      switch (M.Kind) {
+      case SynMember::Field:
+      case SynMember::Property: {
+        if (FC == TI.Fields.size())
+          return false;
+        const FieldInfo &FI = TS.field(TI.Fields[FC++]);
+        if (FI.Name != M.Name || FI.IsStatic != M.IsStatic)
+          return false;
+        break;
+      }
+      case SynMember::Method: {
+        if (MC == TI.Methods.size())
+          return false;
+        MethodId Id = TI.Methods[MC++];
+        const MethodInfo &MInfo = TS.method(Id);
+        if (MInfo.Name != M.Name || MInfo.IsStatic != M.IsStatic ||
+            MInfo.Params.size() != M.Params.size())
+          return false;
+        for (size_t PI = 0; PI != M.Params.size(); ++PI)
+          if (MInfo.Params[PI].Name != M.Params[PI].Name)
+            return false;
+        MemberMethodIds[I][MI] = Id;
+        break;
+      }
+      }
+    }
+    if (FC != TI.Fields.size() || MC != TI.Methods.size())
+      return false;
+  }
+  return true;
+}
+
 bool Resolver::registerTypes(const SynFile &File) {
   RegisteredTypes.assign(File.Types.size(), InvalidId);
   for (size_t I = 0; I != File.Types.size(); ++I) {

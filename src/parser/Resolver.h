@@ -50,6 +50,17 @@ public:
   /// emitted; already-resolved entities remain in the program.
   bool resolveFile(const SynFile &File);
 
+  /// Incremental-rebuild variant: resolves \p File's method bodies against
+  /// a TypeSystem that *already contains* this file's declarations (from a
+  /// previous resolveFile of a declaration-identical version — see
+  /// DeclUnits.h). The declaration phases run in lookup-only mode, pairing
+  /// each syntactic member with its existing FieldId/MethodId by
+  /// declaration order and verifying names as it goes; the type system is
+  /// never mutated, so a frozen, concurrently shared instance is safe to
+  /// pass. Any pairing mismatch returns false *before* body resolution —
+  /// the caller then falls back to a full build on a fresh TypeSystem.
+  bool resolveFileReusingDecls(const SynFile &File);
+
   /// Resolves a parsed query against \p Scope. Returns null on error.
   const PartialExpr *resolveQuery(const SynExpr *Q, const QueryScope &Scope);
 
@@ -84,6 +95,13 @@ private:
   bool resolveBases(const SynFile &File);
   bool resolveMembers(const SynFile &File);
   bool resolveBodies(const SynFile &File);
+
+  // Lookup-only twins of the declaration phases (resolveFileReusingDecls):
+  // they fill RegisteredTypes / MemberMethodIds from the existing model
+  // instead of extending it, and report any structural mismatch by
+  // returning false.
+  bool registerTypesReusing(const SynFile &File);
+  bool resolveMembersReusing(const SynFile &File);
 
   /// Resolves a dotted type name against \p ContextNs (innermost-out), the
   /// root namespace, and the built-ins. InvalidId if not found.

@@ -17,6 +17,17 @@
 ///   $/cancelRequest {id}                    cancel a queued request
 ///   $/stats                                 service counters + latency
 ///
+/// petal/open and petal/change answer {doc, version, types, methods,
+/// buildMs, build, cacheRetained}: `build` classifies how the state was
+/// constructed ("full", "incremental-body" when the edit touched method
+/// bodies only and the previous version's type system and frozen index
+/// tables were shared, or "incremental-noop" for token-identical text,
+/// which additionally carries the abstract-type solution over), and
+/// `cacheRetained` counts result-cache entries that survived the edit
+/// under scoped invalidation. $/stats exposes the running aggregates
+/// under "documents" (build counts, per-component reuse counters, build
+/// latency percentiles).
+///
 /// Error codes follow JSON-RPC / LSP where codes exist and extend them in
 /// the -330xx range where they do not.
 ///

@@ -7,11 +7,21 @@
 ///
 /// \file
 /// A bounded LRU cache from query keys to serialized completion results.
-/// The key encodes everything that determines the answer — document name,
-/// document *version*, query text, result count, and every CompletionOptions
-/// knob — so a hit is by construction bit-identical to recomputing. Entries
-/// are additionally tagged with their document so an edit can drop the
-/// dead version's entries eagerly instead of waiting for LRU pressure.
+/// The key is the (document, version, spec) triple — the spec encodes the
+/// query text, result count, and every CompletionOptions knob — so a hit
+/// is by construction bit-identical to recomputing. The payload is the
+/// serialized *completions array* alone; the service stamps the current
+/// document/version around it on replay, which is what lets an entry
+/// outlive an edit.
+///
+/// Entries carry metadata scoping them to the declaration unit (class) and
+/// method the query ran in, plus whether the abstract-type ranking term —
+/// the only term that reads *other* methods' bodies — was live. On an
+/// incremental edit the service calls retarget() with a survival predicate
+/// derived from the decl-unit diff: surviving entries are re-keyed to the
+/// new version in place (keeping their LRU position), everything else is
+/// dropped. A full rebuild still drops the document wholesale via
+/// invalidate().
 ///
 /// Thread-safe: the service's workers probe and fill it concurrently; one
 /// mutex suffices because entries are small (a serialized JSON array) and
@@ -23,6 +33,7 @@
 #define PETAL_SERVICE_RESULTCACHE_H
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
@@ -30,37 +41,61 @@
 
 namespace petal {
 
-/// LRU map of query key -> serialized result, with per-document
-/// invalidation and hit/miss counters.
+/// LRU map of (document, version, spec) -> serialized completions, with
+/// scoped per-document invalidation and hit/miss counters.
 class ResultCache {
 public:
+  /// What scopes an entry for edit-survival decisions. Class is the
+  /// *resolved qualified* name of the declaration unit the query site
+  /// lives in (the request may have used the simple name).
+  struct EntryMeta {
+    std::string Class;
+    std::string Method;
+    /// The abstract-type term was enabled — the answer may depend on
+    /// method bodies *outside* Class's declaration unit.
+    bool UsesAbstract = false;
+  };
+
   explicit ResultCache(size_t Capacity = 1024) : Capacity(Capacity) {}
 
-  /// Probes for \p Key; on hit copies the cached payload into \p Out,
-  /// promotes the entry to most-recently-used, and bumps the hit counter.
-  bool lookup(const std::string &Key, std::string &Out) {
+  /// Probes for (\p Doc, \p Version, \p SpecKey); on hit copies the cached
+  /// payload into \p Out, promotes the entry to most-recently-used, and
+  /// bumps the hit counter. A failed probe counts nothing: one request may
+  /// probe several keys (the service tries the explain-variant key after
+  /// the exact key), so the caller records its one logical miss via
+  /// noteMiss() once every probe has failed. This keeps
+  /// hits + misses == logical requests, which is what hitRate divides by.
+  bool probe(const std::string &Doc, int64_t Version,
+             const std::string &SpecKey, std::string &Out) {
     std::lock_guard<std::mutex> L(M);
-    auto It = Index.find(Key);
-    if (It == Index.end()) {
-      ++Misses;
+    auto It = Index.find(composeKey(Doc, Version, SpecKey));
+    if (It == Index.end())
       return false;
-    }
     Order.splice(Order.begin(), Order, It->second);
     Out = It->second->Payload;
     ++Hits;
     return true;
   }
 
-  /// Inserts (or refreshes) \p Key, evicting the least-recently-used entry
-  /// when full. \p Doc tags the entry for invalidate().
-  void insert(const std::string &Key, const std::string &Doc,
+  /// Records one logical miss (see probe()).
+  void noteMiss() {
+    std::lock_guard<std::mutex> L(M);
+    ++Misses;
+  }
+
+  /// Inserts (or refreshes) the entry, evicting the least-recently-used
+  /// when full.
+  void insert(const std::string &Doc, int64_t Version,
+              const std::string &SpecKey, EntryMeta Meta,
               std::string Payload) {
     std::lock_guard<std::mutex> L(M);
     if (Capacity == 0)
       return;
+    std::string Key = composeKey(Doc, Version, SpecKey);
     auto It = Index.find(Key);
     if (It != Index.end()) {
       Order.splice(Order.begin(), Order, It->second);
+      It->second->Meta = std::move(Meta);
       It->second->Payload = std::move(Payload);
       return;
     }
@@ -68,12 +103,47 @@ public:
       Index.erase(Order.back().Key);
       Order.pop_back();
     }
-    Order.push_front(Entry{Key, Doc, std::move(Payload)});
-    Index[Key] = Order.begin();
+    Order.push_front(Entry{std::move(Key), Doc, Version, SpecKey,
+                           std::move(Meta), std::move(Payload)});
+    Index[Order.front().Key] = Order.begin();
   }
 
-  /// Drops every entry belonging to \p Doc (called on change/close: the
-  /// old version's results can never be served again).
+  /// Scoped invalidation for an incremental edit: every entry of \p Doc
+  /// for which \p Survives(meta) holds is re-keyed to \p NewVersion in
+  /// place (keeping its LRU position and payload); the rest are dropped.
+  /// Returns the number of surviving entries.
+  size_t retarget(const std::string &Doc, int64_t NewVersion,
+                  const std::function<bool(const EntryMeta &)> &Survives) {
+    std::lock_guard<std::mutex> L(M);
+    size_t Kept = 0;
+    for (auto It = Order.begin(); It != Order.end();) {
+      if (It->Doc != Doc) {
+        ++It;
+        continue;
+      }
+      Index.erase(It->Key);
+      if (!Survives(It->Meta)) {
+        It = Order.erase(It);
+        continue;
+      }
+      It->Version = NewVersion;
+      It->Key = composeKey(It->Doc, NewVersion, It->SpecKey);
+      // All live entries of a document share one version (every edit
+      // retargets or drops them), so the rebuilt key cannot collide; be
+      // defensive anyway and drop the loser instead of corrupting Index.
+      if (Index.count(It->Key)) {
+        It = Order.erase(It);
+        continue;
+      }
+      Index[It->Key] = It;
+      ++Kept;
+      ++It;
+    }
+    return Kept;
+  }
+
+  /// Drops every entry belonging to \p Doc (full rebuild or close: none of
+  /// the old version's results can be proven valid).
   size_t invalidate(const std::string &Doc) {
     std::lock_guard<std::mutex> L(M);
     size_t Dropped = 0;
@@ -111,10 +181,28 @@ public:
 
 private:
   struct Entry {
-    std::string Key;
+    std::string Key; ///< composeKey(Doc, Version, SpecKey)
     std::string Doc;
+    int64_t Version = 0;
+    std::string SpecKey;
+    EntryMeta Meta;
     std::string Payload;
   };
+
+  /// '\x1f' cannot occur in document names (they are validated upstream as
+  /// non-empty printable identifiers) or in encodeSpecKey output, so the
+  /// concatenation is unambiguous.
+  static std::string composeKey(const std::string &Doc, int64_t Version,
+                                const std::string &SpecKey) {
+    std::string Key;
+    Key.reserve(Doc.size() + SpecKey.size() + 24);
+    Key += Doc;
+    Key += '\x1f';
+    Key += std::to_string(Version);
+    Key += '\x1f';
+    Key += SpecKey;
+    return Key;
+  }
 
   size_t Capacity;
   mutable std::mutex M;

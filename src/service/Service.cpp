@@ -434,8 +434,12 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
   }
 
   std::string Error;
-  std::unique_ptr<DocumentState> Built =
-      buildDocumentState(S.Name, Text, Version, Opts.DocThreads, Error);
+  // An edit hands the previous state in as the incremental-build baseline;
+  // an open always builds cold. S.Doc is safe to read here: session
+  // strands serialize everything that touches it.
+  const DocumentState *Prev = IsChange ? S.Doc.get() : nullptr;
+  std::unique_ptr<DocumentState> Built = buildDocumentState(
+      S.Name, Text, Version, Opts.DocThreads, Error, Prev);
   if (!Built) {
     {
       std::lock_guard<std::mutex> L(StatsM);
@@ -462,15 +466,48 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
     return;
   }
 
-  if (IsChange)
-    Cache.invalidate(S.Name);
-  double BuildMs = Built->BuildMillis;
+  size_t Retained = 0;
+  if (IsChange) {
+    if (Built->incremental() && S.Doc) {
+      // Scoped invalidation: an entry survives the version bump iff its
+      // engine inputs are provably unchanged — the type graph matched
+      // (or we would not be incremental), its declaration unit's
+      // signature *and* bodies are hash-identical, and, when the entry's
+      // ranking read the corpus-wide abstract-type solution, that
+      // solution carried over (no-op edits only). Survivors are re-keyed
+      // to the new version and replayed with it stamped in.
+      const bool SolutionShared = Built->sharedSolution();
+      const DocumentShape &OldShape = S.Doc->Shape;
+      const DocumentShape &NewShape = Built->Shape;
+      Retained = Cache.retarget(
+          S.Name, Version, [&](const ResultCache::EntryMeta &E) {
+            if (E.UsesAbstract && !SolutionShared)
+              return false;
+            return NewShape.unitUnchanged(OldShape, E.Class);
+          });
+    } else {
+      Cache.invalidate(S.Name);
+    }
+  }
+  double BuiltMs = Built->BuildMillis;
   size_t NumTypes = Built->TS->numTypes();
   size_t NumMethods = Built->TS->numMethods();
+  DocumentState::BuildKind Kind = Built->Kind;
   S.Doc = std::move(Built);
   {
     std::lock_guard<std::mutex> L(StatsM);
     ++BuildCount;
+    if (Kind == DocumentState::BuildKind::Full) {
+      ++FullBuildCount;
+    } else {
+      ++IncrementalBuildCount;
+      ++ReuseTypeSystemCount;
+      ++ReuseIndexesCount;
+      if (Kind == DocumentState::BuildKind::IncrementalNoop)
+        ++ReuseSolutionCount;
+    }
+    CacheRetainedCount += Retained;
+    BuildMs.push_back(BuiltMs);
   }
 
   Value R = Value::object();
@@ -478,7 +515,12 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
   R.set("version", Version);
   R.set("types", NumTypes);
   R.set("methods", NumMethods);
-  R.set("buildMs", BuildMs);
+  R.set("buildMs", BuiltMs);
+  R.set("build", Kind == DocumentState::BuildKind::Full ? "full"
+                 : Kind == DocumentState::BuildKind::IncrementalBody
+                     ? "incremental-body"
+                     : "incremental-noop");
+  R.set("cacheRetained", Retained);
   respondResult(T.Id, std::move(R));
 }
 
@@ -535,17 +577,51 @@ void PetalService::execComplete(SessionState &S, Task &T) {
     }
   }
 
-  std::string Key = S.Name + '\x1f' + std::to_string(S.Doc->Version) +
-                    '\x1f' + encodeSpecKey(Spec);
+  std::string SpecKey = encodeSpecKey(Spec);
+  int64_t DocVersion = S.Doc->Version;
   std::string CachedPayload;
-  if (Cache.lookup(Key, CachedPayload)) {
-    Value Cached;
+  bool Hit = Cache.probe(S.Name, DocVersion, SpecKey, CachedPayload);
+  bool FromExplain = false;
+  if (!Hit && !Spec.Opts.Explain) {
+    // An explain=true payload strictly contains the explain=false answer
+    // (same expressions, same scores, plus the per-term breakdowns), so a
+    // plain request can be served from the explain variant's entry by
+    // stripping the extras on replay.
+    CompleteSpec Twin = Spec;
+    Twin.Opts.Explain = true;
+    Hit = Cache.probe(S.Name, DocVersion, encodeSpecKey(Twin),
+                      CachedPayload);
+    FromExplain = Hit;
+  }
+  if (!Hit)
+    Cache.noteMiss();
+  if (Hit) {
+    Value Completions;
     std::string ParseErr;
-    bool Ok = json::parse(CachedPayload, Cached, ParseErr);
+    bool Ok = json::parse(CachedPayload, Completions, ParseErr);
     (void)Ok;
     assert(Ok && "cache holds only service-serialized results");
+    if (FromExplain) {
+      // Keep exactly the members a plain run would have produced, in the
+      // order it produces them, so the replayed bytes stay identical to a
+      // computed plain answer.
+      Value Plain = Value::array();
+      for (const Value &Item : Completions.elements()) {
+        Value P = Value::object();
+        if (const Value *E = Item.find("expr"))
+          P.set("expr", *E);
+        if (const Value *Sc = Item.find("score"))
+          P.set("score", *Sc);
+        Plain.push(std::move(P));
+      }
+      Completions = std::move(Plain);
+    }
+    Value R = Value::object();
+    R.set("doc", S.Name);
+    R.set("version", DocVersion);
+    R.set("completions", std::move(Completions));
     recordLatency(T);
-    respondResult(T.Id, std::move(Cached));
+    respondResult(T.Id, std::move(R));
     return;
   }
 
@@ -564,11 +640,18 @@ void PetalService::execComplete(SessionState &S, Task &T) {
         TermTotals[I] += O.TermTotals[I];
     }
   }
+  // The cached payload is the completions array alone; doc and version are
+  // stamped on at replay time, which is what lets retarget() carry an
+  // entry across an edit without rewriting its bytes.
+  bool UsesAbstract =
+      Spec.Opts.UseAbstractTypes && Spec.Opts.Rank.UseAbstractTypes;
+  Cache.insert(S.Name, DocVersion, SpecKey,
+               {O.ClassQualName, Spec.Method, UsesAbstract},
+               O.Completions.write());
   Value R = Value::object();
   R.set("doc", S.Name);
-  R.set("version", S.Doc->Version);
+  R.set("version", DocVersion);
   R.set("completions", std::move(O.Completions));
-  Cache.insert(Key, S.Name, R.write());
   recordLatency(T);
   respondResult(T.Id, std::move(R));
 }
@@ -620,9 +703,10 @@ json::Value PetalService::statsJson() {
     QueueDepth = Outstanding;
   }
   uint64_t Received, Queries, Cancelled, Deadline, Stale, Errors, Builds,
-      BuildFails, Explained, CeilingHits;
+      BuildFails, Explained, CeilingHits, FullBuilds, IncBuilds, ReuseTS,
+      ReuseIdx, ReuseSol, Retained;
   std::array<uint64_t, NumScoreTerms> Terms{};
-  std::vector<double> Lat;
+  std::vector<double> Lat, Bld;
   {
     std::lock_guard<std::mutex> L(StatsM);
     Received = ReceivedCount;
@@ -635,8 +719,15 @@ json::Value PetalService::statsJson() {
     BuildFails = BuildFailCount;
     Explained = ExplainedCount;
     CeilingHits = ScoreCeilingHitCount;
+    FullBuilds = FullBuildCount;
+    IncBuilds = IncrementalBuildCount;
+    ReuseTS = ReuseTypeSystemCount;
+    ReuseIdx = ReuseIndexesCount;
+    ReuseSol = ReuseSolutionCount;
+    Retained = CacheRetainedCount;
     Terms = TermTotals;
     Lat = LatencyMs;
+    Bld = BuildMs;
   }
   uint64_t Hits = Cache.hits(), Misses = Cache.misses();
 
@@ -685,6 +776,29 @@ json::Value PetalService::statsJson() {
   ExplainV.set("queries", Explained);
   ExplainV.set("termTotals", std::move(TermsV));
   R.set("explain", std::move(ExplainV));
+
+  // Document-build telemetry: how edits are being served. Healthy editing
+  // sessions show builds.incremental tracking body-only edits, the reuse
+  // counters confirming which layers carried over, and buildMs.p50 far
+  // below the full-build cost (the point of DESIGN.md §12).
+  Value BuildsV = Value::object();
+  BuildsV.set("total", Builds);
+  BuildsV.set("full", FullBuilds);
+  BuildsV.set("incremental", IncBuilds);
+  Value ReuseV = Value::object();
+  ReuseV.set("typesystem", ReuseTS);
+  ReuseV.set("indexes", ReuseIdx);
+  ReuseV.set("solution", ReuseSol);
+  Value BuildMsV = Value::object();
+  BuildMsV.set("count", Bld.size());
+  BuildMsV.set("p50", percentileOf(Bld, 50));
+  BuildMsV.set("p95", percentileOf(Bld, 95));
+  Value DocsV = Value::object();
+  DocsV.set("builds", std::move(BuildsV));
+  DocsV.set("reuse", std::move(ReuseV));
+  DocsV.set("buildMs", std::move(BuildMsV));
+  DocsV.set("cacheRetained", Retained);
+  R.set("documents", std::move(DocsV));
 
   R.set("cache", std::move(CacheV));
   R.set("latencyMs", std::move(LatV));

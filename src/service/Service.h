@@ -36,9 +36,16 @@
 ///    already started runs to completion, as in LSP.
 ///
 ///  * **Result cache.** An LRU keyed by (document, version, query, every
-///    option knob) fronts the engine; entries are invalidated on edit and
-///    close. A hit replays the stored serialized result, byte-identical
-///    to the original computation.
+///    option knob) fronts the engine. A hit replays the stored serialized
+///    completions — byte-identical to recomputing — stamped with the
+///    current version. Invalidation is scoped to what an edit could have
+///    changed: a full rebuild drops the document's entries wholesale,
+///    while an incremental rebuild keeps entries whose declaration unit
+///    is untouched (and whose abstract-type term, if enabled, is backed
+///    by an unchanged corpus-wide solution), re-keying them to the new
+///    version. An explain=true entry strictly contains the explain=false
+///    answer, so a non-explain miss is served from the explain variant by
+///    stripping the per-term breakdowns on replay.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -195,6 +202,18 @@ private:
   uint64_t ErrorCount = 0;
   uint64_t BuildCount = 0;
   uint64_t BuildFailCount = 0;
+  // Document-build telemetry ($/stats "documents"): how many builds went
+  // incremental, which shared components they reused, and the build-time
+  // distribution. Reuse counters are per component per build: an
+  // incremental build bumps typesystem + indexes, a no-op edit bumps
+  // solution too.
+  uint64_t FullBuildCount = 0;
+  uint64_t IncrementalBuildCount = 0;
+  uint64_t ReuseTypeSystemCount = 0;
+  uint64_t ReuseIndexesCount = 0;
+  uint64_t ReuseSolutionCount = 0;
+  uint64_t CacheRetainedCount = 0; ///< entries surviving edits via retarget
+  std::vector<double> BuildMs;
   uint64_t ExplainedCount = 0;     ///< queries answered with explain on
   uint64_t ScoreCeilingHitCount = 0; ///< queries the score ceiling cut short
   /// Summed per-term costs over every explained completion served (cache

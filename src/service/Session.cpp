@@ -17,20 +17,65 @@
 
 using namespace petal;
 
+/// Tries the incremental path: share \p Prev's TypeSystem and frozen
+/// type-graph tables, re-resolve only the code layer of \p File into a new
+/// Program. Returns false (leaving \p Doc's engine layers unset) when the
+/// existing declarations don't pair up with the file — the caller then
+/// runs the full build. Body-resolution *errors* also return false; the
+/// full build reproduces and reports them.
+static bool tryIncrementalBuild(DocumentState &Doc, const SynFile &File,
+                                const DocumentState &Prev,
+                                size_t DocThreads) {
+  if (!Prev.TS || !Prev.Idx || !Prev.Idx->frozen() || !Prev.Exec)
+    return false;
+  if (Prev.Shape.TypeGraphHash != Doc.Shape.TypeGraphHash ||
+      Prev.Shape.Units.size() != Doc.Shape.Units.size())
+    return false;
+
+  auto P = std::make_shared<Program>(*Prev.TS);
+  [[maybe_unused]] TypeSystem::Fingerprint Before = Prev.TS->fingerprint();
+  DiagnosticEngine Diags;
+  if (!resolveParsedFileReusingDecls(File, *P, Diags))
+    return false;
+  assert(Prev.TS->fingerprint() == Before &&
+         "reuse resolution mutated the shared TypeSystem");
+
+  Doc.TS = Prev.TS;
+  Doc.P = std::move(P);
+  Doc.Idx = std::make_shared<CompletionIndexes>(*Doc.P, *Prev.Idx);
+  Doc.Idx->freeze(FreezeOptions{}); // no-op compile: tables are shared
+  Doc.Exec = std::make_shared<BatchExecutor>(*Doc.P, *Doc.Idx, DocThreads);
+  if (Doc.Shape.CodeHash == Prev.Shape.CodeHash) {
+    // Token-identical text: the whole-corpus abstract-type solution is a
+    // function of the (unchanged) method bodies, so it carries over.
+    // Abstract-type variables are numbered by a deterministic structural
+    // walk, which is what makes the old partition valid verbatim.
+    Doc.Exec->adoptSolution(Prev.Exec->sharedSolution());
+    Doc.Kind = DocumentState::BuildKind::IncrementalNoop;
+  } else {
+    // Bodies changed: the solution is a whole-corpus artifact (constraints
+    // are harvested from *every* method body), so sharing it across a real
+    // body edit would break bit-identity with a fresh build. Recompute it;
+    // the expensive dense freeze is still skipped.
+    Doc.Kind = DocumentState::BuildKind::IncrementalBody;
+  }
+  Doc.Exec->fullSolution();
+  return true;
+}
+
 std::unique_ptr<DocumentState>
 petal::buildDocumentState(const std::string &Name, const std::string &Text,
                           int64_t Version, size_t DocThreads,
-                          std::string &Error) {
+                          std::string &Error, const DocumentState *Prev) {
   auto Start = std::chrono::steady_clock::now();
   auto Doc = std::make_unique<DocumentState>();
   Doc->Name = Name;
   Doc->Version = Version;
   Doc->Text = Text;
-  Doc->TS = std::make_unique<TypeSystem>();
-  Doc->P = std::make_unique<Program>(*Doc->TS);
 
   DiagnosticEngine Diags;
-  if (!loadProgramText(Text, *Doc->P, Diags)) {
+  SynFile File;
+  if (!parseSourceFile(Text, File, Diags)) {
     std::ostringstream OS;
     Diags.print(OS);
     Error = OS.str();
@@ -38,19 +83,34 @@ petal::buildDocumentState(const std::string &Name, const std::string &Text,
       Error = "document failed to parse";
     return nullptr;
   }
+  Doc->Shape = shapeOfFile(File);
 
-  Doc->Idx = std::make_unique<CompletionIndexes>(*Doc->P);
-  // Freeze explicitly at document build time: per-document corpora are
-  // small, so the dense distance matrices always fit the default budget,
-  // and every query this document serves — at any DocThreads — then runs
-  // against lock-free flat tables. (The executor would freeze anyway; this
-  // keeps the full freeze cost inside BuildMillis and makes the dense-mode
-  // decision visible here.) Computing the shared abstract-type solution
-  // moves that cost out of the first query's latency too.
-  Doc->Idx->freeze(FreezeOptions{});
-  Doc->Exec =
-      std::make_unique<BatchExecutor>(*Doc->P, *Doc->Idx, DocThreads);
-  Doc->Exec->fullSolution();
+  if (!(Prev && tryIncrementalBuild(*Doc, File, *Prev, DocThreads))) {
+    Doc->Kind = DocumentState::BuildKind::Full;
+    Doc->TS = std::make_shared<TypeSystem>();
+    Doc->P = std::make_shared<Program>(*Doc->TS);
+    if (!resolveParsedFile(File, *Doc->P, Diags)) {
+      std::ostringstream OS;
+      Diags.print(OS);
+      Error = OS.str();
+      if (Error.empty())
+        Error = "document failed to resolve";
+      return nullptr;
+    }
+    Doc->Idx = std::make_shared<CompletionIndexes>(*Doc->P);
+    // Freeze explicitly at document build time: per-document corpora are
+    // small, so the dense distance matrices always fit the default budget,
+    // and every query this document serves — at any DocThreads — then runs
+    // against lock-free flat tables. (The executor would freeze anyway;
+    // this keeps the full freeze cost inside BuildMillis and makes the
+    // dense-mode decision visible here.) Computing the shared
+    // abstract-type solution moves that cost out of the first query's
+    // latency too.
+    Doc->Idx->freeze(FreezeOptions{});
+    Doc->Exec =
+        std::make_shared<BatchExecutor>(*Doc->P, *Doc->Idx, DocThreads);
+    Doc->Exec->fullSolution();
+  }
 
   Doc->BuildMillis =
       std::chrono::duration<double, std::milli>(
@@ -191,5 +251,6 @@ QueryOutcome petal::runCompletion(DocumentState &Doc,
   Out.Completions = std::move(List);
   Out.Stats = Batch.Stats.front();
   Out.Explained = Spec.Opts.Explain;
+  Out.ClassQualName = Doc.TS->qualifiedName(Class->type());
   return Out;
 }

@@ -21,6 +21,7 @@
 #define PETAL_SERVICE_SESSION_H
 
 #include "complete/BatchExecutor.h"
+#include "parser/DeclUnits.h"
 #include "parser/Frontend.h"
 #include "support/Json.h"
 
@@ -39,23 +40,64 @@ struct DocumentState {
   int64_t Version = 0;
   std::string Text;
 
+  /// How this state was built relative to the previous version (see
+  /// buildDocumentState and DESIGN.md §12). The classification is exact:
+  /// it records what was actually shared, not what the edit looked like.
+  enum class BuildKind {
+    /// Fresh TypeSystem, indexes, and abstract-type solution (open, a
+    /// type-graph-affecting edit, or a reuse-pairing fallback).
+    Full,
+    /// The edit changed method bodies only: the TypeSystem and the frozen
+    /// type-graph index tables are shared with the previous version; the
+    /// code layer and the abstract-type solution were rebuilt.
+    IncrementalBody,
+    /// The edit was token-identical (whitespace/comments): additionally
+    /// the abstract-type solution carries over.
+    IncrementalNoop,
+  };
+  BuildKind Kind = BuildKind::Full;
+
+  /// Per-declaration-unit content hashes of this version, diffed against
+  /// the successor's on the next edit (parser/DeclUnits.h).
+  DocumentShape Shape;
+
   // Declaration order is construction order: the Program refers to the
-  // TypeSystem, the indexes to the Program, the executor to both.
-  std::unique_ptr<TypeSystem> TS;
-  std::unique_ptr<Program> P;
-  std::unique_ptr<CompletionIndexes> Idx;
-  std::unique_ptr<BatchExecutor> Exec;
+  // TypeSystem, the indexes to the Program, the executor to both. Each
+  // layer is a shared_ptr so an incremental successor can alias the
+  // immutable upper layers (the TypeSystem and the frozen type-graph
+  // tables) while owning its own code layer; whichever version dies last
+  // frees them, and member order still guarantees the TypeSystem outlives
+  // everything that references it.
+  std::shared_ptr<TypeSystem> TS;
+  std::shared_ptr<Program> P;
+  std::shared_ptr<CompletionIndexes> Idx;
+  std::shared_ptr<BatchExecutor> Exec;
 
   double BuildMillis = 0; ///< parse + index + warm-up time
+
+  bool incremental() const { return Kind != BuildKind::Full; }
+  /// True when this build reused the previous version's abstract-type
+  /// solution (the third shareable component in $/stats).
+  bool sharedSolution() const { return Kind == BuildKind::IncrementalNoop; }
 };
 
 /// Parses \p Text and builds the full query-ready state for it.
 /// \p DocThreads sizes the per-document BatchExecutor (1 = serial).
 /// Returns null on parse/resolve failure with the diagnostics rendered
 /// into \p Error.
+///
+/// \p Prev, when non-null, is the session's previous version. If the new
+/// text's type-graph fingerprint matches \p Prev's, the build goes
+/// incremental: it shares Prev's TypeSystem and frozen index tables and
+/// re-resolves only the method bodies (falling back to a full build if
+/// declaration pairing fails); a token-identical text additionally adopts
+/// Prev's abstract-type solution. Incremental and full builds of the same
+/// text produce bit-identical completions — enforced by
+/// session_incremental_test's fresh-twin property test.
 std::unique_ptr<DocumentState>
 buildDocumentState(const std::string &Name, const std::string &Text,
-                   int64_t Version, size_t DocThreads, std::string &Error);
+                   int64_t Version, size_t DocThreads, std::string &Error,
+                   const DocumentState *Prev = nullptr);
 
 /// A petal/complete request after parameter validation: where, what, and
 /// the per-query knobs.
@@ -90,6 +132,10 @@ struct QueryOutcome {
   /// the query ran with explain). Feeds the service's $/stats aggregates.
   std::array<uint64_t, NumScoreTerms> TermTotals{};
   bool Explained = false;
+  /// The resolved qualified name of the class the query ran in (the spec
+  /// may have used the simple name). Scopes the result-cache entry to its
+  /// declaration unit for edit-survival decisions.
+  std::string ClassQualName;
 };
 
 /// Runs \p Spec against \p Doc through its BatchExecutor. The caller must

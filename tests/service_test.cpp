@@ -141,7 +141,8 @@ PetalService::Options testOptions(size_t Workers = 2,
   return O;
 }
 
-Value openParams(const std::string &Doc, const char *Text, int64_t V) {
+Value openParams(const std::string &Doc, const std::string &Text,
+                 int64_t V) {
   Value P = Value::object();
   P.set("doc", Doc);
   P.set("text", Text);
@@ -266,17 +267,52 @@ TEST(ServiceTest, DifferentOptionsMissTheCache) {
   EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 2);
 }
 
-TEST(ServiceTest, EditInvalidatesCacheAndBumpsVersion) {
+TEST(ServiceTest, NoopEditRetargetsCacheEntriesToTheNewVersion) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  Value P = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  Value First = C.call("petal/complete", P);
+  ASSERT_EQ(errorCode(First), 0);
+
+  // Full-text change to version 2 with token-identical text: an
+  // incremental no-op build. Scoped invalidation keeps the entry (the
+  // abstract-type solution carried over), re-keyed to version 2.
+  Value ChangeResp = C.call(
+      "petal/change", openParams("geo.cs", corpora::GeometryCorpus, 2));
+  ASSERT_EQ(errorCode(ChangeResp), 0);
+  EXPECT_EQ(ChangeResp.find("result")->getString("build"),
+            "incremental-noop");
+  EXPECT_EQ(ChangeResp.find("result")->getInt("cacheRetained", -1), 1);
+
+  Value Resp = C.call("petal/complete", P);
+  ASSERT_EQ(errorCode(Resp), 0);
+  // Replayed from cache with the *new* version stamped in, completions
+  // untouched.
+  EXPECT_EQ(Resp.find("result")->getInt("version", -1), 2);
+  EXPECT_EQ(completionsOf(Resp), completionsOf(First));
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 1);
+  EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 1);
+  EXPECT_EQ(Stats.find("cache")->getInt("size", -1), 1);
+}
+
+TEST(ServiceTest, TypeGraphEditInvalidatesCacheAndBumpsVersion) {
   InProcessClient C(testOptions());
   C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
   Value P = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
   C.call("petal/complete", P);
 
-  // Full-text change to version 2 (same text: versions need not differ in
-  // content to invalidate).
-  Value ChangeResp = C.call(
-      "petal/change", openParams("geo.cs", corpora::GeometryCorpus, 2));
+  // Adding a class changes the type graph: full rebuild, blanket
+  // invalidation of the document's entries.
+  std::string Edited = std::string(corpora::GeometryCorpus) +
+                       "class Probe {\n"
+                       "  System.Windows.Point Origin;\n"
+                       "}\n";
+  Value ChangeResp = C.call("petal/change", openParams("geo.cs", Edited, 2));
   ASSERT_EQ(errorCode(ChangeResp), 0);
+  EXPECT_EQ(ChangeResp.find("result")->getString("build"), "full");
+  EXPECT_EQ(ChangeResp.find("result")->getInt("cacheRetained", -1), 0);
 
   Value Resp = C.call("petal/complete", P);
   ASSERT_EQ(errorCode(Resp), 0);
@@ -287,6 +323,126 @@ TEST(ServiceTest, EditInvalidatesCacheAndBumpsVersion) {
   EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 0);
   EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 2);
   EXPECT_EQ(Stats.find("cache")->getInt("size", -1), 1);
+}
+
+TEST(ServiceTest, BodyEditKeepsEntriesOfUntouchedUnits) {
+  // Two body-bearing classes so a body edit can touch one declaration
+  // unit and leave the other's cache entries provably unaffected.
+  const std::string Scratch = "class Scratch {\n"
+                              "  void Play(System.Windows.Point point) {\n"
+                              "    return;\n"
+                              "  }\n"
+                              "}\n";
+  const std::string ScratchEdited =
+      "class Scratch {\n"
+      "  void Play(System.Windows.Point point) {\n"
+      "    var tmp = point;\n"
+      "    return;\n"
+      "  }\n"
+      "}\n";
+  const std::string Base = std::string(corpora::GeometryCorpus) + Scratch;
+  const std::string Edited =
+      std::string(corpora::GeometryCorpus) + ScratchEdited;
+
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", Base, 1));
+
+  // Entry A: untouched unit, ranking does not read the abstract-type
+  // solution -> must survive the body edit.
+  Value A = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  A.set("abstractTypes", false);
+  // Entry B: same options but in the edited unit -> must be dropped.
+  Value B = completeParams("geo.cs", "Scratch", "Play", "?({point})");
+  B.set("abstractTypes", false);
+  // Entry C: untouched unit but default options read the corpus-wide
+  // abstract-type solution, which a body edit rebuilds -> dropped.
+  Value Cq = completeParams("geo.cs", "EllipseArc", "Examine", "?({point})");
+  ASSERT_EQ(errorCode(C.call("petal/complete", A)), 0);
+  ASSERT_EQ(errorCode(C.call("petal/complete", B)), 0);
+  ASSERT_EQ(errorCode(C.call("petal/complete", Cq)), 0);
+
+  Value ChangeResp = C.call("petal/change", openParams("geo.cs", Edited, 2));
+  ASSERT_EQ(errorCode(ChangeResp), 0) << ChangeResp.write();
+  EXPECT_EQ(ChangeResp.find("result")->getString("build"),
+            "incremental-body");
+  EXPECT_EQ(ChangeResp.find("result")->getInt("cacheRetained", -1), 1);
+
+  // A replays from the cache; the payload must be byte-identical to what
+  // a cold service computes over the edited text at the same version.
+  Value AResp = C.call("petal/complete", A);
+  ASSERT_EQ(errorCode(AResp), 0);
+  EXPECT_EQ(AResp.find("result")->getInt("version", -1), 2);
+  InProcessClient Fresh(testOptions());
+  Fresh.call("petal/open", openParams("geo.cs", Edited, 2));
+  Value AFresh = Fresh.call("petal/complete", A);
+  ASSERT_EQ(errorCode(AFresh), 0);
+  EXPECT_EQ(AResp.find("result")->write(), AFresh.find("result")->write());
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 1);
+  EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 3);
+}
+
+TEST(ServiceTest, PlainQueryIsServedFromExplainEntry) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+
+  Value Plain = completeParams("geo.cs", "EllipseArc", "Examine",
+                               "?({point})");
+  Value Explained = Plain;
+  Explained.set("explain", true);
+
+  // Explain first: its payload strictly contains the plain answer, so the
+  // later plain request replays from it with the breakdowns stripped.
+  ASSERT_EQ(errorCode(C.call("petal/complete", Explained)), 0);
+  Value PR = C.call("petal/complete", Plain);
+  ASSERT_EQ(errorCode(PR), 0);
+  const Value *List = PR.find("result")->find("completions");
+  ASSERT_TRUE(List && !List->elements().empty());
+  for (const Value &Item : List->elements())
+    EXPECT_EQ(Item.find("terms"), nullptr) << Item.write();
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.find("cache")->getInt("hits", -1), 1);
+  EXPECT_EQ(Stats.find("cache")->getInt("misses", -1), 1);
+  EXPECT_EQ(Stats.find("cache")->getInt("size", -1), 1);
+
+  // The stripped replay is byte-identical to a computed plain answer.
+  InProcessClient Fresh(testOptions());
+  Fresh.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  Value PFresh = Fresh.call("petal/complete", Plain);
+  ASSERT_EQ(errorCode(PFresh), 0);
+  EXPECT_EQ(PR.find("result")->write(), PFresh.find("result")->write());
+}
+
+TEST(ServiceTest, DocumentBuildTelemetryInStats) {
+  InProcessClient C(testOptions());
+  C.call("petal/open", openParams("geo.cs", corpora::GeometryCorpus, 1));
+  // No-op edit: shares typesystem, indexes, and the abstract solution.
+  C.call("petal/change", openParams("geo.cs", corpora::GeometryCorpus, 2));
+  // Body edit: shares typesystem and indexes, rebuilds the solution.
+  std::string BodyEdit = corpora::GeometryCorpus;
+  size_t At = BodyEdit.find("return;");
+  ASSERT_NE(At, std::string::npos);
+  BodyEdit.replace(At, 7, "var tmp = point; return;");
+  Value R3 = C.call("petal/change", openParams("geo.cs", BodyEdit, 3));
+  ASSERT_EQ(errorCode(R3), 0) << R3.write();
+  EXPECT_EQ(R3.find("result")->getString("build"), "incremental-body");
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  const Value *Docs = Stats.find("documents");
+  ASSERT_NE(Docs, nullptr);
+  EXPECT_EQ(Docs->find("builds")->getInt("total", -1), 3);
+  EXPECT_EQ(Docs->find("builds")->getInt("full", -1), 1);
+  EXPECT_EQ(Docs->find("builds")->getInt("incremental", -1), 2);
+  EXPECT_EQ(Docs->find("reuse")->getInt("typesystem", -1), 2);
+  EXPECT_EQ(Docs->find("reuse")->getInt("indexes", -1), 2);
+  EXPECT_EQ(Docs->find("reuse")->getInt("solution", -1), 1);
+  EXPECT_EQ(Docs->find("buildMs")->getInt("count", -1), 3);
+  EXPECT_GE(Docs->find("buildMs")->getNumber("p50", -1), 0.0);
+  EXPECT_GE(Docs->find("buildMs")->getNumber("p95", -1),
+            Docs->find("buildMs")->getNumber("p50", -1));
+  EXPECT_EQ(Docs->getInt("cacheRetained", -1), 0);
 }
 
 TEST(ServiceTest, StaleVersionIsRejected) {
