@@ -33,51 +33,8 @@ using namespace petal;
 
 namespace {
 
-/// A minimal read/write std::streambuf over a POSIX file descriptor, so
-/// the TCP path reuses the same iostream-based transport as stdio.
-class FdStreamBuf : public std::streambuf {
-public:
-  explicit FdStreamBuf(int Fd) : Fd(Fd) {
-    setg(InBuf, InBuf, InBuf);
-    setp(OutBuf, OutBuf + sizeof(OutBuf));
-  }
-
-protected:
-  int_type underflow() override {
-    ssize_t N = ::read(Fd, InBuf, sizeof(InBuf));
-    if (N <= 0)
-      return traits_type::eof();
-    setg(InBuf, InBuf, InBuf + N);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type C) override {
-    if (sync() == -1)
-      return traits_type::eof();
-    if (!traits_type::eq_int_type(C, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(C);
-      pbump(1);
-    }
-    return traits_type::not_eof(C);
-  }
-
-  int sync() override {
-    char *P = pbase();
-    while (P != pptr()) {
-      ssize_t N = ::write(Fd, P, static_cast<size_t>(pptr() - P));
-      if (N <= 0)
-        return -1;
-      P += N;
-    }
-    setp(OutBuf, OutBuf + sizeof(OutBuf));
-    return 0;
-  }
-
-private:
-  int Fd;
-  char InBuf[16384];
-  char OutBuf[16384];
-};
+// The fd <-> iostream bridge (FdStreamBuf, with EINTR and short-write
+// handling) lives in service/Transport.h so the wire tests cover it.
 
 /// Runs one connection: read frames, dispatch, write responses, drain.
 void serveStreams(std::istream &In, std::ostream &Out,
@@ -146,9 +103,18 @@ int main(int argc, char **argv) {
   PetalService::Options Opts;
   size_t TcpPort = 0;
   bool UseTcp = false;
+  std::string SnapshotPath;
 
   FlagParser Flags("petal_serve",
                    "resident completion daemon (framed JSON-RPC)");
+  Flags.addFlag("snapshot", "FILE",
+                "warm-start from a snapshot written by corpus_explorer "
+                "--save-snapshot (falls back to cold builds on any "
+                "mismatch)",
+                [&](const std::string &V) {
+                  SnapshotPath = V;
+                  return !SnapshotPath.empty();
+                });
   Flags.addFlag("workers", "N", "service worker threads (default 2)",
                 [&](const std::string &V) {
                   return parseCount(V, "workers", Opts.Workers);
@@ -184,6 +150,30 @@ int main(int argc, char **argv) {
 
   if (Opts.Workers == 0)
     Opts.Workers = 2;
+
+  if (!SnapshotPath.empty()) {
+    std::string Error;
+    auto Snap = snapshot::loadSnapshot(SnapshotPath, Error);
+    if (!Snap) {
+      // Degrade, don't die: a missing/stale/corrupt snapshot means cold
+      // opens, and $/stats reports why.
+      std::cerr << "petal_serve: warm start unavailable, building cold: "
+                << Error << "\n";
+      Opts.Snapshot.FallbackReason = Error;
+    } else {
+      Opts.Snapshot.WarmStart =
+          documentFromSnapshot(*Snap, Opts.DocThreads);
+      Opts.Snapshot.Loaded = true;
+      Opts.Snapshot.LoadMillis = Snap->LoadMillis;
+      Opts.Snapshot.Bytes = Snap->Bytes;
+      Opts.Snapshot.Mapped = Snap->Mapped;
+      std::cerr << "petal_serve: warm start from '" << SnapshotPath << "' ("
+                << Snap->Bytes << " bytes, "
+                << (Snap->Mapped ? "mmap" : "buffered") << ", "
+                << Snap->LoadMillis << " ms)\n";
+    }
+  }
+
   if (UseTcp)
     return serveTcp(static_cast<uint16_t>(TcpPort), Opts);
   serveStreams(std::cin, std::cout, Opts);

@@ -12,28 +12,35 @@
 #   2. ThreadSanitizer (-DPETAL_SANITIZE=thread): the concurrency tests —
 #      ThreadPool, BatchExecutor, the parallel experiment drivers, the
 #      frozen-index stress cases, the petald service tests (framing,
-#      cancellation, cache invalidation under concurrent clients), and the
+#      cancellation, cache invalidation under concurrent clients), the
 #      incremental-session tests (eight DocumentStates aliasing one
-#      version's frozen index tables, queried concurrently) — which are
-#      exactly the tests designed to surface data races in the shared
-#      completion indexes and the service's session handoff.
+#      version's frozen index tables, queried concurrently), and the
+#      snapshot tests (the same aliasing, but over an mmap'd file image) —
+#      which are exactly the tests designed to surface data races in the
+#      shared completion indexes and the service's session handoff.
 #   3. AddressSanitizer (-DPETAL_SANITIZE=address): the same service tests
 #      plus the parser/robustness suites, where lifetime bugs would live
 #      (documents swapped under in-flight requests, cached payloads
-#      outliving their sessions).
+#      outliving their sessions, mapped tables outliving their mapping),
+#      and a snapshot save/load round trip through the real CLI tools —
+#      the fault-injection tests must reject corrupt images by returning
+#      an error, never by touching bytes outside the mapping.
 #   4. UndefinedBehaviorSanitizer (-DPETAL_SANITIZE=undefined): the whole
 #      suite again under UBSan alone (leg 3 bundles it with ASan, but ASan
 #      reshapes the heap and skips the TSan-only paths; this leg runs every
 #      test with unrecoverable UBSan checks and no other instrumentation).
 #   5. Perf smoke: batch_throughput --check-against BENCH_batch.json (the
-#      frozen-index fast path) and edit_latency --check-against
-#      BENCH_edit.json (the incremental-rebuild path), each vs its
-#      committed snapshot. The tolerance is deliberately loose (50%) — CI
-#      machines are noisy and differ from the snapshot's hardware; the leg
-#      exists to catch order-of-magnitude regressions (a lock reintroduced
-#      on the query path, an index silently falling back to the lazy
-#      representation, an edit shape silently demoted to a full rebuild),
-#      not 10% drift.
+#      frozen-index fast path), edit_latency --check-against
+#      BENCH_edit.json (the incremental-rebuild path), and cold_start
+#      --check-against BENCH_cold_start.json (the snapshot warm-start
+#      path, which additionally enforces the >= 5x warm-vs-cold bar), each
+#      vs its committed snapshot. The tolerance is deliberately loose
+#      (50%) — CI machines are noisy and differ from the snapshot's
+#      hardware; the leg exists to catch order-of-magnitude regressions (a
+#      lock reintroduced on the query path, an index silently falling back
+#      to the lazy representation, an edit shape silently demoted to a
+#      full rebuild, a warm start silently degenerating into a cold
+#      build), not 10% drift.
 #
 # Usage: scripts/ci.sh [jobs]          (default: nproc)
 #
@@ -55,7 +62,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing|SessionIncremental'
+  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing|SessionIncremental|Snapshot'
 
 echo
 echo "== [3/5] AddressSanitizer build + service/robustness tests"
@@ -63,7 +70,21 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer|SessionIncremental'
+  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer|SessionIncremental|Snapshot'
+
+echo
+echo "== [3/5]   snapshot save/load round trip through the CLI tools (ASan)"
+SNAP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SNAP_TMP"' EXIT
+build-asan/examples/corpus_explorer --save-snapshot "$SNAP_TMP/ci.snap" 1.0
+build-asan/examples/petal_snapshot_tool --info "$SNAP_TMP/ci.snap" >/dev/null
+build-asan/examples/petal_snapshot_tool "$SNAP_TMP/ci.snap"
+# A corrupted image must be rejected cleanly (exit 1), not crash.
+printf 'not a snapshot' > "$SNAP_TMP/bad.snap"
+if build-asan/examples/petal_snapshot_tool "$SNAP_TMP/bad.snap" 2>/dev/null; then
+  echo "FAIL: petal_snapshot_tool accepted a corrupt snapshot" >&2
+  exit 1
+fi
 
 echo
 echo "== [4/5] UndefinedBehaviorSanitizer build + full test suite"
@@ -73,10 +94,12 @@ cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
 echo
-echo "== [5/5] Perf smoke: batch throughput + edit latency vs committed snapshots"
+echo "== [5/5] Perf smoke: batch throughput + edit latency + cold start vs committed snapshots"
 build-ci/bench/batch_throughput --check-against BENCH_batch.json \
   --tolerance 50
 build-ci/bench/edit_latency --check-against BENCH_edit.json \
+  --tolerance 50
+build-ci/bench/cold_start --check-against BENCH_cold_start.json \
   --tolerance 50
 
 echo

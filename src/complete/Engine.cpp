@@ -53,6 +53,15 @@ void CompletionIndexes::freeze(const FreezeOptions &Opts) {
   Frozen = true;
 }
 
+void CompletionIndexes::adoptFrozenTables() {
+  assert(!Frozen && "indexes already frozen");
+  assert(TS.denseDistancesFrozen() && Members.frozen() && Methods.frozen() &&
+         Reach.frozen() &&
+         "adoptFrozenTables() requires every sub-index to hold adopted "
+         "tables already");
+  Frozen = true;
+}
+
 std::vector<Completion>
 CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
                            size_t N, const CompletionOptions &Opts,

@@ -110,9 +110,20 @@ struct CompletionIndexes {
   void freeze(const FreezeOptions &Opts);
   bool frozen() const { return Frozen; }
 
+  /// Marks the indexes frozen after the snapshot loader has installed
+  /// mapped tables into every sub-index via their adoptFrozen hooks.
+  /// freeze() must NOT run on this path — it would redo the warm passes
+  /// whose absence is the whole point of warm-starting. Requires all four
+  /// dense stores to be populated already.
+  void adoptFrozenTables();
+
   /// True when this instance aliases a previous version's type-graph
   /// tables (built by the sharing constructor). Telemetry only.
   bool sharesTypeGraphTables() const { return SharedTypeGraph; }
+
+  /// The TypeSystem every index reads (the snapshot writer serializes its
+  /// dense distance table alongside the index tables).
+  const TypeSystem &typeSystem() const { return TS; }
 
 private:
   // NOTE on member order: Reach holds a reference to Members (its BFS

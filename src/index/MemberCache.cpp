@@ -39,9 +39,33 @@ void MemberCache::freeze() const {
     Data.insert(Data.end(), Cache[T].begin(), Cache[T].end());
 
   EdgeData = std::move(Data);
-  // Publish Offsets last: frozen() keys off it, and once it is non-empty
-  // edges() never touches the lazy representation again.
   Offsets = std::move(Offs);
+  EdgeV = EdgeData.data();
+  NumEdges = EdgeData.size();
+  NumTypesFrozen = N;
+  // Publish OffV last: frozen() keys off it, and once it is non-null
+  // edges() never touches the lazy representation again.
+  OffV = Offsets.data();
+  Cache.clear();
+  Cache.shrink_to_fit();
+  Valid.clear();
+  Valid.shrink_to_fit();
+}
+
+void MemberCache::adoptFrozen(
+    const LookupEdge *Edges, size_t EdgeCount, const uint32_t *Offs,
+    size_t NumTypes, std::vector<size_t> FieldCountsIn,
+    std::shared_ptr<const void> KeepAliveHandle) const {
+  assert(!frozen() && "member cache already frozen");
+  assert(NumTypes == TS.numTypes() &&
+         "snapshot member CSR sized for a different type population");
+  assert(FieldCountsIn.size() == NumTypes && "field counts mis-sized");
+  FieldCounts = std::move(FieldCountsIn);
+  EdgeV = Edges;
+  NumEdges = EdgeCount;
+  NumTypesFrozen = NumTypes;
+  KeepAlive = std::move(KeepAliveHandle);
+  OffV = Offs;
   Cache.clear();
   Cache.shrink_to_fit();
   Valid.clear();
@@ -50,9 +74,9 @@ void MemberCache::freeze() const {
 
 Span<const LookupEdge> MemberCache::edges(TypeId T) const {
   if (frozen()) {
-    assert(static_cast<size_t>(T) + 1 < Offsets.size() && "bad TypeId");
-    uint32_t B = Offsets[T], E = Offsets[static_cast<size_t>(T) + 1];
-    return Span<const LookupEdge>(EdgeData.data() + B, E - B);
+    assert(static_cast<size_t>(T) < NumTypesFrozen && "bad TypeId");
+    uint32_t B = OffV[T], E = OffV[static_cast<size_t>(T) + 1];
+    return Span<const LookupEdge>(EdgeV + B, E - B);
   }
 
   if (Cache.size() < TS.numTypes()) {

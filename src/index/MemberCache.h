@@ -21,6 +21,7 @@
 #include "support/Span.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace petal {
@@ -61,7 +62,7 @@ public:
   /// Compacts the per-type edge vectors into the CSR layout (warming any
   /// still-unfilled entries first) and frees the lazy storage; idempotent.
   void freeze() const;
-  bool frozen() const { return !Offsets.empty(); }
+  bool frozen() const { return OffV != nullptr; }
 
   /// Number of leading field edges of edges(T).
   size_t numFieldEdges(TypeId T) const {
@@ -70,15 +71,47 @@ public:
     return FieldCounts[T];
   }
 
+  /// The frozen CSR arrays: all edges contiguous, and the numTypes()+1
+  /// offsets windowing them per type. Empty before freeze().
+  /// Snapshot-writer access.
+  Span<const LookupEdge> frozenEdges() const {
+    return Span<const LookupEdge>(EdgeV, NumEdges);
+  }
+  Span<const uint32_t> frozenOffsets() const {
+    return Span<const uint32_t>(OffV, frozen() ? NumTypesFrozen + 1 : 0);
+  }
+  /// Per-type leading-field-edge counts (frozen access only).
+  Span<const size_t> frozenFieldCounts() const { return FieldCounts; }
+
+  /// Installs externally owned CSR arrays (the snapshot loader's
+  /// zero-copy path: \p Edges and \p Offs point into the read-only
+  /// mapping \p KeepAlive pins; \p Offs holds \p NumTypes + 1 entries).
+  /// FieldCounts is copied rather than aliased — it is O(numTypes), and
+  /// owning it keeps the on-disk width (u64) independent of size_t.
+  /// The snapshot's content hashes guarantee the arrays describe this
+  /// TypeSystem exactly.
+  void adoptFrozen(const LookupEdge *Edges, size_t EdgeCount,
+                   const uint32_t *Offs, size_t NumTypes,
+                   std::vector<size_t> FieldCountsIn,
+                   std::shared_ptr<const void> KeepAliveHandle) const;
+
 private:
   const TypeSystem &TS;
   // Lazy (pre-freeze) representation.
   mutable std::vector<std::vector<LookupEdge>> Cache;
   mutable std::vector<bool> Valid;
   // Frozen CSR representation: edges of type T are
-  // EdgeData[Offsets[T] .. Offsets[T+1]).
+  // EdgeData[Offsets[T] .. Offsets[T+1]). Readers go through the view
+  // pointers, which alias the owned vectors (in-process freeze) or an
+  // adopted snapshot mapping pinned by KeepAlive; OffV doubles as the
+  // frozen() flag and is published last.
   mutable std::vector<LookupEdge> EdgeData;
   mutable std::vector<uint32_t> Offsets;
+  mutable const LookupEdge *EdgeV = nullptr;
+  mutable const uint32_t *OffV = nullptr;
+  mutable size_t NumEdges = 0;
+  mutable size_t NumTypesFrozen = 0;
+  mutable std::shared_ptr<const void> KeepAlive;
   // Shared by both representations.
   mutable std::vector<size_t> FieldCounts;
 };

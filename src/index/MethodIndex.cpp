@@ -61,9 +61,30 @@ void MethodIndex::freeze() const {
     Data.insert(Data.end(), UnionCache[T].begin(), UnionCache[T].end());
 
   UnionData = std::move(Data);
-  // Publish UnionOffsets last: frozen() keys off it, and once it is
-  // non-empty candidatesForArgType never touches the lazy representation.
   UnionOffsets = std::move(Offs);
+  UnionV = UnionData.data();
+  NumUnion = UnionData.size();
+  NumTypesFrozen = N;
+  // Publish UOffV last: frozen() keys off it, and once it is non-null
+  // candidatesForArgType never touches the lazy representation.
+  UOffV = UnionOffsets.data();
+  UnionCache.clear();
+  UnionCache.shrink_to_fit();
+  UnionCacheValid.clear();
+  UnionCacheValid.shrink_to_fit();
+}
+
+void MethodIndex::adoptFrozen(
+    const MethodId *Data, size_t DataCount, const uint32_t *Offs,
+    size_t NumTypes, std::shared_ptr<const void> KeepAliveHandle) const {
+  assert(!frozen() && "method index already frozen");
+  assert(NumTypes == TS.numTypes() &&
+         "snapshot method unions sized for a different type population");
+  UnionV = Data;
+  NumUnion = DataCount;
+  NumTypesFrozen = NumTypes;
+  KeepAlive = std::move(KeepAliveHandle);
+  UOffV = Offs;
   UnionCache.clear();
   UnionCache.shrink_to_fit();
   UnionCacheValid.clear();
@@ -78,10 +99,10 @@ Span<const MethodId> MethodIndex::exactBucket(TypeId T) const {
 
 Span<const MethodId> MethodIndex::candidatesForArgType(TypeId T) const {
   if (frozen()) {
-    if (T < 0 || static_cast<size_t>(T) + 1 >= UnionOffsets.size())
+    if (T < 0 || static_cast<size_t>(T) >= NumTypesFrozen)
       return Empty;
-    uint32_t B = UnionOffsets[T], E = UnionOffsets[static_cast<size_t>(T) + 1];
-    return Span<const MethodId>(UnionData.data() + B, E - B);
+    uint32_t B = UOffV[T], E = UOffV[static_cast<size_t>(T) + 1];
+    return Span<const MethodId>(UnionV + B, E - B);
   }
 
   if (T < 0 || static_cast<size_t>(T) >= Buckets.size())

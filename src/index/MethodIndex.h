@@ -22,6 +22,7 @@
 #include "support/Span.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace petal {
@@ -55,7 +56,27 @@ public:
   /// Compacts the memoized union lists into the CSR layout (warming any
   /// still-unfilled entries first) and frees the lazy storage; idempotent.
   void freeze() const;
-  bool frozen() const { return !UnionOffsets.empty(); }
+  bool frozen() const { return UOffV != nullptr; }
+
+  /// The frozen CSR arrays: all pre-merged supertype-union candidate
+  /// lists contiguous, and the numTypes()+1 offsets windowing them per
+  /// type. Empty before freeze(). Snapshot-writer access.
+  Span<const MethodId> frozenUnionData() const {
+    return Span<const MethodId>(UnionV, NumUnion);
+  }
+  Span<const uint32_t> frozenUnionOffsets() const {
+    return Span<const uint32_t>(UOffV, frozen() ? NumTypesFrozen + 1 : 0);
+  }
+
+  /// Installs externally owned CSR arrays (the snapshot loader's
+  /// zero-copy path: both pointers aim into the read-only mapping
+  /// \p KeepAlive pins; \p Offs holds \p NumTypes + 1 entries). The
+  /// exact-bucket layer (Buckets/All) is rebuilt cheaply by the
+  /// constructor from the TypeSystem; only the pre-merged unions — the
+  /// O(types × supertype chain) part — come from the snapshot.
+  void adoptFrozen(const MethodId *Data, size_t DataCount,
+                   const uint32_t *Offs, size_t NumTypes,
+                   std::shared_ptr<const void> KeepAliveHandle) const;
 
   /// Size of candidatesForArgType(T) without forcing full materialization
   /// cost twice (it memoizes anyway; provided for readability).
@@ -73,9 +94,17 @@ private:
   mutable std::vector<std::vector<MethodId>> UnionCache;
   mutable std::vector<bool> UnionCacheValid;
   // Frozen CSR representation: candidates of type T are
-  // UnionData[UnionOffsets[T] .. UnionOffsets[T+1]).
+  // UnionData[UnionOffsets[T] .. UnionOffsets[T+1]). Readers go through
+  // the view pointers, which alias the owned vectors (in-process freeze)
+  // or an adopted snapshot mapping pinned by KeepAlive; UOffV doubles as
+  // the frozen() flag and is published last.
   mutable std::vector<MethodId> UnionData;
   mutable std::vector<uint32_t> UnionOffsets;
+  mutable const MethodId *UnionV = nullptr;
+  mutable const uint32_t *UOffV = nullptr;
+  mutable size_t NumUnion = 0;
+  mutable size_t NumTypesFrozen = 0;
+  mutable std::shared_ptr<const void> KeepAlive;
   std::vector<MethodId> All;
   std::vector<MethodId> Empty;
 };

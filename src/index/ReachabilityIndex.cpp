@@ -95,9 +95,27 @@ bool ReachabilityIndex::freeze(size_t MaxDenseBytes) const {
     }
     DistM[K] = std::move(DM);
     ConvM[K] = std::move(CM);
+    DistV[K] = DistM[K].data();
+    ConvV[K] = ConvM[K].data();
   }
   DenseN = N;
   return true;
+}
+
+void ReachabilityIndex::adoptFrozen(
+    const int16_t *DistFields, const int16_t *DistMethods,
+    const int16_t *ConvFields, const int16_t *ConvMethods, size_t N,
+    std::shared_ptr<const void> KeepAliveHandle) const {
+  assert(DenseN == 0 && "reachability index already frozen");
+  assert(N == TS.numTypes() &&
+         "snapshot reachability matrices sized for a different type "
+         "population");
+  DistV[0] = DistFields;
+  DistV[1] = DistMethods;
+  ConvV[0] = ConvFields;
+  ConvV[1] = ConvMethods;
+  KeepAlive = std::move(KeepAliveHandle);
+  DenseN = N;
 }
 
 std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
@@ -105,7 +123,7 @@ std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
   if (DenseN != 0) {
     assert(static_cast<size_t>(From) < DenseN &&
            static_cast<size_t>(To) < DenseN && "bad TypeId");
-    int16_t D = DistM[MethodsAllowed ? 1 : 0]
+    int16_t D = DistV[MethodsAllowed ? 1 : 0]
                      [static_cast<size_t>(From) * DenseN +
                       static_cast<size_t>(To)];
     if (D == NoReach)
@@ -125,7 +143,7 @@ ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
   if (DenseN != 0) {
     assert(static_cast<size_t>(From) < DenseN &&
            static_cast<size_t>(Target) < DenseN && "bad TypeId");
-    int16_t D = ConvM[MethodsAllowed ? 1 : 0]
+    int16_t D = ConvV[MethodsAllowed ? 1 : 0]
                      [static_cast<size_t>(From) * DenseN +
                       static_cast<size_t>(Target)];
     if (D == NoReach)

@@ -24,6 +24,7 @@
 #include "model/TypeSystem.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -79,6 +80,29 @@ public:
   bool freeze(size_t MaxDenseBytes) const;
   bool frozen() const { return DenseN != 0; }
 
+  /// The frozen minLookups matrix for one edge set, flat row-major
+  /// (numTypes()² int16, sentinel -1); empty before freeze().
+  /// Snapshot-writer access.
+  Span<const int16_t> denseDistTable(bool MethodsAllowed) const {
+    return Span<const int16_t>(DistV[MethodsAllowed ? 1 : 0],
+                               DenseN * DenseN);
+  }
+  /// Same for the minLookupsToConvertible matrix.
+  Span<const int16_t> denseConvTable(bool MethodsAllowed) const {
+    return Span<const int16_t>(ConvV[MethodsAllowed ? 1 : 0],
+                               DenseN * DenseN);
+  }
+
+  /// Installs the four externally owned matrices (the snapshot loader's
+  /// zero-copy path; each pointer aims into the read-only mapping
+  /// \p KeepAlive pins, fields-only tables first). Same contract as
+  /// TypeSystem::adoptDenseDistances: \p N must equal the TypeSystem's
+  /// type count and the tables must have been computed over identical
+  /// source, which the snapshot's content hashes guarantee.
+  void adoptFrozen(const int16_t *DistFields, const int16_t *DistMethods,
+                   const int16_t *ConvFields, const int16_t *ConvMethods,
+                   size_t N, std::shared_ptr<const void> KeepAlive) const;
+
 private:
   /// Sentinel for "not reachable within MaxDepth" in the dense matrices.
   /// MaxDepth is tiny (default 8), so real distances always fit int16.
@@ -92,10 +116,15 @@ private:
       Cache[2];
   // Frozen dense representation, row-major From*DenseN+To. DistM answers
   // minLookups, ConvM answers minLookupsToConvertible. DenseN is published
-  // last so frozen() only reads fully-built matrices.
+  // last so frozen() only reads fully-built matrices. Readers go through
+  // the view pointers, which alias the owned vectors (in-process freeze)
+  // or an adopted snapshot mapping pinned by KeepAlive.
   mutable std::vector<int16_t> DistM[2];
   mutable std::vector<int16_t> ConvM[2];
+  mutable const int16_t *DistV[2] = {nullptr, nullptr};
+  mutable const int16_t *ConvV[2] = {nullptr, nullptr};
   mutable size_t DenseN = 0;
+  mutable std::shared_ptr<const void> KeepAlive;
 };
 
 } // namespace petal

@@ -32,6 +32,7 @@
 
 #include "code/Code.h"
 #include "model/TypeSystem.h"
+#include "support/Span.h"
 #include "support/UnionFind.h"
 
 #include <cstdint>
@@ -52,6 +53,19 @@ public:
   explicit AbsTypeSolution(UnionFind UF) : UF(std::move(UF)) {
     this->UF.compress();
   }
+
+  /// Reconstructs a solution from a serialized parent array (the snapshot
+  /// store's whole-corpus solution section). The caller must have validated
+  /// every entry is < Parents.size(); the constructor re-compresses, so the
+  /// no-writes-in-find invariant holds regardless of how flat the stored
+  /// forest was.
+  explicit AbsTypeSolution(std::vector<uint32_t> Parents)
+      : UF(std::move(Parents)) {
+    UF.compress();
+  }
+
+  /// The fully compressed parent array (what the snapshot store persists).
+  Span<const uint32_t> parents() const { return UF.parents(); }
 
   /// True if both variables exist and were unified. Per the paper's note on
   /// Fig. 7, two "undefined" abstract types are NOT considered equal, so any

@@ -344,8 +344,23 @@ bool TypeSystem::freezeDenseDistances(size_t MaxBytes) const {
     }
   }
   DistMatrix = std::move(M);
+  DistData = DistMatrix.data();
   DenseN = N; // publish last: denseDistancesFrozen() keys off this
   return true;
+}
+
+void TypeSystem::adoptDenseDistances(
+    const int16_t *Table, size_t N,
+    std::shared_ptr<const void> KeepAlive) const {
+  assert(DenseN == 0 && "dense distances already frozen");
+  assert(N == Types.size() && "snapshot distance matrix sized for a "
+                              "different type population");
+  // Deliberately no warmRelationCaches(): once DenseN is nonzero every
+  // relation query reads the table, so the lazy maps are dead weight —
+  // skipping their BFS fills is most of the warm-start win.
+  DistData = Table;
+  DenseKeepAlive = std::move(KeepAlive);
+  DenseN = N;
 }
 
 bool TypeSystem::implicitlyConvertible(TypeId From, TypeId To) const {

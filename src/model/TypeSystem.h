@@ -28,7 +28,9 @@
 #define PETAL_MODEL_TYPESYSTEM_H
 
 #include "model/Ids.h"
+#include "support/Span.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -283,6 +285,23 @@ public:
   bool freezeDenseDistances(size_t MaxBytes) const;
   bool denseDistancesFrozen() const { return DenseN != 0; }
 
+  /// The frozen dense distance matrix as flat row-major storage
+  /// (numTypes()² int16 cells, sentinel -1 = no conversion); empty before
+  /// freezeDenseDistances(). Snapshot-writer access.
+  Span<const int16_t> denseDistanceTable() const {
+    return Span<const int16_t>(DistData, DenseN * DenseN);
+  }
+
+  /// Installs an externally owned dense distance matrix (the snapshot
+  /// loader's zero-copy path: \p Table points into a read-only file
+  /// mapping whose lifetime \p KeepAlive pins). The model must already
+  /// hold exactly \p N types, built from the same source the table was
+  /// computed over — the caller validates this via the snapshot's content
+  /// hashes. Equivalent to freezeDenseDistances() without the O(N²) BFS:
+  /// afterwards denseDistancesFrozen() is true and mutation asserts.
+  void adoptDenseDistances(const int16_t *Table, size_t N,
+                           std::shared_ptr<const void> KeepAlive) const;
+
   /// The declared immediate supertypes of \p T used by td: base class and
   /// interfaces for classes/structs, widening target (or Object) for
   /// primitives, Object for enums/interfaces without bases.
@@ -324,8 +343,8 @@ private:
 
   /// Dense cell td(From, To), or NoConversion. Only valid when DenseN != 0.
   int16_t denseDistance(TypeId From, TypeId To) const {
-    return DistMatrix[static_cast<size_t>(From) * DenseN +
-                      static_cast<size_t>(To)];
+    return DistData[static_cast<size_t>(From) * DenseN +
+                    static_cast<size_t>(To)];
   }
 
   std::vector<NamespaceInfo> Namespaces;
@@ -337,9 +356,13 @@ private:
   mutable std::vector<std::unordered_map<TypeId, int>> AncestorCache;
   mutable std::vector<bool> AncestorCacheValid;
   /// Row-major numTypes()×numTypes() distance matrix (see
-  /// freezeDenseDistances); empty until frozen.
+  /// freezeDenseDistances); empty until frozen. Readers go through
+  /// DistData, which either aliases this vector (in-process freeze) or an
+  /// adopted snapshot mapping pinned by DenseKeepAlive.
   mutable std::vector<int16_t> DistMatrix;
+  mutable const int16_t *DistData = nullptr;
   mutable size_t DenseN = 0;
+  mutable std::shared_ptr<const void> DenseKeepAlive;
 
   TypeId ObjectTy, VoidTy, IntTy, LongTy, ShortTy, ByteTy, CharTy, FloatTy,
       DoubleTy, BoolTy, StringTy, NullTy;

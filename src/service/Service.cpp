@@ -435,9 +435,12 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
 
   std::string Error;
   // An edit hands the previous state in as the incremental-build baseline;
-  // an open always builds cold. S.Doc is safe to read here: session
-  // strands serialize everything that touches it.
-  const DocumentState *Prev = IsChange ? S.Doc.get() : nullptr;
+  // an open uses the snapshot warm-start state (null without --snapshot),
+  // so a document matching the snapshot corpus shares its mapped tables
+  // instead of building cold. S.Doc is safe to read here: session strands
+  // serialize everything that touches it.
+  const DocumentState *Prev =
+      IsChange ? S.Doc.get() : Opts.Snapshot.WarmStart.get();
   std::unique_ptr<DocumentState> Built = buildDocumentState(
       S.Name, Text, Version, Opts.DocThreads, Error, Prev);
   if (!Built) {
@@ -505,6 +508,8 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
       ++ReuseIndexesCount;
       if (Kind == DocumentState::BuildKind::IncrementalNoop)
         ++ReuseSolutionCount;
+      if (!IsChange)
+        ++WarmStartCount; // an *open* went incremental: snapshot hit
     }
     CacheRetainedCount += Retained;
     BuildMs.push_back(BuiltMs);
@@ -704,7 +709,7 @@ json::Value PetalService::statsJson() {
   }
   uint64_t Received, Queries, Cancelled, Deadline, Stale, Errors, Builds,
       BuildFails, Explained, CeilingHits, FullBuilds, IncBuilds, ReuseTS,
-      ReuseIdx, ReuseSol, Retained;
+      ReuseIdx, ReuseSol, Retained, WarmStarts;
   std::array<uint64_t, NumScoreTerms> Terms{};
   std::vector<double> Lat, Bld;
   {
@@ -725,6 +730,7 @@ json::Value PetalService::statsJson() {
     ReuseIdx = ReuseIndexesCount;
     ReuseSol = ReuseSolutionCount;
     Retained = CacheRetainedCount;
+    WarmStarts = WarmStartCount;
     Terms = TermTotals;
     Lat = LatencyMs;
     Bld = BuildMs;
@@ -799,6 +805,20 @@ json::Value PetalService::statsJson() {
   DocsV.set("buildMs", std::move(BuildMsV));
   DocsV.set("cacheRetained", Retained);
   R.set("documents", std::move(DocsV));
+
+  // Snapshot warm-start telemetry: whether a snapshot is live, what it
+  // cost to load, and how many opens it has served incrementally. When a
+  // requested snapshot was rejected, fallbackReason says why the daemon is
+  // running cold.
+  Value SnapV = Value::object();
+  SnapV.set("loaded", Opts.Snapshot.Loaded);
+  SnapV.set("loadMs", Opts.Snapshot.LoadMillis);
+  SnapV.set("bytes", Opts.Snapshot.Bytes);
+  SnapV.set("mapped", Opts.Snapshot.Mapped);
+  SnapV.set("warmStarts", WarmStarts);
+  if (!Opts.Snapshot.FallbackReason.empty())
+    SnapV.set("fallbackReason", Opts.Snapshot.FallbackReason);
+  R.set("snapshot", std::move(SnapV));
 
   R.set("cache", std::move(CacheV));
   R.set("latencyMs", std::move(LatV));

@@ -77,6 +77,23 @@ namespace petal {
 /// in-process one.
 class PetalService {
 public:
+  /// Warm-start state from a snapshot file (see snapshot/Snapshot.h and
+  /// --snapshot in petal_serve). The caller loads the snapshot, wraps it
+  /// via documentFromSnapshot, and records the telemetry here; on load
+  /// failure it leaves WarmStart null and notes why in FallbackReason.
+  struct SnapshotConfig {
+    /// petal/open passes this as the incremental baseline; null = every
+    /// open builds cold.
+    std::shared_ptr<const DocumentState> WarmStart;
+    bool Loaded = false;    ///< a snapshot is active
+    double LoadMillis = 0;  ///< validate + parse + adopt time
+    size_t Bytes = 0;       ///< snapshot file size
+    bool Mapped = false;    ///< mmap'd vs buffered-read fallback
+    /// Why a requested snapshot was not used (empty when none was
+    /// requested or it loaded cleanly). Surfaced in $/stats.
+    std::string FallbackReason;
+  };
+
   struct Options {
     /// Service worker threads executing session tasks (builds + queries).
     size_t Workers = 2;
@@ -88,6 +105,8 @@ public:
     /// scheduling hooks the cancellation/deadline tests use. Off in
     /// production daemons.
     bool EnableTestHooks = false;
+    /// Snapshot warm-start state (default: no snapshot).
+    SnapshotConfig Snapshot;
   };
 
   /// Receives every outgoing response message. Called from worker threads
@@ -213,6 +232,7 @@ private:
   uint64_t ReuseIndexesCount = 0;
   uint64_t ReuseSolutionCount = 0;
   uint64_t CacheRetainedCount = 0; ///< entries surviving edits via retarget
+  uint64_t WarmStartCount = 0; ///< opens served incrementally off the snapshot
   std::vector<double> BuildMs;
   uint64_t ExplainedCount = 0;     ///< queries answered with explain on
   uint64_t ScoreCeilingHitCount = 0; ///< queries the score ceiling cut short

@@ -23,6 +23,7 @@
 #include "complete/BatchExecutor.h"
 #include "parser/DeclUnits.h"
 #include "parser/Frontend.h"
+#include "snapshot/Snapshot.h"
 #include "support/Json.h"
 
 #include <array>
@@ -98,6 +99,17 @@ std::unique_ptr<DocumentState>
 buildDocumentState(const std::string &Name, const std::string &Text,
                    int64_t Version, size_t DocThreads, std::string &Error,
                    const DocumentState *Prev = nullptr);
+
+/// Wraps a loaded snapshot as a query-ready DocumentState, the service's
+/// warm-start baseline: petal/open passes it to buildDocumentState as
+/// \p Prev, so a document whose type graph matches the snapshot corpus goes
+/// through the ordinary incremental path — sharing the mapped TypeSystem
+/// and frozen tables, and (for token-identical text) the deserialized
+/// abstract-type solution — and any mismatch degrades to a full build
+/// automatically. Safe to share across sessions: the solution is pinned
+/// here, so every later read through it is pure.
+std::shared_ptr<const DocumentState>
+documentFromSnapshot(const snapshot::LoadedSnapshot &Snap, size_t DocThreads);
 
 /// A petal/complete request after parameter validation: where, what, and
 /// the per-query knobs.

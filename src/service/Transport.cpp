@@ -8,8 +8,11 @@
 #include "service/Transport.h"
 
 #include <cctype>
+#include <cerrno>
 #include <istream>
 #include <ostream>
+
+#include <unistd.h>
 
 using namespace petal;
 
@@ -90,4 +93,52 @@ void FramedWriter::write(std::string_view Payload) {
   Out << "Content-Length: " << Payload.size() << "\r\n\r\n";
   Out.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
   Out.flush();
+}
+
+FdStreamBuf::FdStreamBuf(int Fd) : Fd(Fd) {
+  setg(InBuf, InBuf, InBuf);
+  setp(OutBuf, OutBuf + sizeof(OutBuf));
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  ssize_t N;
+  do {
+    N = ::read(Fd, InBuf, sizeof(InBuf));
+  } while (N < 0 && errno == EINTR);
+  if (N <= 0)
+    return traits_type::eof(); // EOF or hard error
+  setg(InBuf, InBuf, InBuf + N);
+  return traits_type::to_int_type(*gptr());
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type C) {
+  if (sync() == -1)
+    return traits_type::eof();
+  if (!traits_type::eq_int_type(C, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(C);
+    pbump(1);
+  }
+  return traits_type::not_eof(C);
+}
+
+int FdStreamBuf::sync() {
+  // A write may legally consume fewer bytes than asked (socket buffers) or
+  // be interrupted by a signal before transferring anything; neither is a
+  // stream failure. Advance past whatever was accepted and keep going —
+  // only a genuine error (or a 0-byte result, which a blocking fd should
+  // never produce for a nonzero count) aborts.
+  char *P = pbase();
+  while (P != pptr()) {
+    ssize_t N = ::write(Fd, P, static_cast<size_t>(pptr() - P));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return -1;
+    P += N;
+  }
+  setp(OutBuf, OutBuf + sizeof(OutBuf));
+  return 0;
 }

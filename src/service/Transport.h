@@ -28,6 +28,7 @@
 
 #include <iosfwd>
 #include <mutex>
+#include <streambuf>
 #include <string>
 #include <string_view>
 
@@ -77,6 +78,28 @@ public:
 private:
   std::ostream &Out;
   std::mutex M;
+};
+
+/// A read/write std::streambuf over a POSIX file descriptor, so fd-based
+/// transports (petal_serve --tcp, socketpair tests) reuse the same
+/// iostream-based framing as stdio. Robust against the realities of
+/// sockets: reads and writes interrupted by a signal (EINTR) are retried,
+/// and short writes advance and continue instead of being treated as
+/// stream failure — only EOF/error surfaces to the iostream layer. Does
+/// not own the fd.
+class FdStreamBuf : public std::streambuf {
+public:
+  explicit FdStreamBuf(int Fd);
+
+protected:
+  int_type underflow() override;
+  int_type overflow(int_type C) override;
+  int sync() override;
+
+private:
+  int Fd;
+  char InBuf[16384];
+  char OutBuf[16384];
 };
 
 } // namespace petal

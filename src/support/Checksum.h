@@ -1,0 +1,89 @@
+//===- support/Checksum.h - CRC32 over byte ranges --------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC32 (the reflected IEEE 802.3 polynomial, 0xEDB88320 — the same
+/// function zlib's crc32() computes), used by the snapshot store to
+/// checksum every serialized section so truncation and bit corruption are
+/// detected before any table is adopted. Incremental: feed the previous
+/// return value back as \p Seed to checksum a discontiguous range.
+///
+/// Implemented slice-by-8: eight derived tables let the loop fold eight
+/// input bytes per iteration instead of one. The snapshot loader checksums
+/// the entire multi-megabyte image on every warm start, so this sits
+/// directly on the start-to-query-ready path (bench/cold_start.cpp); the
+/// slicing is worth ~6x there. The produced values are bit-identical to
+/// the classic byte-at-a-time form — snapshot files do not re-version —
+/// which support_test pins against both a reference implementation and
+/// the standard test vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_CHECKSUM_H
+#define PETAL_SUPPORT_CHECKSUM_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace petal {
+
+namespace detail {
+/// Tables[0] is the classic CRC32 byte table; Tables[K][B] extends it to
+/// the CRC of byte B followed by K zero bytes, which is what lets eight
+/// table lookups advance the state over eight input bytes at once.
+inline const std::array<std::array<uint32_t, 256>, 8> &crc32Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8> Tables = [] {
+    std::array<std::array<uint32_t, 256>, 8> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[0][I] = C;
+    }
+    for (uint32_t I = 0; I != 256; ++I)
+      for (size_t K = 1; K != 8; ++K)
+        T[K][I] = (T[K - 1][I] >> 8) ^ T[0][T[K - 1][I] & 0xFFu];
+    return T;
+  }();
+  return Tables;
+}
+} // namespace detail
+
+/// CRC32 of \p Size bytes at \p Data, continued from \p Seed (pass the
+/// previous call's result to extend a checksum across several buffers; the
+/// default seed starts a fresh one).
+inline uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0) {
+  const std::array<std::array<uint32_t, 256>, 8> &T = detail::crc32Tables();
+  const auto *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = ~Seed;
+  // Byte-assembled loads keep the function endian-agnostic: the snapshot
+  // format refuses cross-endian files for its *payload* layout, but the
+  // checksum itself must not care.
+  while (Size >= 8) {
+    uint32_t Lo = C ^ (static_cast<uint32_t>(P[0]) |
+                       static_cast<uint32_t>(P[1]) << 8 |
+                       static_cast<uint32_t>(P[2]) << 16 |
+                       static_cast<uint32_t>(P[3]) << 24);
+    uint32_t Hi = static_cast<uint32_t>(P[4]) |
+                  static_cast<uint32_t>(P[5]) << 8 |
+                  static_cast<uint32_t>(P[6]) << 16 |
+                  static_cast<uint32_t>(P[7]) << 24;
+    C = T[7][Lo & 0xFFu] ^ T[6][(Lo >> 8) & 0xFFu] ^
+        T[5][(Lo >> 16) & 0xFFu] ^ T[4][Lo >> 24] ^ T[3][Hi & 0xFFu] ^
+        T[2][(Hi >> 8) & 0xFFu] ^ T[1][(Hi >> 16) & 0xFFu] ^ T[0][Hi >> 24];
+    P += 8;
+    Size -= 8;
+  }
+  while (Size--)
+    C = T[0][(C ^ *P++) & 0xFFu] ^ (C >> 8);
+  return ~C;
+}
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_CHECKSUM_H

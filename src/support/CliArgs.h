@@ -8,9 +8,9 @@
 /// \file
 /// A deliberately small flag parser shared by the example binaries (repl,
 /// corpus_explorer, petal_serve) so they agree on the basics: a generated
-/// --help, flags spelled `--name value`, at most one free positional
-/// argument, and a hard error — never a silent ignore — on anything that
-/// looks like a flag but is not registered.
+/// --help, flags spelled `--name value` or `--name=value`, at most one free
+/// positional argument, and a hard error — never a silent ignore — on
+/// anything that looks like a flag but is not registered.
 ///
 /// Header-only; no allocation beyond the registration vectors.
 ///
@@ -81,15 +81,31 @@ public:
         return false;
       }
       if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
-        Flag *F = findFlag(Arg.substr(2));
+        // `--name value` and `--name=value` are equivalent; the split is
+        // at the *first* '=' so values may themselves contain one.
+        std::string Body = Arg.substr(2);
+        std::string Inline;
+        bool HasInline = false;
+        if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+          Inline = Body.substr(Eq + 1);
+          Body = Body.substr(0, Eq);
+          HasInline = true;
+        }
+        Flag *F = findFlag(Body);
         if (!F)
-          return usageError("unknown flag '" + Arg + "'");
+          return usageError("unknown flag '--" + Body + "'");
         std::string Value;
         if (F->TakesValue) {
-          if (I + 1 == Argc)
-            return usageError("--" + F->Name + " needs a <" + F->ValueName +
-                              "> value");
-          Value = Argv[++I];
+          if (HasInline) {
+            Value = std::move(Inline); // may legitimately be empty
+          } else {
+            if (I + 1 == Argc)
+              return usageError("--" + F->Name + " needs a <" + F->ValueName +
+                                "> value");
+            Value = Argv[++I];
+          }
+        } else if (HasInline) {
+          return usageError("--" + F->Name + " does not take a value");
         }
         if (!F->Apply(Value)) {
           Code = 1;

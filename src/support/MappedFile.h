@@ -1,0 +1,119 @@
+//===- support/MappedFile.h - Read-only file mapping ------------*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-only view of a whole file, preferring mmap (PROT_READ /
+/// MAP_PRIVATE: pages are shared, demand-paged, and never written — N
+/// petald replicas mapping one snapshot share one copy of the tables in
+/// page cache) with a buffered read() into heap memory as the fallback for
+/// filesystems that cannot map. Opened instances are immutable and handed
+/// around by shared_ptr: every index that adopts a pointer into the
+/// mapping keeps one as its keep-alive, so the bytes outlive whichever
+/// document version dies last.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_MAPPEDFILE_H
+#define PETAL_SUPPORT_MAPPEDFILE_H
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace petal {
+
+/// An open, read-only file image. Construction is private; use open().
+class MappedFile {
+public:
+  /// Opens \p Path and maps (or reads) its full contents. Returns null
+  /// with a description in \p Error on any failure. \p ForceBufferedRead
+  /// skips mmap — the degraded path some filesystems force, kept
+  /// reachable so tests cover it.
+  static std::shared_ptr<const MappedFile>
+  open(const std::string &Path, std::string &Error,
+       bool ForceBufferedRead = false) {
+    int Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd < 0) {
+      Error = "cannot open '" + Path + "': " + std::strerror(errno);
+      return nullptr;
+    }
+    struct stat St = {};
+    if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode)) {
+      Error = "cannot stat '" + Path + "' (or not a regular file)";
+      ::close(Fd);
+      return nullptr;
+    }
+    auto File = std::shared_ptr<MappedFile>(new MappedFile());
+    File->Size_ = static_cast<size_t>(St.st_size);
+    if (File->Size_ == 0) {
+      // A zero-byte mapping is invalid; an empty buffer represents it.
+      File->Buffer.clear();
+      File->Data_ = File->Buffer.data();
+      ::close(Fd);
+      return File;
+    }
+    if (!ForceBufferedRead) {
+      void *Map = ::mmap(nullptr, File->Size_, PROT_READ, MAP_PRIVATE, Fd, 0);
+      if (Map != MAP_FAILED) {
+        File->Data_ = static_cast<const char *>(Map);
+        File->Mapped_ = true;
+        ::close(Fd);
+        return File;
+      }
+    }
+    // Fallback: buffered read of the whole file.
+    File->Buffer.resize(File->Size_);
+    size_t Got = 0;
+    while (Got != File->Size_) {
+      ssize_t N =
+          ::read(Fd, File->Buffer.data() + Got, File->Size_ - Got);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        Error = "short read of '" + Path + "'";
+        ::close(Fd);
+        return nullptr;
+      }
+      Got += static_cast<size_t>(N);
+    }
+    File->Data_ = File->Buffer.data();
+    ::close(Fd);
+    return File;
+  }
+
+  ~MappedFile() {
+    if (Mapped_)
+      ::munmap(const_cast<char *>(Data_), Size_);
+  }
+
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+
+  const char *data() const { return Data_; }
+  size_t size() const { return Size_; }
+  /// True when the contents are mmap'd pages rather than a heap copy.
+  bool mapped() const { return Mapped_; }
+
+private:
+  MappedFile() = default;
+
+  const char *Data_ = nullptr;
+  size_t Size_ = 0;
+  bool Mapped_ = false;
+  std::vector<char> Buffer; ///< backing store on the read() fallback
+};
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_MAPPEDFILE_H

@@ -28,6 +28,14 @@ public:
   UnionFind() = default;
   explicit UnionFind(size_t Size) { grow(Size); }
 
+  /// Reconstructs a forest from a serialized parent array (the snapshot
+  /// store persists solved abstract-type partitions this way). The caller
+  /// must have validated every entry is < Parents.size(). Ranks reset to
+  /// zero, which only biases future unions — the partition itself is
+  /// exactly the one the array encodes.
+  explicit UnionFind(std::vector<uint32_t> Parents)
+      : Parent(std::move(Parents)), Rank(Parent.size(), 0) {}
+
   /// Ensures ids [0, Size) exist, each initially its own singleton set.
   void grow(size_t Size) {
     size_t Old = Parent.size();
@@ -83,6 +91,11 @@ public:
 
   /// Returns true if \p A and \p B are in the same set.
   bool connected(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+  /// The raw parent array — after compress(), a dense encoding of the
+  /// whole partition (node I's class is Parent[I]). What the snapshot
+  /// store serializes; feed it back through the vector constructor.
+  const std::vector<uint32_t> &parents() const { return Parent; }
 
   /// Number of distinct sets among all ids.
   size_t numSets() const {

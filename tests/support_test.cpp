@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Arena.h"
+#include "support/Checksum.h"
 #include "support/CliArgs.h"
 #include "support/Diagnostics.h"
 #include "support/Json.h"
@@ -18,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -493,6 +495,110 @@ TEST(CliArgsTest, MissingValueAndExtraPositionalFail) {
   Flags2.addPositional("x", [](const std::string &) { return true; });
   EXPECT_FALSE(runParser(Flags2, {"one", "two"}));
   EXPECT_EQ(Flags2.exitCode(), 1);
+}
+
+namespace {
+
+/// The textbook bit-at-a-time CRC32, the definition the sliced
+/// implementation must match bit for bit (snapshot files checksummed by
+/// either must verify under the other).
+uint32_t referenceCrc32(const void *Data, size_t Size, uint32_t Seed = 0) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    C ^= P[I];
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+  }
+  return ~C;
+}
+
+} // namespace
+
+TEST(ChecksumTest, MatchesTheStandardTestVector) {
+  // The IEEE 802.3 / zlib check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(ChecksumTest, SlicedFormMatchesTheReferenceAtEveryLength) {
+  // Every length 0..64 plus a large buffer, so all alignments of the
+  // 8-byte main loop and the byte tail are covered.
+  std::vector<uint8_t> Buf(8192);
+  uint32_t X = 0x12345678;
+  for (uint8_t &B : Buf) {
+    X = X * 1664525u + 1013904223u;
+    B = static_cast<uint8_t>(X >> 24);
+  }
+  for (size_t Len = 0; Len <= 64; ++Len)
+    EXPECT_EQ(crc32(Buf.data(), Len), referenceCrc32(Buf.data(), Len))
+        << "length " << Len;
+  EXPECT_EQ(crc32(Buf.data(), Buf.size()),
+            referenceCrc32(Buf.data(), Buf.size()));
+}
+
+TEST(ChecksumTest, SeedContinuationEqualsOneShot) {
+  const char *Text = "the quick brown fox jumps over the lazy dog";
+  size_t N = std::strlen(Text);
+  uint32_t Whole = crc32(Text, N);
+  for (size_t Split = 0; Split <= N; ++Split) {
+    uint32_t Part = crc32(Text, Split);
+    EXPECT_EQ(crc32(Text + Split, N - Split, Part), Whole)
+        << "split at " << Split;
+  }
+}
+
+TEST(CliArgsTest, EqualsFormCarriesTheValueInline) {
+  size_t Threads = 0;
+  std::string Out;
+  FlagParser Flags("prog", "test tool");
+  Flags.addFlag("threads", "N", "thread count", [&](const std::string &V) {
+    return parseCount(V, "threads", Threads);
+  });
+  Flags.addFlag("out", "FILE", "output path", [&](const std::string &V) {
+    Out = V;
+    return true;
+  });
+  EXPECT_TRUE(runParser(Flags, {"--threads=4", "--out=a.json"}));
+  EXPECT_EQ(Threads, 4u);
+  EXPECT_EQ(Out, "a.json");
+}
+
+TEST(CliArgsTest, EqualsFormValueMayBeEmptyOrContainEquals) {
+  std::string Out = "unset";
+  FlagParser Flags("prog", "test tool");
+  Flags.addFlag("out", "FILE", "output path", [&](const std::string &V) {
+    Out = V;
+    return true;
+  });
+  // An inline value containing '=' splits at the *first* '=' only.
+  EXPECT_TRUE(runParser(Flags, {"--out=key=value"}));
+  EXPECT_EQ(Out, "key=value");
+  // "--out=" passes an (explicitly present) empty value to the callback,
+  // unlike "--out" alone which would consume the next word.
+  EXPECT_TRUE(runParser(Flags, {"--out="}));
+  EXPECT_EQ(Out, "");
+}
+
+TEST(CliArgsTest, EqualsFormOnASwitchIsAHardError) {
+  bool Hit = false;
+  FlagParser Flags("prog", "test tool");
+  Flags.addSwitch("verbose", "say more", [&] {
+    Hit = true;
+    return true;
+  });
+  EXPECT_FALSE(runParser(Flags, {"--verbose=yes"}));
+  EXPECT_EQ(Flags.exitCode(), 1);
+  EXPECT_FALSE(Hit);
+
+  FlagParser Flags2("prog", "test tool");
+  bool Hit2 = false;
+  Flags2.addSwitch("verbose", "say more", [&] {
+    Hit2 = true;
+    return true;
+  });
+  EXPECT_TRUE(runParser(Flags2, {"--verbose"}));
+  EXPECT_TRUE(Hit2);
 }
 
 TEST(CliArgsTest, ParseCountRejectsGarbage) {
