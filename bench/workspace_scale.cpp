@@ -1,0 +1,365 @@
+//===- bench/workspace_scale.cpp - base/overlay multi-document scaling ----===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the base/overlay workspace (DESIGN.md §14) buys a daemon
+// serving many documents against one framework corpus. A generated project
+// (plus the hand-written geometry mini-framework, so client documents have
+// stable type names to reference) is parsed, resolved, frozen, and solved
+// ONCE as a BaseCorpus; then 16 small client documents are opened two
+// ways:
+//
+//   overlay      buildDocumentState(doc, base)   — parse/index/solve only
+//                the document's own entities over the base's frozen tables
+//   monolithic   buildDocumentState(base + doc)  — what every open cost
+//                before this PR: the whole corpus rebuilt per session
+//
+// Reported per mode: median per-session build ms, median per-session heap
+// bytes (DocumentState::memoryBytes — the overlay counts only its delta),
+// the 16-document workspace total, and the process RSS delta across the
+// 16 overlay opens. The PR's acceptance bar — overlay sessions build >= 5x
+// faster than monolithic ones — is enforced here in both write and check
+// modes, so CI leg 5 fails if overlays silently degenerate into full
+// rebuilds.
+//
+// Writes BENCH_workspace.json (into the current directory, or
+// $PETAL_BENCH_DIR). With --check-against <file> it instead reruns the
+// sweep and fails if either build-time median exceeds the snapshot by more
+// than --tolerance percent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "corpus/MiniFrameworks.h"
+#include "corpus/SourceWriter.h"
+#include "service/Session.h"
+#include "snapshot/Snapshot.h"
+#include "support/CliArgs.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+using namespace petal;
+using namespace petal::bench;
+
+namespace {
+
+/// Same default scale as edit_latency, for the same reason: the quantity
+/// under test is the per-session cost *avoided* (re-freezing and
+/// re-solving the framework corpus, O(N^2) in its types), while the cost
+/// an overlay still pays is proportional to the small document alone.
+constexpr double DefaultScale = 6.0;
+constexpr size_t NumDocs = 16;
+
+double workspaceScale() { return benchScale(DefaultScale); }
+
+/// The shared framework corpus: a generated project plus the hand-written
+/// geometry framework the client documents reference by name.
+std::string baseSource() {
+  ProjectProfile Prof = paperProjectProfiles(workspaceScale())[0];
+  TypeSystem TS;
+  Program P(TS);
+  CorpusGenerator Gen(Prof);
+  Gen.generate(P);
+  return writeProgramSource(P) + corpora::GeometryCorpus;
+}
+
+/// Client document \p I: a small class with its own method body over
+/// framework types — the shape of a real editing session.
+std::string docText(size_t I) {
+  std::string S = "class Client" + std::to_string(I) + " {\n"
+                  "  System.Windows.Point Anchor;\n"
+                  "  void Work(System.Windows.Point point,\n"
+                  "            DynamicGeometry.ShapeStyle style) {\n";
+  for (size_t J = 0; J != 1 + I % 4; ++J)
+    S += "    var local" + std::to_string(J) + " = point;\n";
+  S += "    return;\n"
+       "  }\n"
+       "}\n";
+  return S;
+}
+
+double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  size_t N = V.size();
+  return N % 2 ? V[N / 2] : (V[N / 2 - 1] + V[N / 2]) / 2.0;
+}
+
+/// Resident set size in KiB from /proc/self/status (0 where unavailable).
+size_t rssKib() {
+  std::ifstream In("/proc/self/status");
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.rfind("VmRSS:", 0) == 0)
+      return static_cast<size_t>(std::atoll(Line.c_str() + 6));
+  return 0;
+}
+
+std::unique_ptr<DocumentState>
+buildOrDie(const std::string &Name, const std::string &Text,
+           std::shared_ptr<const BaseCorpus> Base) {
+  std::string Error;
+  std::unique_ptr<DocumentState> Doc = buildDocumentState(
+      Name, Text, 1, /*DocThreads=*/1, Error, nullptr, std::move(Base));
+  if (!Doc) {
+    std::cerr << "build failed: " << Error << "\n";
+    std::exit(1);
+  }
+  return Doc;
+}
+
+struct Sweep {
+  double BaseBuildMs = 0;    ///< one-time BaseCorpus cost
+  double OverlayMs = 0;      ///< median per-session overlay build
+  double MonolithicMs = 0;   ///< median per-session from-scratch build
+  double Speedup = 0;        ///< MonolithicMs / OverlayMs
+  size_t BaseBytes = 0;      ///< shared corpus heap, paid once
+  size_t OverlayDocBytes = 0;    ///< median per-session overlay delta
+  size_t MonolithicDocBytes = 0; ///< median per-session monolithic heap
+  size_t WorkspaceBytes = 0;  ///< base + all 16 overlay deltas
+  size_t MonolithicTotalBytes = 0; ///< 16 monolithic sessions
+  size_t RssDeltaKib = 0;     ///< process RSS growth across the 16 opens
+};
+
+Sweep runSweep() {
+  Sweep S;
+  const std::string Base = baseSource();
+  std::cout << "framework corpus: " << Base.size() / 1024
+            << " KiB of source, " << NumDocs << " client documents\n\n";
+
+  std::string Error;
+  std::shared_ptr<const BaseCorpus> BC = baseCorpusFromSource(Base, Error);
+  if (!BC) {
+    std::cerr << "base corpus build failed: " << Error << "\n";
+    std::exit(1);
+  }
+  S.BaseBuildMs = BC->BuildMillis;
+  S.BaseBytes = BC->memoryBytes();
+
+  // All 16 overlay sessions, kept alive together — the workspace a daemon
+  // would hold — so the RSS delta measures coexisting sessions, not one.
+  std::vector<std::unique_ptr<DocumentState>> Open;
+  std::vector<double> OverlayMs;
+  std::vector<double> OverlayBytes;
+  size_t RssBefore = rssKib();
+  for (size_t I = 0; I != NumDocs; ++I) {
+    std::unique_ptr<DocumentState> Doc =
+        buildOrDie("client" + std::to_string(I) + ".cs", docText(I), BC);
+    OverlayMs.push_back(Doc->BuildMillis);
+    OverlayBytes.push_back(static_cast<double>(Doc->memoryBytes()));
+    Open.push_back(std::move(Doc));
+  }
+  size_t RssAfter = rssKib();
+  S.RssDeltaKib = RssAfter > RssBefore ? RssAfter - RssBefore : 0;
+  S.OverlayMs = medianOf(OverlayMs);
+  S.OverlayDocBytes = static_cast<size_t>(medianOf(OverlayBytes));
+  S.WorkspaceBytes = S.BaseBytes;
+  for (double B : OverlayBytes)
+    S.WorkspaceBytes += static_cast<size_t>(B);
+
+  // The counterfactual: every session rebuilds the whole corpus, which is
+  // what petal/open cost without a base. Sessions are NOT kept alive —
+  // 16 monolithic corpora at once is exactly the memory blowup the
+  // workspace exists to avoid, and holding them would only slow the bench.
+  std::vector<double> MonoMs;
+  std::vector<double> MonoBytes;
+  for (size_t I = 0; I != NumDocs; ++I) {
+    std::unique_ptr<DocumentState> Doc = buildOrDie(
+        "client" + std::to_string(I) + ".cs", Base + docText(I), nullptr);
+    MonoMs.push_back(Doc->BuildMillis);
+    MonoBytes.push_back(static_cast<double>(Doc->memoryBytes()));
+  }
+  S.MonolithicMs = medianOf(MonoMs);
+  S.MonolithicDocBytes = static_cast<size_t>(medianOf(MonoBytes));
+  S.MonolithicTotalBytes = 0;
+  for (double B : MonoBytes)
+    S.MonolithicTotalBytes += static_cast<size_t>(B);
+  S.Speedup = S.OverlayMs > 0 ? S.MonolithicMs / S.OverlayMs : 0;
+  return S;
+}
+
+void printSweep(const Sweep &S) {
+  TextTable Tab;
+  Tab.setHeader({"metric", "monolithic", "overlay", "ratio"});
+  Tab.addRow({"per-session build ms", formatFixed(S.MonolithicMs, 2),
+              formatFixed(S.OverlayMs, 2),
+              formatFixed(S.Speedup, 1) + "x faster"});
+  Tab.addRow({"per-session heap KiB",
+              std::to_string(S.MonolithicDocBytes / 1024),
+              std::to_string(S.OverlayDocBytes / 1024),
+              formatFixed(S.OverlayDocBytes
+                              ? static_cast<double>(S.MonolithicDocBytes) /
+                                    static_cast<double>(S.OverlayDocBytes)
+                              : 0,
+                          1) +
+                  "x smaller"});
+  Tab.addRow({"16-doc workspace KiB",
+              std::to_string(S.MonolithicTotalBytes / 1024),
+              std::to_string(S.WorkspaceBytes / 1024),
+              formatFixed(S.WorkspaceBytes
+                              ? static_cast<double>(S.MonolithicTotalBytes) /
+                                    static_cast<double>(S.WorkspaceBytes)
+                              : 0,
+                          1) +
+                  "x smaller"});
+  std::cout << "Per-session cost, " << NumDocs
+            << " documents against one framework corpus (base built once: "
+            << formatFixed(S.BaseBuildMs, 2) << " ms, "
+            << S.BaseBytes / 1024 << " KiB):\n";
+  Tab.print(std::cout);
+  std::cout << "overlay workspace RSS delta across the " << NumDocs
+            << " opens: " << S.RssDeltaKib << " KiB\n\n";
+}
+
+/// The acceptance bar: an overlay open must be >= 5x cheaper than the
+/// monolithic rebuild it replaces. Checked wherever the sweep runs.
+int enforceBar(const Sweep &S) {
+  if (S.Speedup < 5.0) {
+    std::cerr << "FAIL: overlay builds are only " << formatFixed(S.Speedup, 1)
+              << "x faster than monolithic builds (bar: >= 5x) — overlay "
+                 "opens are redoing base-corpus work\n";
+    return 1;
+  }
+  std::cout << "overlay-vs-monolithic bar met: " << formatFixed(S.Speedup, 1)
+            << "x >= 5x\n";
+  return 0;
+}
+
+void writeSnapshot(const Sweep &S) {
+  std::string Dir = ".";
+  if (const char *D = std::getenv("PETAL_BENCH_DIR"))
+    Dir = D;
+  std::ofstream OS(Dir + "/BENCH_workspace.json");
+  OS << "{\n"
+     << "  \"benchmark\": \"workspace_scale\",\n"
+     << "  \"scale\": " << formatFixed(workspaceScale(), 2) << ",\n"
+     << "  \"docs\": " << NumDocs << ",\n"
+     << "  \"base_build_ms\": " << formatFixed(S.BaseBuildMs, 2) << ",\n"
+     << "  \"base_bytes\": " << S.BaseBytes << ",\n"
+     << "  \"overlay_build_ms\": " << formatFixed(S.OverlayMs, 2) << ",\n"
+     << "  \"monolithic_build_ms\": " << formatFixed(S.MonolithicMs, 2)
+     << ",\n"
+     << "  \"speedup\": " << formatFixed(S.Speedup, 1) << ",\n"
+     << "  \"overlay_doc_bytes\": " << S.OverlayDocBytes << ",\n"
+     << "  \"monolithic_doc_bytes\": " << S.MonolithicDocBytes << ",\n"
+     << "  \"workspace_total_bytes\": " << S.WorkspaceBytes << ",\n"
+     << "  \"monolithic_total_bytes\": " << S.MonolithicTotalBytes << ",\n"
+     << "  \"rss_delta_kib\": " << S.RssDeltaKib << "\n"
+     << "}\n";
+  std::cout << "wrote " << Dir << "/BENCH_workspace.json\n";
+}
+
+/// Reruns the sweep and compares both build-time medians against a
+/// BENCH_workspace.json snapshot; *higher* is the regression direction.
+/// The >= 5x bar is enforced regardless of the baseline's contents.
+int checkAgainst(const std::string &File, double TolerancePct) {
+  std::ifstream In(File);
+  if (!In) {
+    std::cerr << "error: cannot open baseline '" << File << "'\n";
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  json::Value Snapshot;
+  std::string Error;
+  if (!json::parse(Buf.str(), Snapshot, Error)) {
+    std::cerr << "error: '" << File << "' is not valid JSON: " << Error
+              << "\n";
+    return 1;
+  }
+  if (std::abs(Snapshot.getNumber("scale", -1) - workspaceScale()) > 1e-9)
+    std::cout << "note: baseline was recorded at scale "
+              << formatFixed(Snapshot.getNumber("scale", -1), 2)
+              << ", current scale is "
+              << formatFixed(workspaceScale(), 2)
+              << " — comparison is not meaningful across scales\n\n";
+
+  Sweep S = runSweep();
+  printSweep(S);
+
+  TextTable Tab;
+  Tab.setHeader({"metric", "baseline ms", "current ms", "delta", "verdict"});
+  bool Regressed = false;
+  const std::pair<const char *, double> Metrics[] = {
+      {"overlay_build_ms", S.OverlayMs},
+      {"monolithic_build_ms", S.MonolithicMs},
+  };
+  for (const auto &[Key, Ms] : Metrics) {
+    double Baseline = Snapshot.getNumber(Key, 0);
+    if (Baseline <= 0) {
+      Tab.addRow({Key, "-", formatFixed(Ms, 2), "-", "no baseline"});
+      continue;
+    }
+    double DeltaPct = (Ms - Baseline) / Baseline * 100.0;
+    bool Bad = DeltaPct > TolerancePct;
+    Regressed |= Bad;
+    Tab.addRow({Key, formatFixed(Baseline, 2), formatFixed(Ms, 2),
+                (DeltaPct >= 0 ? "+" : "") + formatFixed(DeltaPct, 1) + "%",
+                Bad ? "REGRESSION" : "ok"});
+  }
+  std::cout << "Per-session build time vs '" << File << "' (tolerance "
+            << formatFixed(TolerancePct, 1) << "%):\n";
+  Tab.print(std::cout);
+  std::cout << "\n";
+  if (enforceBar(S))
+    return 1;
+  if (Regressed) {
+    std::cerr << "FAIL: per-session build time regressed more than "
+              << formatFixed(TolerancePct, 1)
+              << "% against the baseline snapshot\n";
+    return 1;
+  }
+  std::cout << "workspace scaling within tolerance of the baseline\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string CheckFile;
+  double TolerancePct = 10.0;
+  FlagParser Flags("workspace_scale",
+                   "base/overlay workspace: per-session build cost and "
+                   "memory across 16 documents");
+  Flags.addFlag("check-against", "file",
+                "compare against a BENCH_workspace.json snapshot instead "
+                "of writing one",
+                [&](const std::string &V) {
+                  CheckFile = V;
+                  return true;
+                });
+  Flags.addFlag("tolerance", "pct",
+                "allowed build-time increase before --check-against fails",
+                [&](const std::string &V) {
+                  char *End = nullptr;
+                  TolerancePct = std::strtod(V.c_str(), &End);
+                  if (End == V.c_str() || *End != '\0' || TolerancePct < 0) {
+                    std::cerr << "error: --tolerance needs a non-negative "
+                                 "percentage, got '"
+                              << V << "'\n";
+                    return false;
+                  }
+                  return true;
+                });
+  if (!Flags.parse(argc, argv))
+    return Flags.exitCode();
+
+  banner("multi-document workspace scaling", "DESIGN.md §14 / one base, "
+         "many overlays", workspaceScale());
+  if (!CheckFile.empty())
+    return checkAgainst(CheckFile, TolerancePct);
+
+  Sweep S = runSweep();
+  printSweep(S);
+  if (enforceBar(S))
+    return 1;
+  writeSnapshot(S);
+  return 0;
+}

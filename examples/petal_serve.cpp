@@ -23,7 +23,9 @@
 #include "service/Transport.h"
 #include "support/CliArgs.h"
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -104,6 +106,8 @@ int main(int argc, char **argv) {
   size_t TcpPort = 0;
   bool UseTcp = false;
   std::string SnapshotPath;
+  std::string BasePath;
+  std::string BaseSnapshotPath;
 
   FlagParser Flags("petal_serve",
                    "resident completion daemon (framed JSON-RPC)");
@@ -114,6 +118,27 @@ int main(int argc, char **argv) {
                 [&](const std::string &V) {
                   SnapshotPath = V;
                   return !SnapshotPath.empty();
+                });
+  Flags.addFlag("base", "FILE",
+                "serve every document as an overlay over this shared "
+                "framework corpus source (parsed, frozen, and solved once "
+                "at startup)",
+                [&](const std::string &V) {
+                  BasePath = V;
+                  return !BasePath.empty();
+                });
+  Flags.addFlag("base-snapshot", "FILE",
+                "like --base, but adopt the shared corpus zero-copy from a "
+                "snapshot file (degrades to no base on any mismatch)",
+                [&](const std::string &V) {
+                  BaseSnapshotPath = V;
+                  return !BaseSnapshotPath.empty();
+                });
+  Flags.addFlag("max-sessions", "N",
+                "cap on open sessions; exceeding opens evict the "
+                "least-recently-used idle session (default 0 = unlimited)",
+                [&](const std::string &V) {
+                  return parseCount(V, "max-sessions", Opts.MaxSessions);
                 });
   Flags.addFlag("workers", "N", "service worker threads (default 2)",
                 [&](const std::string &V) {
@@ -150,8 +175,53 @@ int main(int argc, char **argv) {
 
   if (Opts.Workers == 0)
     Opts.Workers = 2;
+  if (!BasePath.empty() && !BaseSnapshotPath.empty()) {
+    std::cerr << "error: --base and --base-snapshot are exclusive\n";
+    return 1;
+  }
+
+  if (!BasePath.empty()) {
+    std::ifstream In(BasePath, std::ios::binary);
+    if (!In) {
+      std::cerr << "petal_serve: cannot read base corpus '" << BasePath
+                << "'\n";
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Error;
+    Opts.Base = baseCorpusFromSource(Buf.str(), Error);
+    if (!Opts.Base) {
+      // Unlike a stale snapshot, a broken base corpus is a configuration
+      // error, not a cache miss — serving overlay-less would silently
+      // change what completions mean, so refuse to start.
+      std::cerr << "petal_serve: base corpus rejected: " << Error << "\n";
+      return 1;
+    }
+    std::cerr << "petal_serve: base corpus '" << BasePath << "' ready ("
+              << Opts.Base->TS->numTypes() << " types, "
+              << Opts.Base->TS->numMethods() << " methods, "
+              << Opts.Base->BuildMillis << " ms)\n";
+  } else if (!BaseSnapshotPath.empty()) {
+    std::string Error;
+    auto Snap = snapshot::loadSnapshot(BaseSnapshotPath, Error);
+    if (!Snap) {
+      std::cerr << "petal_serve: base snapshot rejected: " << Error << "\n";
+      return 1;
+    }
+    Opts.Base = baseCorpusFromSnapshot(Snap);
+    std::cerr << "petal_serve: base corpus adopted from '"
+              << BaseSnapshotPath << "' (" << Snap->Bytes << " bytes, "
+              << (Snap->Mapped ? "mmap" : "buffered") << ", "
+              << Snap->LoadMillis << " ms)\n";
+  }
 
   if (!SnapshotPath.empty()) {
+    if (Opts.Base) {
+      std::cerr << "error: --snapshot warm-start does not combine with a "
+                   "base corpus (overlay opens are already warm)\n";
+      return 1;
+    }
     std::string Error;
     auto Snap = snapshot::loadSnapshot(SnapshotPath, Error);
     if (!Snap) {

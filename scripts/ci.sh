@@ -14,15 +14,18 @@
 #      frozen-index stress cases, the petald service tests (framing,
 #      cancellation, cache invalidation under concurrent clients), the
 #      incremental-session tests (eight DocumentStates aliasing one
-#      version's frozen index tables, queried concurrently), and the
-#      snapshot tests (the same aliasing, but over an mmap'd file image) —
-#      which are exactly the tests designed to surface data races in the
-#      shared completion indexes and the service's session handoff.
+#      version's frozen index tables, queried concurrently), the snapshot
+#      tests (the same aliasing, but over an mmap'd file image), and the
+#      workspace-overlay tests (many overlay documents querying one shared
+#      BaseCorpus from eight threads) — which are exactly the tests
+#      designed to surface data races in the shared completion indexes and
+#      the service's session handoff.
 #   3. AddressSanitizer (-DPETAL_SANITIZE=address): the same service tests
 #      plus the parser/robustness suites, where lifetime bugs would live
 #      (documents swapped under in-flight requests, cached payloads
-#      outliving their sessions, mapped tables outliving their mapping),
-#      and a snapshot save/load round trip through the real CLI tools —
+#      outliving their sessions, mapped tables outliving their mapping,
+#      overlays outliving or outlived by their base corpus), and a
+#      snapshot save/load round trip through the real CLI tools —
 #      the fault-injection tests must reject corrupt images by returning
 #      an error, never by touching bytes outside the mapping.
 #   4. UndefinedBehaviorSanitizer (-DPETAL_SANITIZE=undefined): the whole
@@ -31,16 +34,19 @@
 #      test with unrecoverable UBSan checks and no other instrumentation).
 #   5. Perf smoke: batch_throughput --check-against BENCH_batch.json (the
 #      frozen-index fast path), edit_latency --check-against
-#      BENCH_edit.json (the incremental-rebuild path), and cold_start
+#      BENCH_edit.json (the incremental-rebuild path), cold_start
 #      --check-against BENCH_cold_start.json (the snapshot warm-start
-#      path, which additionally enforces the >= 5x warm-vs-cold bar), each
-#      vs its committed snapshot. The tolerance is deliberately loose
-#      (50%) — CI machines are noisy and differ from the snapshot's
-#      hardware; the leg exists to catch order-of-magnitude regressions (a
-#      lock reintroduced on the query path, an index silently falling back
-#      to the lazy representation, an edit shape silently demoted to a
-#      full rebuild, a warm start silently degenerating into a cold
-#      build), not 10% drift.
+#      path, which additionally enforces the >= 5x warm-vs-cold bar), and
+#      workspace_scale --check-against BENCH_workspace.json (the
+#      base/overlay workspace, which enforces the >= 5x
+#      overlay-vs-monolithic per-session build bar), each vs its committed
+#      snapshot. The tolerance is deliberately loose (50%) — CI machines
+#      are noisy and differ from the snapshot's hardware; the leg exists
+#      to catch order-of-magnitude regressions (a lock reintroduced on the
+#      query path, an index silently falling back to the lazy
+#      representation, an edit shape silently demoted to a full rebuild, a
+#      warm start silently degenerating into a cold build, an overlay open
+#      silently redoing base-corpus work), not 10% drift.
 #
 # Usage: scripts/ci.sh [jobs]          (default: nproc)
 #
@@ -62,7 +68,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing|SessionIncremental|Snapshot'
+  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing|SessionIncremental|Snapshot|WorkspaceOverlay'
 
 echo
 echo "== [3/5] AddressSanitizer build + service/robustness tests"
@@ -70,7 +76,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer|SessionIncremental|Snapshot'
+  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer|SessionIncremental|Snapshot|WorkspaceOverlay'
 
 echo
 echo "== [3/5]   snapshot save/load round trip through the CLI tools (ASan)"
@@ -94,12 +100,14 @@ cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
 echo
-echo "== [5/5] Perf smoke: batch throughput + edit latency + cold start vs committed snapshots"
+echo "== [5/5] Perf smoke: batch throughput + edit latency + cold start + workspace scale vs committed snapshots"
 build-ci/bench/batch_throughput --check-against BENCH_batch.json \
   --tolerance 50
 build-ci/bench/edit_latency --check-against BENCH_edit.json \
   --tolerance 50
 build-ci/bench/cold_start --check-against BENCH_cold_start.json \
+  --tolerance 50
+build-ci/bench/workspace_scale --check-against BENCH_workspace.json \
   --tolerance 50
 
 echo

@@ -1,0 +1,23 @@
+//===- complete/BaseCorpus.cpp - Shared frozen framework corpus -----------===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "complete/BaseCorpus.h"
+
+using namespace petal;
+
+size_t BaseCorpus::memoryBytes() const {
+  size_t Bytes = SourceText.capacity();
+  for (const DeclUnit &U : Shape.Units)
+    Bytes += sizeof(DeclUnit) + U.QualName.capacity();
+  if (TS)
+    Bytes += TS->memoryBytes();
+  if (Idx)
+    Bytes += Idx->memoryBytes();
+  if (Solution)
+    Bytes += Solution->parents().size() * sizeof(uint32_t);
+  return Bytes;
+}

@@ -7,9 +7,54 @@
 
 #include "complete/Engine.h"
 
+#include "complete/BaseCorpus.h"
+
 #include <cstddef>
 
 using namespace petal;
+
+CompletionIndexes::CompletionIndexes(Program &P,
+                                     std::shared_ptr<const BaseCorpus> BaseIn)
+    : MethodsPtr(std::make_shared<MethodIndex>(
+          P.typeSystem(),
+          std::shared_ptr<const MethodIndex>(BaseIn->Idx->MethodsPtr))),
+      MembersPtr(std::make_shared<MemberCache>(
+          P.typeSystem(),
+          std::shared_ptr<const MemberCache>(BaseIn->Idx->MembersPtr))),
+      ReachPtr(std::make_shared<ReachabilityIndex>(
+          P.typeSystem(), *MembersPtr,
+          std::shared_ptr<const ReachabilityIndex>(BaseIn->Idx->ReachPtr))),
+      InferPtr(std::make_shared<AbstractTypeInference>(
+          P,
+          std::shared_ptr<const AbstractTypeInference>(BaseIn->Idx->InferPtr),
+          BaseIn->Solution)),
+      Methods(*MethodsPtr), Members(*MembersPtr), Reach(*ReachPtr),
+      Infer(*InferPtr), TS(P.typeSystem()), Base(std::move(BaseIn)) {
+  assert(Base->Idx && Base->Idx->frozen() &&
+         "the base corpus must be frozen before overlays attach");
+  assert(P.typeSystem().baseLayer() == Base->TS.get() &&
+         "the overlay TypeSystem must layer over the base corpus's");
+}
+
+CompletionIndexes::CompletionIndexes(Program &P, const CompletionIndexes &Prev)
+    : MethodsPtr(Prev.MethodsPtr), MembersPtr(Prev.MembersPtr),
+      ReachPtr(Prev.ReachPtr),
+      InferPtr(Prev.Base
+                   ? std::make_shared<AbstractTypeInference>(
+                         P,
+                         std::shared_ptr<const AbstractTypeInference>(
+                             Prev.Base->Idx->InferPtr),
+                         Prev.Base->Solution)
+                   : std::make_shared<AbstractTypeInference>(P)),
+      Methods(*MethodsPtr), Members(*MembersPtr), Reach(*ReachPtr),
+      Infer(*InferPtr), TS(P.typeSystem()), Base(Prev.Base),
+      SharedTypeGraph(true) {
+  assert(Prev.frozen() &&
+         "type-graph tables can only be shared after freeze()");
+  assert(&P.typeSystem() == &Prev.TS &&
+         "shared indexes must read the same TypeSystem they were built "
+         "over");
+}
 
 void CompletionIndexes::freeze(const FreezeOptions &Opts) {
   // Reach is constructed with a reference to Members and consults it for
@@ -31,8 +76,10 @@ void CompletionIndexes::freeze(const FreezeOptions &Opts) {
     // The sharing constructor aliased an already-frozen set of type-graph
     // tables (asserted there), and the fresh Infer is immutable after
     // construction — nothing left to compile. Skipping the warm/freeze
-    // pass is what makes an incremental document build cheap.
-    assert(TS.denseDistancesFrozen() || !Members.frozen());
+    // pass is what makes an incremental document build cheap. (An overlay
+    // TypeSystem never dense-freezes — base×base queries go through the
+    // base's matrix — so its frozen member tables are expected without one.)
+    assert(TS.denseDistancesFrozen() || TS.baseLayer() || !Members.frozen());
     Frozen = true;
     return;
   }
@@ -51,6 +98,16 @@ void CompletionIndexes::freeze(const FreezeOptions &Opts) {
     Reach.freeze(Opts.MaxDenseBytes);
   }
   Frozen = true;
+}
+
+size_t CompletionIndexes::memoryBytes() const {
+  // After the sharing constructor the type-graph tables belong to the
+  // previous version (or the base); only the fresh inference is new heap.
+  size_t Bytes = Infer.memoryBytes();
+  if (!SharedTypeGraph)
+    Bytes += Methods.memoryBytes() + Members.memoryBytes() +
+             Reach.memoryBytes();
+  return Bytes;
 }
 
 void CompletionIndexes::adoptFrozenTables() {

@@ -38,6 +38,8 @@
 
 namespace petal {
 
+struct BaseCorpus;
+
 /// Controls how CompletionIndexes::freeze() compiles the lazy caches into
 /// dense storage (see DESIGN.md, "Frozen index memory layout").
 struct FreezeOptions {
@@ -70,6 +72,12 @@ struct FreezeOptions {
 /// version's *frozen* tables — immutable, hence race-free across the old
 /// and new document — while Infer, which reads every method body, is
 /// rebuilt against the new Program.
+///
+/// In overlay mode (base/overlay workspace, DESIGN.md §14) the four index
+/// objects hold only the document's entities and answer base-entity
+/// queries from the shared BaseCorpus's frozen tables; the overlay
+/// constructor wires each sub-index to its base counterpart. The engine
+/// reads the same four references either way.
 struct CompletionIndexes {
   explicit CompletionIndexes(Program &P)
       : MethodsPtr(std::make_shared<MethodIndex>(P.typeSystem())),
@@ -80,23 +88,21 @@ struct CompletionIndexes {
         Methods(*MethodsPtr), Members(*MembersPtr), Reach(*ReachPtr),
         Infer(*InferPtr), TS(P.typeSystem()) {}
 
+  /// Overlay constructor: \p P is a document program resolved against
+  /// \p BaseIn's symbol tables (its TypeSystem was built with the overlay
+  /// TypeSystem constructor over BaseIn->TS). Builds overlay layers over
+  /// the base's frozen indexes; freeze() then compacts only the overlay
+  /// deltas. Defined in Engine.cpp (needs BaseCorpus's definition).
+  CompletionIndexes(Program &P, std::shared_ptr<const BaseCorpus> BaseIn);
+
   /// Sharing constructor: adopts \p Prev's frozen type-graph tables and
   /// builds a fresh abstract-type inference over \p P. Requires \p Prev to
   /// be frozen (sharing lazily-filling caches across documents would race)
   /// and \p P to use the same TypeSystem instance \p Prev was built over —
-  /// the caller (the incremental session build) guarantees both.
-  CompletionIndexes(Program &P, const CompletionIndexes &Prev)
-      : MethodsPtr(Prev.MethodsPtr), MembersPtr(Prev.MembersPtr),
-        ReachPtr(Prev.ReachPtr),
-        InferPtr(std::make_shared<AbstractTypeInference>(P)),
-        Methods(*MethodsPtr), Members(*MembersPtr), Reach(*ReachPtr),
-        Infer(*InferPtr), TS(P.typeSystem()), SharedTypeGraph(true) {
-    assert(Prev.frozen() &&
-           "type-graph tables can only be shared after freeze()");
-    assert(&P.typeSystem() == &Prev.TS &&
-           "shared indexes must read the same TypeSystem they were built "
-           "over");
-  }
+  /// the caller (the incremental session build) guarantees both. When
+  /// \p Prev is an overlay, the new instance shares the same base and the
+  /// fresh inference extends the base solution again.
+  CompletionIndexes(Program &P, const CompletionIndexes &Prev);
 
   /// Eagerly populates every lazily filled cache (the type system's
   /// ancestor distances, the member edges, the method-index supertype
@@ -125,6 +131,14 @@ struct CompletionIndexes {
   /// dense distance table alongside the index tables).
   const TypeSystem &typeSystem() const { return TS; }
 
+  /// The shared base layer these indexes overlay; null for a monolithic
+  /// corpus.
+  const std::shared_ptr<const BaseCorpus> &baseCorpus() const { return Base; }
+
+  /// Approximate heap bytes owned by the four index layers (a shared base
+  /// or a previous version's aliased tables are not re-counted).
+  size_t memoryBytes() const;
+
 private:
   // NOTE on member order: Reach holds a reference to Members (its BFS
   // walks the member edges), so MembersPtr must be declared — and
@@ -144,6 +158,9 @@ public:
 
 private:
   const TypeSystem &TS;
+  /// The shared base layer (overlay mode); keeps the base alive for as
+  /// long as any overlay index can reach into its tables.
+  std::shared_ptr<const BaseCorpus> Base;
   bool Frozen = false;
   bool SharedTypeGraph = false;
 };

@@ -261,12 +261,12 @@ void UnknownCallStream::enumerateMethods(const std::vector<Candidate> &Combo,
   // Scan the index bucket of the most selective argument type (§4.2).
   // Don't-cares and null literals constrain nothing, so they cannot drive
   // the index choice.
-  Span<const MethodId> Methods;
+  MethodCandidates Methods;
   bool Constrained = false;
   for (const Candidate &C : Combo) {
     if (!isValidId(C.Type) || C.Type == ES.TS->nullType())
       continue;
-    Span<const MethodId> Set = ES.MIndex->candidatesForArgType(C.Type);
+    MethodCandidates Set = ES.MIndex->candidatesForArgType(C.Type);
     if (!Constrained || Set.size() < Methods.size()) {
       Methods = Set;
       Constrained = true;

@@ -14,7 +14,9 @@ using namespace petal;
 void MemberCache::warmAll() const {
   if (frozen())
     return;
-  for (size_t T = 0; T != TS.numTypes(); ++T)
+  // Overlay: warm the local types only; the base layer was warmed before
+  // any overlay attached.
+  for (size_t T = NumBaseTypes; T != TS.numTypes(); ++T)
     edges(static_cast<TypeId>(T));
 }
 
@@ -23,7 +25,9 @@ void MemberCache::freeze() const {
     return;
   warmAll();
 
-  size_t N = TS.numTypes();
+  // In overlay mode the CSR covers local types only (slot T - NumBaseTypes);
+  // base-type queries keep forwarding to the shared base arrays.
+  size_t N = TS.numTypes() - NumBaseTypes;
   std::vector<uint32_t> Offs(N + 1, 0);
   size_t Total = 0;
   for (size_t T = 0; T != N; ++T) {
@@ -57,6 +61,7 @@ void MemberCache::adoptFrozen(
     size_t NumTypes, std::vector<size_t> FieldCountsIn,
     std::shared_ptr<const void> KeepAliveHandle) const {
   assert(!frozen() && "member cache already frozen");
+  assert(!BaseCache && "snapshot tables adopt into the base layer, not overlays");
   assert(NumTypes == TS.numTypes() &&
          "snapshot member CSR sized for a different type population");
   assert(FieldCountsIn.size() == NumTypes && "field counts mis-sized");
@@ -73,20 +78,30 @@ void MemberCache::adoptFrozen(
 }
 
 Span<const LookupEdge> MemberCache::edges(TypeId T) const {
+  // Base types delegate to the shared base cache: a document cannot add
+  // members to a base type, so its edge list is exactly the base's.
+  if (static_cast<size_t>(T) < NumBaseTypes)
+    return BaseCache->edges(T);
+  size_t Slot = static_cast<size_t>(T) - NumBaseTypes;
+
   if (frozen()) {
-    assert(static_cast<size_t>(T) < NumTypesFrozen && "bad TypeId");
-    uint32_t B = OffV[T], E = OffV[static_cast<size_t>(T) + 1];
+    assert(Slot < NumTypesFrozen && "bad TypeId");
+    uint32_t B = OffV[Slot], E = OffV[Slot + 1];
     return Span<const LookupEdge>(EdgeV + B, E - B);
   }
 
-  if (Cache.size() < TS.numTypes()) {
-    Cache.resize(TS.numTypes());
-    FieldCounts.resize(TS.numTypes(), 0);
-    Valid.resize(TS.numTypes(), false);
+  size_t NumLocal = TS.numTypes() - NumBaseTypes;
+  if (Cache.size() < NumLocal) {
+    Cache.resize(NumLocal);
+    FieldCounts.resize(NumLocal, 0);
+    Valid.resize(NumLocal, false);
   }
-  if (Valid[T])
-    return Cache[T];
+  if (Valid[Slot])
+    return Cache[Slot];
 
+  // visibleFields/visibleMethods run over the layered TypeSystem, so an
+  // overlay type's edges include its inherited base members in exactly the
+  // order a monolithic build would produce.
   std::vector<LookupEdge> Edges;
   for (FieldId F : TS.visibleFields(T)) {
     const FieldInfo &FI = TS.field(F);
@@ -98,7 +113,7 @@ Span<const LookupEdge> MemberCache::edges(TypeId T) const {
     E.ResultType = FI.Type;
     Edges.push_back(E);
   }
-  FieldCounts[T] = Edges.size();
+  FieldCounts[Slot] = Edges.size();
 
   for (MethodId M : TS.visibleMethods(T)) {
     const MethodInfo &MI = TS.method(M);
@@ -111,7 +126,16 @@ Span<const LookupEdge> MemberCache::edges(TypeId T) const {
     Edges.push_back(E);
   }
 
-  Cache[T] = std::move(Edges);
-  Valid[T] = true;
-  return Cache[T];
+  Cache[Slot] = std::move(Edges);
+  Valid[Slot] = true;
+  return Cache[Slot];
+}
+
+size_t MemberCache::memoryBytes() const {
+  size_t Bytes = EdgeData.capacity() * sizeof(LookupEdge) +
+                 Offsets.capacity() * sizeof(uint32_t) +
+                 FieldCounts.capacity() * sizeof(size_t);
+  for (const auto &V : Cache)
+    Bytes += V.capacity() * sizeof(LookupEdge);
+  return Bytes;
 }

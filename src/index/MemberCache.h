@@ -48,9 +48,22 @@ struct LookupEdge {
 /// over, so incremental document rebuilds share it wholesale across
 /// versions whose type graph is unchanged (CompletionIndexes' sharing
 /// constructor); frozen() is the reuse precondition.
+/// An overlay MemberCache (base/overlay workspace, DESIGN.md §14) layers
+/// over a warmed base instance: base-type lookups forward to the shared
+/// base storage (documents cannot add members to base types, so those edge
+/// lists are final), and only overlay types get local entries, indexed
+/// T - numBaseTypes(). Freezing an overlay compacts just the local edges.
 class MemberCache {
 public:
   explicit MemberCache(const TypeSystem &TS) : TS(TS) {}
+
+  /// Overlay constructor: \p BaseCacheIn was built over TS.baseLayer() and
+  /// warmed (or frozen), and answers every base-type lookup.
+  MemberCache(const TypeSystem &TS, std::shared_ptr<const MemberCache> BaseCacheIn)
+      : TS(TS), BaseCache(std::move(BaseCacheIn)),
+        NumBaseTypes(TS.numBaseTypes()) {
+    assert(BaseCache && "overlay constructor requires a base cache");
+  }
 
   /// All edges from a value of type \p T (fields first, then zero-arg
   /// methods), in deterministic declaration order.
@@ -66,9 +79,11 @@ public:
 
   /// Number of leading field edges of edges(T).
   size_t numFieldEdges(TypeId T) const {
+    if (static_cast<size_t>(T) < NumBaseTypes)
+      return BaseCache->numFieldEdges(T);
     if (!frozen())
       edges(T);
-    return FieldCounts[T];
+    return FieldCounts[T - NumBaseTypes];
   }
 
   /// The frozen CSR arrays: all edges contiguous, and the numTypes()+1
@@ -95,8 +110,16 @@ public:
                    std::vector<size_t> FieldCountsIn,
                    std::shared_ptr<const void> KeepAliveHandle) const;
 
+  /// Approximate heap bytes owned by this layer (the shared base is not
+  /// re-counted).
+  size_t memoryBytes() const;
+
 private:
   const TypeSystem &TS;
+  /// Overlay mode: the shared base cache and the number of types it
+  /// covers. Local storage below is indexed T - NumBaseTypes.
+  std::shared_ptr<const MemberCache> BaseCache;
+  size_t NumBaseTypes = 0;
   // Lazy (pre-freeze) representation.
   mutable std::vector<std::vector<LookupEdge>> Cache;
   mutable std::vector<bool> Valid;

@@ -33,38 +33,83 @@ MethodIndex::MethodIndex(const TypeSystem &TS) : TS(TS) {
   UnionCacheValid.assign(TS.numTypes(), false);
 }
 
+MethodIndex::MethodIndex(const TypeSystem &TS,
+                         std::shared_ptr<const MethodIndex> BaseIdxIn)
+    : TS(TS), BaseIdx(std::move(BaseIdxIn)),
+      NumBaseTypes(TS.numBaseTypes()) {
+  assert(BaseIdx && "overlay constructor requires a base index");
+  assert(BaseIdx->frozen() && "the base index must be frozen before overlays "
+                              "attach (concurrent readers)");
+  // Bucket only this layer's methods; base methods stay in the shared base
+  // buckets. Bucket vectors are still indexed by absolute TypeId (an
+  // overlay method may well take base-typed parameters).
+  size_t NumBaseMethods = TS.numBaseMethods();
+  Buckets.resize(TS.numTypes());
+  All.reserve(TS.numMethods() - NumBaseMethods);
+  for (size_t M = NumBaseMethods; M != TS.numMethods(); ++M) {
+    MethodId Id = static_cast<MethodId>(M);
+    All.push_back(Id);
+    std::unordered_set<TypeId> Seen;
+    size_t N = TS.numCallParams(Id);
+    for (size_t I = 0; I != N; ++I) {
+      TypeId T = TS.callParamType(Id, I);
+      if (Seen.insert(T).second)
+        Buckets[T].push_back(Id);
+    }
+  }
+  UnionCache.resize(TS.numTypes() - NumBaseTypes);
+  UnionCacheValid.assign(TS.numTypes() - NumBaseTypes, false);
+  AppCache.resize(NumBaseTypes);
+  AppCacheValid.assign(NumBaseTypes, false);
+}
+
 void MethodIndex::warmAll() const {
   if (frozen())
     return;
+  if (BaseIdx) {
+    for (size_t T = 0; T != NumBaseTypes; ++T)
+      overlayAppendage(static_cast<TypeId>(T));
+    for (size_t T = NumBaseTypes; T != TS.numTypes(); ++T)
+      overlayUnion(static_cast<TypeId>(T));
+    return;
+  }
   for (size_t T = 0; T != TS.numTypes(); ++T)
     candidatesForArgType(static_cast<TypeId>(T));
 }
+
+namespace {
+/// Compacts per-slot vectors into CSR (Data, Offs) storage.
+void compactCsr(const std::vector<std::vector<MethodId>> &Slots,
+                std::vector<MethodId> &Data, std::vector<uint32_t> &Offs) {
+  size_t N = Slots.size();
+  Offs.assign(N + 1, 0);
+  size_t Total = 0;
+  for (size_t T = 0; T != N; ++T) {
+    Offs[T] = static_cast<uint32_t>(Total);
+    Total += Slots[T].size();
+  }
+  assert(Total <= UINT32_MAX && "method-union size overflows CSR offsets");
+  Offs[N] = static_cast<uint32_t>(Total);
+  Data.clear();
+  Data.reserve(Total);
+  for (size_t T = 0; T != N; ++T)
+    Data.insert(Data.end(), Slots[T].begin(), Slots[T].end());
+}
+} // namespace
 
 void MethodIndex::freeze() const {
   if (frozen())
     return;
   warmAll();
 
-  size_t N = UnionCache.size();
-  std::vector<uint32_t> Offs(N + 1, 0);
-  size_t Total = 0;
-  for (size_t T = 0; T != N; ++T) {
-    Offs[T] = static_cast<uint32_t>(Total);
-    Total += UnionCache[T].size();
-  }
-  assert(Total <= UINT32_MAX && "method-union size overflows CSR offsets");
-  Offs[N] = static_cast<uint32_t>(Total);
-
-  std::vector<MethodId> Data;
-  Data.reserve(Total);
-  for (size_t T = 0; T != N; ++T)
-    Data.insert(Data.end(), UnionCache[T].begin(), UnionCache[T].end());
-
-  UnionData = std::move(Data);
+  if (BaseIdx)
+    compactCsr(AppCache, AppData, AppOffsets);
+  std::vector<uint32_t> Offs;
+  compactCsr(UnionCache, UnionData, Offs);
   UnionOffsets = std::move(Offs);
   UnionV = UnionData.data();
   NumUnion = UnionData.size();
-  NumTypesFrozen = N;
+  NumTypesFrozen = UnionCache.size();
   // Publish UOffV last: frozen() keys off it, and once it is non-null
   // candidatesForArgType never touches the lazy representation.
   UOffV = UnionOffsets.data();
@@ -72,12 +117,17 @@ void MethodIndex::freeze() const {
   UnionCache.shrink_to_fit();
   UnionCacheValid.clear();
   UnionCacheValid.shrink_to_fit();
+  AppCache.clear();
+  AppCache.shrink_to_fit();
+  AppCacheValid.clear();
+  AppCacheValid.shrink_to_fit();
 }
 
 void MethodIndex::adoptFrozen(
     const MethodId *Data, size_t DataCount, const uint32_t *Offs,
     size_t NumTypes, std::shared_ptr<const void> KeepAliveHandle) const {
   assert(!frozen() && "method index already frozen");
+  assert(!BaseIdx && "snapshot tables adopt into the base layer, not overlays");
   assert(NumTypes == TS.numTypes() &&
          "snapshot method unions sized for a different type population");
   UnionV = Data;
@@ -91,13 +141,14 @@ void MethodIndex::adoptFrozen(
   UnionCacheValid.shrink_to_fit();
 }
 
-Span<const MethodId> MethodIndex::exactBucket(TypeId T) const {
-  if (T < 0 || static_cast<size_t>(T) >= Buckets.size())
-    return Empty;
-  return Buckets[T];
+MethodCandidates MethodIndex::exactBucket(TypeId T) const {
+  if (BaseIdx)
+    return MethodCandidates(BaseIdx->bucketSpan(T), bucketSpan(T));
+  return MethodCandidates(bucketSpan(T));
 }
 
-Span<const MethodId> MethodIndex::candidatesForArgType(TypeId T) const {
+Span<const MethodId> MethodIndex::unionSpan(TypeId T) const {
+  assert(!BaseIdx && "unionSpan is the monolithic accessor");
   if (frozen()) {
     if (T < 0 || static_cast<size_t>(T) >= NumTypesFrozen)
       return Empty;
@@ -133,4 +184,106 @@ Span<const MethodId> MethodIndex::candidatesForArgType(TypeId T) const {
   UnionCache[T] = std::move(Result);
   UnionCacheValid[T] = true;
   return UnionCache[T];
+}
+
+Span<const MethodId> MethodIndex::overlayAppendage(TypeId T) const {
+  assert(BaseIdx && static_cast<size_t>(T) < NumBaseTypes);
+  if (frozen()) {
+    uint32_t B = AppOffsets[T], E = AppOffsets[static_cast<size_t>(T) + 1];
+    return Span<const MethodId>(AppData.data() + B, E - B);
+  }
+  if (AppCacheValid[T])
+    return AppCache[T];
+
+  // An overlay method joins base type T's candidates iff one of its
+  // distinct call-parameter types S lies in T's supertype closure. The
+  // closure of a base type is sealed inside the base layer, so only base
+  // S qualify, and (for T != null) membership is exactly "td(T, S) is
+  // defined". The null literal is the one base type whose dense distance
+  // row (0 to every reference type) is *wider* than its closure ({null}
+  // itself — null has no supertype edges), so it gets no appendage.
+  std::vector<MethodId> Result;
+  if (T != TS.nullType()) {
+    for (MethodId M : All) {
+      std::unordered_set<TypeId> Seen;
+      size_t N = TS.numCallParams(M);
+      for (size_t I = 0; I != N; ++I) {
+        TypeId S = TS.callParamType(M, I);
+        if (!Seen.insert(S).second)
+          continue;
+        if (static_cast<size_t>(S) < NumBaseTypes &&
+            TS.typeDistance(T, S).has_value()) {
+          Result.push_back(M);
+          break;
+        }
+      }
+    }
+  }
+  AppCache[T] = std::move(Result);
+  AppCacheValid[T] = true;
+  return AppCache[T];
+}
+
+Span<const MethodId> MethodIndex::overlayUnion(TypeId T) const {
+  assert(BaseIdx && static_cast<size_t>(T) >= NumBaseTypes);
+  size_t Slot = static_cast<size_t>(T) - NumBaseTypes;
+  if (frozen()) {
+    assert(Slot < NumTypesFrozen && "bad TypeId");
+    uint32_t B = UOffV[Slot], E = UOffV[Slot + 1];
+    return Span<const MethodId>(UnionV + B, E - B);
+  }
+  if (UnionCacheValid[Slot])
+    return UnionCache[Slot];
+
+  // The monolithic BFS, with each visited type's bucket being the base
+  // bucket followed by the overlay bucket — which is exactly the id-order
+  // bucket content a monolithic build would hold.
+  std::vector<MethodId> Result;
+  std::unordered_set<TypeId> Visited;
+  std::unordered_set<MethodId> SeenMethods;
+  std::deque<TypeId> Work;
+  Work.push_back(T);
+  Visited.insert(T);
+  while (!Work.empty()) {
+    TypeId Cur = Work.front();
+    Work.pop_front();
+    for (MethodId M : BaseIdx->bucketSpan(Cur))
+      if (SeenMethods.insert(M).second)
+        Result.push_back(M);
+    for (MethodId M : bucketSpan(Cur))
+      if (SeenMethods.insert(M).second)
+        Result.push_back(M);
+    for (TypeId S : TS.immediateSupertypes(Cur))
+      if (Visited.insert(S).second)
+        Work.push_back(S);
+  }
+  UnionCache[Slot] = std::move(Result);
+  UnionCacheValid[Slot] = true;
+  return UnionCache[Slot];
+}
+
+MethodCandidates MethodIndex::candidatesForArgType(TypeId T) const {
+  if (!BaseIdx)
+    return MethodCandidates(unionSpan(T));
+  if (T < 0 || static_cast<size_t>(T) >= TS.numTypes())
+    return MethodCandidates();
+  if (static_cast<size_t>(T) < NumBaseTypes)
+    return MethodCandidates(BaseIdx->unionSpan(T), overlayAppendage(T));
+  return MethodCandidates(overlayUnion(T));
+}
+
+size_t MethodIndex::memoryBytes() const {
+  size_t Bytes = Buckets.capacity() * sizeof(std::vector<MethodId>) +
+                 All.capacity() * sizeof(MethodId) +
+                 UnionData.capacity() * sizeof(MethodId) +
+                 UnionOffsets.capacity() * sizeof(uint32_t) +
+                 AppData.capacity() * sizeof(MethodId) +
+                 AppOffsets.capacity() * sizeof(uint32_t);
+  for (const auto &B : Buckets)
+    Bytes += B.capacity() * sizeof(MethodId);
+  for (const auto &U : UnionCache)
+    Bytes += U.capacity() * sizeof(MethodId);
+  for (const auto &A : AppCache)
+    Bytes += A.capacity() * sizeof(MethodId);
+  return Bytes;
 }

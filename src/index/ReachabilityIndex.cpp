@@ -52,7 +52,9 @@ ReachabilityIndex::reachableFrom(TypeId From, bool MethodsAllowed) const {
 }
 
 void ReachabilityIndex::warmAll() const {
-  for (size_t T = 0; T != TS.numTypes(); ++T) {
+  // Overlay: only the local types get rows; base-source queries forward to
+  // the already-frozen base matrices.
+  for (size_t T = NumBaseTypes; T != TS.numTypes(); ++T) {
     reachableFrom(static_cast<TypeId>(T), /*MethodsAllowed=*/false);
     reachableFrom(static_cast<TypeId>(T), /*MethodsAllowed=*/true);
   }
@@ -62,27 +64,40 @@ bool ReachabilityIndex::freeze(size_t MaxDenseBytes) const {
   if (DenseN != 0)
     return true;
   size_t N = TS.numTypes();
-  if (N == 0 || 4 * N * N * sizeof(int16_t) > MaxDenseBytes)
+  size_t Rows = N - NumBaseTypes;
+  if (N == 0 || 4 * Rows * N * sizeof(int16_t) > MaxDenseBytes)
     return false;
   warmAll();
 
   // Per-type convertible-target adjacency, computed once up front so the
   // ConvM fill below is a relaxation over precomputed lists instead of N³
   // implicitlyConvertible calls. With the TypeSystem's own dense distance
-  // matrix frozen, each check is a single int16 load.
+  // matrix frozen, each check is a single int16 load. An overlay only needs
+  // the lists of types its rows actually reach, which keeps its freeze
+  // O(reach × N) instead of the base's O(N²).
   std::vector<std::vector<TypeId>> ConvTargets(N);
-  for (size_t Ty = 0; Ty != N; ++Ty)
+  std::vector<bool> Needed(N, !BaseReach);
+  if (BaseReach)
+    for (size_t F = NumBaseTypes; F != N; ++F)
+      for (int K = 0; K != 2; ++K)
+        for (const auto &[To, D] :
+             reachableFrom(static_cast<TypeId>(F), /*MethodsAllowed=*/K == 1))
+          Needed[To] = true;
+  for (size_t Ty = 0; Ty != N; ++Ty) {
+    if (!Needed[Ty])
+      continue;
     for (size_t Tgt = 0; Tgt != N; ++Tgt)
       if (TS.implicitlyConvertible(static_cast<TypeId>(Ty),
                                    static_cast<TypeId>(Tgt)))
         ConvTargets[Ty].push_back(static_cast<TypeId>(Tgt));
+  }
 
   for (int K = 0; K != 2; ++K) {
-    std::vector<int16_t> DM(N * N, NoReach);
-    std::vector<int16_t> CM(N * N, NoReach);
-    for (size_t F = 0; F != N; ++F) {
-      int16_t *DRow = DM.data() + F * N;
-      int16_t *CRow = CM.data() + F * N;
+    std::vector<int16_t> DM(Rows * N, NoReach);
+    std::vector<int16_t> CM(Rows * N, NoReach);
+    for (size_t F = NumBaseTypes; F != N; ++F) {
+      int16_t *DRow = DM.data() + (F - NumBaseTypes) * N;
+      int16_t *CRow = CM.data() + (F - NumBaseTypes) * N;
       for (const auto &[To, D] : reachableFrom(static_cast<TypeId>(F),
                                                /*MethodsAllowed=*/K == 1)) {
         assert(D >= 0 && D <= INT16_MAX && "lookup distance overflows int16");
@@ -98,6 +113,8 @@ bool ReachabilityIndex::freeze(size_t MaxDenseBytes) const {
     DistV[K] = DistM[K].data();
     ConvV[K] = ConvM[K].data();
   }
+  for (auto &CacheMap : Cache)
+    CacheMap.clear();
   DenseN = N;
   return true;
 }
@@ -107,6 +124,8 @@ void ReachabilityIndex::adoptFrozen(
     const int16_t *ConvFields, const int16_t *ConvMethods, size_t N,
     std::shared_ptr<const void> KeepAliveHandle) const {
   assert(DenseN == 0 && "reachability index already frozen");
+  assert(!BaseReach &&
+         "snapshot tables adopt into the base layer, not overlays");
   assert(N == TS.numTypes() &&
          "snapshot reachability matrices sized for a different type "
          "population");
@@ -120,11 +139,20 @@ void ReachabilityIndex::adoptFrozen(
 
 std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
                                                  bool MethodsAllowed) const {
+  if (BaseReach && static_cast<size_t>(From) < NumBaseTypes) {
+    // Base-type closures are sealed inside the base layer: every lookup
+    // edge from a base type lands on a base type, so overlay targets are
+    // unreachable. Check To's layer *before* delegating — the base matrix
+    // has no row or column for overlay ids.
+    if (static_cast<size_t>(To) >= NumBaseTypes)
+      return std::nullopt;
+    return BaseReach->minLookups(From, To, MethodsAllowed);
+  }
   if (DenseN != 0) {
     assert(static_cast<size_t>(From) < DenseN &&
            static_cast<size_t>(To) < DenseN && "bad TypeId");
     int16_t D = DistV[MethodsAllowed ? 1 : 0]
-                     [static_cast<size_t>(From) * DenseN +
+                     [(static_cast<size_t>(From) - NumBaseTypes) * DenseN +
                       static_cast<size_t>(To)];
     if (D == NoReach)
       return std::nullopt;
@@ -140,11 +168,23 @@ std::optional<int> ReachabilityIndex::minLookups(TypeId From, TypeId To,
 std::optional<int>
 ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
                                            bool MethodsAllowed) const {
+  if (BaseReach && static_cast<size_t>(From) < NumBaseTypes) {
+    if (static_cast<size_t>(Target) >= NumBaseTypes) {
+      // The only base-layer values convertible to an overlay target are
+      // null literals (reference targets only), so the answer is the
+      // distance from From to the null type — 0 when From *is* null,
+      // unreachable otherwise (no member has the null type).
+      if (!TS.isReferenceType(Target))
+        return std::nullopt;
+      return BaseReach->minLookups(From, TS.nullType(), MethodsAllowed);
+    }
+    return BaseReach->minLookupsToConvertible(From, Target, MethodsAllowed);
+  }
   if (DenseN != 0) {
     assert(static_cast<size_t>(From) < DenseN &&
            static_cast<size_t>(Target) < DenseN && "bad TypeId");
     int16_t D = ConvV[MethodsAllowed ? 1 : 0]
-                     [static_cast<size_t>(From) * DenseN +
+                     [(static_cast<size_t>(From) - NumBaseTypes) * DenseN +
                       static_cast<size_t>(Target)];
     if (D == NoReach)
       return std::nullopt;
@@ -162,4 +202,17 @@ ReachabilityIndex::minLookupsToConvertible(TypeId From, TypeId Target,
       Best = D;
   }
   return Best;
+}
+
+size_t ReachabilityIndex::memoryBytes() const {
+  size_t Bytes = 0;
+  for (int K = 0; K != 2; ++K)
+    Bytes += (DistM[K].capacity() + ConvM[K].capacity()) * sizeof(int16_t);
+  for (const auto &CacheMap : Cache) {
+    for (const auto &[From, Dist] : CacheMap)
+      Bytes += Dist.size() * (sizeof(TypeId) + sizeof(int) + sizeof(void *));
+    Bytes += CacheMap.size() * (sizeof(TypeId) + sizeof(void *) +
+                                sizeof(std::unordered_map<TypeId, int>));
+  }
+  return Bytes;
 }

@@ -23,6 +23,7 @@
 #include "index/MemberCache.h"
 #include "model/TypeSystem.h"
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -44,11 +45,31 @@ namespace petal {
 /// hash memo and the shared_mutex that guarded it: the dense matrix *is*
 /// the fully enumerated pair space, so there is nothing left to memoize
 /// and nothing left to lock.
+/// In overlay mode (base/overlay workspace, DESIGN.md §14) the dense
+/// matrices cover only the document's types (one delta row per overlay
+/// type, each row spanning the full type population); base-source queries
+/// forward to the shared base index. Base-type closures are sealed inside
+/// the base layer — every lookup edge from a base type lands on a base
+/// type — so the only cross-layer answer is the null literal converting to
+/// overlay reference types.
 class ReachabilityIndex {
 public:
   ReachabilityIndex(const TypeSystem &TS, const MemberCache &Members,
                     int MaxDepth = 8)
       : TS(TS), Members(Members), MaxDepth(MaxDepth) {}
+
+  /// Overlay constructor: \p BaseReachIn was built over TS.baseLayer() and
+  /// dense-frozen; this instance computes delta rows for overlay types only.
+  ReachabilityIndex(const TypeSystem &TS, const MemberCache &Members,
+                    std::shared_ptr<const ReachabilityIndex> BaseReachIn,
+                    int MaxDepth = 8)
+      : TS(TS), Members(Members), MaxDepth(MaxDepth),
+        BaseReach(std::move(BaseReachIn)), NumBaseTypes(TS.numBaseTypes()) {
+    assert(BaseReach && "overlay constructor requires a base index");
+    assert(BaseReach->frozen() &&
+           "the base reachability index must be dense-frozen before overlays "
+           "attach (its lazy path mutates shared caches)");
+  }
 
   /// Minimum number of lookups (0 = the value itself) from a value of type
   /// \p From to a value of exactly type \p To; nullopt if unreachable
@@ -81,16 +102,18 @@ public:
   bool frozen() const { return DenseN != 0; }
 
   /// The frozen minLookups matrix for one edge set, flat row-major
-  /// (numTypes()² int16, sentinel -1); empty before freeze().
-  /// Snapshot-writer access.
+  /// (numTypes()² int16 in monolithic mode, one row per overlay type in
+  /// overlay mode; sentinel -1); empty before freeze().
+  /// Snapshot-writer access (base layer only; an overlay is never
+  /// snapshotted).
   Span<const int16_t> denseDistTable(bool MethodsAllowed) const {
     return Span<const int16_t>(DistV[MethodsAllowed ? 1 : 0],
-                               DenseN * DenseN);
+                               (DenseN - NumBaseTypes) * DenseN);
   }
   /// Same for the minLookupsToConvertible matrix.
   Span<const int16_t> denseConvTable(bool MethodsAllowed) const {
     return Span<const int16_t>(ConvV[MethodsAllowed ? 1 : 0],
-                               DenseN * DenseN);
+                               (DenseN - NumBaseTypes) * DenseN);
   }
 
   /// Installs the four externally owned matrices (the snapshot loader's
@@ -103,6 +126,10 @@ public:
                    const int16_t *ConvFields, const int16_t *ConvMethods,
                    size_t N, std::shared_ptr<const void> KeepAlive) const;
 
+  /// Approximate heap bytes owned by this layer (the shared base is not
+  /// re-counted).
+  size_t memoryBytes() const;
+
 private:
   /// Sentinel for "not reachable within MaxDepth" in the dense matrices.
   /// MaxDepth is tiny (default 8), so real distances always fit int16.
@@ -111,14 +138,19 @@ private:
   const TypeSystem &TS;
   const MemberCache &Members;
   int MaxDepth;
+  /// Overlay mode: the shared base index and the number of types it covers.
+  /// Frozen rows below are indexed From - NumBaseTypes (0 in monolithic
+  /// mode); every row still spans the full DenseN-wide type population.
+  std::shared_ptr<const ReachabilityIndex> BaseReach;
+  size_t NumBaseTypes = 0;
   // Index 0: fields only; index 1: fields + methods.
   mutable std::unordered_map<TypeId, std::unordered_map<TypeId, int>>
       Cache[2];
-  // Frozen dense representation, row-major From*DenseN+To. DistM answers
-  // minLookups, ConvM answers minLookupsToConvertible. DenseN is published
-  // last so frozen() only reads fully-built matrices. Readers go through
-  // the view pointers, which alias the owned vectors (in-process freeze)
-  // or an adopted snapshot mapping pinned by KeepAlive.
+  // Frozen dense representation, row-major (From-NumBaseTypes)*DenseN+To.
+  // DistM answers minLookups, ConvM answers minLookupsToConvertible. DenseN
+  // is published last so frozen() only reads fully-built matrices. Readers
+  // go through the view pointers, which alias the owned vectors (in-process
+  // freeze) or an adopted snapshot mapping pinned by KeepAlive.
   mutable std::vector<int16_t> DistM[2];
   mutable std::vector<int16_t> ConvM[2];
   mutable const int16_t *DistV[2] = {nullptr, nullptr};

@@ -32,6 +32,22 @@ AbstractTypeInference::AbstractTypeInference(const Program &P)
       harvestMethod(*M);
 }
 
+AbstractTypeInference::AbstractTypeInference(
+    const Program &P, std::shared_ptr<const AbstractTypeInference> BaseInferIn,
+    std::shared_ptr<const AbsTypeSolution> BaseSolutionIn)
+    : P(P), TS(P.typeSystem()), BaseInfer(std::move(BaseInferIn)),
+      BaseSolution(std::move(BaseSolutionIn)),
+      NumBaseMethods(TS.numBaseMethods()), NumBaseFields(TS.numBaseFields()),
+      NumVars(static_cast<uint32_t>(BaseInfer->numVars())) {
+  assert(BaseInfer && BaseSolution &&
+         "overlay constructor requires the base inference and its solution");
+  computeBaseDecls();
+  allocateDeclaredSlots();
+  for (const auto &C : P.classes())
+    for (const auto &M : C->methods())
+      harvestMethod(*M);
+}
+
 /// True if \p Derived overrides \p Base (same name, parameter types, and
 /// staticness; static methods never override but hiding shares no slots, so
 /// require instance).
@@ -50,8 +66,12 @@ static bool overrides(const TypeSystem &TS, const MethodInfo &Derived,
 }
 
 void AbstractTypeInference::computeBaseDecls() {
-  BaseDecl.resize(TS.numMethods());
-  for (size_t M = 0; M != TS.numMethods(); ++M) {
+  // Overlay: only the local methods get entries; a base method's base-most
+  // declaration is whatever the base inference computed. An overlay method
+  // overriding a base method records the *base* method id here, which is
+  // how its call sites share the base declaration's variables.
+  BaseDecl.resize(TS.numMethods() - NumBaseMethods);
+  for (size_t M = NumBaseMethods; M != TS.numMethods(); ++M) {
     MethodId Id = static_cast<MethodId>(M);
     const MethodInfo &MI = TS.method(Id);
     MethodId Top = Id;
@@ -64,58 +84,74 @@ void AbstractTypeInference::computeBaseDecls() {
           Top = BM;
       Cur = TS.type(Cur).BaseClass;
     }
-    BaseDecl[M] = Top;
+    BaseDecl[M - NumBaseMethods] = Top;
   }
 }
 
 void AbstractTypeInference::allocateDeclaredSlots() {
-  DeclSlots.resize(TS.numMethods());
-  HasDeclSlots.assign(TS.numMethods(), false);
-  for (size_t M = 0; M != TS.numMethods(); ++M) {
+  size_t NumLocal = TS.numMethods() - NumBaseMethods;
+  DeclSlots.resize(NumLocal);
+  HasDeclSlots.assign(NumLocal, false);
+  for (size_t M = NumBaseMethods; M != TS.numMethods(); ++M) {
     MethodId Id = static_cast<MethodId>(M);
-    if (BaseDecl[Id] != Id)
+    if (baseDeclaration(Id) != Id)
       continue; // shares the base declaration's slots
     const MethodInfo &MI = TS.method(Id);
     if (MI.Owner == TS.objectType())
       continue; // per-receiver-type slots, allocated lazily
-    MethodSlots &S = DeclSlots[Id];
+    MethodSlots &S = DeclSlots[M - NumBaseMethods];
     if (!MI.IsStatic)
       S.Receiver = freshVar();
     S.Params.resize(MI.Params.size());
     for (uint32_t &V : S.Params)
       V = freshVar();
     S.Return = freshVar();
-    HasDeclSlots[Id] = true;
+    HasDeclSlots[M - NumBaseMethods] = true;
   }
 
-  FieldVars.resize(TS.numFields());
+  FieldVars.resize(TS.numFields() - NumBaseFields);
   for (uint32_t &V : FieldVars)
     V = freshVar();
 }
 
 const AbstractTypeInference::MethodSlots *
 AbstractTypeInference::slotsFor(MethodId M, TypeId ReceiverTy) const {
-  MethodId Base = BaseDecl[M];
+  MethodId Base = baseDeclaration(M);
   const MethodInfo &MI = TS.method(Base);
   if (MI.Owner == TS.objectType()) {
     if (!isValidId(ReceiverTy))
       return nullptr;
     uint64_t Key = (static_cast<uint64_t>(Base) << 32) |
                    static_cast<uint32_t>(ReceiverTy);
+    if (BaseInfer) {
+      auto BIt = BaseInfer->ObjectMethodSlots.find(Key);
+      if (BIt != BaseInfer->ObjectMethodSlots.end())
+        return &BIt->second;
+    }
     auto It = ObjectMethodSlots.find(Key);
     return It == ObjectMethodSlots.end() ? nullptr : &It->second;
   }
-  return HasDeclSlots[Base] ? &DeclSlots[Base] : nullptr;
+  if (static_cast<size_t>(Base) < NumBaseMethods)
+    return BaseInfer->slotsFor(Base, ReceiverTy);
+  size_t Slot = static_cast<size_t>(Base) - NumBaseMethods;
+  return HasDeclSlots[Slot] ? &DeclSlots[Slot] : nullptr;
 }
 
-AbstractTypeInference::MethodSlots &
+const AbstractTypeInference::MethodSlots &
 AbstractTypeInference::materializeSlots(MethodId M, TypeId ReceiverTy) {
-  MethodId Base = BaseDecl[M];
+  MethodId Base = baseDeclaration(M);
   const MethodInfo &MI = TS.method(Base);
   assert(MI.Owner == TS.objectType() &&
          "materializeSlots is only for Object-declared methods");
   uint64_t Key = (static_cast<uint64_t>(Base) << 32) |
                  static_cast<uint32_t>(ReceiverTy);
+  // A specialization the base corpus already materialized is shared, not
+  // shadowed — the document's call sites must unify with the base's uses.
+  if (BaseInfer) {
+    auto BIt = BaseInfer->ObjectMethodSlots.find(Key);
+    if (BIt != BaseInfer->ObjectMethodSlots.end())
+      return BIt->second;
+  }
   auto It = ObjectMethodSlots.find(Key);
   if (It != ObjectMethodSlots.end())
     return It->second;
@@ -152,7 +188,7 @@ void AbstractTypeInference::harvestMethod(const CodeMethod &CM) {
 
   const MethodInfo &MI = TS.method(CM.decl());
   const MethodSlots *S = slotsFor(CM.decl(), MI.Owner);
-  if (!S && TS.method(BaseDecl[CM.decl()]).Owner == TS.objectType())
+  if (!S && TS.method(baseDeclaration(CM.decl())).Owner == TS.objectType())
     S = &materializeSlots(CM.decl(), MI.Owner);
   if (S) {
     size_t ParamIdx = 0;
@@ -208,7 +244,7 @@ uint32_t AbstractTypeInference::harvestExpr(const Expr *E,
   case ExprKind::FieldAccess: {
     const auto *FA = cast<FieldAccessExpr>(E);
     harvestExpr(FA->base(), CM, StmtIndex);
-    return FieldVars[FA->field()];
+    return fieldVar(FA->field());
   }
 
   case ExprKind::Call: {
@@ -219,7 +255,7 @@ uint32_t AbstractTypeInference::harvestExpr(const Expr *E,
                         : TS.method(Callee).Owner;
     // Materialize Object-method specializations on first use.
     const MethodSlots *S;
-    if (TS.method(BaseDecl[Callee]).Owner == TS.objectType())
+    if (TS.method(baseDeclaration(Callee)).Owner == TS.objectType())
       S = &materializeSlots(Callee, RecvTy);
     else
       S = slotsFor(Callee, RecvTy);
@@ -265,8 +301,24 @@ uint32_t AbstractTypeInference::harvestExpr(const Expr *E,
 // Solving and lookup
 //===----------------------------------------------------------------------===//
 
+/// The starting forest for a solve: empty in monolithic mode; in overlay
+/// mode, a copy of the solved base partition grown to the full variable
+/// count. Extending the base solution is equivalent to replaying the base
+/// corpus's constraints (union-find is order-insensitive) and costs O(base
+/// vars) instead of O(base constraints). The exclusion filter only ever
+/// names document methods — the base source has no query sites — so base
+/// constraints are never filtered and folding them in is always sound.
+UnionFind AbstractTypeInference::seedForest() const {
+  if (!BaseInfer)
+    return UnionFind(NumVars);
+  Span<const uint32_t> Parents = BaseSolution->parents();
+  UnionFind UF(std::vector<uint32_t>(Parents.begin(), Parents.end()));
+  UF.grow(NumVars);
+  return UF;
+}
+
 AbsTypeSolution AbstractTypeInference::solve() const {
-  UnionFind UF(NumVars);
+  UnionFind UF = seedForest();
   for (const Constraint &C : Constraints)
     UF.unite(C.A, C.B);
   return AbsTypeSolution(std::move(UF));
@@ -274,7 +326,7 @@ AbsTypeSolution AbstractTypeInference::solve() const {
 
 AbsTypeSolution AbstractTypeInference::solveExcluding(const CodeMethod *M,
                                                       size_t FromStmt) const {
-  UnionFind UF(NumVars);
+  UnionFind UF = seedForest();
   for (const Constraint &C : Constraints) {
     if (C.Origin == M && C.StmtIndex >= FromStmt)
       continue;
@@ -301,7 +353,7 @@ uint32_t AbstractTypeInference::varOfExpr(const Expr *E,
     return S ? S->Receiver : NoVar;
   }
   case ExprKind::FieldAccess:
-    return FieldVars[cast<FieldAccessExpr>(E)->field()];
+    return fieldVar(cast<FieldAccessExpr>(E)->field());
   case ExprKind::Call: {
     const auto *C = cast<CallExpr>(E);
     TypeId RecvTy = C->receiver() && isValidId(C->receiver()->type())
@@ -332,4 +384,20 @@ uint32_t AbstractTypeInference::varOfReturn(MethodId M,
                                             TypeId ReceiverTy) const {
   const MethodSlots *S = slotsFor(M, ReceiverTy);
   return S ? S->Return : NoVar;
+}
+
+size_t AbstractTypeInference::memoryBytes() const {
+  size_t Bytes = BaseDecl.capacity() * sizeof(MethodId) +
+                 DeclSlots.capacity() * sizeof(MethodSlots) +
+                 HasDeclSlots.capacity() / 8 +
+                 FieldVars.capacity() * sizeof(uint32_t) +
+                 Constraints.capacity() * sizeof(Constraint);
+  for (const MethodSlots &S : DeclSlots)
+    Bytes += S.Params.capacity() * sizeof(uint32_t);
+  for (const auto &[CM, Vars] : LocalVars)
+    Bytes += sizeof(void *) * 2 + Vars.capacity() * sizeof(uint32_t);
+  for (const auto &[Key, S] : ObjectMethodSlots)
+    Bytes += sizeof(uint64_t) + sizeof(MethodSlots) +
+             S.Params.capacity() * sizeof(uint32_t);
+  return Bytes;
 }

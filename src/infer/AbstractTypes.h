@@ -36,6 +36,7 @@
 #include "support/UnionFind.h"
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -80,6 +81,14 @@ private:
 
 /// Builds abstract-type variables and equality constraints for a whole
 /// program, and solves them (optionally excluding a suffix of one method).
+///
+/// In overlay mode (base/overlay workspace, DESIGN.md §14) the object
+/// harvests only the document's methods: variable numbering continues
+/// after the shared base inference's (base entities keep their base
+/// variables), declaration slots and field variables of base entities
+/// forward to the base inference, and solving extends the frozen base
+/// solution with the local constraints instead of replaying the base
+/// corpus's constraint set.
 class AbstractTypeInference {
 public:
   /// Sentinel for "no abstract-type variable" (literals, don't-cares,
@@ -89,6 +98,14 @@ public:
   /// Harvests variables and constraints from \p P. The program must outlive
   /// this object.
   explicit AbstractTypeInference(const Program &P);
+
+  /// Overlay constructor: \p P holds only the document's classes, resolved
+  /// against the base layer; \p BaseInferIn / \p BaseSolutionIn are the
+  /// shared base inference and its fully-solved partition. Both must
+  /// outlive this object.
+  AbstractTypeInference(const Program &P,
+                        std::shared_ptr<const AbstractTypeInference> BaseInferIn,
+                        std::shared_ptr<const AbsTypeSolution> BaseSolutionIn);
 
   /// Solves with every constraint included.
   AbsTypeSolution solve() const;
@@ -117,7 +134,15 @@ public:
   size_t numConstraints() const { return Constraints.size(); }
 
   /// The base-most declaration that \p M overrides (or \p M itself).
-  MethodId baseDeclaration(MethodId M) const { return BaseDecl[M]; }
+  MethodId baseDeclaration(MethodId M) const {
+    if (static_cast<size_t>(M) < NumBaseMethods)
+      return BaseInfer->baseDeclaration(M);
+    return BaseDecl[M - NumBaseMethods];
+  }
+
+  /// Approximate heap bytes owned by this layer (the shared base is not
+  /// re-counted).
+  size_t memoryBytes() const;
 
 private:
   struct MethodSlots {
@@ -135,11 +160,24 @@ private:
 
   uint32_t freshVar() { return NumVars++; }
 
-  /// Slots of \p M resolved through BaseDecl, with the Object-method
-  /// specialization applied for \p ReceiverTy. Null if no slots exist (e.g.
-  /// an Object-method specialization never materialized).
+  /// Slots of \p M resolved through baseDeclaration(), with the
+  /// Object-method specialization applied for \p ReceiverTy (base-layer
+  /// specializations win; a document cannot re-specialize a pair the base
+  /// corpus already materialized). Null if no slots exist (e.g. an
+  /// Object-method specialization never materialized).
   const MethodSlots *slotsFor(MethodId M, TypeId ReceiverTy) const;
-  MethodSlots &materializeSlots(MethodId M, TypeId ReceiverTy);
+  const MethodSlots &materializeSlots(MethodId M, TypeId ReceiverTy);
+
+  /// The abstract-type variable of field \p F, in whichever layer owns it.
+  uint32_t fieldVar(FieldId F) const {
+    if (static_cast<size_t>(F) < NumBaseFields)
+      return BaseInfer->fieldVar(F);
+    return FieldVars[F - NumBaseFields];
+  }
+
+  /// The starting union-find for a solve: empty (monolithic) or a copy of
+  /// the solved base partition grown to numVars() (overlay).
+  UnionFind seedForest() const;
 
   void computeBaseDecls();
   void allocateDeclaredSlots();
@@ -154,15 +192,27 @@ private:
 
   const Program &P;
   const TypeSystem &TS;
+  /// Overlay mode: the shared base inference/solution and the entity counts
+  /// they cover. The per-entity vectors below are indexed by
+  /// id - NumBase{Methods,Fields} (0 in monolithic mode).
+  std::shared_ptr<const AbstractTypeInference> BaseInfer;
+  std::shared_ptr<const AbsTypeSolution> BaseSolution;
+  size_t NumBaseMethods = 0;
+  size_t NumBaseFields = 0;
+  /// Total variable count; overlay numbering starts at the base's numVars()
+  /// so base variables keep their ids.
   uint32_t NumVars = 0;
 
-  std::vector<MethodId> BaseDecl;            // per MethodId
-  std::vector<MethodSlots> DeclSlots;        // per MethodId (base decls only)
-  std::vector<bool> HasDeclSlots;            // per MethodId
-  std::vector<uint32_t> FieldVars;           // per FieldId
+  std::vector<MethodId> BaseDecl;     // per local MethodId
+  std::vector<MethodSlots> DeclSlots; // per local MethodId (base decls only)
+  std::vector<bool> HasDeclSlots;     // per local MethodId
+  std::vector<uint32_t> FieldVars;    // per local FieldId
   std::unordered_map<const CodeMethod *, std::vector<uint32_t>> LocalVars;
-  /// Object-declared methods: (base decl, receiver type) -> slots.
+  /// Object-declared methods: (base decl, receiver type) -> slots. Holds
+  /// only this layer's specializations; lookups consult the base map first.
   std::unordered_map<uint64_t, MethodSlots> ObjectMethodSlots;
+  /// This layer's constraints only; the base corpus's constraints are
+  /// already folded into BaseSolution.
   std::vector<Constraint> Constraints;
 };
 

@@ -59,7 +59,36 @@ TypeSystem::TypeSystem() {
   Types[StringTy].BaseClass = ObjectTy;
 }
 
+TypeSystem::TypeSystem(std::shared_ptr<const TypeSystem> BaseLayer)
+    : Base(std::move(BaseLayer)) {
+  assert(Base && "overlay constructor requires a base layer");
+  assert(!Base->Base && "overlays do not stack: the base must be monolithic");
+  NumBaseTypes = Base->numTypes();
+  NumBaseFields = Base->numFields();
+  NumBaseMethods = Base->numMethods();
+  NumBaseNamespaces = Base->numNamespaces();
+  // Builtins live in the base at the same fixed ids a monolithic
+  // constructor would assign them.
+  ObjectTy = Base->ObjectTy;
+  VoidTy = Base->VoidTy;
+  IntTy = Base->IntTy;
+  LongTy = Base->LongTy;
+  ShortTy = Base->ShortTy;
+  ByteTy = Base->ByteTy;
+  CharTy = Base->CharTy;
+  FloatTy = Base->FloatTy;
+  DoubleTy = Base->DoubleTy;
+  BoolTy = Base->BoolTy;
+  StringTy = Base->StringTy;
+  NullTy = Base->NullTy;
+}
+
 NamespaceId TypeSystem::getOrAddNamespace(const std::string &FullName) {
+  if (Base) {
+    auto BaseIt = Base->NamespaceByName.find(FullName);
+    if (BaseIt != Base->NamespaceByName.end())
+      return BaseIt->second;
+  }
   auto It = NamespaceByName.find(FullName);
   if (It != NamespaceByName.end())
     return It->second;
@@ -75,7 +104,7 @@ NamespaceId TypeSystem::getOrAddNamespace(const std::string &FullName) {
   } else {
     NI.Parent = 0;
   }
-  NamespaceId Id = static_cast<NamespaceId>(Namespaces.size());
+  NamespaceId Id = static_cast<NamespaceId>(numNamespaces());
   Namespaces.push_back(std::move(NI));
   NamespaceByName[FullName] = Id;
   return Id;
@@ -96,11 +125,10 @@ TypeId TypeSystem::addType(const std::string &Name, NamespaceId Ns,
   if (Kind == TypeKind::Enum)
     TI.IsComparable = true;
 
-  TypeId Id = static_cast<TypeId>(Types.size());
-  std::string Qual = Namespaces[Ns].FullName.empty()
-                         ? Name
-                         : Namespaces[Ns].FullName + "." + Name;
-  assert(!TypeByName.count(Qual) && "duplicate type name");
+  TypeId Id = static_cast<TypeId>(numTypes());
+  const std::string &NsName = nspace(Ns).FullName;
+  std::string Qual = NsName.empty() ? Name : NsName + "." + Name;
+  assert(findType(Qual) == InvalidId && "duplicate type name");
   Types.push_back(std::move(TI));
   TypeByName[Qual] = Id;
   return Id;
@@ -109,9 +137,9 @@ TypeId TypeSystem::addType(const std::string &Name, NamespaceId Ns,
 FieldId TypeSystem::addField(TypeId Owner, const std::string &Name,
                              TypeId Type, bool IsStatic, bool IsProperty) {
   assert(isValidId(Owner) && isValidId(Type) && "invalid field signature");
-  FieldId Id = static_cast<FieldId>(Fields.size());
+  FieldId Id = static_cast<FieldId>(numFields());
   Fields.push_back({Name, Owner, Type, IsStatic, IsProperty});
-  Types[Owner].Fields.push_back(Id);
+  mutableType(Owner).Fields.push_back(Id);
   return Id;
 }
 
@@ -120,52 +148,57 @@ MethodId TypeSystem::addMethod(TypeId Owner, const std::string &Name,
                                bool IsStatic) {
   assert(isValidId(Owner) && isValidId(ReturnType) &&
          "invalid method signature");
-  MethodId Id = static_cast<MethodId>(Methods.size());
+  MethodId Id = static_cast<MethodId>(numMethods());
   Methods.push_back({Name, Owner, ReturnType, std::move(Params), IsStatic});
-  Types[Owner].Methods.push_back(Id);
+  mutableType(Owner).Methods.push_back(Id);
   return Id;
 }
 
 void TypeSystem::setComparable(TypeId T, bool Value) {
-  Types[T].IsComparable = Value;
+  mutableType(T).IsComparable = Value;
 }
 
-void TypeSystem::setBaseClass(TypeId T, TypeId Base) {
-  assert((Types[Base].Kind == TypeKind::Class) &&
+void TypeSystem::setBaseClass(TypeId T, TypeId BaseTy) {
+  assert((type(BaseTy).Kind == TypeKind::Class) &&
          "base class must be a class");
   assert(DenseN == 0 && "type system mutated after freezeDenseDistances()");
-  Types[T].BaseClass = Base;
+  mutableType(T).BaseClass = BaseTy;
 }
 
 void TypeSystem::addInterface(TypeId T, TypeId Iface) {
-  assert(Types[Iface].Kind == TypeKind::Interface &&
+  assert(type(Iface).Kind == TypeKind::Interface &&
          "addInterface target is not an interface");
   assert(DenseN == 0 && "type system mutated after freezeDenseDistances()");
-  Types[T].Interfaces.push_back(Iface);
+  mutableType(T).Interfaces.push_back(Iface);
 }
 
 std::string TypeSystem::qualifiedName(TypeId T) const {
-  const TypeInfo &TI = Types[T];
-  const std::string &NsName = Namespaces[TI.Namespace].FullName;
+  const TypeInfo &TI = type(T);
+  const std::string &NsName = nspace(TI.Namespace).FullName;
   if (NsName.empty())
     return TI.Name;
   return NsName + "." + TI.Name;
 }
 
 TypeId TypeSystem::findType(const std::string &QualifiedName) const {
+  if (Base) {
+    TypeId T = Base->findType(QualifiedName);
+    if (isValidId(T))
+      return T;
+  }
   auto It = TypeByName.find(QualifiedName);
   return It == TypeByName.end() ? InvalidId : It->second;
 }
 
 FieldId TypeSystem::findDeclaredField(TypeId T, const std::string &Name) const {
-  for (FieldId F : Types[T].Fields)
-    if (Fields[F].Name == Name)
+  for (FieldId F : type(T).Fields)
+    if (field(F).Name == Name)
       return F;
   return InvalidId;
 }
 
 FieldId TypeSystem::findField(TypeId T, const std::string &Name) const {
-  for (TypeId Cur = T; isValidId(Cur); Cur = Types[Cur].BaseClass) {
+  for (TypeId Cur = T; isValidId(Cur); Cur = type(Cur).BaseClass) {
     FieldId F = findDeclaredField(Cur, Name);
     if (isValidId(F))
       return F;
@@ -182,8 +215,8 @@ std::vector<MethodId> TypeSystem::findMethods(TypeId T,
   std::unordered_map<TypeId, bool> Visited{{T, true}};
   for (size_t I = 0; I != Work.size(); ++I) {
     TypeId Cur = Work[I];
-    for (MethodId M : Types[Cur].Methods)
-      if (Methods[M].Name == Name)
+    for (MethodId M : type(Cur).Methods)
+      if (method(M).Name == Name)
         Result.push_back(M);
     for (TypeId S : immediateSupertypes(Cur))
       if (!Visited[S]) {
@@ -197,9 +230,9 @@ std::vector<MethodId> TypeSystem::findMethods(TypeId T,
 std::vector<FieldId> TypeSystem::visibleFields(TypeId T) const {
   std::vector<FieldId> Result;
   std::vector<std::string> Seen;
-  for (TypeId Cur = T; isValidId(Cur); Cur = Types[Cur].BaseClass) {
-    for (FieldId F : Types[Cur].Fields) {
-      const std::string &Name = Fields[F].Name;
+  for (TypeId Cur = T; isValidId(Cur); Cur = type(Cur).BaseClass) {
+    for (FieldId F : type(Cur).Fields) {
+      const std::string &Name = field(F).Name;
       if (std::find(Seen.begin(), Seen.end(), Name) != Seen.end())
         continue;
       Seen.push_back(Name);
@@ -227,10 +260,10 @@ std::vector<MethodId> TypeSystem::visibleMethods(TypeId T) const {
   std::unordered_map<TypeId, bool> Visited{{T, true}};
   for (size_t I = 0; I != Work.size(); ++I) {
     TypeId Cur = Work[I];
-    for (MethodId M : Types[Cur].Methods) {
+    for (MethodId M : type(Cur).Methods) {
       bool Overridden = false;
       for (MethodId Existing : Result)
-        if (sameSignature(Methods[Existing], Methods[M])) {
+        if (sameSignature(method(Existing), method(M))) {
           Overridden = true;
           break;
         }
@@ -252,7 +285,7 @@ bool TypeSystem::isNumeric(TypeId T) const {
 }
 
 std::vector<TypeId> TypeSystem::immediateSupertypes(TypeId T) const {
-  const TypeInfo &TI = Types[T];
+  const TypeInfo &TI = type(T);
   std::vector<TypeId> Supers;
   switch (TI.Kind) {
   case TypeKind::Primitive:
@@ -285,16 +318,24 @@ std::vector<TypeId> TypeSystem::immediateSupertypes(TypeId T) const {
 
 const std::unordered_map<TypeId, int> &
 TypeSystem::ancestorDistances(TypeId T) const {
+  // Overlay: the cache covers local types only. A base type's distances
+  // are answered by the base layer (warmed before overlays attach, so the
+  // delegated call is a pure read even under concurrency).
+  if (static_cast<size_t>(T) < NumBaseTypes)
+    return Base->ancestorDistances(T);
+  size_t Slot = static_cast<size_t>(T) - NumBaseTypes;
   if (AncestorCache.size() < Types.size()) {
     AncestorCache.resize(Types.size());
     AncestorCacheValid.resize(Types.size(), false);
   }
-  if (AncestorCacheValid[T])
-    return AncestorCache[T];
+  if (AncestorCacheValid[Slot])
+    return AncestorCache[Slot];
 
   // BFS over the supertype graph; the first time a type is reached gives the
-  // minimal distance, matching the min in the td recurrence.
-  std::unordered_map<TypeId, int> &Dist = AncestorCache[T];
+  // minimal distance, matching the min in the td recurrence. For overlay
+  // types the walk climbs into the base graph read-only (supertype edges
+  // are plain TypeInfo reads).
+  std::unordered_map<TypeId, int> &Dist = AncestorCache[Slot];
   Dist.clear();
   std::deque<TypeId> Work;
   Dist[T] = 0;
@@ -310,18 +351,25 @@ TypeSystem::ancestorDistances(TypeId T) const {
       Work.push_back(S);
     }
   }
-  AncestorCacheValid[T] = true;
+  AncestorCacheValid[Slot] = true;
   return Dist;
 }
 
 void TypeSystem::warmRelationCaches() const {
+  // Overlays warm their local types only; the base was warmed when it
+  // froze.
   for (size_t T = 0; T != Types.size(); ++T)
-    ancestorDistances(static_cast<TypeId>(T));
+    ancestorDistances(static_cast<TypeId>(NumBaseTypes + T));
 }
 
 bool TypeSystem::freezeDenseDistances(size_t MaxBytes) const {
   if (DenseN != 0)
     return true; // idempotent
+  // An overlay never builds its own N×N matrix: base×base queries read the
+  // base's dense table, and overlay rows stay in the (warmed) lazy maps —
+  // that asymmetry is the whole point of the layering.
+  if (Base)
+    return false;
   size_t N = Types.size();
   if (N == 0 || N * N * sizeof(int16_t) > MaxBytes)
     return false; // fallback: lazy hash maps (warm them instead)
@@ -353,6 +401,7 @@ void TypeSystem::adoptDenseDistances(
     const int16_t *Table, size_t N,
     std::shared_ptr<const void> KeepAlive) const {
   assert(DenseN == 0 && "dense distances already frozen");
+  assert(!Base && "snapshot tables adopt into the base layer, not overlays");
   assert(N == Types.size() && "snapshot distance matrix sized for a "
                               "different type population");
   // Deliberately no warmRelationCaches(): once DenseN is nonzero every
@@ -366,6 +415,14 @@ void TypeSystem::adoptDenseDistances(
 bool TypeSystem::implicitlyConvertible(TypeId From, TypeId To) const {
   if (From == To)
     return true;
+  if (Base && static_cast<size_t>(From) < NumBaseTypes) {
+    // Base From: the only conversion that can leave the base layer is the
+    // null literal converting to an overlay reference type — every other
+    // base type's supertype closure was sealed when the base froze.
+    if (static_cast<size_t>(To) >= NumBaseTypes)
+      return From == NullTy && isReferenceType(To);
+    return Base->implicitlyConvertible(From, To);
+  }
   if (DenseN != 0)
     return denseDistance(From, To) != NoConversion;
   if (From == VoidTy || To == VoidTy)
@@ -377,6 +434,14 @@ bool TypeSystem::implicitlyConvertible(TypeId From, TypeId To) const {
 }
 
 std::optional<int> TypeSystem::typeDistance(TypeId From, TypeId To) const {
+  if (Base && static_cast<size_t>(From) < NumBaseTypes) {
+    if (From == To)
+      return 0;
+    if (static_cast<size_t>(To) >= NumBaseTypes)
+      return (From == NullTy && isReferenceType(To)) ? std::optional<int>(0)
+                                                     : std::nullopt;
+    return Base->typeDistance(From, To);
+  }
   if (DenseN != 0) {
     int16_t D = denseDistance(From, To);
     if (D == NoConversion)
@@ -402,12 +467,12 @@ bool TypeSystem::comparable(TypeId A, TypeId B) const {
   if (isNumeric(A) && isNumeric(B))
     return true;
   if (A == B)
-    return Types[A].IsComparable;
+    return type(A).IsComparable;
   // Mixed types: the more general side must be comparable.
   if (implicitlyConvertible(A, B))
-    return Types[B].IsComparable;
+    return type(B).IsComparable;
   if (implicitlyConvertible(B, A))
-    return Types[A].IsComparable;
+    return type(A).IsComparable;
   return false;
 }
 
@@ -415,4 +480,32 @@ bool TypeSystem::assignable(TypeId TargetTy, TypeId ValueTy) const {
   if (TargetTy == VoidTy || ValueTy == VoidTy)
     return false;
   return implicitlyConvertible(ValueTy, TargetTy);
+}
+
+size_t TypeSystem::memoryBytes() const {
+  size_t Bytes = 0;
+  Bytes += Namespaces.capacity() * sizeof(NamespaceInfo);
+  Bytes += Types.capacity() * sizeof(TypeInfo);
+  Bytes += Fields.capacity() * sizeof(FieldInfo);
+  Bytes += Methods.capacity() * sizeof(MethodInfo);
+  for (const TypeInfo &TI : Types) {
+    Bytes += TI.Name.capacity();
+    Bytes += TI.Interfaces.capacity() * sizeof(TypeId);
+    Bytes += TI.Fields.capacity() * sizeof(FieldId);
+    Bytes += TI.Methods.capacity() * sizeof(MethodId);
+  }
+  for (const MethodInfo &MI : Methods)
+    Bytes += MI.Name.capacity() + MI.Params.capacity() * sizeof(ParamInfo);
+  for (const FieldInfo &FI : Fields)
+    Bytes += FI.Name.capacity();
+  // Name maps: entries plus their key strings (bucket arrays ignored).
+  for (const auto &[K, V] : TypeByName)
+    Bytes += K.capacity() + sizeof(V) + sizeof(void *);
+  for (const auto &[K, V] : NamespaceByName)
+    Bytes += K.capacity() + sizeof(V) + sizeof(void *);
+  // Relation caches: the dense matrix when owned, else the lazy maps.
+  Bytes += DistMatrix.capacity() * sizeof(int16_t);
+  for (const auto &M : AncestorCache)
+    Bytes += M.size() * (sizeof(TypeId) + sizeof(int) + sizeof(void *));
+  return Bytes;
 }

@@ -104,9 +104,26 @@ struct TypeInfo {
 
 /// The mutable framework model. Construction installs Object, void, and the
 /// primitive types; the parser and corpus generator add everything else.
+///
+/// A TypeSystem can also be constructed as an *overlay* over a frozen base
+/// layer (the base/overlay workspace model, DESIGN.md §14): the overlay
+/// starts out holding every entity of the base — same ids, same builtins —
+/// but stores locally only what is added afterwards. Entity ids continue
+/// the base numbering, so an overlay plus its base is indistinguishable
+/// from one monolithic model that resolved the base source first; accessors
+/// dispatch on the id range. The base is shared read-only (many overlays,
+/// concurrent queries) and must have had warmRelationCaches() or
+/// freezeDenseDistances() run before overlays attach; mutators assert they
+/// only ever touch overlay-layer entities.
 class TypeSystem {
 public:
   TypeSystem();
+
+  /// Constructs an overlay extending \p BaseLayer (non-null). The overlay
+  /// answers base×base relation queries from the base (dense matrix or
+  /// warmed lazy caches) and keeps sparse local caches for overlay types
+  /// only; it never mutates the base.
+  explicit TypeSystem(std::shared_ptr<const TypeSystem> BaseLayer);
 
   //===--------------------------------------------------------------------===
   // Construction
@@ -145,10 +162,32 @@ public:
   // Entity access
   //===--------------------------------------------------------------------===
 
-  const TypeInfo &type(TypeId T) const { return Types[T]; }
-  const FieldInfo &field(FieldId F) const { return Fields[F]; }
-  const MethodInfo &method(MethodId M) const { return Methods[M]; }
-  const NamespaceInfo &nspace(NamespaceId N) const { return Namespaces[N]; }
+  const TypeInfo &type(TypeId T) const {
+    return static_cast<size_t>(T) < NumBaseTypes ? Base->Types[T]
+                                                 : Types[T - NumBaseTypes];
+  }
+  const FieldInfo &field(FieldId F) const {
+    return static_cast<size_t>(F) < NumBaseFields ? Base->Fields[F]
+                                                  : Fields[F - NumBaseFields];
+  }
+  const MethodInfo &method(MethodId M) const {
+    return static_cast<size_t>(M) < NumBaseMethods
+               ? Base->Methods[M]
+               : Methods[M - NumBaseMethods];
+  }
+  const NamespaceInfo &nspace(NamespaceId N) const {
+    return static_cast<size_t>(N) < NumBaseNamespaces
+               ? Base->Namespaces[N]
+               : Namespaces[N - NumBaseNamespaces];
+  }
+
+  /// The shared base layer this model overlays, or null for a monolithic
+  /// model. Overlay entity ids start at numBaseTypes()/numBaseFields()/...
+  const TypeSystem *baseLayer() const { return Base.get(); }
+  size_t numBaseTypes() const { return NumBaseTypes; }
+  size_t numBaseFields() const { return NumBaseFields; }
+  size_t numBaseMethods() const { return NumBaseMethods; }
+  size_t numBaseNamespaces() const { return NumBaseNamespaces; }
 
   /// A cheap structural fingerprint: the entity counts. Every mutator grows
   /// one of them, so an unchanged fingerprint across an operation that was
@@ -168,10 +207,18 @@ public:
     return {numTypes(), numFields(), numMethods(), numNamespaces()};
   }
 
-  size_t numTypes() const { return Types.size(); }
-  size_t numFields() const { return Fields.size(); }
-  size_t numMethods() const { return Methods.size(); }
-  size_t numNamespaces() const { return Namespaces.size(); }
+  // Entity counts are totals (base + overlay), so id-order iteration loops
+  // over [0, numX()) enumerate both layers exactly as a monolithic model
+  // would — the property the bit-identity guarantee rests on.
+  size_t numTypes() const { return NumBaseTypes + Types.size(); }
+  size_t numFields() const { return NumBaseFields + Fields.size(); }
+  size_t numMethods() const { return NumBaseMethods + Methods.size(); }
+  size_t numNamespaces() const { return NumBaseNamespaces + Namespaces.size(); }
+
+  /// Approximate heap bytes owned by *this layer* (an overlay reports only
+  /// its delta; the shared base is not re-counted). Feeds the $/stats
+  /// "memory" block.
+  size_t memoryBytes() const;
 
   /// Built-in type ids.
   TypeId objectType() const { return ObjectTy; }
@@ -193,7 +240,7 @@ public:
   /// True for class/interface types (including Object and string), the
   /// targets a `null` may convert to.
   bool isReferenceType(TypeId T) const {
-    TypeKind K = Types[T].Kind;
+    TypeKind K = type(T).Kind;
     return K == TypeKind::Class || K == TypeKind::Interface;
   }
 
@@ -230,7 +277,7 @@ public:
   //===--------------------------------------------------------------------===
 
   bool isPrimitive(TypeId T) const {
-    return Types[T].Kind == TypeKind::Primitive;
+    return type(T).Kind == TypeKind::Primitive;
   }
 
   /// Primitive *or string*: the common-namespace ranking term ignores these
@@ -309,20 +356,20 @@ public:
 
   /// Namespace segments of the namespace containing \p T.
   const std::vector<std::string> &namespaceSegmentsOf(TypeId T) const {
-    return Namespaces[Types[T].Namespace].Segments;
+    return nspace(type(T).Namespace).Segments;
   }
 
   /// The number of parameters in the *call signature* of \p M: declared
   /// parameters plus one receiver slot for instance methods.
   size_t numCallParams(MethodId M) const {
-    const MethodInfo &MI = Methods[M];
+    const MethodInfo &MI = method(M);
     return MI.Params.size() + (MI.IsStatic ? 0 : 1);
   }
 
   /// Type of call-signature parameter \p I of \p M (parameter 0 of an
   /// instance method is the receiver, typed as the owner).
   TypeId callParamType(MethodId M, size_t I) const {
-    const MethodInfo &MI = Methods[M];
+    const MethodInfo &MI = method(M);
     if (!MI.IsStatic) {
       if (I == 0)
         return MI.Owner;
@@ -335,8 +382,18 @@ private:
   /// Distances from a type to each of its (transitive) supertypes, computed
   /// by BFS over immediateSupertypes and cached. This is the legacy lazy
   /// path; after freezeDenseDistances() the relation queries read the dense
-  /// matrix instead (the maps are kept as the equivalence oracle).
+  /// matrix instead (the maps are kept as the equivalence oracle). In an
+  /// overlay the cache covers overlay types only (indexed T - NumBaseTypes);
+  /// base types delegate to the base layer's warmed cache.
   const std::unordered_map<TypeId, int> &ancestorDistances(TypeId T) const;
+
+  /// Mutable access to an overlay-layer (or monolithic) TypeInfo; asserts
+  /// the target is not a base-layer entity.
+  TypeInfo &mutableType(TypeId T) {
+    assert(static_cast<size_t>(T) >= NumBaseTypes &&
+           "overlay must not mutate base-layer types");
+    return Types[T - NumBaseTypes];
+  }
 
   /// Sentinel in DistMatrix for "no implicit conversion".
   static constexpr int16_t NoConversion = -1;
@@ -347,10 +404,21 @@ private:
                     static_cast<size_t>(To)];
   }
 
+  /// The frozen base layer (null for a monolithic model) and the entity
+  /// counts it held when this overlay attached. Local vectors below store
+  /// only overlay-layer entities; id I lives at index I - NumBaseX.
+  std::shared_ptr<const TypeSystem> Base;
+  size_t NumBaseTypes = 0;
+  size_t NumBaseFields = 0;
+  size_t NumBaseMethods = 0;
+  size_t NumBaseNamespaces = 0;
+
   std::vector<NamespaceInfo> Namespaces;
   std::vector<TypeInfo> Types;
   std::vector<FieldInfo> Fields;
   std::vector<MethodInfo> Methods;
+  /// Name maps hold *absolute* ids, overlay-layer entities only; lookups
+  /// consult the base maps first.
   std::unordered_map<std::string, NamespaceId> NamespaceByName;
   std::unordered_map<std::string, TypeId> TypeByName;
   mutable std::vector<std::unordered_map<TypeId, int>> AncestorCache;

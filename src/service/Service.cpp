@@ -259,7 +259,46 @@ void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
     respondError(Id, rpc::UnknownDocument, "no open document '" + Doc + "'");
     return;
   }
+  if (IsOpen && Opts.MaxSessions != 0)
+    enforceSessionCap(S.get());
   enqueueSession(S, std::move(T));
+}
+
+void PetalService::enforceSessionCap(const SessionState *Keep) {
+  std::vector<std::shared_ptr<SessionState>> Evicted;
+  {
+    std::lock_guard<std::mutex> L(M);
+    while (Sessions.size() > Opts.MaxSessions) {
+      // Least-recently-touched *idle* victim: nothing queued and no worker
+      // on its strand, so nobody but us can reach its DocumentState. Busy
+      // sessions are spared even if older — evicting one would yank state
+      // out from under its running strand; the cap is then temporarily
+      // exceeded until they drain.
+      SessionState *Victim = nullptr;
+      for (auto &[Name, SS] : Sessions) {
+        if (SS.get() == Keep || !SS->Pending.empty() || SS->Scheduled)
+          continue;
+        if (!Victim || SS->LastTouched < Victim->LastTouched)
+          Victim = SS.get();
+      }
+      if (!Victim)
+        break;
+      Victim->Open = false;
+      auto It = Sessions.find(Victim->Name);
+      Evicted.push_back(std::move(It->second));
+      Sessions.erase(It);
+    }
+  }
+  for (const std::shared_ptr<SessionState> &S : Evicted) {
+    S->Doc.reset();
+    Cache.invalidate(S->Name);
+  }
+  if (!Evicted.empty()) {
+    std::lock_guard<std::mutex> L(StatsM);
+    EvictedCount += Evicted.size();
+    for (const std::shared_ptr<SessionState> &S : Evicted)
+      SessionBytes.erase(S->Name);
+  }
 }
 
 void PetalService::enqueueSession(const std::shared_ptr<SessionState> &S,
@@ -269,6 +308,7 @@ void PetalService::enqueueSession(const std::shared_ptr<SessionState> &S,
     if (T.Id.Present)
       QueuedIds.insert(T.Id.key());
     ++Outstanding;
+    S->LastTouched = ++TouchCounter; // recency for --max-sessions eviction
     S->Pending.push_back(std::move(T));
     if (!S->Scheduled) {
       S->Scheduled = true;
@@ -434,15 +474,19 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
   }
 
   std::string Error;
-  // An edit hands the previous state in as the incremental-build baseline;
-  // an open uses the snapshot warm-start state (null without --snapshot),
-  // so a document matching the snapshot corpus shares its mapped tables
-  // instead of building cold. S.Doc is safe to read here: session strands
-  // serialize everything that touches it.
+  // An edit hands the previous state in as the incremental-build baseline.
+  // An open's baseline depends on the workspace mode: with a shared base
+  // corpus the document builds as a fresh overlay (the base plays the
+  // role a warm-start baseline would); without one, it uses the snapshot
+  // warm-start state (null without --snapshot), so a document matching
+  // the snapshot corpus shares its mapped tables instead of building
+  // cold. S.Doc is safe to read here: session strands serialize
+  // everything that touches it.
   const DocumentState *Prev =
-      IsChange ? S.Doc.get() : Opts.Snapshot.WarmStart.get();
+      IsChange ? S.Doc.get()
+               : (Opts.Base ? nullptr : Opts.Snapshot.WarmStart.get());
   std::unique_ptr<DocumentState> Built = buildDocumentState(
-      S.Name, Text, Version, Opts.DocThreads, Error, Prev);
+      S.Name, Text, Version, Opts.DocThreads, Error, Prev, Opts.Base);
   if (!Built) {
     {
       std::lock_guard<std::mutex> L(StatsM);
@@ -495,10 +539,12 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
   double BuiltMs = Built->BuildMillis;
   size_t NumTypes = Built->TS->numTypes();
   size_t NumMethods = Built->TS->numMethods();
+  size_t DocBytes = Built->memoryBytes();
   DocumentState::BuildKind Kind = Built->Kind;
   S.Doc = std::move(Built);
   {
     std::lock_guard<std::mutex> L(StatsM);
+    SessionBytes[S.Name] = DocBytes;
     ++BuildCount;
     if (Kind == DocumentState::BuildKind::Full) {
       ++FullBuildCount;
@@ -544,6 +590,10 @@ void PetalService::execClose(SessionState &S, Task &T) {
   }
   S.Doc.reset();
   Cache.invalidate(S.Name);
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    SessionBytes.erase(S.Name);
+  }
   respondResult(T.Id, Value());
 }
 
@@ -709,7 +759,8 @@ json::Value PetalService::statsJson() {
   }
   uint64_t Received, Queries, Cancelled, Deadline, Stale, Errors, Builds,
       BuildFails, Explained, CeilingHits, FullBuilds, IncBuilds, ReuseTS,
-      ReuseIdx, ReuseSol, Retained, WarmStarts;
+      ReuseIdx, ReuseSol, Retained, WarmStarts, Evictions;
+  size_t OverlayBytes = 0;
   std::array<uint64_t, NumScoreTerms> Terms{};
   std::vector<double> Lat, Bld;
   {
@@ -731,6 +782,9 @@ json::Value PetalService::statsJson() {
     ReuseSol = ReuseSolutionCount;
     Retained = CacheRetainedCount;
     WarmStarts = WarmStartCount;
+    Evictions = EvictedCount;
+    for (const auto &[Name, Bytes] : SessionBytes)
+      OverlayBytes += Bytes;
     Terms = TermTotals;
     Lat = LatencyMs;
     Bld = BuildMs;
@@ -760,6 +814,8 @@ json::Value PetalService::statsJson() {
   R.set("workers", Opts.Workers);
   R.set("docThreads", Opts.DocThreads);
   R.set("sessions", NumSessions);
+  R.set("maxSessions", Opts.MaxSessions);
+  R.set("evictions", Evictions);
   R.set("outstanding", QueueDepth);
   R.set("received", Received);
   R.set("queries", Queries);
@@ -819,6 +875,18 @@ json::Value PetalService::statsJson() {
   if (!Opts.Snapshot.FallbackReason.empty())
     SnapV.set("fallbackReason", Opts.Snapshot.FallbackReason);
   R.set("snapshot", std::move(SnapV));
+
+  // Workspace memory accounting: the shared base corpus is one copy no
+  // matter how many sessions are open; each session adds only its overlay
+  // delta. The base figure is a property of Opts (immutable after
+  // construction), the overlay figure sums the per-session bytes the
+  // build path records.
+  size_t BaseBytes = Opts.Base ? Opts.Base->memoryBytes() : 0;
+  Value MemV = Value::object();
+  MemV.set("baseBytes", BaseBytes);
+  MemV.set("overlayBytes", OverlayBytes);
+  MemV.set("totalBytes", BaseBytes + OverlayBytes);
+  R.set("memory", std::move(MemV));
 
   R.set("cache", std::move(CacheV));
   R.set("latencyMs", std::move(LatV));

@@ -24,6 +24,17 @@
 ///    Queries themselves are routed through the session's BatchExecutor,
 ///    i.e. onto the existing ThreadPool execution layer.
 ///
+///  * **One base, many overlays.** With Options::Base set (petal_serve
+///    --base / --base-snapshot), the daemon holds one shared frozen
+///    framework corpus, and every session's document builds as a thin
+///    overlay over it (Session.h, DESIGN.md §14). The base is immutable
+///    after construction, so concurrent strands read it without locks;
+///    per-session memory is the overlay delta, reported in $/stats
+///    "memory". Options::MaxSessions caps the number of open sessions:
+///    when an open would exceed it, the least-recently-touched *idle*
+///    sessions (no queued or running strand work) are evicted, exactly as
+///    if the client had closed them.
+///
 ///  * **Versioned rejection.** Every edit builds a fresh DocumentState
 ///    with a client-supplied monotonic version; a petal/complete carrying
 ///    a version other than the current one is rejected with
@@ -107,6 +118,13 @@ public:
     bool EnableTestHooks = false;
     /// Snapshot warm-start state (default: no snapshot).
     SnapshotConfig Snapshot;
+    /// The workspace's shared frozen framework corpus; when set, every
+    /// document build is an overlay build (and the snapshot warm-start
+    /// baseline is not used — the base already serves that role).
+    std::shared_ptr<const BaseCorpus> Base;
+    /// Cap on concurrently open sessions (0 = unlimited). On an open that
+    /// would exceed it, least-recently-touched idle sessions are evicted.
+    size_t MaxSessions = 0;
   };
 
   /// Receives every outgoing response message. Called from worker threads
@@ -156,6 +174,9 @@ private:
     std::shared_ptr<DocumentState> Doc;
     std::deque<Task> Pending;
     bool Scheduled = false;
+    /// Monotonic enqueue stamp (from TouchCounter, under M); the
+    /// --max-sessions eviction order. 0 = never touched.
+    uint64_t LastTouched = 0;
   };
 
   /// A named condition the test hooks block on.
@@ -178,6 +199,10 @@ private:
   void enqueueSession(const std::shared_ptr<SessionState> &S, Task T);
   void enqueueGlobal(Task T);
   json::Value statsJson();
+  /// Evicts least-recently-touched idle sessions until at most
+  /// Opts.MaxSessions remain, sparing \p Keep (the session being opened).
+  /// Called from dispatch with no locks held.
+  void enforceSessionCap(const SessionState *Keep);
 
   // Execution (worker threads).
   void workerLoop();
@@ -207,6 +232,7 @@ private:
   std::unordered_set<std::string> CancelledIds; ///< marked via $/cancelRequest
   std::unordered_map<std::string, std::shared_ptr<Gate>> Gates;
   size_t Outstanding = 0;
+  uint64_t TouchCounter = 0; ///< feeds SessionState::LastTouched
   bool ShuttingDown = false;
   bool StopWorkers = false;
   std::atomic<bool> Exit{false};
@@ -233,6 +259,12 @@ private:
   uint64_t ReuseSolutionCount = 0;
   uint64_t CacheRetainedCount = 0; ///< entries surviving edits via retarget
   uint64_t WarmStartCount = 0; ///< opens served incrementally off the snapshot
+  uint64_t EvictedCount = 0;   ///< sessions closed by the --max-sessions cap
+  /// Per-open-session overlay heap bytes (DocumentState::memoryBytes of
+  /// the current build), keyed by document name. Maintained by the build
+  /// and close paths so statsJson never dereferences SessionState::Doc —
+  /// that pointer belongs to the session strand.
+  std::unordered_map<std::string, size_t> SessionBytes;
   std::vector<double> BuildMs;
   uint64_t ExplainedCount = 0;     ///< queries answered with explain on
   uint64_t ScoreCeilingHitCount = 0; ///< queries the score ceiling cut short

@@ -17,6 +17,21 @@
 
 using namespace petal;
 
+size_t DocumentState::memoryBytes() const {
+  size_t Bytes = Text.capacity();
+  for (const DeclUnit &U : Shape.Units)
+    Bytes += sizeof(DeclUnit) + U.QualName.capacity();
+  // Each layer's memoryBytes counts only storage that layer owns: an
+  // overlay TypeSystem reports its local tables (not the base's), and
+  // indexes built by the sharing constructor or over adopted snapshot
+  // mappings report only their fresh parts.
+  if (TS)
+    Bytes += TS->memoryBytes();
+  if (Idx)
+    Bytes += Idx->memoryBytes();
+  return Bytes;
+}
+
 /// Tries the incremental path: share \p Prev's TypeSystem and frozen
 /// type-graph tables, re-resolve only the code layer of \p File into a new
 /// Program. Returns false (leaving \p Doc's engine layers unset) when the
@@ -42,6 +57,7 @@ static bool tryIncrementalBuild(DocumentState &Doc, const SynFile &File,
 
   Doc.TS = Prev.TS;
   Doc.P = std::move(P);
+  Doc.Base = Prev.Base;
   Doc.Idx = std::make_shared<CompletionIndexes>(*Doc.P, *Prev.Idx);
   Doc.Idx->freeze(FreezeOptions{}); // no-op compile: tables are shared
   Doc.Exec = std::make_shared<BatchExecutor>(*Doc.P, *Doc.Idx, DocThreads);
@@ -66,7 +82,8 @@ static bool tryIncrementalBuild(DocumentState &Doc, const SynFile &File,
 std::unique_ptr<DocumentState>
 petal::buildDocumentState(const std::string &Name, const std::string &Text,
                           int64_t Version, size_t DocThreads,
-                          std::string &Error, const DocumentState *Prev) {
+                          std::string &Error, const DocumentState *Prev,
+                          std::shared_ptr<const BaseCorpus> Base) {
   auto Start = std::chrono::steady_clock::now();
   auto Doc = std::make_unique<DocumentState>();
   Doc->Name = Name;
@@ -85,9 +102,19 @@ petal::buildDocumentState(const std::string &Name, const std::string &Text,
   }
   Doc->Shape = shapeOfFile(File);
 
+  assert((!Prev || Prev->Base == Base) &&
+         "the incremental baseline must share the build's base corpus");
   if (!(Prev && tryIncrementalBuild(*Doc, File, *Prev, DocThreads))) {
     Doc->Kind = DocumentState::BuildKind::Full;
-    Doc->TS = std::make_shared<TypeSystem>();
+    // With a base corpus the "full" build is an overlay build: the
+    // TypeSystem layers over the base's (document entity ids continue
+    // after the base's), resolution looks the framework types up through
+    // the layered symbol tables, and the overlay index constructor wires
+    // each sub-index to its frozen base counterpart. Only the document's
+    // own entities are processed below; the base is read, never touched.
+    Doc->Base = Base;
+    Doc->TS = Base ? std::make_shared<TypeSystem>(Base->TS)
+                   : std::make_shared<TypeSystem>();
     Doc->P = std::make_shared<Program>(*Doc->TS);
     if (!resolveParsedFile(File, *Doc->P, Diags)) {
       std::ostringstream OS;
@@ -97,7 +124,8 @@ petal::buildDocumentState(const std::string &Name, const std::string &Text,
         Error = "document failed to resolve";
       return nullptr;
     }
-    Doc->Idx = std::make_shared<CompletionIndexes>(*Doc->P);
+    Doc->Idx = Base ? std::make_shared<CompletionIndexes>(*Doc->P, Base)
+                    : std::make_shared<CompletionIndexes>(*Doc->P);
     // Freeze explicitly at document build time: per-document corpora are
     // small, so the dense distance matrices always fit the default budget,
     // and every query this document serves — at any DocThreads — then runs

@@ -7,13 +7,30 @@
 ///
 /// \file
 /// One open document in the petald service: its source text, its version,
-/// and the engine-side state derived from it — a freshly parsed Program, a
-/// frozen CompletionIndexes, and a BatchExecutor that routes this
-/// document's queries onto the existing parallel execution layer. A
-/// DocumentState is immutable once built; an edit builds a *new* state (on
-/// a service worker, never the transport thread) and atomically swaps it
-/// in, so a query always runs against exactly one consistent version and
-/// stale versions can be rejected by number.
+/// and the engine-side state derived from it — a parsed Program, a frozen
+/// CompletionIndexes, and a BatchExecutor that routes this document's
+/// queries onto the existing parallel execution layer. A DocumentState is
+/// immutable once built; an edit builds a *new* state (on a service
+/// worker, never the transport thread — the session strand serializes the
+/// swap against this document's queries), so a query always runs against
+/// exactly one consistent version and stale versions can be rejected by
+/// number.
+///
+/// A build takes one of three routes, cheapest first:
+///
+///  * **Overlay** (base/overlay workspace, DESIGN.md §14): when the
+///    service carries a shared BaseCorpus, the document's TypeSystem,
+///    indexes, and abstract-type solution are thin overlays extending the
+///    base's frozen, immutable tables. Only the document's own entities
+///    are parsed, resolved, indexed, and solved; the framework corpus is
+///    never re-processed, and every open session reads the same base.
+///  * **Incremental** (DESIGN.md §12): an edit whose type-graph
+///    fingerprint matches the previous version shares that version's
+///    TypeSystem and frozen type-graph tables and re-resolves only the
+///    code layer. Composes with overlays — the shared layers may
+///    themselves be overlay layers.
+///  * **Full**: everything from source, used for opens without a base and
+///    as the fallback when reuse pairing fails.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -74,12 +91,24 @@ struct DocumentState {
   std::shared_ptr<CompletionIndexes> Idx;
   std::shared_ptr<BatchExecutor> Exec;
 
+  /// The shared base layer this document overlays; null for a monolithic
+  /// build. Also pinned through Idx, held here so the service can tell an
+  /// overlay session apart without reaching into the indexes.
+  std::shared_ptr<const BaseCorpus> Base;
+
   double BuildMillis = 0; ///< parse + index + warm-up time
 
   bool incremental() const { return Kind != BuildKind::Full; }
   /// True when this build reused the previous version's abstract-type
   /// solution (the third shareable component in $/stats).
   bool sharedSolution() const { return Kind == BuildKind::IncrementalNoop; }
+
+  /// Approximate heap bytes owned by this document alone: text, shape,
+  /// and the per-layer index storage. Tables shared with a base corpus or
+  /// a snapshot mapping are not counted — the gap between this and a
+  /// monolithic build's footprint is the point of the overlay design,
+  /// surfaced per session in $/stats "memory".
+  size_t memoryBytes() const;
 };
 
 /// Parses \p Text and builds the full query-ready state for it.
@@ -95,10 +124,20 @@ struct DocumentState {
 /// Prev's abstract-type solution. Incremental and full builds of the same
 /// text produce bit-identical completions — enforced by
 /// session_incremental_test's fresh-twin property test.
+///
+/// \p Base, when non-null, is the workspace's shared frozen framework
+/// corpus: full builds go through the overlay path (the document's
+/// TypeSystem, indexes, and solution extend the base's frozen tables), and
+/// incremental builds of overlay documents stay overlay-aware through the
+/// sharing constructor. Overlay and monolithic builds of the same
+/// (base + document) source produce bit-identical completions — enforced
+/// by workspace_overlay_test's fresh-twin property test. \p Prev, if
+/// given, must have been built against the same \p Base.
 std::unique_ptr<DocumentState>
 buildDocumentState(const std::string &Name, const std::string &Text,
                    int64_t Version, size_t DocThreads, std::string &Error,
-                   const DocumentState *Prev = nullptr);
+                   const DocumentState *Prev = nullptr,
+                   std::shared_ptr<const BaseCorpus> Base = nullptr);
 
 /// Wraps a loaded snapshot as a query-ready DocumentState, the service's
 /// warm-start baseline: petal/open passes it to buildDocumentState as

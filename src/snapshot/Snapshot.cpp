@@ -439,3 +439,70 @@ snapshot::loadSnapshot(const std::string &Path, std::string &Error,
                          .count();
   return Snap;
 }
+
+//===----------------------------------------------------------------------===//
+// Base-corpus builders (base/overlay workspace, DESIGN.md §14)
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const BaseCorpus>
+petal::baseCorpusFromSource(const std::string &Source, std::string &Error,
+                            const FreezeOptions &Opts) {
+  auto Start = std::chrono::steady_clock::now();
+  DiagnosticEngine Diags;
+  SynFile File;
+  if (!parseSourceFile(Source, File, Diags)) {
+    std::ostringstream OS;
+    Diags.print(OS);
+    Error = OS.str();
+    if (Error.empty())
+      Error = "base corpus failed to parse";
+    return nullptr;
+  }
+
+  auto Base = std::make_shared<BaseCorpus>();
+  Base->SourceText = Source;
+  Base->Shape = shapeOfFile(File);
+  Base->TS = std::make_shared<TypeSystem>();
+  Base->P = std::make_shared<Program>(*Base->TS);
+  if (!resolveParsedFile(File, *Base->P, Diags)) {
+    std::ostringstream OS;
+    Diags.print(OS);
+    Error = OS.str();
+    if (Error.empty())
+      Error = "base corpus failed to resolve";
+    return nullptr;
+  }
+
+  Base->Idx = std::make_shared<CompletionIndexes>(*Base->P);
+  Base->Idx->freeze(Opts);
+  if (!Base->TS->denseDistancesFrozen() || !Base->Idx->Reach.frozen()) {
+    // Overlays read the base through its dense matrices only; the lazy
+    // fallbacks mutate caches that would then be shared across session
+    // threads. Refuse rather than build an unshareable base.
+    Error = "base corpus exceeds the dense freeze budget (" +
+            std::to_string(Opts.MaxDenseBytes) +
+            " bytes); raise FreezeOptions::MaxDenseBytes";
+    return nullptr;
+  }
+  Base->Solution = std::make_shared<AbsTypeSolution>(Base->Idx->Infer.solve());
+  Base->BuildMillis = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - Start)
+                          .count();
+  return Base;
+}
+
+std::shared_ptr<const BaseCorpus> petal::baseCorpusFromSnapshot(
+    std::shared_ptr<const snapshot::LoadedSnapshot> Snap) {
+  if (!Snap)
+    return nullptr;
+  auto Base = std::make_shared<BaseCorpus>();
+  Base->SourceText = Snap->SourceText;
+  Base->Shape = Snap->Shape;
+  Base->TS = Snap->TS;
+  Base->P = Snap->P;
+  Base->Idx = Snap->Idx;
+  Base->Solution = Snap->Solution;
+  Base->Backing = Snap; // pins the file mapping alongside the indexes
+  Base->BuildMillis = Snap->LoadMillis;
+  return Base;
+}

@@ -30,6 +30,7 @@
 #ifndef PETAL_SNAPSHOT_SNAPSHOT_H
 #define PETAL_SNAPSHOT_SNAPSHOT_H
 
+#include "complete/BaseCorpus.h"
 #include "complete/Engine.h"
 #include "parser/DeclUnits.h"
 #include "parser/Frontend.h"
@@ -158,6 +159,25 @@ bool readSnapshotInfo(const std::string &Path, SnapshotInfo &Out,
 const char *sectionKindName(uint32_t Kind);
 
 } // namespace snapshot
+
+/// Parses, resolves, freezes, and solves \p Source as a base/overlay
+/// workspace's shared base layer (complete/BaseCorpus.h). Fails — null with
+/// a reason in \p Error — on parse/resolve errors, and also when the corpus
+/// exceeds \p Opts' dense budget: overlays answer base-layer queries from
+/// the base's dense matrices, and falling back to the base's lazy caches
+/// would mutate shared state under concurrent readers.
+std::shared_ptr<const BaseCorpus>
+baseCorpusFromSource(const std::string &Source, std::string &Error,
+                     const FreezeOptions &Opts = {});
+
+/// Wraps a loaded snapshot as a base layer, zero-copy: the snapshot's
+/// mapped TypeSystem, frozen tables, and deserialized solution become the
+/// base's, and \p Snap is pinned for the base's lifetime. This is the
+/// "a snapshot *is* the base layer" path — petald can serve any number of
+/// overlay documents milliseconds after start.
+std::shared_ptr<const BaseCorpus>
+baseCorpusFromSnapshot(std::shared_ptr<const snapshot::LoadedSnapshot> Snap);
+
 } // namespace petal
 
 #endif // PETAL_SNAPSHOT_SNAPSHOT_H

@@ -504,6 +504,103 @@ TEST(ServiceTest, LifecycleErrors) {
   EXPECT_EQ(Stats.find("cache")->getInt("size", -1), 0);
 }
 
+TEST(ServiceTest, MaxSessionsEvictsTheLeastRecentlyUsedIdleSession) {
+  PetalService::Options O = testOptions();
+  O.MaxSessions = 2;
+  InProcessClient C(O);
+  C.call("petal/open", openParams("a.cs", corpora::GeometryCorpus, 1));
+  C.call("petal/open", openParams("b.cs", corpora::GeometryCorpus, 1));
+  // Touch a.cs so b.cs is the least recently used when the cap trips.
+  ASSERT_EQ(errorCode(C.call("petal/complete",
+                             completeParams("a.cs", "EllipseArc", "Examine",
+                                            "?({point})"))),
+            0);
+
+  // Eviction spares sessions whose strand is still winding down (the
+  // worker clears its scheduled flag after the response is written), so
+  // drain the daemon before tripping the cap to make the victim — the
+  // LRU among *idle* sessions — deterministic.
+  C.service().waitIdle();
+  Value Third = C.call("petal/open", openParams("c.cs",
+                                                corpora::GeometryCorpus, 1));
+  ASSERT_EQ(errorCode(Third), 0) << Third.write();
+  Value Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("sessions", -1), 2);
+  EXPECT_EQ(Stats.getInt("maxSessions", -1), 2);
+  EXPECT_EQ(Stats.getInt("evictions", -1), 1);
+
+  // b.cs was evicted exactly as if closed; a.cs (recently used) and c.cs
+  // (the newcomer) still answer.
+  EXPECT_EQ(errorCode(C.call("petal/complete",
+                             completeParams("b.cs", "EllipseArc", "Examine",
+                                            "?({point})"))),
+            rpc::UnknownDocument);
+  EXPECT_EQ(errorCode(C.call("petal/complete",
+                             completeParams("a.cs", "EllipseArc", "Examine",
+                                            "?({point})"))),
+            0);
+  EXPECT_EQ(errorCode(C.call("petal/complete",
+                             completeParams("c.cs", "EllipseArc", "Examine",
+                                            "?({point})"))),
+            0);
+
+  // An evicted document reopens cleanly (displacing the next victim).
+  C.service().waitIdle();
+  EXPECT_EQ(errorCode(C.call("petal/open",
+                             openParams("b.cs", corpora::GeometryCorpus, 5))),
+            0);
+  Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.getInt("sessions", -1), 2);
+  EXPECT_EQ(Stats.getInt("evictions", -1), 2);
+}
+
+TEST(ServiceTest, StatsSplitMemoryIntoSharedBaseAndPerSessionOverlay) {
+  PetalService::Options O = testOptions();
+  std::string Error;
+  O.Base = baseCorpusFromSource(corpora::GeometryCorpus, Error);
+  ASSERT_NE(O.Base, nullptr) << Error;
+  InProcessClient C(O);
+
+  const std::string Doc =
+      "class Scratch {\n"
+      "  void Play(System.Windows.Point point) {\n"
+      "    return;\n"
+      "  }\n"
+      "}\n";
+  ASSERT_EQ(errorCode(C.call("petal/open", openParams("doc.cs", Doc, 1))), 0);
+  // A small edit: the session's accounted footprint is the overlay delta
+  // of the *current* build, never a re-count of the shared base.
+  const std::string Edited =
+      "class Scratch {\n"
+      "  void Play(System.Windows.Point point) {\n"
+      "    var tmp = point;\n"
+      "    return;\n"
+      "  }\n"
+      "}\n";
+  ASSERT_EQ(errorCode(C.call("petal/change", openParams("doc.cs", Edited, 2))),
+            0);
+
+  Value Stats = C.callResult("$/stats", Value::object());
+  const Value *Mem = Stats.find("memory");
+  ASSERT_NE(Mem, nullptr);
+  int64_t BaseBytes = Mem->getInt("baseBytes", 0);
+  int64_t OverlayBytes = Mem->getInt("overlayBytes", 0);
+  EXPECT_GT(BaseBytes, 0);
+  EXPECT_GT(OverlayBytes, 0);
+  EXPECT_EQ(Mem->getInt("totalBytes", 0), BaseBytes + OverlayBytes);
+  // The point of the overlay design: a session costs a small fraction of
+  // the shared corpus it reads.
+  EXPECT_LT(OverlayBytes * 4, BaseBytes);
+
+  // Closing the session releases its overlay accounting; the base stays.
+  Value CloseParams = Value::object();
+  CloseParams.set("doc", "doc.cs");
+  ASSERT_EQ(errorCode(C.call("petal/close", CloseParams)), 0);
+  Stats = C.callResult("$/stats", Value::object());
+  EXPECT_EQ(Stats.find("memory")->getInt("overlayBytes", -1), 0);
+  EXPECT_EQ(Stats.find("memory")->getInt("baseBytes", 0), BaseBytes);
+}
+
 TEST(ServiceTest, MalformedJsonGetsParseErrorResponse) {
   InProcessClient C(testOptions());
   EXPECT_TRUE(C.service().handleMessage("{\"jsonrpc\": oops"));
