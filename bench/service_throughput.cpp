@@ -29,6 +29,11 @@
 // Writes BENCH_service.json (into the current directory, or
 // $PETAL_BENCH_DIR) with cold/warm queries-per-second per client count.
 //
+// Regression-gate mode: --check-against BENCH_service.json
+// [--tolerance PCT] reruns the sweep at the baseline's client counts and
+// exits 1 if cold, warm, or explain q/s dropped more than the tolerance —
+// the ci.sh leg that keeps the disarmed fault-injection branches free.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -324,10 +329,93 @@ Round runMedianRound(const Fixture &F, size_t Clients, size_t Repeats) {
   return R;
 }
 
+/// Regression-gate mode (the ci.sh check leg): rerun the sweep at the
+/// baseline's client counts and fail when any throughput metric dropped
+/// more than \p TolerancePct below the recorded value. Faster-than-baseline
+/// is never a failure.
+int checkAgainst(const Fixture &F, const std::string &File,
+                 double TolerancePct, size_t Repeats) {
+  std::ifstream In(File);
+  if (!In) {
+    std::cerr << "error: cannot open baseline '" << File << "'\n";
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  json::Value Snapshot;
+  std::string Error;
+  if (!json::parse(Buf.str(), Snapshot, Error)) {
+    std::cerr << "error: '" << File << "' is not valid JSON: " << Error
+              << "\n";
+    return 1;
+  }
+  const json::Value *Results = Snapshot.find("results");
+  if (!Results || !Results->isArray() || Results->elements().empty()) {
+    std::cerr << "error: '" << File << "' has no \"results\" array\n";
+    return 1;
+  }
+  if (std::abs(Snapshot.getNumber("scale", -1) - benchScale()) > 1e-9)
+    std::cout << "note: baseline was recorded at scale "
+              << formatFixed(Snapshot.getNumber("scale", -1), 2)
+              << ", current scale is " << formatFixed(benchScale(), 2)
+              << " — comparison is not meaningful across scales\n\n";
+
+  TextTable Tab;
+  Tab.setHeader({"clients", "metric", "baseline q/s", "current q/s",
+                 "delta", "verdict"});
+  bool Regressed = false;
+  size_t Mismatches = 0;
+  for (const json::Value &Row : Results->elements()) {
+    size_t Clients = static_cast<size_t>(Row.getInt("clients", 0));
+    if (Clients == 0)
+      continue;
+    Round R = runMedianRound(F, Clients, Repeats);
+    Mismatches += R.Mismatches;
+    const std::pair<const char *, double> Metrics[] = {
+        {"cold", R.ColdQps}, {"warm", R.WarmQps}, {"explain", R.ExplainQps}};
+    const char *Keys[] = {"cold_qps", "warm_qps", "explain_cold_qps"};
+    for (size_t I = 0; I != 3; ++I) {
+      double Base = Row.getNumber(Keys[I], 0);
+      if (Base <= 0) {
+        Tab.addRow({std::to_string(Clients), Metrics[I].first, "-",
+                    formatFixed(Metrics[I].second, 1), "-", "no baseline"});
+        continue;
+      }
+      double DeltaPct = (Metrics[I].second - Base) / Base * 100.0;
+      bool Bad = DeltaPct < -TolerancePct;
+      Regressed |= Bad;
+      Tab.addRow({std::to_string(Clients), Metrics[I].first,
+                  formatFixed(Base, 1), formatFixed(Metrics[I].second, 1),
+                  (DeltaPct >= 0 ? "+" : "") + formatFixed(DeltaPct, 1) +
+                      "%",
+                  Bad ? "REGRESSION" : "ok"});
+    }
+  }
+  std::cout << "Service throughput vs '" << File << "' (tolerance "
+            << formatFixed(TolerancePct, 1) << "%):\n";
+  Tab.print(std::cout);
+  std::cout << "\n";
+  if (Mismatches != 0) {
+    std::cerr << "FAIL: " << Mismatches
+              << " responses differed from the direct engine\n";
+    return 1;
+  }
+  if (Regressed) {
+    std::cerr << "FAIL: service throughput regressed more than "
+              << formatFixed(TolerancePct, 1)
+              << "% against the baseline snapshot\n";
+    return 1;
+  }
+  std::cout << "service throughput within tolerance of the baseline\n";
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   size_t Repeats = 5;
+  std::string CheckFile;
+  double TolerancePct = 10;
   FlagParser Flags("service_throughput",
                    "petald end-to-end throughput vs a direct engine");
   Flags.addFlag("repeat", "N", "rounds per client count, median reported",
@@ -336,6 +424,27 @@ int main(int argc, char **argv) {
                     return false;
                   if (Repeats == 0) {
                     std::cerr << "error: --repeat must be >= 1\n";
+                    return false;
+                  }
+                  return true;
+                });
+  Flags.addFlag("check-against", "FILE",
+                "regression-gate: compare against a BENCH_service.json "
+                "snapshot instead of writing one; exit 1 if any q/s metric "
+                "drops more than the tolerance",
+                [&](const std::string &V) {
+                  CheckFile = V;
+                  return !CheckFile.empty();
+                });
+  Flags.addFlag("tolerance", "PCT",
+                "allowed drop below the baseline, in percent (default 10)",
+                [&](const std::string &V) {
+                  char *End = nullptr;
+                  TolerancePct = std::strtod(V.c_str(), &End);
+                  if (!End || *End != '\0' || TolerancePct < 0) {
+                    std::cerr << "error: --tolerance needs a non-negative "
+                                 "percentage, got '"
+                              << V << "'\n";
                     return false;
                   }
                   return true;
@@ -353,6 +462,9 @@ int main(int argc, char **argv) {
     std::cerr << "no usable queries harvested\n";
     return 1;
   }
+
+  if (!CheckFile.empty())
+    return checkAgainst(F, CheckFile, TolerancePct, Repeats);
 
   std::vector<Round> Rounds;
   for (size_t Clients : {1, 2, 4, 8})

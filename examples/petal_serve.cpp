@@ -22,6 +22,7 @@
 #include "service/Service.h"
 #include "service/Transport.h"
 #include "support/CliArgs.h"
+#include "support/FaultInjector.h"
 
 #include <fstream>
 #include <iostream>
@@ -36,32 +37,9 @@ using namespace petal;
 namespace {
 
 // The fd <-> iostream bridge (FdStreamBuf, with EINTR and short-write
-// handling) lives in service/Transport.h so the wire tests cover it.
-
-/// Runs one connection: read frames, dispatch, write responses, drain.
-void serveStreams(std::istream &In, std::ostream &Out,
-                  const PetalService::Options &Opts) {
-  FramedReader Reader(In);
-  FramedWriter Writer(Out);
-  PetalService Service(Opts, [&Writer](const json::Value &Response) {
-    Writer.write(Response.write());
-  });
-
-  std::string Payload;
-  for (;;) {
-    FramedReader::Status St = Reader.read(Payload);
-    if (St == FramedReader::Status::Eof)
-      break;
-    if (St == FramedReader::Status::Error) {
-      std::cerr << "petal_serve: framing error: " << Reader.message()
-                << " (dropping connection)\n";
-      break;
-    }
-    if (!Service.handleMessage(Payload))
-      break; // exit requested
-  }
-  Service.waitIdle(); // answer everything already accepted
-}
+// handling) lives in service/Transport.h, and the connection loop is the
+// library's serveStream (service/Service.h) — both covered by the wire and
+// robustness tests rather than duplicated here.
 
 int serveTcp(uint16_t Port, const PetalService::Options &Opts) {
   int Listener = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -91,7 +69,7 @@ int serveTcp(uint16_t Port, const PetalService::Options &Opts) {
     FdStreamBuf Buf(Conn);
     std::istream In(&Buf);
     std::ostream Out(&Buf);
-    serveStreams(In, Out, Opts);
+    serveStream(In, Out, Opts);
     ::close(Conn);
     std::cerr << "petal_serve: client disconnected\n";
   }
@@ -160,6 +138,47 @@ int main(int argc, char **argv) {
                     return false;
                   if (TcpPort == 0 || TcpPort > 65535) {
                     std::cerr << "error: --tcp expects a port in [1, 65535]\n";
+                    return false;
+                  }
+                  return true;
+                });
+  Flags.addFlag("max-queue", "N",
+                "admission cap on outstanding requests; excess is shed "
+                "with ServerOverloaded + retryAfterMs (default 0 = no cap)",
+                [&](const std::string &V) {
+                  return parseCount(V, "max-queue", Opts.MaxQueue);
+                });
+  Flags.addFlag("max-strand-depth", "N",
+                "cap on one document's pending requests (default 0 = no "
+                "cap)",
+                [&](const std::string &V) {
+                  return parseCount(V, "max-strand-depth",
+                                    Opts.MaxStrandDepth);
+                });
+  Flags.addFlag("watchdog-ms", "MS",
+                "fail tasks executing longer than MS with InternalError "
+                "(default 0 = disabled)",
+                [&](const std::string &V) {
+                  size_t Ms = 0;
+                  if (!parseCount(V, "watchdog-ms", Ms))
+                    return false;
+                  Opts.WatchdogMs = static_cast<double>(Ms);
+                  return true;
+                });
+  Flags.addFlag("max-frame-bytes", "N",
+                "per-message payload cap on the wire (default 16 MiB)",
+                [&](const std::string &V) {
+                  return parseCount(V, "max-frame-bytes",
+                                    Opts.MaxFrameBytes);
+                });
+  Flags.addFlag("faults", "SPEC",
+                "arm deterministic fault injection: seed[:permille[:names]] "
+                "(names: comma list or 'all'; also via PETAL_FAULTS). "
+                "Testing only",
+                [&](const std::string &V) {
+                  std::string Error;
+                  if (!FaultInjector::instance().armFromSpec(V, Error)) {
+                    std::cerr << "error: --faults: " << Error << "\n";
                     return false;
                   }
                   return true;
@@ -246,6 +265,6 @@ int main(int argc, char **argv) {
 
   if (UseTcp)
     return serveTcp(static_cast<uint16_t>(TcpPort), Opts);
-  serveStreams(std::cin, std::cout, Opts);
+  serveStream(std::cin, std::cout, Opts);
   return 0;
 }

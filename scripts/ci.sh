@@ -27,7 +27,13 @@
 #      overlays outliving or outlived by their base corpus), and a
 #      snapshot save/load round trip through the real CLI tools —
 #      the fault-injection tests must reject corrupt images by returning
-#      an error, never by touching bytes outside the mapping.
+#      an error, never by touching bytes outside the mapping. Then the
+#      chaos leg: the 10k-request socketpair chaos test re-run under
+#      several PETAL_FAULTS seeds, so every injection point (garbage
+#      frames, short reads, EINTR storms, snapshot corruption, build
+#      throws, overlay/freeze fallbacks) fires on fresh schedules while
+#      ASan watches for the lifetime bugs a crash-recovery path would
+#      introduce.
 #   4. UndefinedBehaviorSanitizer (-DPETAL_SANITIZE=undefined): the whole
 #      suite again under UBSan alone (leg 3 bundles it with ASan, but ASan
 #      reshapes the heap and skips the TSan-only paths; this leg runs every
@@ -39,8 +45,11 @@
 #      path, which additionally enforces the >= 5x warm-vs-cold bar), and
 #      workspace_scale --check-against BENCH_workspace.json (the
 #      base/overlay workspace, which enforces the >= 5x
-#      overlay-vs-monolithic per-session build bar), each vs its committed
-#      snapshot. The tolerance is deliberately loose (50%) — CI machines
+#      overlay-vs-monolithic per-session build bar), and
+#      service_throughput --check-against BENCH_service.json (the daemon
+#      end to end with the disarmed fault-injection branches on the hot
+#      path — the robustness layer must be within noise of free when
+#      off), each vs its committed snapshot. The tolerance is deliberately loose (50%) — CI machines
 #      are noisy and differ from the snapshot's hardware; the leg exists
 #      to catch order-of-magnitude regressions (a lock reintroduced on the
 #      query path, an index silently falling back to the lazy
@@ -68,7 +77,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing|SessionIncremental|Snapshot|WorkspaceOverlay'
+  -R 'ThreadPool|BatchExecutor|EvaluatorParallel|IndexStress|Service|Framing|SessionIncremental|Snapshot|WorkspaceOverlay|Backpressure|Isolation|FaultRecovery|FaultInjector|Chaos'
 
 echo
 echo "== [3/5] AddressSanitizer build + service/robustness tests"
@@ -76,7 +85,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer|SessionIncremental|Snapshot|WorkspaceOverlay'
+  -R 'Service|Framing|Json|Robustness|Fuzz|Parser|Lexer|SessionIncremental|Snapshot|WorkspaceOverlay|Backpressure|Isolation|FaultRecovery|FaultInjector|Chaos'
 
 echo
 echo "== [3/5]   snapshot save/load round trip through the CLI tools (ASan)"
@@ -93,6 +102,17 @@ if build-asan/examples/petal_snapshot_tool "$SNAP_TMP/bad.snap" 2>/dev/null; the
 fi
 
 echo
+echo "== [3/5]   chaos: 10k-request fault storms under ASan, several seeds"
+# Only the chaos tests run with an ambient fault spec — the exact-result
+# suites would (correctly) report injected failures as errors. Each seed
+# produces a different deterministic firing schedule; 25 permille keeps
+# the run mostly-working, which is the regime where recovery bugs hide.
+for SEED in 1 7 42; do
+  PETAL_FAULTS="$SEED:25" ctest --test-dir build-asan \
+    --output-on-failure -j "$JOBS" -R 'Chaos'
+done
+
+echo
 echo "== [4/5] UndefinedBehaviorSanitizer build + full test suite"
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPETAL_SANITIZE=undefined >/dev/null
@@ -100,7 +120,7 @@ cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
 
 echo
-echo "== [5/5] Perf smoke: batch throughput + edit latency + cold start + workspace scale vs committed snapshots"
+echo "== [5/5] Perf smoke: batch + edit + cold start + workspace + service throughput vs committed snapshots"
 build-ci/bench/batch_throughput --check-against BENCH_batch.json \
   --tolerance 50
 build-ci/bench/edit_latency --check-against BENCH_edit.json \
@@ -109,6 +129,8 @@ build-ci/bench/cold_start --check-against BENCH_cold_start.json \
   --tolerance 50
 build-ci/bench/workspace_scale --check-against BENCH_workspace.json \
   --tolerance 50
+build-ci/bench/service_throughput --check-against BENCH_service.json \
+  --tolerance 50 --repeat 3
 
 echo
 echo "== ci.sh: all green"

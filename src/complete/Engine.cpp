@@ -125,6 +125,10 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
                            const AbsTypeSolution *Solution) {
   TypeSystem &TS = P.typeSystem();
   Stats = {};
+  if (Opts.Abort && Opts.Abort->aborted()) {
+    Stats.Abandoned = true;
+    return {};
+  }
 
   // Fresh arena for this query's synthesized expressions. A second,
   // *scratch* arena backs everything the enumeration allocates but the
@@ -176,6 +180,13 @@ CompletionEngine::complete(const PartialExpr *Query, const CodeSite &Site,
 
   std::vector<Completion> Results;
   for (int S = 0; S <= EffMaxScore; ++S) {
+    // Cooperative abandonment: a cancelled/expired request stops at the
+    // next bucket boundary. Partial results are discarded — an abandoned
+    // query must never look like a short-but-valid answer.
+    if (Opts.Abort && Opts.Abort->aborted()) {
+      Stats.Abandoned = true;
+      return {};
+    }
     Stats.LastBucket = S;
     for (const Candidate &C : Top->bucket(S)) {
       // Top-level expected-type filter for candidates whose stream did not

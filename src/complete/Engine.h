@@ -32,6 +32,7 @@
 #include "infer/AbstractTypes.h"
 #include "partial/PartialExpr.h"
 #include "rank/Ranking.h"
+#include "support/Abort.h"
 
 #include <memory>
 #include <vector>
@@ -193,6 +194,13 @@ struct CompletionOptions {
   /// score alone, and cards are computed only for the N results actually
   /// returned, so explain costs nothing until asked for.
   bool Explain = false;
+  /// Optional cooperative cancellation: the engine polls this at each
+  /// score-bucket boundary and abandons the query (empty results,
+  /// QueryStats::Abandoned set) once it reports aborted. Abandoned results
+  /// are never returned to clients or cached, so the signal cannot perturb
+  /// the bit-identical-results contract. Null (the default) disables
+  /// polling entirely.
+  const AbortSignal *Abort = nullptr;
 };
 
 /// One result: the completion and its ranking score (lower = better).
@@ -222,6 +230,11 @@ public:
     bool ScoreCeilingHit = false;
     /// The last score bucket scanned (-1 if the query built no stream).
     int LastBucket = -1;
+    /// The query was abandoned mid-enumeration because
+    /// CompletionOptions::Abort reported aborted (deadline passed, request
+    /// cancelled, or watchdog fired). The returned results are incomplete
+    /// and must not be cached or served.
+    bool Abandoned = false;
   };
 
   /// Completes \p Query at \p Site, returning at most \p N results in

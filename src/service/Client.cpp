@@ -7,6 +7,10 @@
 
 #include "service/Client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 using namespace petal;
 using json::Value;
 
@@ -55,6 +59,30 @@ json::Value InProcessClient::callResult(std::string_view Method,
   Value Response = call(Method, std::move(Params));
   const Value *R = Response.find("result");
   return R ? *R : Value();
+}
+
+json::Value InProcessClient::callWithRetry(std::string_view Method,
+                                           Value Params,
+                                           size_t MaxAttempts) {
+  MaxAttempts = std::max<size_t>(1, MaxAttempts);
+  for (size_t Attempt = 1;; ++Attempt) {
+    Value Response = call(Method, Params);
+    const Value *E = Response.find("error");
+    if (!E || E->getInt("code", 0) != rpc::ServerOverloaded ||
+        Attempt == MaxAttempts)
+      return Response;
+    OverloadRetries.fetch_add(1, std::memory_order_relaxed);
+    double RetryMs = 1;
+    if (const Value *D = E->find("data"))
+      RetryMs = D->getNumber("retryAfterMs", 1);
+    RetryMs = std::clamp(RetryMs, 1.0, 100.0);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(RetryMs));
+  }
+}
+
+size_t InProcessClient::overloadRetries() const {
+  return static_cast<size_t>(OverloadRetries.load(std::memory_order_relaxed));
 }
 
 size_t InProcessClient::strayResponses() const {

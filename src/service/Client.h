@@ -50,6 +50,18 @@ public:
   /// Convenience: call() and return the "result" member (null on error).
   json::Value callResult(std::string_view Method, json::Value Params);
 
+  /// call() with honest backpressure handling: on a ServerOverloaded
+  /// error the client sleeps for the error's retryAfterMs hint (clamped
+  /// to [1, 100] ms so tests cannot stall) and retries with a fresh id,
+  /// up to \p MaxAttempts total attempts. Every other response — success
+  /// or error — is returned as-is. The well-behaved-client loop the
+  /// robustness tests and the chaos harness drive.
+  json::Value callWithRetry(std::string_view Method, json::Value Params,
+                            size_t MaxAttempts = 4);
+
+  /// How many ServerOverloaded retries callWithRetry has performed.
+  size_t overloadRetries() const;
+
   /// Responses to requests the client did not send (server pushes); none
   /// are expected today, but the count is observable for tests.
   size_t strayResponses() const;
@@ -62,6 +74,7 @@ private:
   std::unordered_map<int64_t, json::Value> Ready;
   size_t Strays = 0;
   std::atomic<int64_t> NextId{1};
+  std::atomic<uint64_t> OverloadRetries{0};
 
   // Declared last: workers may call onResponse until the service (and its
   // worker threads) are torn down, which happens before the members above.

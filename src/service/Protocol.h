@@ -14,8 +14,10 @@
 ///   petal/change  {doc, text, version}      replace a document's text
 ///   petal/close   {doc}                     drop a session
 ///   petal/complete{doc, version?, class, method, query, n?, rank?, ...}
-///   $/cancelRequest {id}                    cancel a queued request
-///   $/stats                                 service counters + latency
+///   $/cancelRequest {id}                    cancel a queued or executing
+///                                           request
+///   $/stats                                 service counters + latency +
+///                                           health
 ///
 /// petal/open and petal/change answer {doc, version, types, methods,
 /// buildMs, build, cacheRetained}: `build` classifies how the state was
@@ -49,12 +51,16 @@ enum ErrorCode {
   InvalidRequest = -32600,    ///< not a well-formed JSON-RPC request
   MethodNotFound = -32601,    ///< unknown method
   InvalidParams = -32602,     ///< params missing or of the wrong shape
+  InternalError = -32603,     ///< request failed inside the service; the
+                              ///< failure was isolated to this request
   RequestCancelled = -32800,  ///< LSP: cancelled via $/cancelRequest
   ContentModified = -32801,   ///< LSP: document changed under the request
   UnknownDocument = -33000,   ///< no open session for the named document
   DeadlineExceeded = -33001,  ///< request could not start before deadline
   BuildFailed = -33002,       ///< document text failed to parse/resolve
   ShuttingDown = -33003,      ///< request arrived after shutdown
+  ServerOverloaded = -33004,  ///< shed at admission: queue or strand full;
+                              ///< error data carries {retryAfterMs}
 };
 
 /// A parsed request id: JSON-RPC allows numbers and strings; requests
@@ -127,6 +133,21 @@ inline json::Value makeError(const RequestId &Id, int Code,
   json::Value E = json::Value::object();
   E.set("code", Code);
   E.set("message", json::Value(Message));
+  json::Value M = json::Value::object();
+  M.set("jsonrpc", "2.0");
+  M.set("id", Id.toJson());
+  M.set("error", std::move(E));
+  return M;
+}
+
+/// Error with a structured data member (e.g. ServerOverloaded carries
+/// {"retryAfterMs": n} so clients can back off without guessing).
+inline json::Value makeError(const RequestId &Id, int Code,
+                             std::string_view Message, json::Value Data) {
+  json::Value E = json::Value::object();
+  E.set("code", Code);
+  E.set("message", json::Value(Message));
+  E.set("data", std::move(Data));
   json::Value M = json::Value::object();
   M.set("jsonrpc", "2.0");
   M.set("id", Id.toJson());

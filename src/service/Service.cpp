@@ -7,9 +7,14 @@
 
 #include "service/Service.h"
 
+#include "service/Transport.h"
+#include "support/FaultInjector.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <istream>
+#include <ostream>
 
 using namespace petal;
 using json::Value;
@@ -25,6 +30,8 @@ PetalService::PetalService(const Options &Opts, ResponseSink Sink)
   WorkerThreads.reserve(Workers);
   for (size_t W = 0; W != Workers; ++W)
     WorkerThreads.emplace_back([this] { workerLoop(); });
+  if (this->Opts.WatchdogMs > 0)
+    WatchdogThread = std::thread([this] { watchdogLoop(); });
 }
 
 PetalService::~PetalService() {
@@ -39,8 +46,11 @@ PetalService::~PetalService() {
     }
   }
   WorkCV.notify_all();
+  WatchdogCV.notify_all();
   for (std::thread &T : WorkerThreads)
     T.join();
+  if (WatchdogThread.joinable())
+    WatchdogThread.join();
 }
 
 //===----------------------------------------------------------------------===//
@@ -67,6 +77,16 @@ void PetalService::respondError(const rpc::RequestId &Id, int Code,
   if (!Id.Present)
     return;
   respond(rpc::makeError(Id, Code, Message));
+}
+
+void PetalService::taskResult(Task &T, Value Result) {
+  if (claim(T))
+    respondResult(T.Id, std::move(Result));
+}
+
+void PetalService::taskError(Task &T, int Code, const std::string &Message) {
+  if (claim(T))
+    respondError(T.Id, Code, Message);
 }
 
 void PetalService::recordLatency(const Task &T) {
@@ -116,8 +136,59 @@ bool PetalService::handleParsed(const Value &Message) {
   }
   const Value *ParamsPtr = Message.find("params");
   Value Params = ParamsPtr ? *ParamsPtr : Value::object();
-  dispatch(Message, Id, Method, Params);
+  try {
+    dispatch(Message, Id, Method, Params);
+  } catch (const std::exception &E) {
+    // Crash-safe dispatch: a request that blows up while being routed
+    // fails alone; the connection (and every other session) keeps going.
+    {
+      std::lock_guard<std::mutex> L(StatsM);
+      ++IsolatedErrorCount;
+    }
+    respondError(Id, rpc::InternalError,
+                 std::string("internal error during dispatch: ") + E.what());
+  }
   return !exitRequested();
+}
+
+void PetalService::attachCtl(Task &T) {
+  if (!T.Id.Present)
+    return; // notification: nothing to answer, cancel, or watch
+  auto Ctl = std::make_shared<RequestCtl>();
+  Ctl->Id = T.Id;
+  Ctl->Method = T.Method;
+  if (T.DeadlineMs > 0) {
+    Ctl->Sig.Deadline =
+        T.Enqueued + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             T.DeadlineMs));
+    Ctl->Sig.HasDeadline = true;
+  }
+  T.Ctl = std::move(Ctl);
+}
+
+void PetalService::shed(const rpc::RequestId &Id, size_t QueueDepth,
+                        const std::string &Why) {
+  double RetryMs;
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    ++ShedCount;
+    ++ErrorCount;
+    // Little's-law flavored estimate: with Outstanding tasks ahead and
+    // Workers draining at ~EwmaTaskMs each, the backlog clears in about
+    // Outstanding x EwmaTaskMs / Workers. Never less than 1ms — "retry
+    // immediately" defeats the point of shedding.
+    RetryMs = std::max(
+        1.0, EwmaTaskMs * static_cast<double>(QueueDepth) /
+                 static_cast<double>(std::max<size_t>(1, Opts.Workers)));
+  }
+  if (!Id.Present)
+    return;
+  Value Data = Value::object();
+  Data.set("retryAfterMs", RetryMs);
+  respond(rpc::makeError(Id, rpc::ServerOverloaded,
+                         "server overloaded: " + Why, std::move(Data)));
 }
 
 void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
@@ -150,11 +221,28 @@ void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
   if (Method == "$/cancelRequest") {
     rpc::RequestId Target = rpc::RequestId::of(Params);
     if (Target.Present) {
-      std::lock_guard<std::mutex> L(M);
-      // Only requests still waiting can be cancelled; marking unknown ids
-      // would let a hostile client grow the set without bound.
-      if (QueuedIds.count(Target.key()))
-        CancelledIds.insert(Target.key());
+      bool InFlight = false;
+      {
+        std::lock_guard<std::mutex> L(M);
+        // A currently-executing request gets its abort signal raised, so
+        // in-flight deadline/abort checks abandon it at the next phase or
+        // bucket boundary — not just queued ones, as LSP would allow.
+        auto It = Executing.find(Target.key());
+        if (It != Executing.end()) {
+          It->second->AbortCode.store(rpc::RequestCancelled,
+                                      std::memory_order_relaxed);
+          It->second->Sig.abort();
+          InFlight = true;
+        } else if (QueuedIds.count(Target.key())) {
+          // Only requests known to be waiting are marked; marking unknown
+          // ids would let a hostile client grow the set without bound.
+          CancelledIds.insert(Target.key());
+        }
+      }
+      if (InFlight) {
+        std::lock_guard<std::mutex> L(StatsM);
+        ++CancelledInFlightCount;
+      }
     }
     return; // notification
   }
@@ -186,6 +274,7 @@ void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
     }
     Task T{Id, Method, Params, std::chrono::steady_clock::now(),
            Params.getNumber("deadlineMs", 0)};
+    attachCtl(T);
     std::string Doc = Params.getString("doc");
     if (Doc.empty()) {
       enqueueGlobal(std::move(T));
@@ -233,8 +322,30 @@ void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
   Task T{Id, Method, Params, std::chrono::steady_clock::now(),
          Params.getNumber("deadlineMs", 0)};
 
+  // Admission control, decided under the service lock *before* any session
+  // state is created, so the admitted set is a pure function of arrival
+  // order. FIFO-fair: admission never reorders — the first MaxQueue
+  // arrivals are admitted, everything after them is shed until capacity
+  // frees up.
+  if (Opts.MaxQueue != 0) {
+    size_t Depth;
+    bool Shed;
+    {
+      std::lock_guard<std::mutex> L(M);
+      Depth = Outstanding;
+      Shed = Outstanding >= Opts.MaxQueue;
+    }
+    if (Shed) {
+      shed(Id, Depth, "run queue is full (" + std::to_string(Depth) + "/" +
+                          std::to_string(Opts.MaxQueue) + " outstanding)");
+      return;
+    }
+  }
+
   std::shared_ptr<SessionState> S;
   bool AlreadyOpen = false;
+  bool StrandFull = false;
+  size_t StrandDepth = 0;
   {
     std::lock_guard<std::mutex> L(M);
     auto It = Sessions.find(Doc);
@@ -249,6 +360,11 @@ void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
         Sessions[Doc] = S;
       }
     }
+    if (S && Opts.MaxStrandDepth != 0 &&
+        S->Pending.size() >= Opts.MaxStrandDepth) {
+      StrandFull = true;
+      StrandDepth = S->Pending.size();
+    }
   }
   if (AlreadyOpen) {
     respondError(Id, rpc::InvalidParams,
@@ -259,8 +375,16 @@ void PetalService::dispatch(const Value &, const rpc::RequestId &Id,
     respondError(Id, rpc::UnknownDocument, "no open document '" + Doc + "'");
     return;
   }
+  if (StrandFull) {
+    shed(Id, StrandDepth,
+         "session '" + Doc + "' strand is full (" +
+             std::to_string(StrandDepth) + "/" +
+             std::to_string(Opts.MaxStrandDepth) + " pending)");
+    return;
+  }
   if (IsOpen && Opts.MaxSessions != 0)
     enforceSessionCap(S.get());
+  attachCtl(T);
   enqueueSession(S, std::move(T));
 }
 
@@ -308,8 +432,10 @@ void PetalService::enqueueSession(const std::shared_ptr<SessionState> &S,
     if (T.Id.Present)
       QueuedIds.insert(T.Id.key());
     ++Outstanding;
+    QueueHighWater = std::max(QueueHighWater, Outstanding);
     S->LastTouched = ++TouchCounter; // recency for --max-sessions eviction
     S->Pending.push_back(std::move(T));
+    StrandHighWater = std::max(StrandHighWater, S->Pending.size());
     if (!S->Scheduled) {
       S->Scheduled = true;
       RunQueue.push_back(RunItem{S, Task{}});
@@ -324,6 +450,7 @@ void PetalService::enqueueGlobal(Task T) {
     if (T.Id.Present)
       QueuedIds.insert(T.Id.key());
     ++Outstanding;
+    QueueHighWater = std::max(QueueHighWater, Outstanding);
     RunQueue.push_back(RunItem{nullptr, std::move(T)});
   }
   WorkCV.notify_one();
@@ -375,9 +502,59 @@ void PetalService::workerLoop() {
       } else {
         T = std::move(Item.Global);
       }
+      if (T.Ctl) {
+        // Publish the task as executing: from here until the erase below,
+        // $/cancelRequest aborts it in flight and the watchdog patrols it.
+        T.Ctl->Started = std::chrono::steady_clock::now();
+        Executing[T.Id.key()] = T.Ctl;
+      }
     }
 
-    runTask(S, T);
+    auto RunStart = std::chrono::steady_clock::now();
+    // Per-request isolation: an exception escaping a task — a genuine bug
+    // or an injected build fault — becomes an InternalError on *this*
+    // request; the worker, the session, and every other request live on.
+    try {
+      runTask(S, T);
+    } catch (const InjectedFault &E) {
+      // The only injected fault that propagates this far is BuildThrow
+      // (the others recover inside their own layer); surviving it cleanly
+      // IS its recovery path.
+      FaultInjector::instance().noteRecovered(Fault::BuildThrow);
+      {
+        std::lock_guard<std::mutex> L(StatsM);
+        ++IsolatedErrorCount;
+      }
+      taskError(T, rpc::InternalError,
+                std::string("internal error: ") + E.what());
+    } catch (const std::exception &E) {
+      {
+        std::lock_guard<std::mutex> L(StatsM);
+        ++IsolatedErrorCount;
+      }
+      taskError(T, rpc::InternalError,
+                std::string("internal error: ") + E.what());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> L(StatsM);
+        ++IsolatedErrorCount;
+      }
+      taskError(T, rpc::InternalError, "internal error: unknown exception");
+    }
+    // Exactly-one-response backstop: a task that slipped through every
+    // response path still answers (claim() makes the double-response
+    // direction impossible; this closes the zero-response one).
+    if (T.Ctl && !T.Ctl->Responded.load(std::memory_order_acquire))
+      taskError(T, rpc::InternalError,
+                "internal error: task finished without a response");
+
+    {
+      double TaskMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - RunStart)
+                          .count();
+      std::lock_guard<std::mutex> L(StatsM);
+      EwmaTaskMs = EwmaTaskMs == 0 ? TaskMs : 0.8 * EwmaTaskMs + 0.2 * TaskMs;
+    }
 
     {
       std::lock_guard<std::mutex> L(M);
@@ -390,6 +567,7 @@ void PetalService::workerLoop() {
       if (T.Id.Present) {
         QueuedIds.erase(T.Id.key());
         CancelledIds.erase(T.Id.key());
+        Executing.erase(T.Id.key());
       }
       if (--Outstanding == 0)
         IdleCV.notify_all();
@@ -397,6 +575,67 @@ void PetalService::workerLoop() {
         WorkCV.notify_one();
     }
   }
+}
+
+void PetalService::watchdogLoop() {
+  std::unique_lock<std::mutex> L(M);
+  for (;;) {
+    // Patrol at a fraction of the budget so an overrun is caught within
+    // ~1.25x WatchdogMs of starting, without busy-polling.
+    WatchdogCV.wait_for(
+        L, std::chrono::duration<double, std::milli>(
+               std::max(1.0, Opts.WatchdogMs / 4.0)),
+        [&] { return StopWorkers; });
+    if (StopWorkers)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<RequestCtl>> Victims;
+    for (auto &[Key, Ctl] : Executing) {
+      double RanMs = std::chrono::duration<double, std::milli>(
+                         Now - Ctl->Started)
+                         .count();
+      if (RanMs > Opts.WatchdogMs &&
+          !Ctl->Responded.load(std::memory_order_acquire))
+        Victims.push_back(Ctl);
+    }
+    if (Victims.empty())
+      continue;
+    // Respond outside M: the sink may block, and lock order is sink-free.
+    L.unlock();
+    uint64_t Fired = 0;
+    for (const std::shared_ptr<RequestCtl> &Ctl : Victims) {
+      Ctl->AbortCode.store(rpc::InternalError, std::memory_order_relaxed);
+      Ctl->Sig.abort();
+      if (!Ctl->Responded.exchange(true)) {
+        ++Fired;
+        respondError(Ctl->Id, rpc::InternalError,
+                     "watchdog: " + Ctl->Method + " exceeded the " +
+                         std::to_string(Opts.WatchdogMs) +
+                         " ms execution budget");
+      }
+    }
+    if (Fired) {
+      std::lock_guard<std::mutex> SL(StatsM);
+      WatchdogFiredCount += Fired;
+    }
+    L.lock();
+  }
+}
+
+void PetalService::respondAborted(Task &T, const std::string &What) {
+  int Code = T.Ctl ? T.Ctl->AbortCode.load(std::memory_order_relaxed) : 0;
+  if (Code == 0) {
+    // No explicit aborter: the deadline itself expired mid-execution.
+    Code = rpc::DeadlineExceeded;
+    std::lock_guard<std::mutex> L(StatsM);
+    ++DeadlineAbandonedCount;
+  }
+  taskError(T, Code, What + " abandoned mid-execution (" +
+                         (Code == rpc::RequestCancelled ? "cancelled"
+                          : Code == rpc::DeadlineExceeded
+                              ? "deadline expired"
+                              : "aborted") +
+                         ")");
 }
 
 void PetalService::runTask(const std::shared_ptr<SessionState> &S, Task &T) {
@@ -411,7 +650,7 @@ void PetalService::runTask(const std::shared_ptr<SessionState> &S, Task &T) {
         std::lock_guard<std::mutex> L(StatsM);
         ++CancelledCount;
       }
-      respondError(T.Id, rpc::RequestCancelled, "request cancelled");
+      taskError(T, rpc::RequestCancelled, "request cancelled");
       return;
     }
   }
@@ -424,9 +663,9 @@ void PetalService::runTask(const std::shared_ptr<SessionState> &S, Task &T) {
         std::lock_guard<std::mutex> L(StatsM);
         ++DeadlineCount;
       }
-      respondError(T.Id, rpc::DeadlineExceeded,
-                   "deadline of " + std::to_string(T.DeadlineMs) +
-                       " ms expired before execution");
+      taskError(T, rpc::DeadlineExceeded,
+                "deadline of " + std::to_string(T.DeadlineMs) +
+                    " ms expired before execution");
       return;
     }
   }
@@ -436,8 +675,8 @@ void PetalService::runTask(const std::shared_ptr<SessionState> &S, Task &T) {
     return;
   }
   if (!S) {
-    respondError(T.Id, rpc::InvalidRequest,
-                 "internal: session task without session");
+    taskError(T, rpc::InvalidRequest,
+              "internal: session task without session");
     return;
   }
   if (T.Method == "petal/open")
@@ -449,8 +688,8 @@ void PetalService::runTask(const std::shared_ptr<SessionState> &S, Task &T) {
   else if (T.Method == "petal/complete")
     execComplete(*S, T);
   else
-    respondError(T.Id, rpc::MethodNotFound,
-                 "unknown session method '" + T.Method + "'");
+    taskError(T, rpc::MethodNotFound,
+              "unknown session method '" + T.Method + "'");
 }
 
 void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
@@ -458,18 +697,18 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
     std::lock_guard<std::mutex> L(M);
     if (!S.Open) {
       // Closed while this task was queued behind the close.
-      respondError(T.Id, rpc::UnknownDocument,
-                   "document '" + S.Name + "' was closed");
+      taskError(T, rpc::UnknownDocument,
+                "document '" + S.Name + "' was closed");
       return;
     }
   }
   std::string Text = T.Params.getString("text");
   int64_t Version = T.Params.getInt("version", 0);
   if (IsChange && S.Doc && Version <= S.Doc->Version) {
-    respondError(T.Id, rpc::InvalidParams,
-                 "version must increase (current " +
-                     std::to_string(S.Doc->Version) + ", got " +
-                     std::to_string(Version) + ")");
+    taskError(T, rpc::InvalidParams,
+              "version must increase (current " +
+                  std::to_string(S.Doc->Version) + ", got " +
+                  std::to_string(Version) + ")");
     return;
   }
 
@@ -485,8 +724,63 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
   const DocumentState *Prev =
       IsChange ? S.Doc.get()
                : (Opts.Base ? nullptr : Opts.Snapshot.WarmStart.get());
-  std::unique_ptr<DocumentState> Built = buildDocumentState(
-      S.Name, Text, Version, Opts.DocThreads, Error, Prev, Opts.Base);
+  const AbortSignal *Sig = T.Ctl ? &T.Ctl->Sig : nullptr;
+  std::unique_ptr<DocumentState> Built;
+  bool Threw = false;
+  try {
+    Built = buildDocumentState(S.Name, Text, Version, Opts.DocThreads,
+                               Error, Prev, Opts.Base, Sig);
+  } catch (const InjectedFault &E) {
+    // BuildThrow's recovery path: surviving with the session in a defined
+    // state IS the recovery (DESIGN.md §15).
+    FaultInjector::instance().noteRecovered(Fault::BuildThrow);
+    Threw = true;
+    Error = E.what();
+  } catch (const std::exception &E) {
+    Threw = true;
+    Error = E.what();
+  }
+  if (Threw) {
+    // A build that threw (rather than returning an error) is still
+    // confined to this request, with the same session guarantees a failed
+    // build gives: an open holds no session (the name is immediately
+    // reusable), a change keeps answering from its previous version. The
+    // generic workerLoop wrapper would catch this too, but could not
+    // clean up the half-opened session.
+    {
+      std::lock_guard<std::mutex> L(StatsM);
+      ++IsolatedErrorCount;
+    }
+    if (!IsChange) {
+      std::lock_guard<std::mutex> L(M);
+      S.Open = false;
+      auto It = Sessions.find(S.Name);
+      if (It != Sessions.end() && It->second.get() == &S)
+        Sessions.erase(It);
+    }
+    taskError(T, rpc::InternalError,
+              "internal error: " +
+                  std::string(IsChange ? "change" : "open") + " of '" +
+                  S.Name + "' threw (" + Error + "); document " +
+                  (IsChange ? "keeps version " +
+                                  std::to_string(S.Doc ? S.Doc->Version : 0)
+                            : "not opened"));
+    return;
+  }
+  if (!Built && Sig && Sig->aborted()) {
+    // Abandoned, not failed: the session state is exactly what it was —
+    // an open holds no session, a change keeps its previous version.
+    if (!IsChange) {
+      std::lock_guard<std::mutex> L(M);
+      S.Open = false;
+      auto It = Sessions.find(S.Name);
+      if (It != Sessions.end() && It->second.get() == &S)
+        Sessions.erase(It);
+    }
+    respondAborted(T, std::string(IsChange ? "change" : "open") + " of '" +
+                          S.Name + "'");
+    return;
+  }
   if (!Built) {
     {
       std::lock_guard<std::mutex> L(StatsM);
@@ -502,14 +796,14 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
     }
     // On change: the previous DocumentState — text, version, indexes — is
     // untouched; the session keeps answering queries against it.
-    respondError(T.Id, rpc::BuildFailed,
-                 std::string(IsChange ? "change" : "open") +
-                     " failed; document " +
-                     (IsChange ? "keeps version " +
-                                     std::to_string(S.Doc ? S.Doc->Version
-                                                          : 0)
-                               : "not opened") +
-                     ": " + Error);
+    taskError(T, rpc::BuildFailed,
+              std::string(IsChange ? "change" : "open") +
+                  " failed; document " +
+                  (IsChange
+                       ? "keeps version " +
+                             std::to_string(S.Doc ? S.Doc->Version : 0)
+                       : "not opened") +
+                  ": " + Error);
     return;
   }
 
@@ -541,11 +835,14 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
   size_t NumMethods = Built->TS->numMethods();
   size_t DocBytes = Built->memoryBytes();
   DocumentState::BuildKind Kind = Built->Kind;
+  bool Degraded = Built->DegradedMonolithic;
   S.Doc = std::move(Built);
   {
     std::lock_guard<std::mutex> L(StatsM);
     SessionBytes[S.Name] = DocBytes;
     ++BuildCount;
+    if (Degraded)
+      ++DegradedBuildCount;
     if (Kind == DocumentState::BuildKind::Full) {
       ++FullBuildCount;
     } else {
@@ -572,15 +869,17 @@ void PetalService::execOpenChange(SessionState &S, Task &T, bool IsChange) {
                      ? "incremental-body"
                      : "incremental-noop");
   R.set("cacheRetained", Retained);
-  respondResult(T.Id, std::move(R));
+  if (Degraded)
+    R.set("degraded", "monolithic");
+  taskResult(T, std::move(R));
 }
 
 void PetalService::execClose(SessionState &S, Task &T) {
   {
     std::lock_guard<std::mutex> L(M);
     if (!S.Open) {
-      respondError(T.Id, rpc::UnknownDocument,
-                   "document '" + S.Name + "' was closed");
+      taskError(T, rpc::UnknownDocument,
+                "document '" + S.Name + "' was closed");
       return;
     }
     S.Open = false;
@@ -594,28 +893,28 @@ void PetalService::execClose(SessionState &S, Task &T) {
     std::lock_guard<std::mutex> L(StatsM);
     SessionBytes.erase(S.Name);
   }
-  respondResult(T.Id, Value());
+  taskResult(T, Value());
 }
 
 void PetalService::execComplete(SessionState &S, Task &T) {
   {
     std::lock_guard<std::mutex> L(M);
     if (!S.Open) {
-      respondError(T.Id, rpc::UnknownDocument,
-                   "document '" + S.Name + "' was closed");
+      taskError(T, rpc::UnknownDocument,
+                "document '" + S.Name + "' was closed");
       return;
     }
   }
   if (!S.Doc) {
-    respondError(T.Id, rpc::UnknownDocument,
-                 "document '" + S.Name + "' has no built version");
+    taskError(T, rpc::UnknownDocument,
+              "document '" + S.Name + "' has no built version");
     return;
   }
 
   CompleteSpec Spec;
   std::string Error;
   if (!parseCompleteSpec(T.Params, Spec, Error)) {
-    respondError(T.Id, rpc::InvalidParams, Error);
+    taskError(T, rpc::InvalidParams, Error);
     return;
   }
 
@@ -625,9 +924,9 @@ void PetalService::execComplete(SessionState &S, Task &T) {
         std::lock_guard<std::mutex> L(StatsM);
         ++StaleCount;
       }
-      respondError(T.Id, rpc::ContentModified,
-                   "stale version " + std::to_string(V->intValue()) +
-                       " (current " + std::to_string(S.Doc->Version) + ")");
+      taskError(T, rpc::ContentModified,
+                "stale version " + std::to_string(V->intValue()) +
+                    " (current " + std::to_string(S.Doc->Version) + ")");
       return;
     }
   }
@@ -676,13 +975,23 @@ void PetalService::execComplete(SessionState &S, Task &T) {
     R.set("version", DocVersion);
     R.set("completions", std::move(Completions));
     recordLatency(T);
-    respondResult(T.Id, std::move(R));
+    taskResult(T, std::move(R));
     return;
   }
 
+  // Thread the request's abort signal into the engine: a cancel, expired
+  // deadline, or watchdog strike abandons the enumeration at the next
+  // score-bucket boundary. Set only now — after the cache key was
+  // computed — so the signal can never leak into keying or replay.
+  if (T.Ctl)
+    Spec.Opts.Abort = &T.Ctl->Sig;
   QueryOutcome O = runCompletion(*S.Doc, Spec);
+  if (O.Stats.Abandoned) {
+    respondAborted(T, "petal/complete on '" + S.Name + "'");
+    return; // partial results: never cached, never returned
+  }
   if (!O.Ok) {
-    respondError(T.Id, O.ErrCode, O.ErrMsg);
+    taskError(T, O.ErrCode, O.ErrMsg);
     return;
   }
   {
@@ -708,7 +1017,7 @@ void PetalService::execComplete(SessionState &S, Task &T) {
   R.set("version", DocVersion);
   R.set("completions", std::move(O.Completions));
   recordLatency(T);
-  respondResult(T.Id, std::move(R));
+  taskResult(T, std::move(R));
 }
 
 void PetalService::execBlock(Task &T) {
@@ -725,12 +1034,22 @@ void PetalService::execBlock(Task &T) {
     }
   }
   {
+    // Poll rather than wait unconditionally: an aborter (cancel, deadline,
+    // watchdog) cannot know which gate this task sits on, so the task
+    // itself must notice the signal and walk away.
     std::unique_lock<std::mutex> GL(G->GM);
-    G->GCV.wait(GL, [&] { return G->Opened; });
+    while (!G->Opened) {
+      if (T.Ctl && T.Ctl->Sig.aborted()) {
+        GL.unlock();
+        respondAborted(T, "$/test/block on '" + Token + "'");
+        return;
+      }
+      G->GCV.wait_for(GL, std::chrono::milliseconds(2));
+    }
   }
   Value R = Value::object();
   R.set("released", Token);
-  respondResult(T.Id, std::move(R));
+  taskResult(T, std::move(R));
 }
 
 //===----------------------------------------------------------------------===//
@@ -752,14 +1071,19 @@ static double percentileOf(std::vector<double> Samples, double Q) {
 json::Value PetalService::statsJson() {
   size_t NumSessions;
   size_t QueueDepth;
+  size_t QueueHigh, StrandHigh, ExecutingNow;
   {
     std::lock_guard<std::mutex> L(M);
     NumSessions = Sessions.size();
     QueueDepth = Outstanding;
+    QueueHigh = QueueHighWater;
+    StrandHigh = StrandHighWater;
+    ExecutingNow = Executing.size();
   }
   uint64_t Received, Queries, Cancelled, Deadline, Stale, Errors, Builds,
       BuildFails, Explained, CeilingHits, FullBuilds, IncBuilds, ReuseTS,
       ReuseIdx, ReuseSol, Retained, WarmStarts, Evictions;
+  uint64_t Shed, Abandoned, Isolated, Watchdogged, CancelledLive, Degraded;
   size_t OverlayBytes = 0;
   std::array<uint64_t, NumScoreTerms> Terms{};
   std::vector<double> Lat, Bld;
@@ -783,6 +1107,12 @@ json::Value PetalService::statsJson() {
     Retained = CacheRetainedCount;
     WarmStarts = WarmStartCount;
     Evictions = EvictedCount;
+    Shed = ShedCount;
+    Abandoned = DeadlineAbandonedCount;
+    Isolated = IsolatedErrorCount;
+    Watchdogged = WatchdogFiredCount;
+    CancelledLive = CancelledInFlightCount;
+    Degraded = DegradedBuildCount;
     for (const auto &[Name, Bytes] : SessionBytes)
       OverlayBytes += Bytes;
     Terms = TermTotals;
@@ -888,7 +1218,56 @@ json::Value PetalService::statsJson() {
   MemV.set("totalBytes", BaseBytes + OverlayBytes);
   R.set("memory", std::move(MemV));
 
+  // Robustness telemetry: what the backpressure, isolation, watchdog, and
+  // degradation machinery is doing, plus the fault injector's ledger (the
+  // injected == recovered invariant is the chaos tests' core assertion).
+  Value HealthV = Value::object();
+  HealthV.set("shedRequests", Shed);
+  HealthV.set("deadlineAbandoned", Abandoned);
+  HealthV.set("isolatedErrors", Isolated);
+  HealthV.set("watchdogFired", Watchdogged);
+  HealthV.set("cancelledInFlight", CancelledLive);
+  HealthV.set("degradedBuilds", Degraded);
+  HealthV.set("faultsInjected", FaultInjector::instance().injectedTotal());
+  HealthV.set("faultsRecovered", FaultInjector::instance().recoveredTotal());
+  HealthV.set("queueHighWater", QueueHigh);
+  HealthV.set("strandHighWater", StrandHigh);
+  HealthV.set("executing", ExecutingNow);
+  R.set("health", std::move(HealthV));
+
   R.set("cache", std::move(CacheV));
   R.set("latencyMs", std::move(LatV));
   return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Transport loop
+//===----------------------------------------------------------------------===//
+
+void petal::serveStream(std::istream &In, std::ostream &Out,
+                        const PetalService::Options &Opts) {
+  FramedWriter Writer(Out);
+  PetalService Service(Opts, [&Writer](const Value &Message) {
+    Writer.write(Message.write());
+  });
+  FramedReader Reader(In, Opts.MaxFrameBytes);
+  std::string Payload;
+  for (;;) {
+    FramedReader::Status St = Reader.read(Payload);
+    if (St == FramedReader::Status::Eof)
+      break;
+    if (St == FramedReader::Status::Error) {
+      // A framing violation leaves the stream position unknown — tell the
+      // client why, then drop the connection. (Garbage *payloads* inside
+      // well-formed frames are answered with ParseError by handleMessage
+      // and the connection continues; only broken framing is fatal.)
+      Writer.write(rpc::makeError(rpc::RequestId(), rpc::ParseError,
+                                  "framing error: " + Reader.message())
+                       .write());
+      break;
+    }
+    if (!Service.handleMessage(Payload))
+      break; // exit requested
+  }
+  Service.waitIdle(); // drain in-flight work before tearing down
 }

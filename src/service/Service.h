@@ -44,7 +44,19 @@
 ///    request; workers check the mark (and the request's deadlineMs
 ///    budget) when they pick a task up, answering RequestCancelled /
 ///    DeadlineExceeded without touching the engine. A request that
-///    already started runs to completion, as in LSP.
+///    already started carries an AbortSignal threaded into its build and
+///    query: cancelling it (or its deadline passing) makes the work
+///    abandon at the next phase/bucket boundary instead of running to
+///    completion. Abandoned partial results are never returned or cached.
+///
+///  * **Backpressure and isolation** (DESIGN.md §15). Options::MaxQueue /
+///    MaxStrandDepth shed excess load at dispatch with ServerOverloaded
+///    (+retryAfterMs); an optional watchdog fails tasks that exceed
+///    Options::WatchdogMs; every strand task runs inside an isolation
+///    wrapper that converts an escaped exception into an InternalError on
+///    that request alone; and each id-bearing request is answered exactly
+///    once, enforced by an atomic claim on its control block. The $/stats
+///    "health" block reports what this machinery is doing.
 ///
 ///  * **Result cache.** An LRU keyed by (document, version, query, every
 ///    option knob) fronts the engine. A hit replays the stored serialized
@@ -66,6 +78,7 @@
 #include "service/Protocol.h"
 #include "service/ResultCache.h"
 #include "service/Session.h"
+#include "support/Abort.h"
 
 #include <array>
 #include <atomic>
@@ -73,6 +86,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -125,6 +139,25 @@ public:
     /// Cap on concurrently open sessions (0 = unlimited). On an open that
     /// would exceed it, least-recently-touched idle sessions are evicted.
     size_t MaxSessions = 0;
+    /// Admission control: cap on globally outstanding tasks (0 = no cap).
+    /// A session request arriving while Outstanding >= MaxQueue is shed
+    /// at dispatch with ServerOverloaded (error data: {retryAfterMs}),
+    /// deterministically — admission is decided under the service lock
+    /// before any state is created, so the admitted set depends only on
+    /// arrival order, never on worker timing.
+    size_t MaxQueue = 0;
+    /// Cap on one session's pending strand depth (0 = no cap); requests
+    /// beyond it shed with ServerOverloaded, so one hot document cannot
+    /// monopolize the run queue.
+    size_t MaxStrandDepth = 0;
+    /// Watchdog budget in ms (0 = disabled): a strand task executing
+    /// longer than this is failed with InternalError on its behalf and
+    /// its abort signal raised, so a hung build or query cannot wedge the
+    /// daemon silently.
+    double WatchdogMs = 0;
+    /// Per-frame payload cap handed to the transport by serveStream
+    /// (0 = FramedReader::DefaultMaxPayloadBytes).
+    size_t MaxFrameBytes = 0;
   };
 
   /// Receives every outgoing response message. Called from worker threads
@@ -156,6 +189,27 @@ public:
   void releaseGate(const std::string &Token);
 
 private:
+  /// Per-request control block, created for every id-bearing task at
+  /// admission. It is the request's identity across threads: the abort
+  /// signal builds and queries poll, the exactly-one-response claim flag,
+  /// and the execution timestamp the watchdog measures against. Shared
+  /// between the owning worker, the dispatch thread ($/cancelRequest),
+  /// and the watchdog — every field is a plain atomic or written once
+  /// before sharing.
+  struct RequestCtl {
+    AbortSignal Sig;
+    /// Set (exchange) by whoever answers the request first — the worker,
+    /// the watchdog, or the isolation wrapper. Losers drop their response.
+    std::atomic<bool> Responded{false};
+    rpc::RequestId Id;
+    std::string Method;
+    /// When the task started executing (set at worker pickup, under M).
+    std::chrono::steady_clock::time_point Started{};
+    /// The error code an aborter wants reported (RequestCancelled for
+    /// $/cancelRequest; 0 = abort came from the deadline alone).
+    std::atomic<int> AbortCode{0};
+  };
+
   /// One queued request.
   struct Task {
     rpc::RequestId Id;
@@ -163,6 +217,9 @@ private:
     json::Value Params;
     std::chrono::steady_clock::time_point Enqueued;
     double DeadlineMs = 0; ///< <= 0 means no deadline
+    /// Control block; null for notifications (no response expected, so
+    /// nothing to claim, cancel, or watch).
+    std::shared_ptr<RequestCtl> Ctl;
   };
 
   /// One open document: the strand of pending tasks plus the current
@@ -204,19 +261,40 @@ private:
   /// Called from dispatch with no locks held.
   void enforceSessionCap(const SessionState *Keep);
 
+  /// Makes \p T's control block for id-bearing requests (deadline baked
+  /// into the abort signal) — call once, at admission.
+  void attachCtl(Task &T);
+  /// Sheds \p Id with ServerOverloaded + {retryAfterMs}. \p QueueDepth is
+  /// the Outstanding value observed when the shed was decided.
+  void shed(const rpc::RequestId &Id, size_t QueueDepth,
+            const std::string &Why);
+
   // Execution (worker threads).
   void workerLoop();
+  void watchdogLoop();
   void runTask(const std::shared_ptr<SessionState> &S, Task &T);
   void execOpenChange(SessionState &S, Task &T, bool IsChange);
   void execClose(SessionState &S, Task &T);
   void execComplete(SessionState &S, Task &T);
   void execBlock(Task &T);
+  /// Responds to an aborted-in-flight task with the aborter's code (or
+  /// DeadlineExceeded when the abort came from the deadline alone, which
+  /// also counts as a deadline abandonment).
+  void respondAborted(Task &T, const std::string &What);
 
-  // Response plumbing.
+  // Response plumbing. taskResult/taskError are the only response paths
+  // workers use: they claim the control block first, so a request the
+  // watchdog (or the isolation wrapper) already answered is never
+  // answered twice.
   void respond(const json::Value &Message);
   void respondResult(const rpc::RequestId &Id, json::Value Result);
   void respondError(const rpc::RequestId &Id, int Code,
                     const std::string &Message);
+  static bool claim(Task &T) {
+    return !T.Ctl || !T.Ctl->Responded.exchange(true);
+  }
+  void taskResult(Task &T, json::Value Result);
+  void taskError(Task &T, int Code, const std::string &Message);
   void recordLatency(const Task &T);
 
   Options Opts;
@@ -230,8 +308,13 @@ private:
   std::unordered_map<std::string, std::shared_ptr<SessionState>> Sessions;
   std::unordered_set<std::string> QueuedIds;    ///< ids awaiting execution
   std::unordered_set<std::string> CancelledIds; ///< marked via $/cancelRequest
+  /// Control blocks of tasks currently executing, by id key — what
+  /// $/cancelRequest aborts in flight and the watchdog patrols.
+  std::unordered_map<std::string, std::shared_ptr<RequestCtl>> Executing;
   std::unordered_map<std::string, std::shared_ptr<Gate>> Gates;
   size_t Outstanding = 0;
+  size_t QueueHighWater = 0;  ///< max Outstanding ever (guarded by M)
+  size_t StrandHighWater = 0; ///< max one session's Pending depth (M)
   uint64_t TouchCounter = 0; ///< feeds SessionState::LastTouched
   bool ShuttingDown = false;
   bool StopWorkers = false;
@@ -260,6 +343,17 @@ private:
   uint64_t CacheRetainedCount = 0; ///< entries surviving edits via retarget
   uint64_t WarmStartCount = 0; ///< opens served incrementally off the snapshot
   uint64_t EvictedCount = 0;   ///< sessions closed by the --max-sessions cap
+  // Robustness telemetry ($/stats "health"): what the backpressure,
+  // isolation, and degradation machinery is actually doing.
+  uint64_t ShedCount = 0;              ///< requests refused at admission
+  uint64_t DeadlineAbandonedCount = 0; ///< started, then abandoned mid-work
+  uint64_t IsolatedErrorCount = 0;     ///< exceptions confined to one request
+  uint64_t WatchdogFiredCount = 0;     ///< tasks failed by the watchdog
+  uint64_t CancelledInFlightCount = 0; ///< $/cancelRequest hit a running task
+  uint64_t DegradedBuildCount = 0;     ///< overlay builds served monolithically
+  /// EWMA of task execution time, the retryAfterMs estimator backpressure
+  /// hands shed clients.
+  double EwmaTaskMs = 0;
   /// Per-open-session overlay heap bytes (DocumentState::memoryBytes of
   /// the current build), keyed by document name. Maintained by the build
   /// and close paths so statsJson never dereferences SessionState::Doc —
@@ -274,7 +368,20 @@ private:
   std::vector<double> LatencyMs;
 
   std::vector<std::thread> WorkerThreads;
+  std::thread WatchdogThread; ///< running iff Opts.WatchdogMs > 0
+  std::condition_variable WatchdogCV; ///< waits on M; dtor wakes it
 };
+
+/// The daemon's transport loop: reads Content-Length framed messages from
+/// \p In (cap: Options::MaxFrameBytes), dispatches each into a PetalService
+/// whose responses are framed onto \p Out, and returns when the client
+/// sends `exit` or the stream ends — after draining in-flight work. One
+/// connection per call. Crash-safe: a framing violation is answered with a
+/// ParseError before the connection drops, a dispatch-time exception is
+/// answered with InternalError and the loop continues — a poisoned request
+/// never takes the daemon down.
+void serveStream(std::istream &In, std::ostream &Out,
+                 const PetalService::Options &Opts);
 
 } // namespace petal
 

@@ -8,7 +8,9 @@
 #include "service/Session.h"
 
 #include "code/ExprPrinter.h"
+#include "complete/BaseCorpus.h"
 #include "service/Protocol.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
@@ -79,16 +81,82 @@ static bool tryIncrementalBuild(DocumentState &Doc, const SynFile &File,
   return true;
 }
 
+/// One full (non-incremental) build of \p Doc from the already-parsed
+/// \p File: fresh TypeSystem (layered over \p Base when given), resolve,
+/// index, freeze, executor, solution. Returns false with \p Error set on
+/// resolution failure. Factored out so the overlay degradation path can
+/// re-run it monolithically.
+static bool runFullBuild(DocumentState &Doc, const SynFile &File,
+                         std::shared_ptr<const BaseCorpus> Base,
+                         size_t DocThreads, std::string &Error) {
+  DiagnosticEngine Diags;
+  // With a base corpus the "full" build is an overlay build: the
+  // TypeSystem layers over the base's (document entity ids continue
+  // after the base's), resolution looks the framework types up through
+  // the layered symbol tables, and the overlay index constructor wires
+  // each sub-index to its frozen base counterpart. Only the document's
+  // own entities are processed below; the base is read, never touched.
+  Doc.Base = Base;
+  Doc.TS = Base ? std::make_shared<TypeSystem>(Base->TS)
+                : std::make_shared<TypeSystem>();
+  Doc.P = std::make_shared<Program>(*Doc.TS);
+  if (!resolveParsedFile(File, *Doc.P, Diags)) {
+    std::ostringstream OS;
+    Diags.print(OS);
+    Error = OS.str();
+    if (Error.empty())
+      Error = "document failed to resolve";
+    return false;
+  }
+  Doc.Idx = Base ? std::make_shared<CompletionIndexes>(*Doc.P, Base)
+                 : std::make_shared<CompletionIndexes>(*Doc.P);
+  // Freeze explicitly at document build time: per-document corpora are
+  // small, so the dense distance matrices always fit the default budget,
+  // and every query this document serves — at any DocThreads — then runs
+  // against lock-free flat tables. (The executor would freeze anyway;
+  // this keeps the full freeze cost inside BuildMillis and makes the
+  // dense-mode decision visible here.) Computing the shared
+  // abstract-type solution moves that cost out of the first query's
+  // latency too.
+  FreezeOptions FO{};
+  // Fault: pretend the dense budget is exhausted, exercising the lazy
+  // warmed-cache fallback freeze() already supports. Only safe where the
+  // lazy path is actually legal: a monolithic document on a serial
+  // executor (lazy caches fill on first query, single-threaded only).
+  if (!Base && DocThreads == 1 && FaultInjector::armed() &&
+      FaultInjector::instance().fire(Fault::FreezeDenseBudget)) {
+    FaultInjector::instance().noteRecovered(Fault::FreezeDenseBudget);
+    FO.MaxDenseBytes = 0;
+  }
+  Doc.Idx->freeze(FO);
+  Doc.Exec = std::make_shared<BatchExecutor>(*Doc.P, *Doc.Idx, DocThreads);
+  Doc.Exec->fullSolution();
+  return true;
+}
+
 std::unique_ptr<DocumentState>
 petal::buildDocumentState(const std::string &Name, const std::string &Text,
                           int64_t Version, size_t DocThreads,
                           std::string &Error, const DocumentState *Prev,
-                          std::shared_ptr<const BaseCorpus> Base) {
+                          std::shared_ptr<const BaseCorpus> Base,
+                          const AbortSignal *Abort) {
   auto Start = std::chrono::steady_clock::now();
   auto Doc = std::make_unique<DocumentState>();
   Doc->Name = Name;
   Doc->Version = Version;
   Doc->Text = Text;
+
+  if (Abort && Abort->aborted()) {
+    Error = "build abandoned before parse (deadline or cancellation)";
+    return nullptr;
+  }
+
+  // Fault: a build that throws mid-flight. The service's per-request
+  // isolation catches it, answers this request with an error, and keeps
+  // the session on its previous version — that catch is the recovery.
+  if (FaultInjector::armed() &&
+      FaultInjector::instance().fire(Fault::BuildThrow))
+    throw InjectedFault("document build for '" + Name + "'");
 
   DiagnosticEngine Diags;
   SynFile File;
@@ -102,42 +170,53 @@ petal::buildDocumentState(const std::string &Name, const std::string &Text,
   }
   Doc->Shape = shapeOfFile(File);
 
-  assert((!Prev || Prev->Base == Base) &&
-         "the incremental baseline must share the build's base corpus");
+  if (Abort && Abort->aborted()) {
+    Error = "build abandoned after parse (deadline or cancellation)";
+    return nullptr;
+  }
+
+  // A previous version built against a different base — in practice a
+  // degraded-monolithic predecessor (Base == null) in an overlay workspace
+  // — cannot seed an incremental build. Treat it as absent: the full build
+  // below runs against the *requested* base, healing the session back onto
+  // the overlay path.
+  if (Prev && Prev->Base != Base)
+    Prev = nullptr;
+
   if (!(Prev && tryIncrementalBuild(*Doc, File, *Prev, DocThreads))) {
     Doc->Kind = DocumentState::BuildKind::Full;
-    // With a base corpus the "full" build is an overlay build: the
-    // TypeSystem layers over the base's (document entity ids continue
-    // after the base's), resolution looks the framework types up through
-    // the layered symbol tables, and the overlay index constructor wires
-    // each sub-index to its frozen base counterpart. Only the document's
-    // own entities are processed below; the base is read, never touched.
-    Doc->Base = Base;
-    Doc->TS = Base ? std::make_shared<TypeSystem>(Base->TS)
-                   : std::make_shared<TypeSystem>();
-    Doc->P = std::make_shared<Program>(*Doc->TS);
-    if (!resolveParsedFile(File, *Doc->P, Diags)) {
-      std::ostringstream OS;
-      Diags.print(OS);
-      Error = OS.str();
-      if (Error.empty())
-        Error = "document failed to resolve";
+    bool Ok;
+    try {
+      // Fault: the overlay build path fails before completing. Modeled as
+      // a throw out of the overlay attempt; recovery is the monolithic
+      // rebuild in the catch below.
+      if (Base && FaultInjector::armed() &&
+          FaultInjector::instance().fire(Fault::OverlayBuild))
+        throw InjectedFault("overlay build for '" + Name + "'");
+      Ok = runFullBuild(*Doc, File, Base, DocThreads, Error);
+    } catch (const InjectedFault &) {
+      // Degradation ladder, bottom rung: rebuild monolithically from base
+      // source + document source. Same completions (the overlay
+      // equivalence property), higher cost, no shared tables. The next
+      // edit's Prev/Base mismatch check above self-heals back to overlay.
+      FaultInjector::instance().noteRecovered(Fault::OverlayBuild);
+      SynFile MonoFile;
+      DiagnosticEngine MonoDiags;
+      std::string MonoText = Base->SourceText + "\n" + Text;
+      if (!parseSourceFile(MonoText, MonoFile, MonoDiags)) {
+        Error = "degraded monolithic build failed to parse";
+        return nullptr;
+      }
+      Doc->Shape = shapeOfFile(MonoFile);
+      Ok = runFullBuild(*Doc, MonoFile, nullptr, DocThreads, Error);
+      Doc->DegradedMonolithic = Ok;
+    }
+    if (!Ok)
+      return nullptr;
+    if (Abort && Abort->aborted()) {
+      Error = "build abandoned after resolve (deadline or cancellation)";
       return nullptr;
     }
-    Doc->Idx = Base ? std::make_shared<CompletionIndexes>(*Doc->P, Base)
-                    : std::make_shared<CompletionIndexes>(*Doc->P);
-    // Freeze explicitly at document build time: per-document corpora are
-    // small, so the dense distance matrices always fit the default budget,
-    // and every query this document serves — at any DocThreads — then runs
-    // against lock-free flat tables. (The executor would freeze anyway;
-    // this keeps the full freeze cost inside BuildMillis and makes the
-    // dense-mode decision visible here.) Computing the shared
-    // abstract-type solution moves that cost out of the first query's
-    // latency too.
-    Doc->Idx->freeze(FreezeOptions{});
-    Doc->Exec =
-        std::make_shared<BatchExecutor>(*Doc->P, *Doc->Idx, DocThreads);
-    Doc->Exec->fullSolution();
   }
 
   Doc->BuildMillis =

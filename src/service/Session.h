@@ -96,6 +96,13 @@ struct DocumentState {
   /// overlay session apart without reaching into the indexes.
   std::shared_ptr<const BaseCorpus> Base;
 
+  /// True when this build *should* have been an overlay but degraded to a
+  /// monolithic build (base source + document source, Base left null)
+  /// because the overlay path failed — the bottom rung of the degradation
+  /// ladder (DESIGN.md §15). Queries answer identically (the overlay
+  /// equivalence property); the next edit self-heals back to overlay.
+  bool DegradedMonolithic = false;
+
   double BuildMillis = 0; ///< parse + index + warm-up time
 
   bool incremental() const { return Kind != BuildKind::Full; }
@@ -131,13 +138,21 @@ struct DocumentState {
 /// incremental builds of overlay documents stay overlay-aware through the
 /// sharing constructor. Overlay and monolithic builds of the same
 /// (base + document) source produce bit-identical completions — enforced
-/// by workspace_overlay_test's fresh-twin property test. \p Prev, if
-/// given, must have been built against the same \p Base.
+/// by workspace_overlay_test's fresh-twin property test. A \p Prev built
+/// against a *different* base (e.g. a degraded-monolithic predecessor) is
+/// ignored rather than rejected: the build runs full against \p Base,
+/// which is what heals a degraded session back onto the overlay path.
+///
+/// \p Abort, when non-null, is polled at phase boundaries (after parse,
+/// after resolve); an aborted build stops early and returns null with
+/// \p Error noting the abandonment. The caller distinguishes abandonment
+/// from a genuine build failure by checking the signal itself.
 std::unique_ptr<DocumentState>
 buildDocumentState(const std::string &Name, const std::string &Text,
                    int64_t Version, size_t DocThreads, std::string &Error,
                    const DocumentState *Prev = nullptr,
-                   std::shared_ptr<const BaseCorpus> Base = nullptr);
+                   std::shared_ptr<const BaseCorpus> Base = nullptr,
+                   const AbortSignal *Abort = nullptr);
 
 /// Wraps a loaded snapshot as a query-ready DocumentState, the service's
 /// warm-start baseline: petal/open passes it to buildDocumentState as

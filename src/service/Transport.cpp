@@ -7,6 +7,8 @@
 
 #include "service/Transport.h"
 
+#include "support/FaultInjector.h"
+
 #include <cctype>
 #include <cerrno>
 #include <istream>
@@ -37,6 +39,18 @@ static bool readHeaderLine(std::istream &In, std::string &Line, bool &Eof) {
 }
 
 FramedReader::Status FramedReader::read(std::string &Payload) {
+  // Fault: hand the service a garbage frame. The synthetic payload is
+  // yielded *without consuming the stream*, so the real message is still
+  // next in line — the service answers the garbage with a JSON-RPC parse
+  // error and the connection keeps working, which is exactly the recovery
+  // the chaos tests assert.
+  if (FaultInjector::armed() &&
+      FaultInjector::instance().fire(Fault::TransportGarbageFrame)) {
+    FaultInjector::instance().noteRecovered(Fault::TransportGarbageFrame);
+    Payload = "\x01{not json";
+    return Status::Ok;
+  }
+
   // Header block: one or more "Name: value" lines, then a blank line.
   bool SawLength = false;
   size_t Length = 0;
@@ -68,9 +82,9 @@ FramedReader::Status FramedReader::read(std::string &Payload) {
         if (!std::isdigit(static_cast<unsigned char>(Ch)))
           return fail("non-numeric Content-Length '" + Value + "'");
         N = N * 10 + static_cast<size_t>(Ch - '0');
-        if (N > MaxPayloadBytes)
+        if (N > MaxPayload)
           return fail("Content-Length " + Value + " exceeds the " +
-                      std::to_string(MaxPayloadBytes) + " byte cap");
+                      std::to_string(MaxPayload) + " byte cap");
       }
       Length = N;
       SawLength = true;
@@ -80,11 +94,29 @@ FramedReader::Status FramedReader::read(std::string &Payload) {
   if (!SawLength)
     return fail("header block without Content-Length");
 
+  // Chunked payload read: sockets (and the short-read fault below) may
+  // deliver fewer bytes than asked without that being an error — only a
+  // read that makes no progress means the stream truly ended mid-payload.
   Payload.resize(Length);
-  In.read(Payload.data(), static_cast<std::streamsize>(Length));
-  if (static_cast<size_t>(In.gcount()) != Length)
-    return fail("truncated payload: expected " + std::to_string(Length) +
-                " bytes, got " + std::to_string(In.gcount()));
+  size_t Got = 0;
+  while (Got < Length) {
+    size_t Chunk = Length - Got;
+    if (FaultInjector::armed() && Chunk > 1 &&
+        FaultInjector::instance().fire(Fault::TransportShortRead)) {
+      // Deliberately undersized read; the loop itself is the recovery.
+      FaultInjector::instance().noteRecovered(Fault::TransportShortRead);
+      Chunk = 1 + Chunk / 2;
+    }
+    In.read(Payload.data() + Got, static_cast<std::streamsize>(Chunk));
+    size_t N = static_cast<size_t>(In.gcount());
+    if (N == 0)
+      return fail("truncated payload: expected " + std::to_string(Length) +
+                  " bytes, got " + std::to_string(Got));
+    Got += N;
+    if (Got < Length && In.eof())
+      return fail("truncated payload: expected " + std::to_string(Length) +
+                  " bytes, got " + std::to_string(Got));
+  }
   return Status::Ok;
 }
 
@@ -103,6 +135,15 @@ FdStreamBuf::FdStreamBuf(int Fd) : Fd(Fd) {
 FdStreamBuf::int_type FdStreamBuf::underflow() {
   ssize_t N;
   do {
+    // Fault: behave as if a signal interrupted the read before any byte
+    // moved — the retry loop below is the recovery, same as a real EINTR.
+    if (FaultInjector::armed() &&
+        FaultInjector::instance().fire(Fault::TransportEintr)) {
+      FaultInjector::instance().noteRecovered(Fault::TransportEintr);
+      errno = EINTR;
+      N = -1;
+      continue;
+    }
     N = ::read(Fd, InBuf, sizeof(InBuf));
   } while (N < 0 && errno == EINTR);
   if (N <= 0)

@@ -38,9 +38,11 @@ namespace petal {
 /// exactly one reader loop.
 class FramedReader {
 public:
-  /// Payloads above this are rejected as corrupt (the daemon would rather
-  /// drop a connection than trust a multi-gigabyte length field).
-  static constexpr size_t MaxPayloadBytes = 32u << 20;
+  /// The default payload cap: anything above is rejected as corrupt (the
+  /// daemon would rather drop a connection than trust a multi-gigabyte
+  /// length field). Configurable per reader (petal_serve
+  /// --max-frame-bytes) for deployments with known larger documents.
+  static constexpr size_t DefaultMaxPayloadBytes = 16u << 20;
 
   enum class Status {
     Ok,    ///< a message was read into the payload
@@ -48,7 +50,10 @@ public:
     Error, ///< framing violation; message() describes it
   };
 
-  explicit FramedReader(std::istream &In) : In(In) {}
+  explicit FramedReader(std::istream &In,
+                        size_t MaxPayload = DefaultMaxPayloadBytes)
+      : In(In),
+        MaxPayload(MaxPayload ? MaxPayload : DefaultMaxPayloadBytes) {}
 
   /// Reads one message; on Error the stream position is unspecified and
   /// the connection should be dropped.
@@ -64,6 +69,7 @@ private:
   }
 
   std::istream &In;
+  size_t MaxPayload;
   std::string Err;
 };
 

@@ -8,6 +8,7 @@
 #include "snapshot/Snapshot.h"
 
 #include "support/Checksum.h"
+#include "support/FaultInjector.h"
 
 #include <chrono>
 #include <cstring>
@@ -283,14 +284,57 @@ snapshot::loadSnapshot(const std::string &Path, std::string &Error,
                        bool ForceBufferedRead) {
   auto Start = std::chrono::steady_clock::now();
 
-  auto File = MappedFile::open(Path, Error, ForceBufferedRead);
+  // Fault: mmap "unavailable". Recovery is the buffered-read path the
+  // loader already supports — same bytes, no mapping.
+  bool Buffered = ForceBufferedRead;
+  if (!Buffered && FaultInjector::armed() &&
+      FaultInjector::instance().fire(Fault::SnapshotMmapFail)) {
+    FaultInjector::instance().noteRecovered(Fault::SnapshotMmapFail);
+    Buffered = true;
+  }
+
+  auto File = MappedFile::open(Path, Error, Buffered);
   if (!File)
     return nullptr;
   const char *Data = File->data();
+  size_t Size = File->size();
+
+  // Fault: the image appears cut in half (a partial write / partial
+  // download). Validation must reject it; the caller's cold build is the
+  // recovery. If the half-image somehow validated, adopting it would be a
+  // correctness bug, so the injected case always rejects.
+  bool Truncated = FaultInjector::armed() && Size > 1 &&
+                   FaultInjector::instance().fire(Fault::SnapshotTruncate);
+  if (Truncated)
+    Size /= 2;
 
   Header Hdr;
   std::vector<SectionEntry> Table;
-  if (!validateImage(Data, File->size(), Hdr, Table, Error))
+
+  // Fault: one flipped payload bit. Corrupt a local *copy* — the mapping
+  // may be shared — and require the checksums to catch it; the clean
+  // rejection (and the caller's cold build) is the recovery. The copy is
+  // never adopted: even if the flip landed in slack the CRCs don't cover,
+  // handing out corrupt-capable state would defeat the exercise.
+  if (!Truncated && FaultInjector::armed() && Size > 0 &&
+      FaultInjector::instance().fire(Fault::SnapshotCrcFlip)) {
+    std::string Corrupt(Data, Size);
+    Corrupt[Size / 2] = static_cast<char>(Corrupt[Size / 2] ^ 0x40);
+    if (validateImage(Corrupt.data(), Size, Hdr, Table, Error))
+      Error = "snapshot: injected bit flip landed outside checksummed "
+              "payload";
+    FaultInjector::instance().noteRecovered(Fault::SnapshotCrcFlip);
+    return nullptr;
+  }
+
+  bool Valid = validateImage(Data, Size, Hdr, Table, Error);
+  if (Truncated) {
+    if (Valid)
+      Error = "snapshot: truncated image unexpectedly validated";
+    FaultInjector::instance().noteRecovered(Fault::SnapshotTruncate);
+    return nullptr;
+  }
+  if (!Valid)
     return nullptr;
 
   // Every kind must appear exactly once.

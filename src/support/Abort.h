@@ -1,0 +1,51 @@
+//===- support/Abort.h - Cooperative abort + deadline signal ----*- C++ -*-===//
+//
+// Part of the petal project, an open-source reproduction of "Type-Directed
+// Completion of Partial Expressions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cooperative cancellation token threaded from the service's request
+/// control block down into document builds (phase boundaries) and the
+/// completion engine (per score bucket). Work holding a pointer to one
+/// polls aborted() at natural checkpoints and abandons cleanly — partial
+/// results are discarded, never returned or cached, so abandonment can
+/// never violate the bit-identical-results contract.
+///
+/// A null AbortSignal pointer means "never abandon" and costs nothing; a
+/// live one costs a relaxed atomic load per poll, plus a clock read when a
+/// deadline is set. Writers set Stop via abort() ($/cancelRequest on an
+/// executing request, the watchdog); the deadline is fixed at request
+/// admission and needs no writer at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PETAL_SUPPORT_ABORT_H
+#define PETAL_SUPPORT_ABORT_H
+
+#include <atomic>
+#include <chrono>
+
+namespace petal {
+
+struct AbortSignal {
+  std::atomic<bool> Stop{false};
+  std::chrono::steady_clock::time_point Deadline{};
+  bool HasDeadline = false;
+
+  void abort() { Stop.store(true, std::memory_order_release); }
+
+  /// True once abort() was called or the deadline passed. Safe to poll
+  /// from any thread; HasDeadline/Deadline are written once before the
+  /// signal is shared.
+  bool aborted() const {
+    if (Stop.load(std::memory_order_acquire))
+      return true;
+    return HasDeadline && std::chrono::steady_clock::now() >= Deadline;
+  }
+};
+
+} // namespace petal
+
+#endif // PETAL_SUPPORT_ABORT_H

@@ -33,6 +33,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -99,6 +100,21 @@ public:
 
   size_t numThreads() const { return NumThreads; }
 
+  /// Every exception a body ever threw on this pool (the first per
+  /// parallelFor is rethrown to the caller; any further ones are counted
+  /// here instead of vanishing).
+  uint64_t exceptionCount() const {
+    std::lock_guard<std::mutex> L(M);
+    return ExceptionCount;
+  }
+
+  /// The message of the most recent body exception ("" if none yet) —
+  /// observable even for exceptions the caller's rethrow never saw.
+  std::string lastError() const {
+    std::lock_guard<std::mutex> L(M);
+    return LastErrorMsg;
+  }
+
   /// Runs Fn(Index, Worker) for every Index in [0, N), distributing
   /// indexes over all workers, and blocks until every call returned. The
   /// calling thread participates as worker 0. Not reentrant: bodies must
@@ -144,6 +160,17 @@ private:
     std::exception_ptr Error; // first exception (guarded by M)
   };
 
+  /// Renders the in-flight exception; only callable inside a catch block.
+  static std::string describeCurrentException() {
+    try {
+      throw;
+    } catch (const std::exception &E) {
+      return E.what();
+    } catch (...) {
+      return "unknown exception type";
+    }
+  }
+
   void runJob(Job &J, size_t Worker) {
     for (;;) {
       size_t I = J.Next.fetch_add(1, std::memory_order_relaxed);
@@ -153,8 +180,18 @@ private:
         (*J.Fn)(I, Worker);
       } catch (...) {
         std::lock_guard<std::mutex> L(M);
-        if (!J.Error)
+        ++ExceptionCount;
+        LastErrorMsg = describeCurrentException();
+        if (!J.Error) {
           J.Error = std::current_exception();
+        } else {
+          // A second exception in the same job has nowhere to propagate —
+          // the caller can rethrow only one. It stays visible through
+          // exceptionCount()/lastError(), and in debug builds it is a
+          // hard stop: silently losing exceptions is how bugs vanish.
+          assert(false && "ThreadPool body exception swallowed: another "
+                          "exception is already pending for this job");
+        }
         // Drain the remaining indexes without running them.
         J.Next.store(J.N, std::memory_order_relaxed);
       }
@@ -185,12 +222,14 @@ private:
 
   size_t NumThreads = 1;
   std::vector<std::thread> Workers;
-  std::mutex M;
+  mutable std::mutex M;
   std::condition_variable WorkCV;
   std::condition_variable DoneCV;
   Job *Cur = nullptr;
   uint64_t JobGen = 0;
   bool Stop = false;
+  uint64_t ExceptionCount = 0; ///< every body throw ever seen (guarded by M)
+  std::string LastErrorMsg;    ///< message of the latest throw (guarded by M)
 };
 
 } // namespace petal

@@ -94,6 +94,39 @@ TEST(ThreadPoolTest, PropagatesBodyException) {
   EXPECT_EQ(Count.load(), 32u);
 }
 
+TEST(ThreadPoolTest, CountsBodyExceptionsAndKeepsTheLastMessage) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.exceptionCount(), 0u);
+  EXPECT_EQ(Pool.lastError(), "");
+
+  // One throwing index per job (a second same-job throw is an assert in
+  // debug builds); the counters accumulate across jobs on the same pool.
+  EXPECT_THROW(Pool.parallelFor(64,
+                                [&](size_t I, size_t) {
+                                  if (I == 7)
+                                    throw std::runtime_error("first boom");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(Pool.exceptionCount(), 1u);
+  EXPECT_NE(Pool.lastError().find("first boom"), std::string::npos);
+
+  EXPECT_THROW(Pool.parallelFor(64,
+                                [&](size_t I, size_t) {
+                                  if (I == 9)
+                                    throw std::runtime_error("second boom");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(Pool.exceptionCount(), 2u);
+  EXPECT_NE(Pool.lastError().find("second boom"), std::string::npos);
+
+  // A clean job leaves the forensic state untouched.
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(32, [&](size_t, size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 32u);
+  EXPECT_EQ(Pool.exceptionCount(), 2u);
+  EXPECT_NE(Pool.lastError().find("second boom"), std::string::npos);
+}
+
 TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
   ::setenv("PETAL_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
